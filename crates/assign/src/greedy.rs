@@ -1,0 +1,313 @@
+//! Greedy team formation with multi-seed restarts, plus local-search
+//! refinement by member swaps — the "efficient in practice" approximations
+//! of Rahman et al. [9] that Crowd4U adapts per collaboration scheme.
+
+use crate::types::{Candidate, Team, TeamConstraints, TeamFormation};
+use crowd4u_crowd::affinity::AffinityLookup;
+use crowd4u_crowd::profile::WorkerId;
+
+/// Greedy expansion: for each seed worker, repeatedly add the candidate with
+/// the highest marginal affinity while keeping cost feasible; keep the best
+/// feasible team over all seeds.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyAff {
+    /// Limit the number of seeds tried (0 = all workers). Large pools use
+    /// the highest-skill workers as seeds.
+    pub max_seeds: usize,
+}
+
+impl GreedyAff {
+    pub fn with_seed_cap(max_seeds: usize) -> GreedyAff {
+        GreedyAff { max_seeds }
+    }
+}
+
+fn pair_count(k: usize) -> f64 {
+    (k * k.saturating_sub(1) / 2) as f64
+}
+
+/// Grow a team greedily from one seed; returns the best feasible prefix.
+fn grow_from_seed(
+    seed: usize,
+    cands: &[Candidate],
+    aff: &dyn AffinityLookup,
+    constraints: &TeamConstraints,
+) -> Option<(f64, Vec<WorkerId>)> {
+    let mut in_team = vec![false; cands.len()];
+    in_team[seed] = true;
+    let mut team = vec![seed];
+    let mut pair_sum = 0.0;
+    let mut skill_sum = cands[seed].skill;
+    let mut cost_sum = cands[seed].cost;
+    if cost_sum > constraints.max_cost {
+        return None;
+    }
+    let mut best: Option<(f64, Vec<WorkerId>)> = None;
+    let consider = |team: &[usize], pair_sum: f64, skill_sum: f64, cost_sum: f64,
+                        best: &mut Option<(f64, Vec<WorkerId>)>| {
+        let n = team.len();
+        if n < constraints.min_size {
+            return;
+        }
+        if skill_sum / n as f64 + 1e-12 < constraints.min_quality {
+            return;
+        }
+        if cost_sum > constraints.max_cost + 1e-12 {
+            return;
+        }
+        let mean = if n < 2 { 0.0 } else { pair_sum / pair_count(n) };
+        if best.as_ref().is_none_or(|(b, _)| mean > *b) {
+            *best = Some((mean, team.iter().map(|&i| cands[i].id).collect()));
+        }
+    };
+    consider(&team, pair_sum, skill_sum, cost_sum, &mut best);
+
+    while team.len() < constraints.max_size {
+        // Pick the addition that maximises (greedily) the new mean affinity,
+        // breaking ties toward higher skill to help the quality constraint.
+        let mut pick: Option<(usize, f64)> = None;
+        for (i, c) in cands.iter().enumerate() {
+            if in_team[i] || cost_sum + c.cost > constraints.max_cost + 1e-12 {
+                continue;
+            }
+            let marginal: f64 = team.iter().map(|&m| aff.affinity(cands[m].id, c.id)).sum();
+            let new_mean = (pair_sum + marginal) / pair_count(team.len() + 1);
+            let score = new_mean + 1e-9 * c.skill;
+            if pick.as_ref().is_none_or(|(_, s)| score > *s) {
+                pick = Some((i, score));
+            }
+        }
+        let Some((i, _)) = pick else { break };
+        let marginal: f64 = team
+            .iter()
+            .map(|&m| aff.affinity(cands[m].id, cands[i].id))
+            .sum();
+        in_team[i] = true;
+        team.push(i);
+        pair_sum += marginal;
+        skill_sum += cands[i].skill;
+        cost_sum += cands[i].cost;
+        consider(&team, pair_sum, skill_sum, cost_sum, &mut best);
+    }
+    best
+}
+
+impl TeamFormation for GreedyAff {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn form(
+        &self,
+        cands: &[Candidate],
+        aff: &dyn AffinityLookup,
+        constraints: &TeamConstraints,
+    ) -> Option<Team> {
+        if cands.is_empty() || constraints.min_size > constraints.max_size {
+            return None;
+        }
+        // Seed order: by descending skill (helps meet quality constraints).
+        let mut seeds: Vec<usize> = (0..cands.len()).collect();
+        seeds.sort_by(|&a, &b| cands[b].skill.total_cmp(&cands[a].skill));
+        if self.max_seeds > 0 {
+            seeds.truncate(self.max_seeds);
+        }
+        let mut best: Option<(f64, Vec<WorkerId>)> = None;
+        for s in seeds {
+            if let Some((mean, members)) = grow_from_seed(s, cands, aff, constraints) {
+                if best.as_ref().is_none_or(|(b, _)| mean > *b) {
+                    best = Some((mean, members));
+                }
+            }
+        }
+        best.map(|(_, members)| Team::assemble(members, cands, aff))
+    }
+}
+
+/// Local search: start from the greedy solution and improve it by swapping
+/// one member for one outsider while feasible, until a local optimum.
+#[derive(Debug, Clone)]
+pub struct LocalSearch {
+    pub max_iterations: usize,
+}
+
+impl Default for LocalSearch {
+    fn default() -> Self {
+        LocalSearch {
+            max_iterations: 1000,
+        }
+    }
+}
+
+impl TeamFormation for LocalSearch {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn form(
+        &self,
+        cands: &[Candidate],
+        aff: &dyn AffinityLookup,
+        constraints: &TeamConstraints,
+    ) -> Option<Team> {
+        let start = GreedyAff::default().form(cands, aff, constraints)?;
+        let mut members = start.members;
+        let mut current = start.affinity;
+        for _ in 0..self.max_iterations {
+            let mut improved = false;
+            'outer: for mi in 0..members.len() {
+                for c in cands {
+                    if members.contains(&c.id) {
+                        continue;
+                    }
+                    let mut trial = members.clone();
+                    trial[mi] = c.id;
+                    let t = Team::assemble(trial, cands, aff);
+                    let feasible = t.quality + 1e-12 >= constraints.min_quality
+                        && t.cost <= constraints.max_cost + 1e-12;
+                    if feasible && t.affinity > current + 1e-12 {
+                        members = t.members;
+                        current = t.affinity;
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Some(Team::assemble(members, cands, aff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactBB;
+    use crate::types::validate_team;
+    use crowd4u_crowd::affinity::AffinityMatrix;
+
+    fn random_instance(n: u64, seed: u64) -> (Vec<Candidate>, AffinityMatrix) {
+        let mut rng = crowd4u_sim::rng::SimRng::seed_from(seed);
+        let cands: Vec<Candidate> = (0..n)
+            .map(|i| Candidate::new(WorkerId(i), rng.unit(), rng.range_f64(0.0, 3.0)))
+            .collect();
+        let mut m = AffinityMatrix::new(cands.iter().map(|c| c.id).collect());
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(WorkerId(i), WorkerId(j), rng.unit());
+            }
+        }
+        (cands, m)
+    }
+
+    #[test]
+    fn greedy_finds_feasible_teams() {
+        for seed in 0..10 {
+            let (cands, m) = random_instance(20, seed);
+            let constraints = TeamConstraints::sized(3, 6)
+                .with_quality(0.3)
+                .with_budget(10.0);
+            if let Some(t) = GreedyAff::default().form(&cands, &m, &constraints) {
+                assert!(validate_team(&t, &cands, &constraints), "seed {seed}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        for seed in 0..8 {
+            let (cands, m) = random_instance(10, seed);
+            let constraints = TeamConstraints::sized(2, 4);
+            let g = GreedyAff::default().form(&cands, &m, &constraints).unwrap();
+            let e = ExactBB::default().form(&cands, &m, &constraints).unwrap();
+            assert!(
+                e.affinity + 1e-9 >= g.affinity,
+                "seed {seed}: exact {} < greedy {}",
+                e.affinity,
+                g.affinity
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_at_least_greedy() {
+        for seed in 0..8 {
+            let (cands, m) = random_instance(25, seed);
+            let constraints = TeamConstraints::sized(3, 5);
+            let g = GreedyAff::default().form(&cands, &m, &constraints).unwrap();
+            let l = LocalSearch::default().form(&cands, &m, &constraints).unwrap();
+            assert!(
+                l.affinity + 1e-9 >= g.affinity,
+                "seed {seed}: local {} < greedy {}",
+                l.affinity,
+                g.affinity
+            );
+            assert!(validate_team(&l, &cands, &constraints));
+        }
+    }
+
+    #[test]
+    fn local_search_never_beats_exact_on_small() {
+        for seed in 0..5 {
+            let (cands, m) = random_instance(9, seed);
+            let constraints = TeamConstraints::sized(2, 4);
+            let l = LocalSearch::default().form(&cands, &m, &constraints).unwrap();
+            let e = ExactBB::default().form(&cands, &m, &constraints).unwrap();
+            assert!(e.affinity + 1e-9 >= l.affinity, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_handles_infeasible() {
+        let (cands, m) = random_instance(5, 1);
+        assert!(GreedyAff::default()
+            .form(&cands, &m, &TeamConstraints::sized(2, 4).with_quality(2.0))
+            .is_none());
+        assert!(GreedyAff::default()
+            .form(&[], &m, &TeamConstraints::default())
+            .is_none());
+        assert!(GreedyAff::default()
+            .form(&cands, &m, &TeamConstraints::sized(3, 2))
+            .is_none());
+        assert!(LocalSearch::default()
+            .form(&cands, &m, &TeamConstraints::sized(2, 4).with_quality(2.0))
+            .is_none());
+    }
+
+    #[test]
+    fn greedy_seed_cap_reduces_work_but_stays_feasible() {
+        let (cands, m) = random_instance(40, 3);
+        let constraints = TeamConstraints::sized(3, 6).with_quality(0.2);
+        let capped = GreedyAff::with_seed_cap(4).form(&cands, &m, &constraints).unwrap();
+        let full = GreedyAff::default().form(&cands, &m, &constraints).unwrap();
+        assert!(validate_team(&capped, &cands, &constraints));
+        assert!(full.affinity + 1e-9 >= capped.affinity);
+    }
+
+    #[test]
+    fn quality_constraint_steers_selection() {
+        // High-affinity pair is low-skill; greedy must still satisfy quality.
+        let cands = vec![
+            Candidate::new(WorkerId(0), 0.1, 0.0),
+            Candidate::new(WorkerId(1), 0.1, 0.0),
+            Candidate::new(WorkerId(2), 0.9, 0.0),
+            Candidate::new(WorkerId(3), 0.9, 0.0),
+        ];
+        let mut m = AffinityMatrix::new(cands.iter().map(|c| c.id).collect());
+        m.set(WorkerId(0), WorkerId(1), 1.0);
+        m.set(WorkerId(2), WorkerId(3), 0.2);
+        let constraints = TeamConstraints::sized(2, 2).with_quality(0.8);
+        let t = GreedyAff::default().form(&cands, &m, &constraints).unwrap();
+        let mut members = t.members.clone();
+        members.sort();
+        assert_eq!(members, vec![WorkerId(2), WorkerId(3)]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(GreedyAff::default().name(), "greedy");
+        assert_eq!(LocalSearch::default().name(), "local-search");
+    }
+}

@@ -1,0 +1,49 @@
+//! E7: team-formation *runtime* vs worker-pool size — where the exact
+//! solver stops being viable for "a large real-time crowdsourcing
+//! platform" (§2.2), and how the approximations scale past it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_assign::prelude::*;
+use crowd4u_bench::random_instance;
+
+fn bench_runtime(c: &mut Criterion) {
+    let constraints = TeamConstraints::sized(3, 5);
+    let mut group = c.benchmark_group("e7_assignment_runtime");
+
+    // Exact: feasible region (watch the blow-up).
+    for &n in &[8usize, 12, 16, 20] {
+        let (cands, aff) = random_instance(n, 3);
+        group.bench_with_input(BenchmarkId::new("exact-bb", n), &n, |b, _| {
+            let alg = ExactBB::default();
+            b.iter(|| std::hint::black_box(alg.form(&cands, &aff, &constraints)))
+        });
+    }
+    // Unpruned exact: only the small end (ablation 3 shows the gap).
+    for &n in &[8usize, 12, 16] {
+        let (cands, aff) = random_instance(n, 3);
+        group.bench_with_input(BenchmarkId::new("exact-exhaustive", n), &n, |b, _| {
+            let alg = ExactBB::without_pruning();
+            b.iter(|| std::hint::black_box(alg.form(&cands, &aff, &constraints)))
+        });
+    }
+    // Approximations: into the hundreds of workers.
+    for &n in &[20usize, 100, 400] {
+        let (cands, aff) = random_instance(n, 3);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            let alg = GreedyAff::default();
+            b.iter(|| std::hint::black_box(alg.form(&cands, &aff, &constraints)))
+        });
+        group.bench_with_input(BenchmarkId::new("local-search", n), &n, |b, _| {
+            let alg = LocalSearch::default();
+            b.iter(|| std::hint::black_box(alg.form(&cands, &aff, &constraints)))
+        });
+        group.bench_with_input(BenchmarkId::new("grp-split", n), &n, |b, _| {
+            let alg = GrpSplit::new(3);
+            b.iter(|| std::hint::black_box(alg.split(&cands, &aff, &constraints)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E8: platform scale. Crowd4U §2 reports "more than 600,000 tasks have
+//! been performed"; this bench measures the CyLog task pipeline (seed →
+//! question generation → answer ingestion → derivation) at 10k tasks per
+//! iteration so Criterion can sample it; the `report` binary runs the full
+//! 600k pass (`--bin report -- e8full`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_cylog::engine::CylogEngine;
+
+const SRC: &str = "rel item(i: id).\nopen judge(i: id) -> (ok: bool).\n\
+     rel good(i: id).\ngood(I) :- item(I), judge(I, OK), OK = true.\n";
+
+fn pipeline(n: u64) -> usize {
+    let mut engine = CylogEngine::from_source(SRC).unwrap();
+    for i in 0..n {
+        engine.add_fact("item", vec![(i + 1).into()]).unwrap();
+    }
+    engine.run().unwrap();
+    let pending = engine.pending_requests().to_vec();
+    for (k, req) in pending.iter().enumerate() {
+        engine
+            .answer(&req.pred_name, req.inputs.clone(), vec![(k % 10 != 0).into()], None)
+            .unwrap();
+    }
+    engine.run().unwrap();
+    engine.fact_count("good").unwrap()
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_scale");
+    group.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(criterion::Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("cylog_pipeline", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(pipeline(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E1 (paper Figure 1): the full deployment pipeline — decomposition →
+//! assignment → completion — timed per collaboration scheme.
+//!
+//! The *shape* to reproduce: all three schemes complete the same item
+//! budget; sequential pays per-item latency for quality, simultaneous
+//! parallelises, hybrid does the most crowd work per item.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_collab::Scheme;
+use crowd4u_scenarios::{run_scheme, ScenarioConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_pipeline");
+    group.sample_size(10);
+    for scheme in Scheme::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let cfg = ScenarioConfig::default().with_crowd(40).with_items(4).with_seed(42);
+                b.iter(|| {
+                    let r = run_scheme(scheme, &cfg).expect("scenario");
+                    std::hint::black_box(r.items_completed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E2 (paper Figure 2): the five-step assignment workflow in isolation —
+//! project registration, interest collection, team suggestion, undertakes,
+//! completion — measured as platform-operation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_collab::Scheme;
+use crowd4u_core::prelude::*;
+use crowd4u_crowd::profile::{WorkerId, WorkerProfile};
+use crowd4u_forms::admin::DesiredFactors;
+
+const SRC: &str = "rel item(x: str).\nopen label(x: str) -> (y: str).\nrel out(x: str, y: str).\nout(X, Y) :- item(X), label(X, Y).\n";
+
+fn world(n: u64) -> Crowd4U {
+    let mut p = Crowd4U::new();
+    for i in 1..=n {
+        p.register_worker(WorkerProfile::new(WorkerId(i), format!("w{i}")));
+    }
+    p
+}
+
+fn bench_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_workflow");
+    for &crowd in &[20u64, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("steps_1_to_5", crowd),
+            &crowd,
+            |b, &crowd| {
+                b.iter_batched(
+                    || {
+                        let mut p = world(crowd);
+                        let proj = p
+                            .register_project(
+                                "bench",
+                                SRC,
+                                DesiredFactors {
+                                    min_team: 3,
+                                    max_team: 5,
+                                    ..Default::default()
+                                },
+                                Scheme::Sequential,
+                            )
+                            .unwrap();
+                        (p, proj)
+                    },
+                    |(mut p, proj)| {
+                        let task = p.create_collab_task(proj, "job").unwrap();
+                        for w in p.workers.ids() {
+                            p.express_interest(w, task).unwrap();
+                        }
+                        let team = p.run_assignment(task).unwrap();
+                        for &m in &team.members {
+                            p.undertake(m, task).unwrap();
+                        }
+                        p.complete_collab_task(task, 0.8).unwrap();
+                        std::hint::black_box(team.size())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    // Eligibility recomputation cost when a micro-task wave arrives.
+    group.bench_function("task_generation_100_items", |b| {
+        b.iter_batched(
+            || {
+                let mut p = world(50);
+                let proj = p
+                    .register_project("gen", SRC, DesiredFactors::default(), Scheme::Sequential)
+                    .unwrap();
+                for i in 0..100 {
+                    p.seed_fact(proj, "item", vec![format!("item-{i}").into()])
+                        .unwrap();
+                }
+                (p, proj)
+            },
+            |(mut p, proj)| {
+                let n = p.sync_tasks(proj).unwrap();
+                std::hint::black_box(n)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 (paper Figure 3): constraint entry form — validation/parsing
+//! throughput for valid and invalid requester submissions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd4u_forms::admin::{constraint_form, parse_constraints};
+use crowd4u_forms::form::FormResponse;
+
+fn valid_response() -> FormResponse {
+    FormResponse::new()
+        .set("language", "en")
+        .set("skill", "translation")
+        .set("min_quality", 0.6)
+        .set("min_team", 3i64)
+        .set("max_team", 5i64)
+        .set("max_cost", 10.0)
+        .set("recruitment_secs", 3600i64)
+        .set("require_login", true)
+}
+
+fn bench_admin_form(c: &mut Criterion) {
+    let form = constraint_form(&["translation", "journalism", "surveillance"], &["en", "ja", "fr"]);
+    let valid = valid_response();
+    let invalid = valid_response()
+        .set("language", "xx")
+        .set("min_quality", 2.0)
+        .set("min_team", 9i64)
+        .set("max_team", 2i64);
+
+    let mut group = c.benchmark_group("fig3_admin_form");
+    group.bench_function("parse_valid", |b| {
+        b.iter(|| {
+            let d = parse_constraints(&form, std::hint::black_box(&valid)).unwrap();
+            std::hint::black_box(d.max_team)
+        })
+    });
+    group.bench_function("parse_invalid", |b| {
+        b.iter(|| {
+            let e = parse_constraints(&form, std::hint::black_box(&invalid)).unwrap_err();
+            std::hint::black_box(e.to_string().len())
+        })
+    });
+    group.bench_function("build_form", |b| {
+        b.iter(|| {
+            let f = constraint_form(&["a", "b", "c"], &["en", "ja"]);
+            std::hint::black_box(f.fields.len())
+        })
+    });
+    group.bench_function("render_form", |b| {
+        b.iter(|| std::hint::black_box(form.to_string().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admin_form);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E5 (paper Figure 5): a simultaneous collaboration session end-to-end —
+//! SNS-id solicitation, shared-workspace editing, team submission.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_collab::prelude::*;
+use crowd4u_crowd::profile::WorkerId;
+use crowd4u_sim::rng::SimRng;
+
+fn run_session(members: usize, edits_per_member: usize, seed: u64) -> f64 {
+    let ids: Vec<WorkerId> = (0..members as u64).map(WorkerId).collect();
+    let mut s = SimultaneousSession::new("doc", ids.clone(), &["a", "b", "c"], 0.7);
+    for &m in &ids {
+        s.provide_sns_id(m, format!("{m}@sns")).unwrap();
+    }
+    let mut rng = SimRng::seed_from(seed);
+    for round in 0..edits_per_member {
+        for (k, &m) in ids.iter().enumerate() {
+            s.contribute(m, (k + round) % 3, format!("text {round} by {m}"), rng.unit())
+                .unwrap();
+        }
+    }
+    let (_, q) = s.submit(ids[0]).unwrap();
+    q
+}
+
+fn bench_simultaneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_simultaneous");
+    for &members in &[3usize, 6, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("session", members),
+            &members,
+            |b, &members| {
+                b.iter(|| std::hint::black_box(run_session(members, 5, 9)))
+            },
+        );
+    }
+    // Heavy-edit workspace merge.
+    group.bench_function("merge_1000_edits", |b| {
+        b.iter_batched(
+            || {
+                let ids: Vec<WorkerId> = (0..10).map(WorkerId).collect();
+                let mut ws = SharedWorkspace::new("doc", ids.clone(), &["s"]);
+                for k in 0..1000u64 {
+                    ws.contribute(ids[(k % 10) as usize], 0, format!("edit {k}"), 0.5)
+                        .unwrap();
+                }
+                ws
+            },
+            |ws| std::hint::black_box(ws.sections()[0].merged_text().len()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simultaneous);
+criterion_main!(benches);

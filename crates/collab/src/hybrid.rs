@@ -1,0 +1,311 @@
+//! Hybrid collaboration (paper §2.3):
+//!
+//! "Crowd4U allows to interleave the two result coordination schemes in a
+//! complex data flow. For example, surveillance and correction tasks are
+//! executed as a sequential collaboration while the testimonials are
+//! provided simultaneously."
+//!
+//! A [`HybridFlow`] therefore runs one sequential *fact-collection* track —
+//! observations corrected in sequence — alongside a simultaneous
+//! *testimonial* track, and joins them into a final report.
+
+use crate::quality::{correction, simultaneous_merge};
+use crowd4u_crowd::profile::WorkerId;
+use std::fmt;
+
+/// One observed fact in the sequential track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactRecord {
+    pub region: String,
+    pub description: String,
+    pub observer: WorkerId,
+    pub quality: f64,
+    /// Correction passes applied (worker, quality after).
+    pub corrections: Vec<(WorkerId, f64)>,
+}
+
+/// A testimonial in the simultaneous track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Testimonial {
+    pub witness: WorkerId,
+    pub region: String,
+    pub statement: String,
+    pub quality: f64,
+}
+
+/// Errors from the hybrid flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HybridError {
+    NoSuchFact(usize),
+    /// The observer may not correct their own fact.
+    SelfCorrection(WorkerId),
+    AlreadyClosed,
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::NoSuchFact(i) => write!(f, "no such fact {i}"),
+            HybridError::SelfCorrection(w) => {
+                write!(f, "worker {w} cannot correct their own observation")
+            }
+            HybridError::AlreadyClosed => f.write_str("flow already closed"),
+        }
+    }
+}
+
+/// The hybrid surveillance flow.
+#[derive(Debug, Clone, Default)]
+pub struct HybridFlow {
+    facts: Vec<FactRecord>,
+    testimonials: Vec<Testimonial>,
+    closed: bool,
+}
+
+impl HybridFlow {
+    pub fn new() -> HybridFlow {
+        HybridFlow::default()
+    }
+
+    /// Sequential track: record a fresh observation.
+    pub fn observe(
+        &mut self,
+        observer: WorkerId,
+        region: impl Into<String>,
+        description: impl Into<String>,
+        quality: f64,
+    ) -> Result<usize, HybridError> {
+        if self.closed {
+            return Err(HybridError::AlreadyClosed);
+        }
+        self.facts.push(FactRecord {
+            region: region.into(),
+            description: description.into(),
+            observer,
+            quality: quality.clamp(0.0, 1.0),
+            corrections: Vec::new(),
+        });
+        Ok(self.facts.len() - 1)
+    }
+
+    /// Sequential track: another worker corrects an observation
+    /// ("correcting each others' observations", §1).
+    pub fn correct(
+        &mut self,
+        fact: usize,
+        corrector: WorkerId,
+        corrector_quality: f64,
+    ) -> Result<f64, HybridError> {
+        if self.closed {
+            return Err(HybridError::AlreadyClosed);
+        }
+        let f = self
+            .facts
+            .get_mut(fact)
+            .ok_or(HybridError::NoSuchFact(fact))?;
+        if f.observer == corrector {
+            return Err(HybridError::SelfCorrection(corrector));
+        }
+        let q = correction(f.quality, corrector_quality.clamp(0.0, 1.0));
+        f.quality = q;
+        f.corrections.push((corrector, q));
+        Ok(q)
+    }
+
+    /// Simultaneous track: a witness adds a testimonial independently.
+    pub fn testify(
+        &mut self,
+        witness: WorkerId,
+        region: impl Into<String>,
+        statement: impl Into<String>,
+        quality: f64,
+    ) -> Result<(), HybridError> {
+        if self.closed {
+            return Err(HybridError::AlreadyClosed);
+        }
+        self.testimonials.push(Testimonial {
+            witness,
+            region: region.into(),
+            statement: statement.into(),
+            quality: quality.clamp(0.0, 1.0),
+        });
+        Ok(())
+    }
+
+    pub fn facts(&self) -> &[FactRecord] {
+        &self.facts
+    }
+
+    pub fn testimonials(&self) -> &[Testimonial] {
+        &self.testimonials
+    }
+
+    /// Join both tracks into the final report. `witness_affinity` is the
+    /// affinity of the testimonial group (simultaneous merge synergy).
+    pub fn close(&mut self, witness_affinity: f64) -> Result<SurveillanceReport, HybridError> {
+        if self.closed {
+            return Err(HybridError::AlreadyClosed);
+        }
+        self.closed = true;
+        let fact_quality = if self.facts.is_empty() {
+            0.0
+        } else {
+            self.facts.iter().map(|f| f.quality).sum::<f64>() / self.facts.len() as f64
+        };
+        let t_qualities: Vec<f64> = self.testimonials.iter().map(|t| t.quality).collect();
+        let testimony_quality = simultaneous_merge(&t_qualities, witness_affinity);
+        // Facts are primary evidence; testimonials corroborate.
+        let overall = if self.testimonials.is_empty() {
+            fact_quality
+        } else {
+            (2.0 * fact_quality + testimony_quality) / 3.0
+        };
+        let mut regions: Vec<String> = self
+            .facts
+            .iter()
+            .map(|f| f.region.clone())
+            .chain(self.testimonials.iter().map(|t| t.region.clone()))
+            .collect();
+        regions.sort();
+        regions.dedup();
+        Ok(SurveillanceReport {
+            n_facts: self.facts.len(),
+            n_corrections: self.facts.iter().map(|f| f.corrections.len()).sum(),
+            n_testimonials: self.testimonials.len(),
+            regions,
+            fact_quality,
+            testimony_quality,
+            overall_quality: overall.clamp(0.0, 1.0),
+        })
+    }
+}
+
+/// Final joined output of a hybrid flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveillanceReport {
+    pub n_facts: usize,
+    pub n_corrections: usize,
+    pub n_testimonials: usize,
+    pub regions: Vec<String>,
+    pub fact_quality: f64,
+    pub testimony_quality: f64,
+    pub overall_quality: f64,
+}
+
+impl fmt::Display for SurveillanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "report: {} facts ({} corrections), {} testimonials over {} regions; \
+             quality fact={:.2} testimony={:.2} overall={:.2}",
+            self.n_facts,
+            self.n_corrections,
+            self.n_testimonials,
+            self.regions.len(),
+            self.fact_quality,
+            self.testimony_quality,
+            self.overall_quality
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u64) -> WorkerId {
+        WorkerId(i)
+    }
+
+    #[test]
+    fn full_hybrid_flow() {
+        let mut flow = HybridFlow::new();
+        let f0 = flow.observe(w(1), "north", "smoke rising", 0.4).unwrap();
+        let f1 = flow.observe(w(2), "south", "road blocked", 0.6).unwrap();
+        // corrections improve facts
+        let q = flow.correct(f0, w(2), 0.9).unwrap();
+        assert!(q > 0.4);
+        flow.correct(f1, w(3), 0.8).unwrap();
+        // testimonials arrive independently
+        flow.testify(w(4), "north", "I saw it too", 0.7).unwrap();
+        flow.testify(w(5), "north", "confirmed", 0.8).unwrap();
+        let report = flow.close(0.9).unwrap();
+        assert_eq!(report.n_facts, 2);
+        assert_eq!(report.n_corrections, 2);
+        assert_eq!(report.n_testimonials, 2);
+        assert_eq!(report.regions, vec!["north", "south"]);
+        assert!(report.overall_quality > 0.5);
+        assert!(report.to_string().contains("2 facts"));
+    }
+
+    #[test]
+    fn self_correction_rejected() {
+        let mut flow = HybridFlow::new();
+        let f = flow.observe(w(1), "r", "x", 0.5).unwrap();
+        assert_eq!(
+            flow.correct(f, w(1), 0.9).unwrap_err(),
+            HybridError::SelfCorrection(w(1))
+        );
+    }
+
+    #[test]
+    fn missing_fact_rejected() {
+        let mut flow = HybridFlow::new();
+        assert_eq!(
+            flow.correct(3, w(1), 0.9).unwrap_err(),
+            HybridError::NoSuchFact(3)
+        );
+    }
+
+    #[test]
+    fn closed_flow_rejects_everything() {
+        let mut flow = HybridFlow::new();
+        flow.observe(w(1), "r", "x", 0.5).unwrap();
+        flow.close(0.5).unwrap();
+        assert_eq!(
+            flow.observe(w(2), "r", "y", 0.5).unwrap_err(),
+            HybridError::AlreadyClosed
+        );
+        assert_eq!(
+            flow.correct(0, w(2), 0.5).unwrap_err(),
+            HybridError::AlreadyClosed
+        );
+        assert_eq!(
+            flow.testify(w(2), "r", "t", 0.5).unwrap_err(),
+            HybridError::AlreadyClosed
+        );
+        assert_eq!(flow.close(0.5).unwrap_err(), HybridError::AlreadyClosed);
+    }
+
+    #[test]
+    fn report_without_testimonials_uses_fact_quality() {
+        let mut flow = HybridFlow::new();
+        flow.observe(w(1), "r", "x", 0.6).unwrap();
+        let r = flow.close(0.5).unwrap();
+        assert!((r.overall_quality - 0.6).abs() < 1e-12);
+        assert_eq!(r.testimony_quality, 0.0);
+    }
+
+    #[test]
+    fn empty_flow_closes_with_zero_quality() {
+        let mut flow = HybridFlow::new();
+        let r = flow.close(0.5).unwrap();
+        assert_eq!(r.overall_quality, 0.0);
+        assert!(r.regions.is_empty());
+    }
+
+    #[test]
+    fn corrections_with_weak_corrector_keep_quality() {
+        let mut flow = HybridFlow::new();
+        let f = flow.observe(w(1), "r", "x", 0.9).unwrap();
+        let q = flow.correct(f, w(2), 0.1).unwrap();
+        assert_eq!(q, 0.9);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HybridError::NoSuchFact(1).to_string().contains("fact"));
+        assert!(HybridError::SelfCorrection(w(2)).to_string().contains("own"));
+        assert!(HybridError::AlreadyClosed.to_string().contains("closed"));
+    }
+}

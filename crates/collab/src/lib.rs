@@ -1,0 +1,150 @@
+//! # crowd4u-collab — worker collaboration schemes and result coordination
+//!
+//! The paper's central claim is that collaborative tasks need explicit
+//! *result coordination*, achieved through three schemes (§2.3):
+//!
+//! * **sequential** ([`sequential`]) — members improve each other's
+//!   contributions through dynamically generated follow-up tasks
+//!   (translation, find-fix-verify);
+//! * **simultaneous** ([`simultaneous`]) — SNS-id solicitation, then a
+//!   shared workspace ([`workspace`], the Google-Docs stand-in), with one
+//!   member submitting on behalf of the team (citizen journalism);
+//! * **hybrid** ([`hybrid`]) — both interleaved: sequential fact
+//!   collection/correction plus simultaneous testimonials (surveillance).
+//!
+//! [`quality`] documents the explicit quality model that lets the
+//! benchmarks measure which scheme suits which workload, and [`monitor`]
+//! implements the "Crowd4U monitors their collaboration" requirement
+//! (stall detection driving re-assignment).
+//!
+//! Identifier of the scheme in platform APIs: [`Scheme`].
+
+pub mod hybrid;
+pub mod monitor;
+pub mod quality;
+pub mod sequential;
+pub mod simultaneous;
+pub mod workspace;
+
+/// The three worker collaboration schemes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    Sequential,
+    Simultaneous,
+    Hybrid,
+}
+
+impl Scheme {
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Sequential => "sequential",
+            Scheme::Simultaneous => "simultaneous",
+            Scheme::Hybrid => "hybrid",
+        }
+    }
+
+    pub fn all() -> [Scheme; 3] {
+        [Scheme::Sequential, Scheme::Simultaneous, Scheme::Hybrid]
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+pub mod prelude {
+    pub use crate::hybrid::{FactRecord, HybridError, HybridFlow, SurveillanceReport, Testimonial};
+    pub use crate::monitor::{CollabMonitor, Verdict};
+    pub use crate::quality::{correction, sequential_improve, simultaneous_merge};
+    pub use crate::sequential::{
+        Artifact, Pass, SequentialError, SequentialFlow, SequentialPipeline, StageKind,
+    };
+    pub use crate::simultaneous::{Phase, SessionError, SimultaneousSession};
+    pub use crate::workspace::{
+        Contribution, MergedDocument, Section, SharedWorkspace, WorkspaceError,
+    };
+    pub use crate::Scheme;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Sequential.to_string(), "sequential");
+        assert_eq!(Scheme::all().len(), 3);
+        for s in Scheme::all() {
+            assert!(!s.name().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::prelude::*;
+    use crowd4u_crowd::profile::WorkerId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sequential quality is monotone non-decreasing for any pass
+        /// sequence and stays within [0,1].
+        #[test]
+        fn sequential_monotone(
+            initial in 0.0f64..1.0,
+            passes in proptest::collection::vec(0.0f64..1.0, 1..10)
+        ) {
+            let art = Artifact::produced_by(WorkerId(0), "x", initial);
+            let pipeline = SequentialPipeline {
+                stages: vec![StageKind::Improve; passes.len()],
+            };
+            let mut flow = SequentialFlow::start(pipeline, art);
+            let mut last = initial;
+            for (i, q) in passes.iter().enumerate() {
+                let a = flow.advance(WorkerId(1 + i as u64), "y", *q).unwrap();
+                prop_assert!(a.quality + 1e-12 >= last);
+                prop_assert!((0.0..=1.0).contains(&a.quality));
+                last = a.quality;
+            }
+        }
+
+        /// Workspace merge contains every non-empty contribution exactly once.
+        #[test]
+        fn workspace_merge_complete(texts in proptest::collection::vec("[a-z]{1,8}", 1..12)) {
+            let members: Vec<WorkerId> = (0..3).map(WorkerId).collect();
+            let mut ws = SharedWorkspace::new("t", members.clone(), &["s"]);
+            for (i, t) in texts.iter().enumerate() {
+                ws.contribute(members[i % 3], 0, t.clone(), 0.5).unwrap();
+            }
+            let merged = ws.sections()[0].merged_text();
+            let lines: Vec<&str> = merged.lines().collect();
+            prop_assert_eq!(lines.len(), texts.len());
+            for t in &texts {
+                prop_assert!(lines.contains(&t.as_str()));
+            }
+        }
+
+        /// Hybrid report quality bounded by [0,1] for arbitrary flows.
+        #[test]
+        fn hybrid_quality_bounded(
+            facts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..8),
+            testimony in proptest::collection::vec(0.0f64..1.0, 0..8),
+            affinity in 0.0f64..1.0,
+        ) {
+            let mut flow = HybridFlow::new();
+            for (i, (oq, cq)) in facts.iter().enumerate() {
+                let f = flow.observe(WorkerId(i as u64), "r", "d", *oq).unwrap();
+                flow.correct(f, WorkerId(1000 + i as u64), *cq).unwrap();
+            }
+            for (i, q) in testimony.iter().enumerate() {
+                flow.testify(WorkerId(2000 + i as u64), "r", "s", *q).unwrap();
+            }
+            let r = flow.close(affinity).unwrap();
+            prop_assert!((0.0..=1.0).contains(&r.overall_quality));
+            prop_assert_eq!(r.n_facts, facts.len());
+            prop_assert_eq!(r.n_testimonials, testimony.len());
+        }
+    }
+}

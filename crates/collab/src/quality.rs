@@ -1,0 +1,105 @@
+//! The quality model shared by all collaboration schemes.
+//!
+//! The paper argues (§1) that different task types need different
+//! coordination: sequential improvement for translation, parallel content
+//! generation for journalism, a mix for surveillance. To *measure* that
+//! claim offline we need an explicit model of how contribution quality
+//! composes. The model here is deliberately simple and documented:
+//!
+//! * **Sequential improvement** — a reviewer of quality `w` lifts an
+//!   artifact from `q` to `q + α·w·(1-q)`: diminishing returns, never
+//!   regresses, never exceeds 1. This matches the find-fix-verify intuition
+//!   that each pass closes a fraction of the remaining errors.
+//! * **Simultaneous merge** — a section written by a team is the mean of
+//!   its contributors' qualities plus a synergy term `β·(affinity − 0.5)`:
+//!   well-acquainted teams coordinate better than strangers, poorly-matched
+//!   teams interfere. This is the mechanism that makes affinity-aware
+//!   assignment *measurably* better, reproducing the paper's premise.
+//! * **Correction** — in hybrid surveillance flows, a correction by a
+//!   worker of quality `w` replaces the fact's quality with
+//!   `max(q, 0.5·(q+w))`: corrections help when the corrector is better.
+
+/// Fraction of remaining defects one sequential pass removes (scaled by
+/// the worker's quality).
+pub const SEQ_LIFT: f64 = 0.6;
+
+/// Weight of team affinity in the simultaneous synergy term.
+pub const SYNERGY_WEIGHT: f64 = 0.25;
+
+/// One sequential improvement pass.
+pub fn sequential_improve(current: f64, worker_quality: f64) -> f64 {
+    let q = current.clamp(0.0, 1.0);
+    let w = worker_quality.clamp(0.0, 1.0);
+    (q + SEQ_LIFT * w * (1.0 - q)).clamp(0.0, 1.0)
+}
+
+/// Merge quality of a simultaneously-authored unit.
+pub fn simultaneous_merge(member_qualities: &[f64], team_affinity: f64) -> f64 {
+    if member_qualities.is_empty() {
+        return 0.0;
+    }
+    let mean = member_qualities.iter().sum::<f64>() / member_qualities.len() as f64;
+    let synergy = SYNERGY_WEIGHT * (team_affinity.clamp(0.0, 1.0) - 0.5);
+    (mean + synergy).clamp(0.0, 1.0)
+}
+
+/// Apply a correction pass to an observed fact.
+pub fn correction(current: f64, corrector_quality: f64) -> f64 {
+    let q = current.clamp(0.0, 1.0);
+    let w = corrector_quality.clamp(0.0, 1.0);
+    q.max(0.5 * (q + w)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_never_regresses_and_saturates() {
+        let mut q = 0.2;
+        for _ in 0..50 {
+            let next = sequential_improve(q, 0.8);
+            assert!(next >= q);
+            q = next;
+        }
+        assert!(q > 0.99, "should saturate near 1, got {q}");
+        assert_eq!(sequential_improve(1.0, 1.0), 1.0);
+        // zero-quality reviewer changes nothing
+        assert_eq!(sequential_improve(0.5, 0.0), 0.5);
+    }
+
+    #[test]
+    fn sequential_better_reviewer_helps_more() {
+        let a = sequential_improve(0.4, 0.9);
+        let b = sequential_improve(0.4, 0.3);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn sequential_clamps_inputs() {
+        assert!(sequential_improve(-1.0, 2.0) <= 1.0);
+        assert!(sequential_improve(2.0, -1.0) <= 1.0);
+    }
+
+    #[test]
+    fn merge_mean_and_synergy() {
+        // neutral affinity 0.5: plain mean
+        let m = simultaneous_merge(&[0.6, 0.8], 0.5);
+        assert!((m - 0.7).abs() < 1e-12);
+        // high affinity adds, low affinity subtracts
+        assert!(simultaneous_merge(&[0.6, 0.8], 1.0) > m);
+        assert!(simultaneous_merge(&[0.6, 0.8], 0.0) < m);
+        // bounded
+        assert!(simultaneous_merge(&[1.0, 1.0], 1.0) <= 1.0);
+        assert!(simultaneous_merge(&[0.0], 0.0) >= 0.0);
+        assert_eq!(simultaneous_merge(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn correction_improves_or_keeps() {
+        assert!((correction(0.2, 0.8) - 0.5).abs() < 1e-12);
+        assert_eq!(correction(0.8, 0.2), 0.8); // worse corrector: no change
+        assert_eq!(correction(1.0, 1.0), 1.0);
+        assert!(correction(0.0, 0.0) >= 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Simultaneous collaboration (paper §2.3):
+//!
+//! "In this mode, Crowd4U first assigns the task to solicit her SNS ID
+//! (e.g., Google account) to communicate with other members in the team.
+//! After all the members are in the 'undertakes' status, the collaborative
+//! task is generated and assigned to all the members with the list of
+//! obtained IDs. The members work together with any collaboration tool …
+//! The result of the collaborative task is submitted by one of the team
+//! members, but recorded as the result produced by the team."
+//!
+//! This module implements that protocol as an explicit state machine.
+
+use crate::quality::simultaneous_merge;
+use crate::workspace::{MergedDocument, SharedWorkspace, WorkspaceError};
+use crowd4u_crowd::profile::WorkerId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Protocol phases of a simultaneous session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for every member's SNS id.
+    CollectingIds,
+    /// Workspace open, members editing.
+    Working,
+    /// One member submitted on behalf of the team.
+    Submitted,
+}
+
+/// Errors from the session protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    WrongPhase { expected: Phase, actual: Phase },
+    NotAMember(WorkerId),
+    Workspace(WorkspaceError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::WrongPhase { expected, actual } => {
+                write!(f, "operation requires phase {expected:?}, session is {actual:?}")
+            }
+            SessionError::NotAMember(w) => write!(f, "worker {w} is not a member"),
+            SessionError::Workspace(e) => write!(f, "workspace: {e}"),
+        }
+    }
+}
+
+impl From<WorkspaceError> for SessionError {
+    fn from(e: WorkspaceError) -> Self {
+        SessionError::Workspace(e)
+    }
+}
+
+/// A simultaneous collaboration session.
+#[derive(Debug, Clone)]
+pub struct SimultaneousSession {
+    phase: Phase,
+    members: Vec<WorkerId>,
+    sns_ids: BTreeMap<WorkerId, String>,
+    workspace: Option<SharedWorkspace>,
+    title: String,
+    section_titles: Vec<String>,
+    team_affinity: f64,
+}
+
+impl SimultaneousSession {
+    /// Open a session for a formed team. `team_affinity` comes from the
+    /// assignment controller and feeds the synergy term of the merge model.
+    pub fn new(
+        title: impl Into<String>,
+        members: Vec<WorkerId>,
+        section_titles: &[&str],
+        team_affinity: f64,
+    ) -> SimultaneousSession {
+        SimultaneousSession {
+            phase: Phase::CollectingIds,
+            members,
+            sns_ids: BTreeMap::new(),
+            workspace: None,
+            title: title.into(),
+            section_titles: section_titles.iter().map(|s| (*s).to_string()).collect(),
+            team_affinity,
+        }
+    }
+
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    pub fn members(&self) -> &[WorkerId] {
+        &self.members
+    }
+
+    /// The solicited SNS ids so far.
+    pub fn sns_ids(&self) -> &BTreeMap<WorkerId, String> {
+        &self.sns_ids
+    }
+
+    /// Phase 1: a member provides their SNS id. When the last id arrives,
+    /// the workspace is generated and the session moves to `Working`.
+    pub fn provide_sns_id(
+        &mut self,
+        worker: WorkerId,
+        sns_id: impl Into<String>,
+    ) -> Result<Phase, SessionError> {
+        if self.phase != Phase::CollectingIds {
+            return Err(SessionError::WrongPhase {
+                expected: Phase::CollectingIds,
+                actual: self.phase,
+            });
+        }
+        if !self.members.contains(&worker) {
+            return Err(SessionError::NotAMember(worker));
+        }
+        self.sns_ids.insert(worker, sns_id.into());
+        if self.sns_ids.len() == self.members.len() {
+            let titles: Vec<&str> = self.section_titles.iter().map(String::as_str).collect();
+            self.workspace = Some(SharedWorkspace::new(
+                self.title.clone(),
+                self.members.clone(),
+                &titles,
+            ));
+            self.phase = Phase::Working;
+        }
+        Ok(self.phase)
+    }
+
+    /// Phase 2: edit the shared workspace.
+    pub fn contribute(
+        &mut self,
+        worker: WorkerId,
+        section: usize,
+        text: impl Into<String>,
+        quality: f64,
+    ) -> Result<(), SessionError> {
+        let ws = self.workspace.as_mut().ok_or(SessionError::WrongPhase {
+            expected: Phase::Working,
+            actual: self.phase,
+        })?;
+        ws.contribute(worker, section, text, quality)?;
+        Ok(())
+    }
+
+    /// Member activity counts (for the collaboration monitor).
+    pub fn activity(&self) -> Vec<(WorkerId, usize)> {
+        self.workspace
+            .as_ref()
+            .map(|w| w.activity())
+            .unwrap_or_else(|| self.members.iter().map(|&m| (m, 0)).collect())
+    }
+
+    /// Phase 3: one member submits; returns the merged document and the
+    /// modelled team quality.
+    pub fn submit(&mut self, by: WorkerId) -> Result<(MergedDocument, f64), SessionError> {
+        if self.phase != Phase::Working {
+            return Err(SessionError::WrongPhase {
+                expected: Phase::Working,
+                actual: self.phase,
+            });
+        }
+        let ws = self.workspace.as_mut().expect("working phase has workspace");
+        // Quality: mean over sections of the simultaneous merge model.
+        let mut section_q = Vec::new();
+        for s in ws.sections() {
+            let qs = s.contributor_qualities();
+            section_q.push(simultaneous_merge(&qs, self.team_affinity));
+        }
+        let quality = if section_q.is_empty() {
+            0.0
+        } else {
+            section_q.iter().sum::<f64>() / section_q.len() as f64
+        };
+        let doc = ws.submit(by)?;
+        self.phase = Phase::Submitted;
+        Ok((doc, quality))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u64) -> WorkerId {
+        WorkerId(i)
+    }
+
+    fn session() -> SimultaneousSession {
+        SimultaneousSession::new(
+            "citizen report",
+            vec![w(1), w(2)],
+            &["events", "analysis"],
+            0.8,
+        )
+    }
+
+    #[test]
+    fn protocol_happy_path() {
+        let mut s = session();
+        assert_eq!(s.phase(), Phase::CollectingIds);
+        // cannot edit before ids collected
+        assert!(matches!(
+            s.contribute(w(1), 0, "early", 0.5),
+            Err(SessionError::WrongPhase { .. })
+        ));
+        assert_eq!(s.provide_sns_id(w(1), "ann@gmail").unwrap(), Phase::CollectingIds);
+        assert_eq!(s.provide_sns_id(w(2), "bob@gmail").unwrap(), Phase::Working);
+        assert_eq!(s.sns_ids().len(), 2);
+        s.contribute(w(1), 0, "protest downtown", 0.7).unwrap();
+        s.contribute(w(2), 1, "context: budget cuts", 0.9).unwrap();
+        let (doc, quality) = s.submit(w(2)).unwrap();
+        assert_eq!(s.phase(), Phase::Submitted);
+        assert_eq!(doc.team, vec![w(1), w(2)]);
+        assert!(quality > 0.0 && quality <= 1.0);
+        // affinity 0.8 adds synergy over the plain mean 0.8
+        // (sections have single contributors: mean = 0.7 and 0.9)
+        let expected = ((0.7 + 0.25 * 0.3) + (0.9 + 0.25 * 0.3)) / 2.0;
+        assert!((quality - expected).abs() < 1e-9, "quality {quality}");
+    }
+
+    #[test]
+    fn non_member_rejected_everywhere() {
+        let mut s = session();
+        assert!(matches!(
+            s.provide_sns_id(w(9), "x"),
+            Err(SessionError::NotAMember(_))
+        ));
+        s.provide_sns_id(w(1), "a").unwrap();
+        s.provide_sns_id(w(2), "b").unwrap();
+        assert!(matches!(
+            s.contribute(w(9), 0, "x", 0.5),
+            Err(SessionError::Workspace(WorkspaceError::NotAMember(_)))
+        ));
+        assert!(matches!(
+            s.submit(w(9)),
+            Err(SessionError::Workspace(WorkspaceError::NotAMember(_)))
+        ));
+    }
+
+    #[test]
+    fn duplicate_sns_id_overwrites_not_advances() {
+        let mut s = session();
+        s.provide_sns_id(w(1), "a").unwrap();
+        assert_eq!(s.provide_sns_id(w(1), "a2").unwrap(), Phase::CollectingIds);
+        assert_eq!(s.sns_ids().get(&w(1)).unwrap(), "a2");
+    }
+
+    #[test]
+    fn cannot_submit_twice_or_out_of_phase() {
+        let mut s = session();
+        assert!(matches!(s.submit(w(1)), Err(SessionError::WrongPhase { .. })));
+        s.provide_sns_id(w(1), "a").unwrap();
+        s.provide_sns_id(w(2), "b").unwrap();
+        s.contribute(w(1), 0, "x", 0.5).unwrap();
+        s.submit(w(1)).unwrap();
+        assert!(matches!(s.submit(w(2)), Err(SessionError::WrongPhase { .. })));
+        // and ids can no longer be provided
+        assert!(matches!(
+            s.provide_sns_id(w(2), "late"),
+            Err(SessionError::WrongPhase { .. })
+        ));
+    }
+
+    #[test]
+    fn activity_before_workspace_is_zero() {
+        let s = session();
+        assert_eq!(s.activity(), vec![(w(1), 0), (w(2), 0)]);
+    }
+
+    #[test]
+    fn higher_affinity_higher_quality() {
+        let run = |aff: f64| {
+            let mut s = SimultaneousSession::new("r", vec![w(1), w(2)], &["s"], aff);
+            s.provide_sns_id(w(1), "a").unwrap();
+            s.provide_sns_id(w(2), "b").unwrap();
+            s.contribute(w(1), 0, "x", 0.6).unwrap();
+            s.contribute(w(2), 0, "y", 0.6).unwrap();
+            s.submit(w(1)).unwrap().1
+        };
+        assert!(run(0.9) > run(0.1), "synergy must reward affinity");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SessionError::WrongPhase {
+            expected: Phase::Working,
+            actual: Phase::Submitted,
+        };
+        assert!(e.to_string().contains("Working"));
+        assert!(SessionError::NotAMember(w(1)).to_string().contains("w1"));
+    }
+}

@@ -1,0 +1,328 @@
+//! A shared-document workspace: the in-repo stand-in for the external
+//! collaboration tool (Google Docs) of paper Figure 5.
+//!
+//! "The members work together with any collaboration tool (e.g., Google
+//! docs). … While delegating communication methods to other collaboration
+//! tools, Crowd4U controls task generation and assignment" (§2.3–2.4).
+//! The platform therefore only needs a tool with sections, per-worker
+//! edits, and a final merged document — which is what this provides.
+
+use crowd4u_crowd::profile::WorkerId;
+use std::fmt;
+
+/// One worker's contribution to a section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contribution {
+    pub worker: WorkerId,
+    pub text: String,
+    /// Quality of this contribution in `[0,1]` (from the worker model).
+    pub quality: f64,
+    /// Monotone edit counter at submission (for ordering).
+    pub revision: u64,
+}
+
+/// A named section of the shared document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    pub title: String,
+    pub contributions: Vec<Contribution>,
+}
+
+impl Section {
+    /// Concatenated text in revision order.
+    pub fn merged_text(&self) -> String {
+        let mut parts: Vec<&Contribution> = self.contributions.iter().collect();
+        parts.sort_by_key(|c| c.revision);
+        parts
+            .iter()
+            .map(|c| c.text.as_str())
+            .filter(|t| !t.is_empty())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Qualities of the distinct contributors (mean per worker).
+    pub fn contributor_qualities(&self) -> Vec<f64> {
+        let mut workers: Vec<WorkerId> = Vec::new();
+        for c in &self.contributions {
+            if !workers.contains(&c.worker) {
+                workers.push(c.worker);
+            }
+        }
+        workers
+            .iter()
+            .map(|w| {
+                let (sum, n) = self
+                    .contributions
+                    .iter()
+                    .filter(|c| c.worker == *w)
+                    .fold((0.0, 0usize), |(s, n), c| (s + c.quality, n + 1));
+                sum / n as f64
+            })
+            .collect()
+    }
+}
+
+/// Errors from workspace operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkspaceError {
+    NoSuchSection(usize),
+    NotAMember(WorkerId),
+    AlreadySubmitted,
+}
+
+impl fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkspaceError::NoSuchSection(i) => write!(f, "no such section {i}"),
+            WorkspaceError::NotAMember(w) => write!(f, "worker {w} is not a member"),
+            WorkspaceError::AlreadySubmitted => f.write_str("workspace already submitted"),
+        }
+    }
+}
+
+/// The shared workspace: members, sections, an edit counter and a
+/// submitted flag ("the result … is submitted by one of the team members,
+/// but recorded as the result produced by the team", §2.3).
+#[derive(Debug, Clone)]
+pub struct SharedWorkspace {
+    pub title: String,
+    members: Vec<WorkerId>,
+    sections: Vec<Section>,
+    next_revision: u64,
+    submitted: bool,
+}
+
+impl SharedWorkspace {
+    pub fn new(
+        title: impl Into<String>,
+        members: Vec<WorkerId>,
+        section_titles: &[&str],
+    ) -> SharedWorkspace {
+        SharedWorkspace {
+            title: title.into(),
+            members,
+            sections: section_titles
+                .iter()
+                .map(|t| Section {
+                    title: (*t).to_string(),
+                    contributions: Vec::new(),
+                })
+                .collect(),
+            next_revision: 1,
+            submitted: false,
+        }
+    }
+
+    pub fn members(&self) -> &[WorkerId] {
+        &self.members
+    }
+
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    pub fn is_submitted(&self) -> bool {
+        self.submitted
+    }
+
+    /// Append a contribution by a member to a section.
+    pub fn contribute(
+        &mut self,
+        worker: WorkerId,
+        section: usize,
+        text: impl Into<String>,
+        quality: f64,
+    ) -> Result<u64, WorkspaceError> {
+        if self.submitted {
+            return Err(WorkspaceError::AlreadySubmitted);
+        }
+        if !self.members.contains(&worker) {
+            return Err(WorkspaceError::NotAMember(worker));
+        }
+        let s = self
+            .sections
+            .get_mut(section)
+            .ok_or(WorkspaceError::NoSuchSection(section))?;
+        let rev = self.next_revision;
+        self.next_revision += 1;
+        s.contributions.push(Contribution {
+            worker,
+            text: text.into(),
+            quality: quality.clamp(0.0, 1.0),
+            revision: rev,
+        });
+        Ok(rev)
+    }
+
+    /// Number of edits each member made (zero-activity members included —
+    /// the monitor uses this to detect free-riders).
+    pub fn activity(&self) -> Vec<(WorkerId, usize)> {
+        self.members
+            .iter()
+            .map(|w| {
+                let n = self
+                    .sections
+                    .iter()
+                    .flat_map(|s| &s.contributions)
+                    .filter(|c| c.worker == *w)
+                    .count();
+                (*w, n)
+            })
+            .collect()
+    }
+
+    /// One member submits on behalf of the team; further edits are frozen.
+    pub fn submit(&mut self, by: WorkerId) -> Result<MergedDocument, WorkspaceError> {
+        if self.submitted {
+            return Err(WorkspaceError::AlreadySubmitted);
+        }
+        if !self.members.contains(&by) {
+            return Err(WorkspaceError::NotAMember(by));
+        }
+        self.submitted = true;
+        Ok(MergedDocument {
+            title: self.title.clone(),
+            submitted_by: by,
+            team: self.members.clone(),
+            sections: self
+                .sections
+                .iter()
+                .map(|s| (s.title.clone(), s.merged_text()))
+                .collect(),
+        })
+    }
+}
+
+/// The merged document produced at submission. Attribution is to the team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedDocument {
+    pub title: String,
+    pub submitted_by: WorkerId,
+    pub team: Vec<WorkerId>,
+    pub sections: Vec<(String, String)>,
+}
+
+impl fmt::Display for MergedDocument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        for (t, body) in &self.sections {
+            writeln!(f, "## {t}")?;
+            writeln!(f, "{body}")?;
+        }
+        write!(
+            f,
+            "(by team of {}, submitted by {})",
+            self.team.len(),
+            self.submitted_by
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u64) -> WorkerId {
+        WorkerId(i)
+    }
+
+    fn ws() -> SharedWorkspace {
+        SharedWorkspace::new(
+            "VLDB impressions",
+            vec![w(1), w(2), w(3)],
+            &["intro", "body"],
+        )
+    }
+
+    #[test]
+    fn contributions_merge_in_revision_order() {
+        let mut s = ws();
+        s.contribute(w(2), 0, "second", 0.5).unwrap();
+        s.contribute(w(1), 0, "third", 0.5).unwrap();
+        // interleave a different section
+        s.contribute(w(3), 1, "body text", 0.5).unwrap();
+        let text = s.sections()[0].merged_text();
+        assert_eq!(text, "second\nthird");
+        assert_eq!(s.sections()[1].merged_text(), "body text");
+    }
+
+    #[test]
+    fn non_members_and_bad_sections_rejected() {
+        let mut s = ws();
+        assert_eq!(
+            s.contribute(w(9), 0, "x", 0.5).unwrap_err(),
+            WorkspaceError::NotAMember(w(9))
+        );
+        assert_eq!(
+            s.contribute(w(1), 5, "x", 0.5).unwrap_err(),
+            WorkspaceError::NoSuchSection(5)
+        );
+    }
+
+    #[test]
+    fn activity_counts_all_members() {
+        let mut s = ws();
+        s.contribute(w(1), 0, "a", 0.5).unwrap();
+        s.contribute(w(1), 1, "b", 0.5).unwrap();
+        s.contribute(w(2), 0, "c", 0.5).unwrap();
+        let act = s.activity();
+        assert_eq!(act, vec![(w(1), 2), (w(2), 1), (w(3), 0)]);
+    }
+
+    #[test]
+    fn submit_freezes_and_attributes_to_team() {
+        let mut s = ws();
+        s.contribute(w(1), 0, "hello", 0.8).unwrap();
+        let doc = s.submit(w(2)).unwrap();
+        assert!(s.is_submitted());
+        assert_eq!(doc.submitted_by, w(2));
+        assert_eq!(doc.team, vec![w(1), w(2), w(3)]);
+        assert_eq!(doc.sections[0], ("intro".into(), "hello".into()));
+        // frozen
+        assert_eq!(
+            s.contribute(w(1), 0, "late", 0.5).unwrap_err(),
+            WorkspaceError::AlreadySubmitted
+        );
+        assert_eq!(s.submit(w(1)).unwrap_err(), WorkspaceError::AlreadySubmitted);
+        let text = doc.to_string();
+        assert!(text.contains("# VLDB impressions"));
+        assert!(text.contains("submitted by w2"));
+    }
+
+    #[test]
+    fn submit_by_non_member_rejected() {
+        let mut s = ws();
+        assert_eq!(s.submit(w(7)).unwrap_err(), WorkspaceError::NotAMember(w(7)));
+        assert!(!s.is_submitted());
+    }
+
+    #[test]
+    fn contributor_qualities_mean_per_worker() {
+        let mut s = ws();
+        s.contribute(w(1), 0, "a", 0.4).unwrap();
+        s.contribute(w(1), 0, "b", 0.8).unwrap();
+        s.contribute(w(2), 0, "c", 1.0).unwrap();
+        let mut q = s.sections()[0].contributor_qualities();
+        q.sort_by(f64::total_cmp);
+        assert_eq!(q.len(), 2);
+        assert!((q[0] - 0.6).abs() < 1e-12);
+        assert!((q[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_clamped_and_empty_text_skipped_in_merge() {
+        let mut s = ws();
+        s.contribute(w(1), 0, "", 5.0).unwrap();
+        s.contribute(w(2), 0, "real", 0.5).unwrap();
+        assert_eq!(s.sections()[0].contributions[0].quality, 1.0);
+        assert_eq!(s.sections()[0].merged_text(), "real");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WorkspaceError::NoSuchSection(1).to_string().contains("section"));
+        assert!(WorkspaceError::NotAMember(w(1)).to_string().contains("member"));
+        assert!(WorkspaceError::AlreadySubmitted.to_string().contains("submitted"));
+    }
+}

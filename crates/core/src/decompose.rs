@@ -1,0 +1,193 @@
+//! Task decomposition.
+//!
+//! Paper §2.1: "Crowd4U can use **any** task decomposition algorithm to
+//! break a complex task into micro-tasks." This module provides the
+//! pluggable abstraction plus the decomposers the demo scenarios need:
+//! splitting text into sentences (subtitle translation), splitting a
+//! document outline into sections (journalism), and fixed-size chunking
+//! (generic batches).
+
+use std::fmt;
+
+/// A piece of a complex task, ready to become one micro-task seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Piece {
+    /// 0-based position within the complex task.
+    pub index: usize,
+    /// The content of the piece (sentence, section title, chunk…).
+    pub content: String,
+}
+
+/// A pluggable decomposition algorithm.
+pub trait Decomposer {
+    fn name(&self) -> &'static str;
+
+    /// Break the input into pieces. Empty inputs yield no pieces.
+    fn decompose(&self, input: &str) -> Vec<Piece>;
+}
+
+/// Split on sentence terminators (`.`, `!`, `?`, `。`), trimming whitespace
+/// — the decomposition behind subtitle generation/translation.
+#[derive(Debug, Clone, Default)]
+pub struct SentenceSplitter;
+
+impl Decomposer for SentenceSplitter {
+    fn name(&self) -> &'static str {
+        "sentence-splitter"
+    }
+
+    fn decompose(&self, input: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        let mut current = String::new();
+        for c in input.chars() {
+            current.push(c);
+            if matches!(c, '.' | '!' | '?' | '。') {
+                let s = current.trim();
+                if !s.is_empty() {
+                    pieces.push(Piece {
+                        index: pieces.len(),
+                        content: s.to_owned(),
+                    });
+                }
+                current.clear();
+            }
+        }
+        let tail = current.trim();
+        if !tail.is_empty() {
+            pieces.push(Piece {
+                index: pieces.len(),
+                content: tail.to_owned(),
+            });
+        }
+        pieces
+    }
+}
+
+/// Split an outline (one section per line, blank lines ignored) — the
+/// decomposition for documents drafted in parallel (§2.2: "independent
+/// sections of a document to draft together").
+#[derive(Debug, Clone, Default)]
+pub struct OutlineSplitter;
+
+impl Decomposer for OutlineSplitter {
+    fn name(&self) -> &'static str {
+        "outline-splitter"
+    }
+
+    fn decompose(&self, input: &str) -> Vec<Piece> {
+        input
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .enumerate()
+            .map(|(index, l)| Piece {
+                index,
+                content: l.to_owned(),
+            })
+            .collect()
+    }
+}
+
+/// Fixed-size whitespace-token chunking for uniform batches.
+#[derive(Debug, Clone)]
+pub struct ChunkSplitter {
+    pub tokens_per_chunk: usize,
+}
+
+impl ChunkSplitter {
+    pub fn new(tokens_per_chunk: usize) -> ChunkSplitter {
+        ChunkSplitter {
+            tokens_per_chunk: tokens_per_chunk.max(1),
+        }
+    }
+}
+
+impl Decomposer for ChunkSplitter {
+    fn name(&self) -> &'static str {
+        "chunk-splitter"
+    }
+
+    fn decompose(&self, input: &str) -> Vec<Piece> {
+        let tokens: Vec<&str> = input.split_whitespace().collect();
+        tokens
+            .chunks(self.tokens_per_chunk)
+            .enumerate()
+            .map(|(index, c)| Piece {
+                index,
+                content: c.join(" "),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Piece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.index, self.content)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentences_split_and_trim() {
+        let d = SentenceSplitter;
+        let pieces = d.decompose("Hello there. How are you?  Fine! 了解。trailing");
+        let texts: Vec<&str> = pieces.iter().map(|p| p.content.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["Hello there.", "How are you?", "Fine!", "了解。", "trailing"]
+        );
+        assert_eq!(pieces[2].index, 2);
+        assert!(d.decompose("").is_empty());
+        assert!(d.decompose("   ").is_empty());
+        assert_eq!(d.name(), "sentence-splitter");
+    }
+
+    #[test]
+    fn outline_splits_lines() {
+        let d = OutlineSplitter;
+        let pieces = d.decompose("intro\n\n  body \nconclusion\n");
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[1].content, "body");
+        assert_eq!(pieces[2].index, 2);
+        assert!(d.decompose("\n\n").is_empty());
+    }
+
+    #[test]
+    fn chunks_are_fixed_size() {
+        let d = ChunkSplitter::new(3);
+        let pieces = d.decompose("a b c d e f g");
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0].content, "a b c");
+        assert_eq!(pieces[2].content, "g");
+        // zero clamps to one
+        let d = ChunkSplitter::new(0);
+        assert_eq!(d.decompose("x y").len(), 2);
+    }
+
+    #[test]
+    fn pieces_display() {
+        let p = Piece {
+            index: 4,
+            content: "text".into(),
+        };
+        assert_eq!(p.to_string(), "[4] text");
+    }
+
+    #[test]
+    fn decomposers_are_object_safe() {
+        // "Crowd4U can use any task decomposition algorithm": the trait is
+        // pluggable behind a dyn reference.
+        let all: Vec<Box<dyn Decomposer>> = vec![
+            Box::new(SentenceSplitter),
+            Box::new(OutlineSplitter),
+            Box::new(ChunkSplitter::new(5)),
+        ];
+        for d in &all {
+            assert!(!d.name().is_empty());
+            let _ = d.decompose("one two. three");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Platform-level error type.
+
+use crowd4u_cylog::error::CylogError;
+use crowd4u_storage::prelude::StorageError;
+use std::fmt;
+
+/// Identifier newtypes used across the platform.
+pub use crowd4u_crowd::profile::WorkerId;
+
+/// Unique project identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProjectId(pub u64);
+
+impl fmt::Display for ProjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Unique task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Everything that can go wrong at the platform layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    UnknownWorker(WorkerId),
+    UnknownProject(ProjectId),
+    UnknownTask(TaskId),
+    /// Worker not eligible for the task (precondition of Undertakes, §2.2).
+    NotEligible { worker: WorkerId, task: TaskId },
+    /// Worker has not been suggested for this task.
+    NotSuggested { worker: WorkerId, task: TaskId },
+    /// Operation invalid in the task's current state.
+    BadTaskState { task: TaskId, state: String },
+    /// No team satisfying the desired human factors exists; the requester
+    /// should relax the constraints (§2.2.1).
+    NoFeasibleTeam { task: TaskId },
+    Cylog(CylogError),
+    Storage(StorageError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            PlatformError::UnknownProject(p) => write!(f, "unknown project {p}"),
+            PlatformError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            PlatformError::NotEligible { worker, task } => {
+                write!(f, "worker {worker} is not eligible for task {task}")
+            }
+            PlatformError::NotSuggested { worker, task } => {
+                write!(f, "worker {worker} was not suggested for task {task}")
+            }
+            PlatformError::BadTaskState { task, state } => {
+                write!(f, "task {task} is in state {state}")
+            }
+            PlatformError::NoFeasibleTeam { task } => write!(
+                f,
+                "no team satisfying the desired human factors exists for task {task}; \
+                 consider relaxing the constraints"
+            ),
+            PlatformError::Cylog(e) => write!(f, "cylog: {e}"),
+            PlatformError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<CylogError> for PlatformError {
+    fn from(e: CylogError) -> Self {
+        PlatformError::Cylog(e)
+    }
+}
+
+impl From<StorageError> for PlatformError {
+    fn from(e: StorageError) -> Self {
+        PlatformError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ProjectId(3).to_string(), "p3");
+        assert_eq!(TaskId(9).to_string(), "t9");
+    }
+
+    #[test]
+    fn errors_display() {
+        let cases: Vec<PlatformError> = vec![
+            PlatformError::UnknownWorker(WorkerId(1)),
+            PlatformError::UnknownProject(ProjectId(1)),
+            PlatformError::UnknownTask(TaskId(1)),
+            PlatformError::NotEligible {
+                worker: WorkerId(1),
+                task: TaskId(2),
+            },
+            PlatformError::NotSuggested {
+                worker: WorkerId(1),
+                task: TaskId(2),
+            },
+            PlatformError::BadTaskState {
+                task: TaskId(2),
+                state: "done".into(),
+            },
+            PlatformError::NoFeasibleTeam { task: TaskId(2) },
+            PlatformError::Cylog(CylogError::Eval("x".into())),
+            PlatformError::Storage(StorageError::NoSuchRelation("r".into())),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

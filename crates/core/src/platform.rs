@@ -1,0 +1,736 @@
+//! The Crowd4U platform facade: projects, task generation, the five-step
+//! assignment workflow of §2.2.1, deadline-driven re-assignment, and task
+//! completion bookkeeping.
+
+use crate::controller::{
+    candidates_from_profiles, constraints_from_factors, non_committers, AssignmentController,
+};
+use crate::eligibility;
+use crate::error::{PlatformError, ProjectId, TaskId, WorkerId};
+use crate::relations::RelationStore;
+use crate::task::{Task, TaskBody, TaskPool, TaskState};
+use crate::workers::WorkerManager;
+use crowd4u_assign::prelude::Team;
+use crowd4u_collab::Scheme;
+use crowd4u_cylog::engine::CylogEngine;
+use crowd4u_forms::admin::DesiredFactors;
+use crowd4u_sim::stats::Counters;
+use crowd4u_sim::time::{SimDuration, SimTime};
+use crowd4u_storage::prelude::Value;
+use std::collections::BTreeMap;
+
+/// A registered project: declarative description + desired human factors.
+pub struct Project {
+    pub id: ProjectId,
+    pub name: String,
+    /// The CyLog processor instance for this project's description.
+    pub engine: CylogEngine,
+    pub factors: DesiredFactors,
+    pub scheme: Scheme,
+    /// Feedback to the requester when no feasible team exists (§2.2.1:
+    /// "Crowd4U suggests to the requester to update her input").
+    pub suggestion: Option<String>,
+}
+
+/// The platform.
+pub struct Crowd4U {
+    now: SimTime,
+    pub workers: WorkerManager,
+    pub relations: RelationStore,
+    pub pool: TaskPool,
+    projects: BTreeMap<ProjectId, Project>,
+    next_project: u64,
+    pub controller: AssignmentController,
+    pub counters: Counters,
+    /// Give up on a collaborative task after this many missed deadlines.
+    pub max_reassignments: u32,
+}
+
+impl Default for Crowd4U {
+    fn default() -> Self {
+        Crowd4U {
+            now: SimTime::ZERO,
+            workers: WorkerManager::new(),
+            relations: RelationStore::new(),
+            pool: TaskPool::new(),
+            projects: BTreeMap::new(),
+            next_project: 0,
+            controller: AssignmentController::default(),
+            counters: Counters::new(),
+            max_reassignments: 3,
+        }
+    }
+}
+
+impl Crowd4U {
+    pub fn new() -> Crowd4U {
+        Crowd4U::default()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Move the platform clock forward, processing any expired recruitment
+    /// deadlines (workflow step: "unless all suggested workers start … by
+    /// the specified deadline, task assignment is re-executed").
+    pub fn advance_to(&mut self, t: SimTime) -> Result<(), PlatformError> {
+        if t > self.now {
+            self.now = t;
+        }
+        self.process_deadlines()
+    }
+
+    // ---- workers ----
+
+    pub fn register_worker(&mut self, profile: crowd4u_crowd::profile::WorkerProfile) {
+        self.counters.incr("workers_registered");
+        self.workers.register(profile);
+        // New workers become eligible for existing open tasks they qualify
+        // for; eligibility is computed once per project touching open tasks.
+        let mut projects: Vec<ProjectId> = self
+            .pool
+            .open_tasks(None)
+            .iter()
+            .map(|t| t.project)
+            .collect();
+        projects.sort();
+        projects.dedup();
+        for project in projects {
+            let _ = self.refresh_project_eligibility(project);
+        }
+    }
+
+    /// The workers eligible for a project's tasks. Projects whose CyLog
+    /// description derives `eligible(w: id)` get the declarative path
+    /// (§2.2: Eligible "is computed by the CyLog processor"); all others
+    /// use the built-in human-factor screen.
+    pub fn eligible_set(&mut self, project: ProjectId) -> Result<Vec<WorkerId>, PlatformError> {
+        let profiles: Vec<crowd4u_crowd::profile::WorkerProfile> =
+            self.workers.profiles().cloned().collect();
+        let proj = self
+            .projects
+            .get_mut(&project)
+            .ok_or(PlatformError::UnknownProject(project))?;
+        if crate::declarative::uses_declarative_eligibility(&proj.engine) {
+            for p in &profiles {
+                crate::declarative::sync_worker_facts(&mut proj.engine, p)?;
+            }
+            proj.engine.run()?;
+            crate::declarative::eligible_workers(&proj.engine)
+        } else {
+            Ok(profiles
+                .iter()
+                .filter(|p| eligibility::is_eligible(p, &proj.factors))
+                .map(|p| p.id)
+                .collect())
+        }
+    }
+
+    /// Recompute the Eligible relation for every open task of a project.
+    fn refresh_project_eligibility(&mut self, project: ProjectId) -> Result<(), PlatformError> {
+        let eligible = self.eligible_set(project)?;
+        let tasks: Vec<TaskId> = self
+            .pool
+            .open_tasks(Some(project))
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        for task in tasks {
+            for &w in &eligible {
+                self.relations.mark_eligible(w, task)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- projects ----
+
+    /// Register a project: its CyLog description is compiled and an admin
+    /// page (constraint form) becomes available.
+    pub fn register_project(
+        &mut self,
+        name: impl Into<String>,
+        cylog_source: &str,
+        factors: DesiredFactors,
+        scheme: Scheme,
+    ) -> Result<ProjectId, PlatformError> {
+        let engine = CylogEngine::from_source(cylog_source)?;
+        self.next_project += 1;
+        let id = ProjectId(self.next_project);
+        self.projects.insert(
+            id,
+            Project {
+                id,
+                name: name.into(),
+                engine,
+                factors,
+                scheme,
+                suggestion: None,
+            },
+        );
+        self.counters.incr("projects_registered");
+        Ok(id)
+    }
+
+    pub fn project(&self, id: ProjectId) -> Result<&Project, PlatformError> {
+        self.projects.get(&id).ok_or(PlatformError::UnknownProject(id))
+    }
+
+    pub fn project_mut(&mut self, id: ProjectId) -> Result<&mut Project, PlatformError> {
+        self.projects
+            .get_mut(&id)
+            .ok_or(PlatformError::UnknownProject(id))
+    }
+
+    pub fn project_ids(&self) -> Vec<ProjectId> {
+        self.projects.keys().copied().collect()
+    }
+
+    /// Add a base fact to a project's CyLog database.
+    pub fn seed_fact(
+        &mut self,
+        project: ProjectId,
+        pred: &str,
+        values: Vec<Value>,
+    ) -> Result<bool, PlatformError> {
+        Ok(self.project_mut(project)?.engine.add_fact(pred, values)?)
+    }
+
+    /// Run the project's CyLog rules and register a micro-task for every
+    /// new open question. Returns the number of new tasks. Eligibility for
+    /// the new tasks is computed for all registered workers.
+    pub fn sync_tasks(&mut self, project: ProjectId) -> Result<usize, PlatformError> {
+        let now = self.now;
+        let proj = self
+            .projects
+            .get_mut(&project)
+            .ok_or(PlatformError::UnknownProject(project))?;
+        proj.engine.run()?;
+        let requests: Vec<(String, Vec<Value>, i64)> = proj
+            .engine
+            .pending_requests()
+            .iter()
+            .map(|r| (r.pred_name.clone(), r.inputs.clone(), r.points))
+            .collect();
+        let mut new_tasks = Vec::new();
+        for (pred, inputs, points) in requests {
+            if self.pool.find_micro(&pred, &inputs).is_none() {
+                let id = self.pool.register(
+                    project,
+                    TaskBody::Micro {
+                        predicate: pred,
+                        inputs,
+                        points,
+                    },
+                    now,
+                );
+                new_tasks.push(id);
+            }
+        }
+        self.counters.add("micro_tasks_generated", new_tasks.len() as u64);
+        if !new_tasks.is_empty() {
+            let eligible = self.eligible_set(project)?;
+            for task in &new_tasks {
+                for &w in &eligible {
+                    self.relations.mark_eligible(w, *task)?;
+                }
+            }
+        }
+        Ok(new_tasks.len())
+    }
+
+    /// Create a collaborative (team) task for a project.
+    pub fn create_collab_task(
+        &mut self,
+        project: ProjectId,
+        description: impl Into<String>,
+    ) -> Result<TaskId, PlatformError> {
+        let proj = self.project(project)?;
+        let body = TaskBody::Collaborative {
+            scheme: proj.scheme,
+            description: description.into(),
+            skill: proj.factors.skill_name.clone(),
+        };
+        let id = self.pool.register(project, body, self.now);
+        self.counters.incr("collab_tasks_created");
+        let eligible = self.eligible_set(project)?;
+        for w in eligible {
+            self.relations.mark_eligible(w, id)?;
+        }
+        Ok(id)
+    }
+
+    // ---- workflow steps (3)–(5) ----
+
+    /// Step (3): a worker declares interest in an eligible task.
+    pub fn express_interest(&mut self, worker: WorkerId, task: TaskId) -> Result<(), PlatformError> {
+        self.workers.get(worker)?;
+        self.pool.get(task)?;
+        self.relations.express_interest(worker, task)?;
+        self.counters.incr("interest_expressed");
+        Ok(())
+    }
+
+    /// Steps (4)+(5): form a team from eligible∩interested workers and
+    /// suggest it. The task enters `Suggested` with a recruitment deadline.
+    pub fn run_assignment(&mut self, task: TaskId) -> Result<Team, PlatformError> {
+        let t = self.pool.get(task)?;
+        if !matches!(t.state, TaskState::Open) {
+            return Err(PlatformError::BadTaskState {
+                task,
+                state: t.state.label().into(),
+            });
+        }
+        let project = t.project;
+        let skill = match &t.body {
+            TaskBody::Collaborative { skill, .. } => skill.clone(),
+            TaskBody::Micro { .. } => None,
+        };
+        let factors = self.project(project)?.factors.clone();
+        // Eligible ∩ interested, minus workers excluded by earlier retries.
+        let interested = self.relations.interested_workers(task);
+        let eligible: Vec<WorkerId> = interested
+            .into_iter()
+            .filter(|w| self.relations.is_eligible(*w, task))
+            .collect();
+        let profiles: Vec<&crowd4u_crowd::profile::WorkerProfile> = eligible
+            .iter()
+            .filter_map(|w| self.workers.get(*w).ok())
+            .collect();
+        let candidates = candidates_from_profiles(&profiles, skill.as_deref());
+        let constraints = constraints_from_factors(&factors);
+        let affinity = self.workers.affinity().clone();
+        let team = self
+            .controller
+            .suggest_team(&candidates, &affinity, &constraints);
+        match team {
+            Some(team) => {
+                let deadline = self.now + SimDuration::secs(factors.recruitment_secs);
+                self.pool.get_mut(task)?.state = TaskState::Suggested {
+                    team: team.members.clone(),
+                    deadline,
+                    undertaken: Vec::new(),
+                };
+                self.counters.incr("teams_suggested");
+                self.project_mut(project)?.suggestion = None;
+                Ok(team)
+            }
+            None => {
+                self.counters.incr("assignment_infeasible");
+                self.project_mut(project)?.suggestion = Some(format!(
+                    "no team of {}–{} workers with the desired human factors is available \
+                     for task {task}; consider relaxing the constraints",
+                    factors.min_team, factors.max_team
+                ));
+                Err(PlatformError::NoFeasibleTeam { task })
+            }
+        }
+    }
+
+    /// A suggested worker confirms they start the task. When the whole team
+    /// has confirmed, the task moves to `InProgress`.
+    pub fn undertake(&mut self, worker: WorkerId, task: TaskId) -> Result<(), PlatformError> {
+        // Eligibility precondition enforced by the relation store.
+        self.relations.undertake(worker, task)?;
+        let t = self.pool.get_mut(task)?;
+        let TaskState::Suggested {
+            team, undertaken, ..
+        } = &mut t.state
+        else {
+            return Err(PlatformError::BadTaskState {
+                task,
+                state: t.state.label().into(),
+            });
+        };
+        if !team.contains(&worker) {
+            return Err(PlatformError::NotSuggested { worker, task });
+        }
+        if !undertaken.contains(&worker) {
+            undertaken.push(worker);
+        }
+        if undertaken.len() == team.len() {
+            let members = team.clone();
+            t.state = TaskState::InProgress { team: members };
+            self.counters.incr("teams_started");
+        }
+        Ok(())
+    }
+
+    /// Deadline sweep: re-execute assignment for suggested tasks whose
+    /// deadline passed without the full team undertaking. Non-committers
+    /// lose their interest; after `max_reassignments` misses the task is
+    /// abandoned.
+    pub fn process_deadlines(&mut self) -> Result<(), PlatformError> {
+        let now = self.now;
+        let expired: Vec<TaskId> = self
+            .pool
+            .iter()
+            .filter_map(|t| match &t.state {
+                TaskState::Suggested {
+                    deadline,
+                    team,
+                    undertaken,
+                } if *deadline <= now && undertaken.len() < team.len() => Some(t.id),
+                _ => None,
+            })
+            .collect();
+        for task in expired {
+            let (team, undertaken) = match &self.pool.get(task)?.state {
+                TaskState::Suggested {
+                    team, undertaken, ..
+                } => (team.clone(), undertaken.clone()),
+                _ => continue,
+            };
+            for w in non_committers(&team, &undertaken) {
+                self.relations.withdraw_interest(w, task)?;
+            }
+            self.counters.incr("deadlines_missed");
+            let t = self.pool.get_mut(task)?;
+            t.reassignments += 1;
+            if t.reassignments > self.max_reassignments {
+                t.state = TaskState::Abandoned {
+                    reason: "no team undertook before the deadline".into(),
+                };
+                self.relations.clear_task(task)?;
+                self.counters.incr("tasks_abandoned");
+                continue;
+            }
+            t.state = TaskState::Open;
+            // Re-execute assignment immediately; infeasibility leaves the
+            // task open with a suggestion recorded for the requester.
+            let _ = self.run_assignment(task);
+        }
+        Ok(())
+    }
+
+    // ---- completion ----
+
+    /// A worker answers a micro-task directly (micro-tasks are performed by
+    /// one worker; no team formation).
+    pub fn submit_micro_answer(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        outputs: Vec<Value>,
+    ) -> Result<(), PlatformError> {
+        if !self.relations.is_eligible(worker, task) {
+            return Err(PlatformError::NotEligible { worker, task });
+        }
+        let t = self.pool.get(task)?;
+        let TaskBody::Micro {
+            predicate, inputs, ..
+        } = &t.body
+        else {
+            return Err(PlatformError::BadTaskState {
+                task,
+                state: "not a micro task".into(),
+            });
+        };
+        if !matches!(t.state, TaskState::Open) {
+            return Err(PlatformError::BadTaskState {
+                task,
+                state: t.state.label().into(),
+            });
+        }
+        let project = t.project;
+        let (predicate, inputs) = (predicate.clone(), inputs.clone());
+        self.project_mut(project)?
+            .engine
+            .answer(&predicate, inputs, outputs, Some(worker.0))?;
+        self.pool.get_mut(task)?.state = TaskState::Completed { team: vec![worker] };
+        self.relations.clear_task(task)?;
+        self.counters.incr("micro_tasks_completed");
+        Ok(())
+    }
+
+    /// Record completion of a collaborative task with an observed quality;
+    /// the outcome feeds the skill estimator.
+    pub fn complete_collab_task(
+        &mut self,
+        task: TaskId,
+        quality: f64,
+    ) -> Result<(), PlatformError> {
+        let t = self.pool.get_mut(task)?;
+        let TaskState::InProgress { team } = &t.state else {
+            return Err(PlatformError::BadTaskState {
+                task,
+                state: t.state.label().into(),
+            });
+        };
+        let members = team.clone();
+        t.state = TaskState::Completed {
+            team: members.clone(),
+        };
+        self.workers.record_outcome(members, quality);
+        self.relations.clear_task(task)?;
+        self.counters.incr("collab_tasks_completed");
+        Ok(())
+    }
+
+    /// Worker's accumulated points across all projects (game aspect).
+    pub fn points_of(&self, worker: WorkerId) -> i64 {
+        self.projects
+            .values()
+            .map(|p| p.engine.points_of(worker.0))
+            .sum()
+    }
+
+    /// Tasks (ids) a worker may currently see on their user page.
+    pub fn visible_tasks(&self, worker: WorkerId) -> Vec<&Task> {
+        self.relations
+            .eligible_tasks(worker)
+            .into_iter()
+            .filter_map(|t| self.pool.get(t).ok())
+            .filter(|t| matches!(t.state, TaskState::Open | TaskState::Suggested { .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd4u_crowd::profile::WorkerProfile;
+
+    const SRC: &str = "\
+rel sentence(s: str).
+open translate(s: str) -> (t: str) points 2.
+rel published(s: str, t: str).
+published(S, T) :- sentence(S), translate(S, T).
+";
+
+    fn factors() -> DesiredFactors {
+        DesiredFactors {
+            min_team: 2,
+            max_team: 3,
+            recruitment_secs: 600,
+            ..Default::default()
+        }
+    }
+
+    fn platform_with_workers(n: u64) -> Crowd4U {
+        let mut p = Crowd4U::new();
+        for i in 1..=n {
+            p.register_worker(
+                WorkerProfile::new(WorkerId(i), format!("w{i}")).with_native_lang("en"),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn micro_task_generation_and_answer() {
+        let mut p = platform_with_workers(2);
+        let proj = p
+            .register_project("demo", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        p.seed_fact(proj, "sentence", vec!["hello".into()]).unwrap();
+        let n = p.sync_tasks(proj).unwrap();
+        assert_eq!(n, 1);
+        // same demand is not re-registered
+        assert_eq!(p.sync_tasks(proj).unwrap(), 0);
+        let task = p.pool.open_tasks(Some(proj))[0].id;
+        // both workers are eligible (no constraints beyond login)
+        assert!(p.relations.is_eligible(WorkerId(1), task));
+        p.submit_micro_answer(WorkerId(1), task, vec!["bonjour".into()])
+            .unwrap();
+        p.sync_tasks(proj).unwrap();
+        assert_eq!(p.project(proj).unwrap().engine.fact_count("published").unwrap(), 1);
+        assert_eq!(p.points_of(WorkerId(1)), 2);
+        // answered task is completed; answering again fails
+        assert!(p
+            .submit_micro_answer(WorkerId(2), task, vec!["salut".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn five_step_workflow() {
+        let mut p = platform_with_workers(4);
+        let proj = p
+            .register_project("collab", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let task = p.create_collab_task(proj, "subtitle a video").unwrap();
+        // step 3: interest
+        for i in 1..=3 {
+            p.express_interest(WorkerId(i), task).unwrap();
+        }
+        // step 5: suggestion
+        let team = p.run_assignment(task).unwrap();
+        assert!(team.size() >= 2 && team.size() <= 3);
+        // undertaking moves to in-progress when everyone confirms
+        for &m in &team.members {
+            p.undertake(m, task).unwrap();
+        }
+        assert_eq!(p.pool.get(task).unwrap().state.label(), "in-progress");
+        p.complete_collab_task(task, 0.8).unwrap();
+        assert_eq!(p.pool.get(task).unwrap().state.label(), "completed");
+        assert_eq!(p.workers.history_len(), 1);
+        assert_eq!(p.counters.get("teams_suggested"), 1);
+        assert_eq!(p.counters.get("teams_started"), 1);
+    }
+
+    #[test]
+    fn uninterested_workers_not_suggested() {
+        let mut p = platform_with_workers(5);
+        let proj = p
+            .register_project("c", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let task = p.create_collab_task(proj, "x").unwrap();
+        p.express_interest(WorkerId(1), task).unwrap();
+        p.express_interest(WorkerId(2), task).unwrap();
+        let team = p.run_assignment(task).unwrap();
+        assert!(team.members.iter().all(|m| m.0 <= 2));
+    }
+
+    #[test]
+    fn infeasible_assignment_records_suggestion() {
+        let mut p = platform_with_workers(1);
+        let proj = p
+            .register_project("c", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let task = p.create_collab_task(proj, "x").unwrap();
+        p.express_interest(WorkerId(1), task).unwrap();
+        // needs 2 workers, only 1 interested
+        let err = p.run_assignment(task).unwrap_err();
+        assert!(matches!(err, PlatformError::NoFeasibleTeam { .. }));
+        let sugg = p.project(proj).unwrap().suggestion.clone().unwrap();
+        assert!(sugg.contains("relaxing"));
+        // task remains open
+        assert_eq!(p.pool.get(task).unwrap().state.label(), "open");
+    }
+
+    #[test]
+    fn deadline_reassignment_excludes_non_committers() {
+        let mut p = platform_with_workers(4);
+        let mut f = factors();
+        f.min_team = 2;
+        f.max_team = 2;
+        let proj = p.register_project("c", SRC, f, Scheme::Sequential).unwrap();
+        let task = p.create_collab_task(proj, "x").unwrap();
+        for i in 1..=4 {
+            p.express_interest(WorkerId(i), task).unwrap();
+        }
+        let team1 = p.run_assignment(task).unwrap();
+        // only one member undertakes
+        p.undertake(team1.members[0], task).unwrap();
+        // deadline passes
+        p.advance_to(SimTime(601)).unwrap();
+        assert_eq!(p.counters.get("deadlines_missed"), 1);
+        let t = p.pool.get(task).unwrap();
+        assert_eq!(t.reassignments, 1);
+        // a new team was suggested, excluding the non-committer
+        match &t.state {
+            TaskState::Suggested { team, .. } => {
+                assert!(!team.contains(&team1.members[1]));
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_misses_abandon_task() {
+        let mut p = platform_with_workers(2);
+        let mut f = factors();
+        f.min_team = 2;
+        f.max_team = 2;
+        let proj = p.register_project("c", SRC, f, Scheme::Sequential).unwrap();
+        p.max_reassignments = 1;
+        let task = p.create_collab_task(proj, "x").unwrap();
+        p.express_interest(WorkerId(1), task).unwrap();
+        p.express_interest(WorkerId(2), task).unwrap();
+        p.run_assignment(task).unwrap();
+        // nobody undertakes; first deadline → interest withdrawn → infeasible
+        p.advance_to(SimTime(601)).unwrap();
+        let t = p.pool.get(task).unwrap();
+        // After the miss, non-committers lost interest so reassignment is
+        // infeasible; the task stays open with a suggestion, or is abandoned
+        // after exceeding the retry budget.
+        assert!(t.reassignments >= 1);
+        assert!(matches!(
+            t.state,
+            TaskState::Open | TaskState::Abandoned { .. }
+        ));
+    }
+
+    #[test]
+    fn undertake_validations() {
+        let mut p = platform_with_workers(3);
+        let proj = p
+            .register_project("c", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let task = p.create_collab_task(proj, "x").unwrap();
+        // undertake before suggestion: eligible but wrong state
+        assert!(matches!(
+            p.undertake(WorkerId(1), task),
+            Err(PlatformError::BadTaskState { .. })
+        ));
+        p.express_interest(WorkerId(1), task).unwrap();
+        p.express_interest(WorkerId(2), task).unwrap();
+        let team = p.run_assignment(task).unwrap();
+        // a worker outside the team cannot undertake
+        let outsider = (1..=3).map(WorkerId).find(|w| !team.members.contains(w));
+        if let Some(w) = outsider {
+            assert!(matches!(
+                p.undertake(w, task),
+                Err(PlatformError::NotSuggested { .. })
+            ));
+        }
+        // double undertake is idempotent
+        p.undertake(team.members[0], task).unwrap();
+        p.undertake(team.members[0], task).unwrap();
+    }
+
+    #[test]
+    fn visible_tasks_only_open_or_suggested() {
+        let mut p = platform_with_workers(2);
+        let proj = p
+            .register_project("c", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        p.seed_fact(proj, "sentence", vec!["a".into()]).unwrap();
+        p.sync_tasks(proj).unwrap();
+        let task = p.pool.open_tasks(Some(proj))[0].id;
+        assert_eq!(p.visible_tasks(WorkerId(1)).len(), 1);
+        p.submit_micro_answer(WorkerId(1), task, vec!["b".into()])
+            .unwrap();
+        assert!(p.visible_tasks(WorkerId(1)).is_empty());
+    }
+
+    #[test]
+    fn bad_cylog_project_rejected() {
+        let mut p = Crowd4U::new();
+        assert!(p
+            .register_project("bad", "p(X) :- q(X).", factors(), Scheme::Sequential)
+            .is_err());
+        assert!(p.project(ProjectId(1)).is_err());
+        assert!(p.seed_fact(ProjectId(1), "x", vec![]).is_err());
+        assert!(p.sync_tasks(ProjectId(1)).is_err());
+    }
+
+    #[test]
+    fn eligibility_respects_factors() {
+        let mut p = Crowd4U::new();
+        p.register_worker(
+            WorkerProfile::new(WorkerId(1), "en-native").with_native_lang("en"),
+        );
+        p.register_worker(
+            WorkerProfile::new(WorkerId(2), "ja-only").with_native_lang("ja"),
+        );
+        let f = DesiredFactors {
+            required_language: Some("en".into()),
+            ..factors()
+        };
+        let proj = p.register_project("c", SRC, f, Scheme::Sequential).unwrap();
+        let task = p.create_collab_task(proj, "x").unwrap();
+        assert!(p.relations.is_eligible(WorkerId(1), task));
+        assert!(!p.relations.is_eligible(WorkerId(2), task));
+        assert!(matches!(
+            p.express_interest(WorkerId(2), task),
+            Err(PlatformError::NotEligible { .. })
+        ));
+        // late-registering qualified worker becomes eligible
+        p.register_worker(
+            WorkerProfile::new(WorkerId(3), "late").with_native_lang("en"),
+        );
+        assert!(p.relations.is_eligible(WorkerId(3), task));
+    }
+}

@@ -1,0 +1,198 @@
+//! The worker manager (paper Figure 2): user properties (human factors),
+//! the affinity matrix, and system-computed skill refreshes from task
+//! history.
+
+use crate::error::{PlatformError, WorkerId};
+use crowd4u_crowd::affinity::{affinity_from_profiles, AffinityLookup, AffinityMatrix};
+use crowd4u_crowd::estimate::{estimate_skills, EstimatorConfig, TeamObservation};
+use crowd4u_crowd::profile::WorkerProfile;
+use std::collections::BTreeMap;
+
+/// Registry of worker profiles + affinity matrix + team-task history.
+pub struct WorkerManager {
+    profiles: BTreeMap<WorkerId, WorkerProfile>,
+    /// Cached affinity matrix; rebuilt on demand after registration changes.
+    affinity: Option<AffinityMatrix>,
+    /// Observed team outcomes, for skill estimation ([10]).
+    history: Vec<TeamObservation>,
+    /// Affinity synthesis weights (geo, language, skill).
+    pub weights: (f64, f64, f64),
+}
+
+impl Default for WorkerManager {
+    fn default() -> Self {
+        WorkerManager {
+            profiles: BTreeMap::new(),
+            affinity: None,
+            history: Vec::new(),
+            weights: (1.0, 1.0, 0.5),
+        }
+    }
+}
+
+impl WorkerManager {
+    pub fn new() -> WorkerManager {
+        WorkerManager::default()
+    }
+
+    pub fn register(&mut self, profile: WorkerProfile) {
+        self.profiles.insert(profile.id, profile);
+        self.affinity = None; // invalidate cache
+    }
+
+    pub fn get(&self, id: WorkerId) -> Result<&WorkerProfile, PlatformError> {
+        self.profiles
+            .get(&id)
+            .ok_or(PlatformError::UnknownWorker(id))
+    }
+
+    pub fn get_mut(&mut self, id: WorkerId) -> Result<&mut WorkerProfile, PlatformError> {
+        self.profiles
+            .get_mut(&id)
+            .ok_or(PlatformError::UnknownWorker(id))
+    }
+
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    pub fn ids(&self) -> Vec<WorkerId> {
+        self.profiles.keys().copied().collect()
+    }
+
+    pub fn profiles(&self) -> impl Iterator<Item = &WorkerProfile> {
+        self.profiles.values()
+    }
+
+    /// The affinity matrix over all registered workers (cached).
+    pub fn affinity(&mut self) -> &AffinityMatrix {
+        if self.affinity.is_none() {
+            let profiles: Vec<WorkerProfile> = self.profiles.values().cloned().collect();
+            let (wg, wl, ws) = self.weights;
+            self.affinity = Some(affinity_from_profiles(&profiles, wg, wl, ws));
+        }
+        self.affinity.as_ref().expect("just built")
+    }
+
+    /// Pairwise affinity (builds the matrix if needed).
+    pub fn pair_affinity(&mut self, a: WorkerId, b: WorkerId) -> f64 {
+        self.affinity().affinity(a, b)
+    }
+
+    /// Record an observed team outcome (drives skill estimation).
+    pub fn record_outcome(&mut self, members: Vec<WorkerId>, quality: f64) {
+        self.history.push(TeamObservation::new(members, quality));
+    }
+
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Re-estimate the named skill for every worker appearing in history
+    /// ("computed by the system based on previously performed tasks", §2.4).
+    /// Returns how many profiles were updated.
+    pub fn refresh_skills(&mut self, skill_name: &str) -> usize {
+        if self.history.is_empty() {
+            return 0;
+        }
+        let est = estimate_skills(&self.history, &EstimatorConfig::default());
+        let mut updated = 0;
+        for (w, s) in &est.skills {
+            if let Some(p) = self.profiles.get_mut(w) {
+                p.factors.set_skill(skill_name.to_string(), *s);
+                updated += 1;
+            }
+        }
+        if updated > 0 {
+            self.affinity = None; // skills feed the affinity matrix
+        }
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd4u_crowd::profile::Region;
+
+    fn manager() -> WorkerManager {
+        let mut m = WorkerManager::new();
+        m.register(
+            WorkerProfile::new(WorkerId(1), "ann")
+                .with_native_lang("en")
+                .with_region(Region::new("tokyo", 0.8, 0.4)),
+        );
+        m.register(
+            WorkerProfile::new(WorkerId(2), "bob")
+                .with_native_lang("en")
+                .with_region(Region::new("tokyo", 0.8, 0.4)),
+        );
+        m.register(
+            WorkerProfile::new(WorkerId(3), "eve")
+                .with_native_lang("fr")
+                .with_region(Region::new("paris", 0.1, 0.5)),
+        );
+        m
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut m = manager();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(WorkerId(1)).unwrap().name, "ann");
+        assert!(m.get(WorkerId(9)).is_err());
+        m.get_mut(WorkerId(1)).unwrap().factors.logged_in = false;
+        assert!(!m.get(WorkerId(1)).unwrap().factors.logged_in);
+        assert_eq!(m.ids(), vec![WorkerId(1), WorkerId(2), WorkerId(3)]);
+        assert_eq!(m.profiles().count(), 3);
+    }
+
+    #[test]
+    fn affinity_cached_and_invalidated() {
+        let mut m = manager();
+        let near = m.pair_affinity(WorkerId(1), WorkerId(2));
+        let far = m.pair_affinity(WorkerId(1), WorkerId(3));
+        assert!(near > far);
+        // registration invalidates the cache and the new worker appears
+        m.register(WorkerProfile::new(WorkerId(4), "dan").with_native_lang("en"));
+        assert_eq!(m.affinity().len(), 4);
+    }
+
+    #[test]
+    fn skill_refresh_from_history() {
+        let mut m = manager();
+        // worker 1 consistently great, worker 3 consistently poor
+        for _ in 0..5 {
+            m.record_outcome(vec![WorkerId(1)], 0.95);
+            m.record_outcome(vec![WorkerId(3)], 0.15);
+        }
+        assert_eq!(m.history_len(), 10);
+        let n = m.refresh_skills("translation");
+        assert_eq!(n, 2);
+        let s1 = m.get(WorkerId(1)).unwrap().factors.skill("translation");
+        let s3 = m.get(WorkerId(3)).unwrap().factors.skill("translation");
+        assert!(s1 > 0.8, "skilled worker got {s1}");
+        assert!(s3 < 0.3, "unskilled worker got {s3}");
+        // worker 2 never observed: unchanged default
+        assert_eq!(m.get(WorkerId(2)).unwrap().factors.skill("translation"), 0.0);
+    }
+
+    #[test]
+    fn refresh_with_no_history_is_noop() {
+        let mut m = manager();
+        assert_eq!(m.refresh_skills("x"), 0);
+    }
+
+    #[test]
+    fn outcomes_for_unknown_workers_ignored_in_refresh() {
+        let mut m = manager();
+        m.record_outcome(vec![WorkerId(77)], 0.9);
+        // estimate includes w77 but profile update skips it
+        assert_eq!(m.refresh_skills("x"), 0);
+    }
+}

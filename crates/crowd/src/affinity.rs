@@ -1,0 +1,316 @@
+//! The worker-to-worker affinity matrix.
+//!
+//! Paper §2.2: "the worker affinity matrix … maintains the information on
+//! how a pair of workers is expected to work well". Affinities are symmetric
+//! values in `[0, 1]` over unordered worker pairs.
+//!
+//! Two representations are provided (DESIGN.md §5 ablation 2):
+//! * [`AffinityMatrix`] — dense lower-triangular storage, O(1) lookup;
+//! * [`SparseAffinity`] — hash-map storage for sparse populations.
+//!
+//! Both implement [`AffinityLookup`], the trait the assignment algorithms
+//! consume.
+
+use crate::profile::{WorkerId, WorkerProfile};
+use std::collections::HashMap;
+
+/// Read interface used by team-formation algorithms.
+pub trait AffinityLookup {
+    /// Symmetric affinity between two workers; 0.0 when unknown. The
+    /// affinity of a worker with itself is defined as 0 (no self-pairs).
+    fn affinity(&self, a: WorkerId, b: WorkerId) -> f64;
+}
+
+/// Dense symmetric affinity matrix over a fixed worker universe.
+#[derive(Debug, Clone)]
+pub struct AffinityMatrix {
+    ids: Vec<WorkerId>,
+    index: HashMap<WorkerId, usize>,
+    /// Lower triangle, row-major: entry (i, j) with i > j at `i*(i-1)/2 + j`.
+    tri: Vec<f64>,
+}
+
+impl AffinityMatrix {
+    /// Create a zero matrix over the given workers.
+    pub fn new(ids: Vec<WorkerId>) -> AffinityMatrix {
+        let n = ids.len();
+        let pairs = if n < 2 { 0 } else { n * (n - 1) / 2 };
+        let index = ids.iter().copied().enumerate().map(|(i, w)| (w, i)).collect();
+        AffinityMatrix {
+            ids,
+            index,
+            tri: vec![0.0; pairs],
+        }
+    }
+
+    pub fn workers(&self) -> &[WorkerId] {
+        &self.ids
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn slot(&self, a: WorkerId, b: WorkerId) -> Option<usize> {
+        let (&i, &j) = (self.index.get(&a)?, self.index.get(&b)?);
+        if i == j {
+            return None;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        Some(hi * (hi - 1) / 2 + lo)
+    }
+
+    /// Set the symmetric affinity (clamped to `[0,1]`). Unknown workers or
+    /// self-pairs are ignored.
+    pub fn set(&mut self, a: WorkerId, b: WorkerId, value: f64) {
+        if let Some(s) = self.slot(a, b) {
+            self.tri[s] = value.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Mean affinity across all pairs (0.0 for < 2 workers).
+    pub fn mean(&self) -> f64 {
+        if self.tri.is_empty() {
+            return 0.0;
+        }
+        self.tri.iter().sum::<f64>() / self.tri.len() as f64
+    }
+}
+
+impl AffinityLookup for AffinityMatrix {
+    fn affinity(&self, a: WorkerId, b: WorkerId) -> f64 {
+        self.slot(a, b).map(|s| self.tri[s]).unwrap_or(0.0)
+    }
+}
+
+/// Sparse affinity storage: only non-zero pairs are kept.
+#[derive(Debug, Clone, Default)]
+pub struct SparseAffinity {
+    map: HashMap<(WorkerId, WorkerId), f64>,
+}
+
+impl SparseAffinity {
+    pub fn new() -> SparseAffinity {
+        SparseAffinity::default()
+    }
+
+    fn key(a: WorkerId, b: WorkerId) -> (WorkerId, WorkerId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    pub fn set(&mut self, a: WorkerId, b: WorkerId, value: f64) {
+        if a == b {
+            return;
+        }
+        let v = value.clamp(0.0, 1.0);
+        if v == 0.0 {
+            self.map.remove(&Self::key(a, b));
+        } else {
+            self.map.insert(Self::key(a, b), v);
+        }
+    }
+
+    pub fn pair_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl AffinityLookup for SparseAffinity {
+    fn affinity(&self, a: WorkerId, b: WorkerId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.map.get(&Self::key(a, b)).copied().unwrap_or(0.0)
+    }
+}
+
+/// Derive an affinity matrix from worker profiles, combining:
+/// * geographic proximity (closer ⇒ higher), weight `w_geo`;
+/// * language overlap (shared fluent languages), weight `w_lang`;
+/// * skill-profile similarity, weight `w_skill`.
+///
+/// Weights are renormalised to sum to 1.
+pub fn affinity_from_profiles(
+    workers: &[WorkerProfile],
+    w_geo: f64,
+    w_lang: f64,
+    w_skill: f64,
+) -> AffinityMatrix {
+    let total = (w_geo + w_lang + w_skill).max(f64::MIN_POSITIVE);
+    let (wg, wl, ws) = (w_geo / total, w_lang / total, w_skill / total);
+    let mut m = AffinityMatrix::new(workers.iter().map(|w| w.id).collect());
+    for (i, a) in workers.iter().enumerate() {
+        for b in workers.iter().skip(i + 1) {
+            // Geography: map distance in [0, sqrt(2)] to closeness in [0,1].
+            let d = a.factors.region.distance(&b.factors.region);
+            let geo = (1.0 - d / std::f64::consts::SQRT_2).clamp(0.0, 1.0);
+            // Language: Jaccard over languages with fluency ≥ 0.5.
+            let la: Vec<&str> = a
+                .factors
+                .fluency
+                .iter()
+                .filter(|(_, &f)| f >= 0.5)
+                .map(|(l, _)| l.code())
+                .collect();
+            let lb: Vec<&str> = b
+                .factors
+                .fluency
+                .iter()
+                .filter(|(_, &f)| f >= 0.5)
+                .map(|(l, _)| l.code())
+                .collect();
+            let inter = la.iter().filter(|l| lb.contains(l)).count();
+            let union = la.len() + lb.len() - inter;
+            let lang = if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            };
+            // Skills: 1 - mean |Δ| over the union of named skills.
+            let mut names: Vec<&str> = a.factors.skills.keys().map(String::as_str).collect();
+            for k in b.factors.skills.keys() {
+                if !names.contains(&k.as_str()) {
+                    names.push(k);
+                }
+            }
+            let skill = if names.is_empty() {
+                0.0
+            } else {
+                let diff: f64 = names
+                    .iter()
+                    .map(|n| (a.factors.skill(n) - b.factors.skill(n)).abs())
+                    .sum::<f64>()
+                    / names.len() as f64;
+                1.0 - diff
+            };
+            m.set(a.id, b.id, wg * geo + wl * lang + ws * skill);
+        }
+    }
+    m
+}
+
+/// Mean pairwise affinity of a group (the objective the team-formation
+/// algorithms maximise). Groups of size < 2 have affinity 0.
+pub fn group_affinity(aff: &dyn AffinityLookup, group: &[WorkerId]) -> f64 {
+    let n = group.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += aff.affinity(group[i], group[j]);
+        }
+    }
+    total / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Region;
+
+    fn ids(n: u64) -> Vec<WorkerId> {
+        (0..n).map(WorkerId).collect()
+    }
+
+    #[test]
+    fn dense_set_get_symmetric() {
+        let mut m = AffinityMatrix::new(ids(4));
+        m.set(WorkerId(0), WorkerId(3), 0.7);
+        assert_eq!(m.affinity(WorkerId(0), WorkerId(3)), 0.7);
+        assert_eq!(m.affinity(WorkerId(3), WorkerId(0)), 0.7);
+        assert_eq!(m.affinity(WorkerId(1), WorkerId(2)), 0.0);
+        assert_eq!(m.affinity(WorkerId(1), WorkerId(1)), 0.0);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn dense_unknown_workers_ignored() {
+        let mut m = AffinityMatrix::new(ids(2));
+        m.set(WorkerId(0), WorkerId(99), 0.5);
+        assert_eq!(m.affinity(WorkerId(0), WorkerId(99)), 0.0);
+    }
+
+    #[test]
+    fn dense_clamps_and_means() {
+        let mut m = AffinityMatrix::new(ids(3));
+        m.set(WorkerId(0), WorkerId(1), 2.0);
+        m.set(WorkerId(0), WorkerId(2), -1.0);
+        assert_eq!(m.affinity(WorkerId(0), WorkerId(1)), 1.0);
+        assert_eq!(m.affinity(WorkerId(0), WorkerId(2)), 0.0);
+        assert!((m.mean() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(AffinityMatrix::new(vec![]).mean(), 0.0);
+    }
+
+    #[test]
+    fn sparse_matches_dense_behaviour() {
+        let mut s = SparseAffinity::new();
+        s.set(WorkerId(2), WorkerId(1), 0.4);
+        assert_eq!(s.affinity(WorkerId(1), WorkerId(2)), 0.4);
+        assert_eq!(s.affinity(WorkerId(2), WorkerId(1)), 0.4);
+        assert_eq!(s.affinity(WorkerId(1), WorkerId(1)), 0.0);
+        assert_eq!(s.pair_count(), 1);
+        s.set(WorkerId(1), WorkerId(1), 0.9); // self-pair ignored
+        assert_eq!(s.pair_count(), 1);
+        s.set(WorkerId(2), WorkerId(1), 0.0); // zero removes
+        assert_eq!(s.pair_count(), 0);
+    }
+
+    #[test]
+    fn group_affinity_means_pairs() {
+        let mut m = AffinityMatrix::new(ids(3));
+        m.set(WorkerId(0), WorkerId(1), 0.6);
+        m.set(WorkerId(0), WorkerId(2), 0.0);
+        m.set(WorkerId(1), WorkerId(2), 0.3);
+        let g = [WorkerId(0), WorkerId(1), WorkerId(2)];
+        assert!((group_affinity(&m, &g) - 0.3).abs() < 1e-12);
+        assert_eq!(group_affinity(&m, &[WorkerId(0)]), 0.0);
+        assert_eq!(group_affinity(&m, &[]), 0.0);
+    }
+
+    #[test]
+    fn profile_affinity_same_region_and_lang_is_high() {
+        let a = WorkerProfile::new(WorkerId(1), "a")
+            .with_native_lang("ja")
+            .with_region(Region::new("tsukuba", 0.5, 0.5))
+            .with_skill("survey", 0.8);
+        let b = WorkerProfile::new(WorkerId(2), "b")
+            .with_native_lang("ja")
+            .with_region(Region::new("tsukuba", 0.5, 0.5))
+            .with_skill("survey", 0.8);
+        let c = WorkerProfile::new(WorkerId(3), "c")
+            .with_native_lang("fr")
+            .with_region(Region::new("grenoble", 0.0, 1.0))
+            .with_skill("survey", 0.1);
+        let m = affinity_from_profiles(&[a, b, c], 1.0, 1.0, 1.0);
+        let near = m.affinity(WorkerId(1), WorkerId(2));
+        let far = m.affinity(WorkerId(1), WorkerId(3));
+        assert!(near > far, "same region/lang/skill must beat different");
+        assert!(near > 0.9);
+        assert!((0.0..=1.0).contains(&far));
+    }
+
+    #[test]
+    fn profile_affinity_weights_normalised() {
+        let a = WorkerProfile::new(WorkerId(1), "a").with_native_lang("en");
+        let b = WorkerProfile::new(WorkerId(2), "b").with_native_lang("en");
+        // Only language weight: identical language sets ⇒ affinity 1.
+        let m = affinity_from_profiles(&[a.clone(), b.clone()], 0.0, 5.0, 0.0);
+        assert!((m.affinity(WorkerId(1), WorkerId(2)) - 1.0).abs() < 1e-12);
+        // No fluent languages at all ⇒ language component 0.
+        let c = WorkerProfile::new(WorkerId(3), "c");
+        let d = WorkerProfile::new(WorkerId(4), "d");
+        let m = affinity_from_profiles(&[c, d], 0.0, 1.0, 0.0);
+        assert_eq!(m.affinity(WorkerId(3), WorkerId(4)), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Worker skill estimation from team task history.
+//!
+//! Paper §2.4 says skills are "computed by the system based on previously
+//! performed tasks (e.g., via qualification tests, or by learning workers'
+//! profiles as in [10])". Reference [10] (Rahman et al., PVLDB 2015)
+//! estimates *individual* skills from the observed quality of *team* tasks.
+//!
+//! This module implements the additive-model variant: the observed quality
+//! of a team task is modelled as the mean of its members' skills plus noise;
+//! skills are recovered by damped iterative least squares (a simple
+//! coordinate-descent fit that converges for any history and needs no
+//! external solver).
+
+use crate::profile::WorkerId;
+use std::collections::{BTreeMap, HashMap};
+
+/// One observed team task outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamObservation {
+    pub members: Vec<WorkerId>,
+    /// Observed quality in `[0,1]`.
+    pub quality: f64,
+}
+
+impl TeamObservation {
+    pub fn new(members: Vec<WorkerId>, quality: f64) -> TeamObservation {
+        TeamObservation {
+            members,
+            quality: quality.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Configuration for the estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// Damping factor in `(0,1]`: fraction of the residual applied per sweep.
+    pub learning_rate: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_sweeps: usize,
+    /// Stop when the max skill change in a sweep drops below this.
+    pub tolerance: f64,
+    /// Prior skill for unseen workers.
+    pub prior: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            learning_rate: 0.5,
+            max_sweeps: 200,
+            tolerance: 1e-6,
+            prior: 0.5,
+        }
+    }
+}
+
+/// Result of a fit: per-worker skill estimates plus fit diagnostics.
+#[derive(Debug, Clone)]
+pub struct SkillEstimate {
+    pub skills: BTreeMap<WorkerId, f64>,
+    /// Root-mean-square error of the final fit over the observations.
+    pub rmse: f64,
+    pub sweeps: usize,
+}
+
+impl SkillEstimate {
+    pub fn skill(&self, w: WorkerId) -> Option<f64> {
+        self.skills.get(&w).copied()
+    }
+}
+
+/// Fit individual skills from team observations.
+///
+/// Model: `quality(T) ≈ mean_{w ∈ T} skill(w)`. Each sweep visits every
+/// worker and nudges their skill by the mean residual of the observations
+/// they took part in, scaled by `learning_rate`; skills stay in `[0,1]`.
+pub fn estimate_skills(
+    observations: &[TeamObservation],
+    config: &EstimatorConfig,
+) -> SkillEstimate {
+    // Collect the worker universe and per-worker observation index.
+    let mut involved: HashMap<WorkerId, Vec<usize>> = HashMap::new();
+    for (i, o) in observations.iter().enumerate() {
+        for &w in &o.members {
+            involved.entry(w).or_default().push(i);
+        }
+    }
+    let mut skills: BTreeMap<WorkerId, f64> =
+        involved.keys().map(|&w| (w, config.prior)).collect();
+
+    let predict = |skills: &BTreeMap<WorkerId, f64>, o: &TeamObservation| -> f64 {
+        if o.members.is_empty() {
+            return 0.0;
+        }
+        o.members.iter().map(|w| skills[w]).sum::<f64>() / o.members.len() as f64
+    };
+
+    let mut sweeps = 0;
+    for _ in 0..config.max_sweeps {
+        sweeps += 1;
+        let mut max_delta: f64 = 0.0;
+        // Deterministic worker order (BTreeMap).
+        let ids: Vec<WorkerId> = skills.keys().copied().collect();
+        for w in ids {
+            let obs = &involved[&w];
+            if obs.is_empty() {
+                continue;
+            }
+            let mut residual = 0.0;
+            for &i in obs {
+                let o = &observations[i];
+                residual += o.quality - predict(&skills, o);
+            }
+            residual /= obs.len() as f64;
+            let old = skills[&w];
+            let new = (old + config.learning_rate * residual).clamp(0.0, 1.0);
+            max_delta = max_delta.max((new - old).abs());
+            skills.insert(w, new);
+        }
+        if max_delta < config.tolerance {
+            break;
+        }
+    }
+
+    let mut sq = 0.0;
+    for o in observations {
+        if o.members.is_empty() {
+            continue;
+        }
+        let e = o.quality - predict(&skills, o);
+        sq += e * e;
+    }
+    let n = observations.iter().filter(|o| !o.members.is_empty()).count();
+    let rmse = if n == 0 { 0.0 } else { (sq / n as f64).sqrt() };
+
+    SkillEstimate {
+        skills,
+        rmse,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u64) -> WorkerId {
+        WorkerId(i)
+    }
+
+    #[test]
+    fn empty_history_gives_empty_estimate() {
+        let e = estimate_skills(&[], &EstimatorConfig::default());
+        assert!(e.skills.is_empty());
+        assert_eq!(e.rmse, 0.0);
+    }
+
+    #[test]
+    fn solo_observations_recover_exact_skills() {
+        let obs = vec![
+            TeamObservation::new(vec![w(1)], 0.9),
+            TeamObservation::new(vec![w(2)], 0.3),
+        ];
+        let e = estimate_skills(&obs, &EstimatorConfig::default());
+        assert!((e.skill(w(1)).unwrap() - 0.9).abs() < 1e-3);
+        assert!((e.skill(w(2)).unwrap() - 0.3).abs() < 1e-3);
+        assert!(e.rmse < 1e-3);
+    }
+
+    #[test]
+    fn team_observations_disentangle_members() {
+        // skill(1)=0.8, skill(2)=0.4, skill(3)=0.6 — observe pair means.
+        let truth = [(1u64, 0.8), (2, 0.4), (3, 0.6)];
+        let mut obs = Vec::new();
+        for (a, sa) in truth {
+            for (b, sb) in truth {
+                if a < b {
+                    obs.push(TeamObservation::new(vec![w(a), w(b)], (sa + sb) / 2.0));
+                }
+            }
+        }
+        // Anchor with solo observations so the system is fully determined.
+        for (a, sa) in truth {
+            obs.push(TeamObservation::new(vec![w(a)], sa));
+        }
+        let e = estimate_skills(&obs, &EstimatorConfig::default());
+        for (a, sa) in truth {
+            assert!(
+                (e.skill(w(a)).unwrap() - sa).abs() < 0.02,
+                "worker {a}: got {}, want {sa}",
+                e.skill(w(a)).unwrap()
+            );
+        }
+        assert!(e.rmse < 0.02);
+    }
+
+    #[test]
+    fn noisy_observations_still_rank_correctly() {
+        // Worker 1 genuinely better than worker 2; noise ±0.05.
+        let noise: [f64; 6] = [0.05, -0.04, 0.03, -0.02, 0.01, -0.05];
+        let mut obs = Vec::new();
+        for (i, n) in noise.iter().enumerate() {
+            let q1 = (0.85 + n).clamp(0.0, 1.0);
+            let q2 = (0.35 - n).clamp(0.0, 1.0);
+            obs.push(TeamObservation::new(vec![w(1), w(10 + i as u64)], q1));
+            obs.push(TeamObservation::new(vec![w(2), w(10 + i as u64)], q2));
+        }
+        let e = estimate_skills(&obs, &EstimatorConfig::default());
+        assert!(e.skill(w(1)).unwrap() > e.skill(w(2)).unwrap() + 0.2);
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval() {
+        let obs = vec![
+            TeamObservation::new(vec![w(1)], 1.0),
+            TeamObservation::new(vec![w(1)], 1.0),
+            TeamObservation::new(vec![w(2)], 0.0),
+        ];
+        let e = estimate_skills(&obs, &EstimatorConfig::default());
+        for s in e.skills.values() {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn quality_clamped_on_construction() {
+        let o = TeamObservation::new(vec![w(1)], 3.0);
+        assert_eq!(o.quality, 1.0);
+        let o = TeamObservation::new(vec![w(1)], -3.0);
+        assert_eq!(o.quality, 0.0);
+    }
+
+    #[test]
+    fn sweeps_bounded_and_reported() {
+        let obs = vec![TeamObservation::new(vec![w(1), w(2)], 0.6)];
+        let cfg = EstimatorConfig {
+            max_sweeps: 3,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let e = estimate_skills(&obs, &cfg);
+        assert_eq!(e.sweeps, 3);
+    }
+
+    #[test]
+    fn empty_member_observation_ignored() {
+        let obs = vec![
+            TeamObservation::new(vec![], 0.9),
+            TeamObservation::new(vec![w(1)], 0.7),
+        ];
+        let e = estimate_skills(&obs, &EstimatorConfig::default());
+        assert!((e.skill(w(1)).unwrap() - 0.7).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,471 @@
+//! Abstract syntax of CyLog programs.
+//!
+//! A program is a list of clauses:
+//!
+//! ```text
+//! rel translated(src: str, dst: str).                    // EDB declaration
+//! open judge(src: str, dst: str) -> (ok: bool) points 5. // open predicate
+//! translated("hello", "bonjour").                        // fact
+//! good(S, D)  :- translated(S, D), judge(S, D, OK), OK = true.
+//! missing(S)  :- translated(S, D), not good(S, D).
+//! n_bad(count<S>) :- missing(S).                         // aggregate head
+//! ```
+//!
+//! Open predicates model CyLog's defining feature — "CyLog allows humans to
+//! evaluate predicates in rules" — their *input* columns are bound by the
+//! engine, and their *output* columns are filled in by (simulated) workers.
+
+use crowd4u_storage::prelude::{Value, ValueType};
+use std::fmt;
+
+/// A term in an atom: a variable or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    Var(String),
+    Const(Value),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Const(Value::Str(s)) => write!(f, "{s:?}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Scalar expression used in assignments and comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    Term(Term),
+    Binary(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+/// Arithmetic operators in scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Term(t) => write!(f, "{t}"),
+            ScalarExpr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A predicate applied to terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    pub pred: String,
+    pub terms: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyLit {
+    /// Positive atom `p(X, Y)`.
+    Pos(Atom),
+    /// Negated atom `not p(X, Y)` (stratified).
+    Neg(Atom),
+    /// Comparison `X < Y + 1`.
+    Cmp(CmpOp, ScalarExpr, ScalarExpr),
+    /// Assignment `Z := X * 2`, binding a fresh variable.
+    Let(String, ScalarExpr),
+}
+
+impl fmt::Display for BodyLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyLit::Pos(a) => write!(f, "{a}"),
+            BodyLit::Neg(a) => write!(f, "not {a}"),
+            BodyLit::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            BodyLit::Let(v, e) => write!(f, "{v} := {e}"),
+        }
+    }
+}
+
+/// Aggregate functions allowed in rule heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Output type of the aggregate given its input type.
+    pub fn output_type(self, input: ValueType) -> ValueType {
+        match self {
+            AggFunc::Count => ValueType::Int,
+            AggFunc::Avg => ValueType::Float,
+            AggFunc::Sum => ValueType::Float,
+            AggFunc::Min | AggFunc::Max => input,
+        }
+    }
+}
+
+/// A head term: plain, or an aggregate over a body variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadTerm {
+    Plain(Term),
+    Agg(AggFunc, String),
+}
+
+impl fmt::Display for HeadTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadTerm::Plain(t) => write!(f, "{t}"),
+            HeadTerm::Agg(func, v) => write!(f, "{}<{v}>", func.name()),
+        }
+    }
+}
+
+/// A rule `head :- body.` A rule with an empty body is a fact when all head
+/// terms are constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub head_pred: String,
+    pub head_terms: Vec<HeadTerm>,
+    pub body: Vec<BodyLit>,
+}
+
+impl Rule {
+    /// True when the rule has any aggregate head term.
+    pub fn is_aggregate(&self) -> bool {
+        self.head_terms
+            .iter()
+            .any(|t| matches!(t, HeadTerm::Agg(..)))
+    }
+
+    /// True when the rule is a ground fact (no body, constant head).
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+            && self
+                .head_terms
+                .iter()
+                .all(|t| matches!(t, HeadTerm::Plain(Term::Const(_))))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head_pred)?;
+        for (i, t) in self.head_terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A typed column in a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColDecl {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+impl fmt::Display for ColDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// Declaration of a closed (machine) relation: EDB if only facts feed it,
+/// IDB if rules derive it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelDecl {
+    pub name: String,
+    pub cols: Vec<ColDecl>,
+}
+
+/// Declaration of an open (human-evaluated) predicate:
+/// `open judge(src: str) -> (ok: bool) points 5.`
+/// Facts for the full column list `inputs ++ outputs` are supplied by
+/// workers; the engine derives *demands* on the input columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenDecl {
+    pub name: String,
+    pub inputs: Vec<ColDecl>,
+    pub outputs: Vec<ColDecl>,
+    /// Game-aspect reward granted to the answering worker.
+    pub points: i64,
+}
+
+impl OpenDecl {
+    pub fn arity(&self) -> usize {
+        self.inputs.len() + self.outputs.len()
+    }
+}
+
+/// One top-level clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    Rel(RelDecl),
+    Open(OpenDecl),
+    Rule(Rule),
+}
+
+/// A parsed CyLog program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub clauses: Vec<Clause>,
+}
+
+impl Program {
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.clauses.iter().filter_map(|c| match c {
+            Clause::Rule(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    pub fn rel_decls(&self) -> impl Iterator<Item = &RelDecl> {
+        self.clauses.iter().filter_map(|c| match c {
+            Clause::Rel(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    pub fn open_decls(&self) -> impl Iterator<Item = &OpenDecl> {
+        self.clauses.iter().filter_map(|c| match c {
+            Clause::Open(d) => Some(d),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            match c {
+                Clause::Rel(d) => {
+                    write!(f, "rel {}(", d.name)?;
+                    for (i, col) in d.cols.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{col}")?;
+                    }
+                    writeln!(f, ").")?;
+                }
+                Clause::Open(d) => {
+                    write!(f, "open {}(", d.name)?;
+                    for (i, col) in d.inputs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{col}")?;
+                    }
+                    write!(f, ") -> (")?;
+                    for (i, col) in d.outputs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{col}")?;
+                    }
+                    write!(f, ")")?;
+                    if d.points != 0 {
+                        write!(f, " points {}", d.points)?;
+                    }
+                    writeln!(f, ".")?;
+                }
+                Clause::Rule(r) => writeln!(f, "{r}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_rule() {
+        let r = Rule {
+            head_pred: "good".into(),
+            head_terms: vec![HeadTerm::Plain(Term::Var("S".into()))],
+            body: vec![
+                BodyLit::Pos(Atom {
+                    pred: "t".into(),
+                    terms: vec![Term::Var("S".into()), Term::Const(Value::Int(1))],
+                }),
+                BodyLit::Neg(Atom {
+                    pred: "bad".into(),
+                    terms: vec![Term::Var("S".into())],
+                }),
+                BodyLit::Cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::Term(Term::Var("S".into())),
+                    ScalarExpr::Term(Term::Const(Value::Int(9))),
+                ),
+                BodyLit::Let(
+                    "Z".into(),
+                    ScalarExpr::Binary(
+                        ArithOp::Add,
+                        Box::new(ScalarExpr::Term(Term::Var("S".into()))),
+                        Box::new(ScalarExpr::Term(Term::Const(Value::Int(1)))),
+                    ),
+                ),
+            ],
+        };
+        assert_eq!(
+            r.to_string(),
+            "good(S) :- t(S, 1), not bad(S), S < 9, Z := (S + 1)."
+        );
+        assert!(!r.is_aggregate());
+        assert!(!r.is_fact());
+    }
+
+    #[test]
+    fn fact_detection() {
+        let f = Rule {
+            head_pred: "p".into(),
+            head_terms: vec![HeadTerm::Plain(Term::Const(Value::Int(1)))],
+            body: vec![],
+        };
+        assert!(f.is_fact());
+        let not_fact = Rule {
+            head_pred: "p".into(),
+            head_terms: vec![HeadTerm::Plain(Term::Var("X".into()))],
+            body: vec![],
+        };
+        assert!(!not_fact.is_fact());
+    }
+
+    #[test]
+    fn agg_parse_and_types() {
+        assert_eq!(AggFunc::parse("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("nope"), None);
+        assert_eq!(AggFunc::Count.output_type(ValueType::Str), ValueType::Int);
+        assert_eq!(AggFunc::Min.output_type(ValueType::Str), ValueType::Str);
+        assert_eq!(AggFunc::Avg.output_type(ValueType::Int), ValueType::Float);
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            assert_eq!(AggFunc::parse(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program {
+            clauses: vec![
+                Clause::Rel(RelDecl {
+                    name: "t".into(),
+                    cols: vec![],
+                }),
+                Clause::Open(OpenDecl {
+                    name: "j".into(),
+                    inputs: vec![],
+                    outputs: vec![],
+                    points: 3,
+                }),
+                Clause::Rule(Rule {
+                    head_pred: "p".into(),
+                    head_terms: vec![],
+                    body: vec![],
+                }),
+            ],
+        };
+        assert_eq!(p.rules().count(), 1);
+        assert_eq!(p.rel_decls().count(), 1);
+        assert_eq!(p.open_decls().count(), 1);
+        assert_eq!(p.open_decls().next().unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn string_consts_display_quoted() {
+        let t = Term::Const(Value::Str("hi".into()));
+        assert_eq!(t.to_string(), "\"hi\"");
+    }
+}

@@ -1,0 +1,557 @@
+//! The CyLog processor: owns the fact store, runs evaluation to fixpoint,
+//! turns open-predicate demands into crowd tasks, accepts worker answers,
+//! and keeps the game-aspect points ledger.
+//!
+//! This is the component labelled "CyLog Processor" in paper Figure 2: it
+//! "interprets and executes the rules describing tasks and their dependency,
+//! dynamically generates and registers tasks into the task pool".
+
+use crate::analysis::{compile, CompiledProgram, PredId, PredKind};
+use crate::ast::Program;
+use crate::error::CylogError;
+use crate::eval::{compute_demands, eval_program, EvalMode, EvalStats};
+use crate::parser::parse;
+use crowd4u_storage::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+
+/// A question for the crowd: "evaluate open predicate `pred` on `inputs`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenRequest {
+    pub pred: PredId,
+    pub pred_name: String,
+    pub inputs: Vec<Value>,
+    /// Game-aspect reward for answering.
+    pub points: i64,
+}
+
+/// The CyLog engine: compiled program + fact database + open-task queue.
+pub struct CylogEngine {
+    program: CompiledProgram,
+    db: Database,
+    mode: EvalMode,
+    /// Questions already posed (never re-asked).
+    asked: HashSet<(PredId, Vec<Value>)>,
+    /// Questions posed and not yet answered.
+    pending: Vec<OpenRequest>,
+    /// Keys of `pending` for O(1) membership/removal; `pending` is
+    /// compacted lazily at the next `run` when entries were answered.
+    pending_set: HashSet<(PredId, Vec<Value>)>,
+    pending_dirty: bool,
+    /// Game aspect: worker id → accumulated points.
+    points: BTreeMap<u64, i64>,
+    /// Cumulative evaluation statistics.
+    stats: EvalStats,
+}
+
+impl CylogEngine {
+    /// Build an engine from an already-parsed program.
+    pub fn from_program(ast: &Program) -> Result<CylogEngine, CylogError> {
+        let program = compile(ast)?;
+        let mut db = Database::new();
+        for info in &program.preds {
+            let cols: Vec<Column> = info
+                .col_names
+                .iter()
+                .zip(&info.col_types)
+                .map(|(n, t)| Column::nullable(n.clone(), *t))
+                .collect();
+            let rel = db.create_relation(&info.name, Schema::new(cols).map_err(CylogError::from)?)?;
+            // Index strategy (keeps large workloads linear):
+            // * full-row index first → O(1) set-semantics dedup;
+            // * open predicates: index on the input columns → O(1)
+            //   answered-question lookups;
+            // * first column: the common join pattern `p(Bound, Free…)`.
+            let all_cols: Vec<&str> = info.col_names.iter().map(String::as_str).collect();
+            if !all_cols.is_empty() {
+                rel.create_index(&all_cols, false)?;
+                let n_in = info.open_inputs();
+                if n_in > 0 && n_in < all_cols.len() {
+                    rel.create_index(&all_cols[..n_in], false)?;
+                }
+                if all_cols.len() > 1 {
+                    rel.create_index(&all_cols[..1], false)?;
+                }
+            }
+        }
+        let mut engine = CylogEngine {
+            program,
+            db,
+            mode: EvalMode::SemiNaive,
+            asked: HashSet::new(),
+            pending: Vec::new(),
+            pending_set: HashSet::new(),
+            pending_dirty: false,
+            points: BTreeMap::new(),
+            stats: EvalStats::default(),
+        };
+        engine.reset_facts()?;
+        Ok(engine)
+    }
+
+    /// Parse CyLog source and build an engine.
+    pub fn from_source(src: &str) -> Result<CylogEngine, CylogError> {
+        Self::from_program(&parse(src)?)
+    }
+
+    /// Switch between naive and semi-naive evaluation (default: semi-naive).
+    pub fn set_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
+    }
+
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// The compiled program (for introspection).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Re-insert the program-text facts (used at startup and after clears).
+    fn reset_facts(&mut self) -> Result<(), CylogError> {
+        for (pid, vals) in &self.program.facts {
+            let name = &self.program.preds[*pid].name;
+            self.db
+                .relation_mut(name)?
+                .insert_distinct(Tuple::new(vals.clone()))?;
+        }
+        Ok(())
+    }
+
+    fn pred_id(&self, name: &str) -> Result<PredId, CylogError> {
+        self.program
+            .pred(name)
+            .ok_or_else(|| CylogError::Eval(format!("unknown predicate `{name}`")))
+    }
+
+    /// Insert an extensional fact. Rejected for rule-derived predicates.
+    /// Returns whether the fact is new.
+    pub fn add_fact(&mut self, pred: &str, values: Vec<Value>) -> Result<bool, CylogError> {
+        let pid = self.pred_id(pred)?;
+        let info = &self.program.preds[pid];
+        if info.derived {
+            return Err(CylogError::Eval(format!(
+                "cannot insert into derived predicate `{pred}`"
+            )));
+        }
+        if values.len() != info.arity() {
+            return Err(CylogError::Eval(format!(
+                "`{pred}` has arity {}, got {} values",
+                info.arity(),
+                values.len()
+            )));
+        }
+        for (v, ty) in values.iter().zip(&info.col_types) {
+            let ok = v.is_null() || v.conforms_to(*ty) || matches!((v, ty), (Value::Int(_), ValueType::Float));
+            if !ok {
+                return Err(CylogError::Eval(format!(
+                    "value {v} incompatible with {ty} column of `{pred}`"
+                )));
+            }
+        }
+        // Widen ints destined for float columns so set-dedup is canonical.
+        let widened: Vec<Value> = values
+            .into_iter()
+            .zip(&info.col_types)
+            .map(|(v, ty)| match (&v, ty) {
+                (Value::Int(i), ValueType::Float) => Value::Float(*i as f64),
+                _ => v,
+            })
+            .collect();
+        let name = self.program.preds[pid].name.clone();
+        let (_, fresh) = self
+            .db
+            .relation_mut(&name)?
+            .insert_distinct(Tuple::new(widened))?;
+        Ok(fresh)
+    }
+
+    /// Run rules to fixpoint, then refresh the open-task queue with any new
+    /// demands. Derived relations are recomputed from scratch (open/EDB facts
+    /// persist), so retractions of base facts are honoured.
+    pub fn run(&mut self) -> Result<EvalStats, CylogError> {
+        // Clear derived relations and re-seed program facts.
+        for info in &self.program.preds {
+            if info.derived {
+                self.db.relation_mut(&info.name)?.clear();
+            }
+        }
+        self.reset_facts()?;
+        let stats = eval_program(&self.program, &mut self.db, self.mode)?;
+        self.stats.absorb(stats);
+
+        // Compact pending entries answered since the last run.
+        if self.pending_dirty {
+            let set = &self.pending_set;
+            self.pending
+                .retain(|r| set.contains(&(r.pred, r.inputs.clone())));
+            self.pending_dirty = false;
+        }
+
+        // New demands become pending questions (asked at most once).
+        let demands = compute_demands(&self.program, &self.db)?;
+        for (pid, inputs) in demands {
+            // A question is only pending while unanswered: if the open
+            // relation already has a fact with these inputs, skip.
+            if self.has_answer(pid, &inputs)? {
+                continue;
+            }
+            if self.asked.insert((pid, inputs.clone())) {
+                let info = &self.program.preds[pid];
+                let points = match info.kind {
+                    PredKind::Open { points, .. } => points,
+                    PredKind::Closed => 0,
+                };
+                self.pending_set.insert((pid, inputs.clone()));
+                self.pending.push(OpenRequest {
+                    pred: pid,
+                    pred_name: info.name.clone(),
+                    inputs,
+                    points,
+                });
+            }
+        }
+        Ok(stats)
+    }
+
+    fn has_answer(&self, pid: PredId, inputs: &[Value]) -> Result<bool, CylogError> {
+        let info = &self.program.preds[pid];
+        let n = info.open_inputs();
+        let rel = self.db.relation(&info.name)?;
+        let cols: Vec<usize> = (0..n).collect();
+        Ok(!rel.lookup(&cols, inputs).is_empty())
+    }
+
+    /// Questions awaiting a crowd answer.
+    pub fn pending_requests(&self) -> &[OpenRequest] {
+        &self.pending
+    }
+
+    /// Supply a worker's answer to an open question. `worker` (if given) is
+    /// credited the predicate's points. Returns whether the answer created a
+    /// new fact. The engine does **not** rerun rules automatically — call
+    /// [`run`](Self::run) after a batch of answers.
+    pub fn answer(
+        &mut self,
+        pred: &str,
+        inputs: Vec<Value>,
+        outputs: Vec<Value>,
+        worker: Option<u64>,
+    ) -> Result<bool, CylogError> {
+        let pid = self.pred_id(pred)?;
+        let info = &self.program.preds[pid];
+        let PredKind::Open { n_inputs, points } = info.kind else {
+            return Err(CylogError::Eval(format!(
+                "`{pred}` is not an open predicate"
+            )));
+        };
+        if inputs.len() != n_inputs || outputs.len() != info.arity() - n_inputs {
+            return Err(CylogError::Eval(format!(
+                "`{pred}` expects {} inputs and {} outputs, got {} and {}",
+                n_inputs,
+                info.arity() - n_inputs,
+                inputs.len(),
+                outputs.len()
+            )));
+        }
+        let mut values = inputs.clone();
+        values.extend(outputs);
+        for (v, ty) in values.iter().zip(&info.col_types) {
+            let ok = v.is_null() || v.conforms_to(*ty) || matches!((v, ty), (Value::Int(_), ValueType::Float));
+            if !ok {
+                return Err(CylogError::Eval(format!(
+                    "answer value {v} incompatible with {ty} column of `{pred}`"
+                )));
+            }
+        }
+        let name = info.name.clone();
+        let (_, fresh) = self
+            .db
+            .relation_mut(&name)?
+            .insert_distinct(Tuple::new(values))?;
+        // Remove from pending (it may have been unsolicited — that's fine).
+        // The Vec is compacted lazily at the next run.
+        if self.pending_set.remove(&(pid, inputs.clone())) {
+            self.pending_dirty = true;
+        }
+        self.asked.insert((pid, inputs));
+        if fresh {
+            if let Some(w) = worker {
+                *self.points.entry(w).or_insert(0) += points;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// All facts of a predicate as a result set (snapshot).
+    pub fn facts(&self, pred: &str) -> Result<ResultSet, CylogError> {
+        let pid = self.pred_id(pred)?;
+        Ok(self.db.scan(&self.program.preds[pid].name)?)
+    }
+
+    /// Number of facts of a predicate.
+    pub fn fact_count(&self, pred: &str) -> Result<usize, CylogError> {
+        let pid = self.pred_id(pred)?;
+        Ok(self.db.relation(&self.program.preds[pid].name)?.len())
+    }
+
+    /// Remove base facts matching a predicate name and filter.
+    pub fn retract_where(
+        &mut self,
+        pred: &str,
+        filter: impl FnMut(&Tuple) -> bool,
+    ) -> Result<usize, CylogError> {
+        let pid = self.pred_id(pred)?;
+        if self.program.preds[pid].derived {
+            return Err(CylogError::Eval(format!(
+                "cannot retract from derived predicate `{pred}`"
+            )));
+        }
+        let name = self.program.preds[pid].name.clone();
+        Ok(self.db.relation_mut(&name)?.delete_where(filter))
+    }
+
+    /// Game-aspect points for one worker.
+    pub fn points_of(&self, worker: u64) -> i64 {
+        self.points.get(&worker).copied().unwrap_or(0)
+    }
+
+    /// Leaderboard (worker, points) sorted by points descending, id ascending.
+    pub fn leaderboard(&self) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> = self.points.iter().map(|(w, p)| (*w, *p)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Cumulative statistics across all `run` calls.
+    pub fn cumulative_stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Access the underlying database (read-only), e.g. for snapshots.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRANSLATE: &str = "\
+rel sentence(s: str).
+open translate(s: str) -> (t: str) points 3.
+open check(s: str, t: str) -> (ok: bool) points 1.
+rel approved(s: str, t: str).
+approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
+";
+
+    #[test]
+    fn end_to_end_translation_flow() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["hello".into()]).unwrap();
+        e.add_fact("sentence", vec!["bye".into()]).unwrap();
+        e.run().unwrap();
+        // Only translate demands exist so far (check needs translations).
+        let pend: Vec<&OpenRequest> = e.pending_requests().iter().collect();
+        assert_eq!(pend.len(), 2);
+        assert!(pend.iter().all(|r| r.pred_name == "translate"));
+        assert_eq!(pend[0].points, 3);
+
+        // Worker 7 answers one translation.
+        let fresh = e
+            .answer(
+                "translate",
+                vec!["hello".into()],
+                vec!["bonjour".into()],
+                Some(7),
+            )
+            .unwrap();
+        assert!(fresh);
+        assert_eq!(e.points_of(7), 3);
+        e.run().unwrap();
+        // Now a check question appears for (hello, bonjour).
+        let checks: Vec<&OpenRequest> = e
+            .pending_requests()
+            .iter()
+            .filter(|r| r.pred_name == "check")
+            .collect();
+        assert_eq!(checks.len(), 1);
+        assert_eq!(
+            checks[0].inputs,
+            vec![Value::Str("hello".into()), Value::Str("bonjour".into())]
+        );
+
+        // Worker 8 approves; rule fires.
+        e.answer(
+            "check",
+            vec!["hello".into(), "bonjour".into()],
+            vec![true.into()],
+            Some(8),
+        )
+        .unwrap();
+        e.run().unwrap();
+        assert_eq!(e.fact_count("approved").unwrap(), 1);
+        assert_eq!(e.points_of(8), 1);
+        assert_eq!(e.leaderboard(), vec![(7, 3), (8, 1)]);
+    }
+
+    #[test]
+    fn questions_not_reasked_after_answer() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["hello".into()]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.pending_requests().len(), 1);
+        e.answer("translate", vec!["hello".into()], vec!["salut".into()], None)
+            .unwrap();
+        e.run().unwrap();
+        // translate question answered; only the check question pends.
+        let names: Vec<&str> = e
+            .pending_requests()
+            .iter()
+            .map(|r| r.pred_name.as_str())
+            .collect();
+        assert_eq!(names, vec!["check"]);
+        // Re-running does not duplicate pending entries.
+        e.run().unwrap();
+        assert_eq!(e.pending_requests().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_answer_is_not_fresh_and_not_repaid() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["hello".into()]).unwrap();
+        e.run().unwrap();
+        assert!(e
+            .answer("translate", vec!["hello".into()], vec!["salut".into()], Some(1))
+            .unwrap());
+        assert!(!e
+            .answer("translate", vec!["hello".into()], vec!["salut".into()], Some(1))
+            .unwrap());
+        assert_eq!(e.points_of(1), 3);
+    }
+
+    #[test]
+    fn multiple_answers_to_same_question_allowed() {
+        // Different workers may translate the same sentence differently;
+        // both facts coexist (quality arbitration is the platform's job).
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["hello".into()]).unwrap();
+        e.run().unwrap();
+        e.answer("translate", vec!["hello".into()], vec!["salut".into()], Some(1))
+            .unwrap();
+        e.answer("translate", vec!["hello".into()], vec!["bonjour".into()], Some(2))
+            .unwrap();
+        assert_eq!(e.fact_count("translate").unwrap(), 2);
+        assert_eq!(e.points_of(2), 3);
+    }
+
+    #[test]
+    fn answer_validation() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        // not an open predicate
+        assert!(e
+            .answer("sentence", vec!["x".into()], vec![], None)
+            .is_err());
+        // wrong arity
+        assert!(e
+            .answer("translate", vec![], vec!["y".into()], None)
+            .is_err());
+        // wrong type
+        assert!(e
+            .answer("translate", vec![Value::Int(3)], vec!["y".into()], None)
+            .is_err());
+        // unknown predicate
+        assert!(e.answer("nope", vec![], vec![], None).is_err());
+    }
+
+    #[test]
+    fn add_fact_validation() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        assert!(e.add_fact("approved", vec!["a".into(), "b".into()]).is_err()); // derived
+        assert!(e.add_fact("sentence", vec![]).is_err()); // arity
+        assert!(e.add_fact("sentence", vec![Value::Int(1)]).is_err()); // type
+        assert!(e.add_fact("nope", vec![]).is_err()); // unknown
+        // duplicates are deduped
+        assert!(e.add_fact("sentence", vec!["x".into()]).unwrap());
+        assert!(!e.add_fact("sentence", vec!["x".into()]).unwrap());
+    }
+
+    #[test]
+    fn retraction_recomputes_derived() {
+        let mut e = CylogEngine::from_source(
+            "rel a(x: int).\nrel b(x: int).\nb(X) :- a(X).\n",
+        )
+        .unwrap();
+        e.add_fact("a", vec![Value::Int(1)]).unwrap();
+        e.add_fact("a", vec![Value::Int(2)]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.fact_count("b").unwrap(), 2);
+        let n = e
+            .retract_where("a", |t| t[0] == Value::Int(1))
+            .unwrap();
+        assert_eq!(n, 1);
+        e.run().unwrap();
+        assert_eq!(e.fact_count("b").unwrap(), 1);
+        // cannot retract from derived
+        assert!(e.retract_where("b", |_| true).is_err());
+    }
+
+    #[test]
+    fn program_facts_survive_reruns() {
+        let mut e = CylogEngine::from_source(
+            "rel a(x: int).\nrel b(x: int).\na(5).\nb(X) :- a(X).\n",
+        )
+        .unwrap();
+        e.run().unwrap();
+        e.run().unwrap();
+        assert_eq!(e.fact_count("a").unwrap(), 1);
+        assert_eq!(e.fact_count("b").unwrap(), 1);
+    }
+
+    #[test]
+    fn unsolicited_answers_accepted() {
+        // A worker may answer a question the engine never asked (e.g.
+        // proactive contribution); the fact is stored and usable.
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.answer("translate", vec!["x".into()], vec!["y".into()], Some(3))
+            .unwrap();
+        assert_eq!(e.fact_count("translate").unwrap(), 1);
+        assert_eq!(e.points_of(3), 3);
+    }
+
+    #[test]
+    fn naive_mode_agrees() {
+        let mut a = CylogEngine::from_source(TRANSLATE).unwrap();
+        let mut b = CylogEngine::from_source(TRANSLATE).unwrap();
+        b.set_mode(EvalMode::Naive);
+        assert_eq!(b.mode(), EvalMode::Naive);
+        for e in [&mut a, &mut b] {
+            e.add_fact("sentence", vec!["s".into()]).unwrap();
+            e.run().unwrap();
+            e.answer("translate", vec!["s".into()], vec!["t".into()], None)
+                .unwrap();
+            e.answer("check", vec!["s".into(), "t".into()], vec![true.into()], None)
+                .unwrap();
+            e.run().unwrap();
+        }
+        assert_eq!(
+            a.facts("approved").unwrap().rows,
+            b.facts("approved").unwrap().rows
+        );
+    }
+
+    #[test]
+    fn points_default_zero_and_stats_accumulate() {
+        let e = CylogEngine::from_source(TRANSLATE).unwrap();
+        assert_eq!(e.points_of(99), 0);
+        assert!(e.leaderboard().is_empty());
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["s".into()]).unwrap();
+        e.run().unwrap();
+        let s1 = e.cumulative_stats();
+        e.run().unwrap();
+        let s2 = e.cumulative_stats();
+        assert!(s2.rounds >= s1.rounds);
+    }
+}

@@ -1,0 +1,828 @@
+//! Bottom-up evaluation of compiled CyLog programs: stratified, with a
+//! naive mode and the default semi-naive mode (delta-driven re-derivation).
+//!
+//! The evaluator reads relations from a [`Database`] whose relation names
+//! equal predicate names, and produces derived tuples. It never mutates the
+//! database itself — the engine layer owns insertion — which keeps borrow
+//! scopes simple and makes the evaluator easy to test in isolation.
+
+use crate::analysis::{CAtom, CExpr, CHeadTerm, CLit, CRule, CompiledProgram, PredId};
+use crate::ast::{AggFunc, ArithOp, CmpOp};
+use crate::error::CylogError;
+use crowd4u_storage::prelude::{Database, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Evaluation strategy; see DESIGN.md §5 ablation 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    Naive,
+    #[default]
+    SemiNaive,
+}
+
+/// Counters describing one evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds across all strata.
+    pub rounds: u64,
+    /// Distinct new facts derived.
+    pub derived: u64,
+    /// Rule firings that produced an already-known fact.
+    pub duplicates: u64,
+    /// Total rule body match attempts (joins explored).
+    pub firings: u64,
+}
+
+impl EvalStats {
+    pub fn absorb(&mut self, other: EvalStats) {
+        self.rounds += other.rounds;
+        self.derived += other.derived;
+        self.duplicates += other.duplicates;
+        self.firings += other.firings;
+    }
+}
+
+/// Evaluate a scalar expression under bindings. `None` on type error.
+fn eval_expr(e: &CExpr, bind: &[Option<Value>]) -> Result<Value, CylogError> {
+    match e {
+        CExpr::Var(v) => bind[*v as usize]
+            .clone()
+            .ok_or_else(|| CylogError::Eval("unbound variable in expression".into())),
+        CExpr::Const(c) => Ok(c.clone()),
+        CExpr::Binary(op, a, b) => {
+            let va = eval_expr(a, bind)?;
+            let vb = eval_expr(b, bind)?;
+            if va.is_null() || vb.is_null() {
+                return Ok(Value::Null);
+            }
+            // String concatenation.
+            if *op == ArithOp::Add {
+                if let (Some(x), Some(y)) = (va.as_str(), vb.as_str()) {
+                    let mut s = String::with_capacity(x.len() + y.len());
+                    s.push_str(x);
+                    s.push_str(y);
+                    return Ok(Value::Str(s));
+                }
+            }
+            if let (Some(x), Some(y)) = (va.as_int(), vb.as_int()) {
+                return match op {
+                    ArithOp::Add => Ok(Value::Int(x.wrapping_add(y))),
+                    ArithOp::Sub => Ok(Value::Int(x.wrapping_sub(y))),
+                    ArithOp::Mul => Ok(Value::Int(x.wrapping_mul(y))),
+                    ArithOp::Div => {
+                        if y == 0 {
+                            Err(CylogError::Eval("integer division by zero".into()))
+                        } else {
+                            Ok(Value::Int(x / y))
+                        }
+                    }
+                };
+            }
+            match (va.as_float(), vb.as_float()) {
+                (Some(x), Some(y)) => Ok(Value::Float(match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                })),
+                _ => Err(CylogError::Eval(format!(
+                    "arithmetic on non-numeric values {va} and {vb}"
+                ))),
+            }
+        }
+    }
+}
+
+fn cmp_holds(op: CmpOp, a: &Value, b: &Value) -> bool {
+    if a.is_null() || b.is_null() {
+        return false; // SQL-style: comparisons with null never hold
+    }
+    let ord = a.cmp(b);
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
+/// Try to unify an atom's terms with a concrete tuple, extending `bind`.
+/// Returns the list of variables newly bound (for backtracking), or `None`
+/// if the tuple does not match.
+fn unify_atom(atom: &CAtom, row: &Tuple, bind: &mut [Option<Value>]) -> Option<Vec<u32>> {
+    let mut newly = Vec::new();
+    for (t, v) in atom.terms.iter().zip(row.values()) {
+        match t {
+            crate::analysis::CTerm::Const(c) => {
+                if c != v {
+                    undo(bind, &newly);
+                    return None;
+                }
+            }
+            crate::analysis::CTerm::Var(var) => match &bind[*var as usize] {
+                Some(bound) => {
+                    if bound != v {
+                        undo(bind, &newly);
+                        return None;
+                    }
+                }
+                None => {
+                    bind[*var as usize] = Some(v.clone());
+                    newly.push(*var);
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+fn undo(bind: &mut [Option<Value>], vars: &[u32]) {
+    for v in vars {
+        bind[*v as usize] = None;
+    }
+}
+
+/// Check whether any tuple of `rows` matches the (fully ground) atom.
+fn exists_match(atom: &CAtom, db: &Database, program: &CompiledProgram, bind: &[Option<Value>]) -> bool {
+    let name = &program.preds[atom.pred].name;
+    let Ok(rel) = db.relation(name) else {
+        return false;
+    };
+    // All vars are bound (analysis guarantees ground negation): build the key.
+    let key: Vec<Value> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            crate::analysis::CTerm::Const(c) => c.clone(),
+            crate::analysis::CTerm::Var(v) => bind[*v as usize].clone().expect("ground negation"),
+        })
+        .collect();
+    rel.contains(&Tuple::new(key))
+}
+
+/// Callback invoked with each complete binding vector.
+type EmitFn<'a> = dyn FnMut(&[Option<Value>]) -> Result<(), CylogError> + 'a;
+
+/// Evaluate a body (already safety-ordered) and call `emit` for every
+/// complete binding. `delta_at`, when set, restricts the positive atom at
+/// that body index to the given delta tuples (semi-naive rewriting).
+#[allow(clippy::too_many_arguments)]
+fn eval_body(
+    program: &CompiledProgram,
+    db: &Database,
+    body: &[CLit],
+    idx: usize,
+    bind: &mut Vec<Option<Value>>,
+    delta_at: Option<usize>,
+    delta: Option<&[Tuple]>,
+    stats: &mut EvalStats,
+    emit: &mut EmitFn<'_>,
+) -> Result<(), CylogError> {
+    if idx == body.len() {
+        return emit(bind);
+    }
+    match &body[idx] {
+        CLit::Pos(atom) => {
+            stats.firings += 1;
+            let use_delta = delta_at == Some(idx);
+            if use_delta {
+                let rows = delta.expect("delta provided");
+                for row in rows {
+                    if let Some(newly) = unify_atom(atom, row, bind) {
+                        eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+                        undo(bind, &newly);
+                    }
+                }
+            } else {
+                let name = &program.preds[atom.pred].name;
+                let Ok(rel) = db.relation(name) else {
+                    return Ok(()); // no facts yet
+                };
+                // Bound-column lookup (uses an index when one exists).
+                let mut cols = Vec::new();
+                let mut key = Vec::new();
+                for (i, t) in atom.terms.iter().enumerate() {
+                    match t {
+                        crate::analysis::CTerm::Const(c) => {
+                            cols.push(i);
+                            key.push(c.clone());
+                        }
+                        crate::analysis::CTerm::Var(v) => {
+                            if let Some(val) = &bind[*v as usize] {
+                                cols.push(i);
+                                key.push(val.clone());
+                            }
+                        }
+                    }
+                }
+                let rows = rel.lookup(&cols, &key);
+                for row in rows {
+                    if let Some(newly) = unify_atom(atom, row, bind) {
+                        eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+                        undo(bind, &newly);
+                    }
+                }
+            }
+            Ok(())
+        }
+        CLit::Neg(atom) => {
+            if !exists_match(atom, db, program, bind) {
+                eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+            }
+            Ok(())
+        }
+        CLit::Cmp(op, a, b) => {
+            let va = eval_expr(a, bind)?;
+            let vb = eval_expr(b, bind)?;
+            if cmp_holds(*op, &va, &vb) {
+                eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+            }
+            Ok(())
+        }
+        CLit::Let(v, e) => {
+            let val = eval_expr(e, bind)?;
+            bind[*v as usize] = Some(val);
+            eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+            bind[*v as usize] = None;
+            Ok(())
+        }
+    }
+}
+
+/// Build the head tuple from a complete binding (non-aggregate rules).
+fn head_tuple(rule: &CRule, bind: &[Option<Value>]) -> Vec<Value> {
+    rule.head
+        .iter()
+        .map(|t| match t {
+            CHeadTerm::Var(v) => bind[*v as usize].clone().expect("head var bound"),
+            CHeadTerm::Const(c) => c.clone(),
+            CHeadTerm::Agg(..) => unreachable!("aggregate handled separately"),
+        })
+        .collect()
+}
+
+/// Evaluate a non-aggregate rule, returning derived tuples (possibly with
+/// duplicates; the caller dedups on insert).
+pub fn eval_rule(
+    program: &CompiledProgram,
+    db: &Database,
+    rule: &CRule,
+    delta_at: Option<usize>,
+    delta: Option<&[Tuple]>,
+    stats: &mut EvalStats,
+) -> Result<Vec<Vec<Value>>, CylogError> {
+    let mut out = Vec::new();
+    let mut bind: Vec<Option<Value>> = vec![None; rule.num_vars];
+    eval_body(
+        program,
+        db,
+        &rule.body,
+        0,
+        &mut bind,
+        delta_at,
+        delta,
+        stats,
+        &mut |b| {
+            out.push(head_tuple(rule, b));
+            Ok(())
+        },
+    )?;
+    Ok(out)
+}
+
+/// Evaluate an aggregate rule: group bindings by the plain head terms and
+/// fold the aggregate functions.
+pub fn eval_agg_rule(
+    program: &CompiledProgram,
+    db: &Database,
+    rule: &CRule,
+    stats: &mut EvalStats,
+) -> Result<Vec<Vec<Value>>, CylogError> {
+    #[derive(Clone)]
+    enum Acc {
+        Count(i64),
+        Sum(f64),
+        Min(Option<Value>),
+        Max(Option<Value>),
+        Avg(f64, i64),
+    }
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut bind: Vec<Option<Value>> = vec![None; rule.num_vars];
+    let head = &rule.head;
+    eval_body(
+        program,
+        db,
+        &rule.body,
+        0,
+        &mut bind,
+        None,
+        None,
+        stats,
+        &mut |b| {
+            let key: Vec<Value> = head
+                .iter()
+                .filter_map(|t| match t {
+                    CHeadTerm::Var(v) => Some(b[*v as usize].clone().expect("bound")),
+                    CHeadTerm::Const(c) => Some(c.clone()),
+                    CHeadTerm::Agg(..) => None,
+                })
+                .collect();
+            let accs = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                head.iter()
+                    .filter_map(|t| match t {
+                        CHeadTerm::Agg(f, _) => Some(match f {
+                            AggFunc::Count => Acc::Count(0),
+                            AggFunc::Sum => Acc::Sum(0.0),
+                            AggFunc::Min => Acc::Min(None),
+                            AggFunc::Max => Acc::Max(None),
+                            AggFunc::Avg => Acc::Avg(0.0, 0),
+                        }),
+                        _ => None,
+                    })
+                    .collect()
+            });
+            let mut ai = 0;
+            for t in head {
+                let CHeadTerm::Agg(_, v) = t else { continue };
+                let val = b[*v as usize].clone().expect("agg var bound");
+                match &mut accs[ai] {
+                    Acc::Count(n) => *n += 1,
+                    Acc::Sum(s) => {
+                        if let Some(f) = val.as_float() {
+                            *s += f;
+                        }
+                    }
+                    Acc::Min(m) => {
+                        if !val.is_null() && m.as_ref().is_none_or(|c| &val < c) {
+                            *m = Some(val);
+                        }
+                    }
+                    Acc::Max(m) => {
+                        if !val.is_null() && m.as_ref().is_none_or(|c| &val > c) {
+                            *m = Some(val);
+                        }
+                    }
+                    Acc::Avg(s, n) => {
+                        if let Some(f) = val.as_float() {
+                            *s += f;
+                            *n += 1;
+                        }
+                    }
+                }
+                ai += 1;
+            }
+            Ok(())
+        },
+    )?;
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group exists");
+        let mut row = Vec::with_capacity(head.len());
+        let mut ki = 0;
+        let mut ai = 0;
+        for t in head {
+            match t {
+                CHeadTerm::Var(_) | CHeadTerm::Const(_) => {
+                    row.push(key[ki].clone());
+                    ki += 1;
+                }
+                CHeadTerm::Agg(..) => {
+                    let v = match accs[ai].clone() {
+                        Acc::Count(n) => Value::Int(n),
+                        Acc::Sum(s) => Value::Float(s),
+                        Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
+                        Acc::Avg(s, n) => {
+                            if n == 0 {
+                                Value::Null
+                            } else {
+                                Value::Float(s / n as f64)
+                            }
+                        }
+                    };
+                    row.push(v);
+                    ai += 1;
+                }
+            }
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Run one stratum to fixpoint. `insert` pushes a derived tuple into the
+/// database and reports whether it was new.
+pub fn eval_stratum(
+    program: &CompiledProgram,
+    db: &mut Database,
+    rule_indices: &[usize],
+    mode: EvalMode,
+) -> Result<EvalStats, CylogError> {
+    let mut stats = EvalStats::default();
+
+    // Aggregate rules first (their inputs live strictly below this stratum).
+    for &ri in rule_indices {
+        let rule = &program.rules[ri];
+        if !rule.is_agg {
+            continue;
+        }
+        let rows = eval_agg_rule(program, db, rule, &mut stats)?;
+        insert_all(program, db, rule.head_pred, rows, &mut stats, &mut Vec::new())?;
+    }
+
+    let regular: Vec<usize> = rule_indices
+        .iter()
+        .copied()
+        .filter(|&ri| !program.rules[ri].is_agg)
+        .collect();
+    if regular.is_empty() {
+        return Ok(stats);
+    }
+
+    // Which predicates are derived by regular rules *in this stratum*
+    // (semi-naive deltas only make sense for those).
+    let stratum_preds: HashSet<PredId> =
+        regular.iter().map(|&ri| program.rules[ri].head_pred).collect();
+
+    // Round 0: full evaluation.
+    let mut delta: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+    stats.rounds += 1;
+    for &ri in &regular {
+        let rule = &program.rules[ri];
+        let rows = eval_rule(program, db, rule, None, None, &mut stats)?;
+        let mut fresh = Vec::new();
+        insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
+        delta.entry(rule.head_pred).or_default().extend(fresh);
+    }
+
+    // Iterate to fixpoint.
+    loop {
+        let any = delta.values().any(|v| !v.is_empty());
+        if !any {
+            return Ok(stats);
+        }
+        stats.rounds += 1;
+        let mut next_delta: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+        for &ri in &regular {
+            let rule = &program.rules[ri];
+            // Does the rule read any predicate derived in this stratum?
+            let positions: Vec<(usize, PredId)> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| match l {
+                    CLit::Pos(a) if stratum_preds.contains(&a.pred) => Some((i, a.pred)),
+                    _ => None,
+                })
+                .collect();
+            if positions.is_empty() {
+                continue; // already fully evaluated in round 0
+            }
+            match mode {
+                EvalMode::Naive => {
+                    // Re-evaluate the whole rule against full relations.
+                    let rows = eval_rule(program, db, rule, None, None, &mut stats)?;
+                    let mut fresh = Vec::new();
+                    insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
+                    next_delta.entry(rule.head_pred).or_default().extend(fresh);
+                }
+                EvalMode::SemiNaive => {
+                    for (pos, pred) in &positions {
+                        let Some(d) = delta.get(pred) else { continue };
+                        if d.is_empty() {
+                            continue;
+                        }
+                        let rows =
+                            eval_rule(program, db, rule, Some(*pos), Some(d), &mut stats)?;
+                        let mut fresh = Vec::new();
+                        insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
+                        next_delta.entry(rule.head_pred).or_default().extend(fresh);
+                    }
+                }
+            }
+        }
+        delta = next_delta;
+    }
+}
+
+fn insert_all(
+    program: &CompiledProgram,
+    db: &mut Database,
+    pred: PredId,
+    rows: Vec<Vec<Value>>,
+    stats: &mut EvalStats,
+    fresh: &mut Vec<Tuple>,
+) -> Result<(), CylogError> {
+    let name = &program.preds[pred].name;
+    let rel = db.relation_mut(name)?;
+    for row in rows {
+        let t = Tuple::new(row);
+        let (_, new) = rel.insert_distinct(t.clone())?;
+        if new {
+            stats.derived += 1;
+            fresh.push(t);
+        } else {
+            stats.duplicates += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Run the whole program (all strata in order) to fixpoint.
+pub fn eval_program(
+    program: &CompiledProgram,
+    db: &mut Database,
+    mode: EvalMode,
+) -> Result<EvalStats, CylogError> {
+    let mut stats = EvalStats::default();
+    for stratum in &program.strata {
+        stats.absorb(eval_stratum(program, db, stratum, mode)?);
+    }
+    Ok(stats)
+}
+
+/// Compute open-predicate demands: the distinct input bindings each rule
+/// requests from the crowd, given the current database.
+pub fn compute_demands(
+    program: &CompiledProgram,
+    db: &Database,
+) -> Result<Vec<(PredId, Vec<Value>)>, CylogError> {
+    let mut out: Vec<(PredId, Vec<Value>)> = Vec::new();
+    let mut seen: HashSet<(PredId, Vec<Value>)> = HashSet::new();
+    let mut stats = EvalStats::default();
+    for rule in &program.rules {
+        for demand in &rule.demands {
+            let mut bind: Vec<Option<Value>> = vec![None; demand.num_vars];
+            let input_terms = &demand.input_terms;
+            let open_pred = demand.open_pred;
+            let mut emit = |b: &[Option<Value>]| -> Result<(), CylogError> {
+                let key: Vec<Value> = input_terms
+                    .iter()
+                    .map(|t| match t {
+                        crate::analysis::CTerm::Const(c) => c.clone(),
+                        crate::analysis::CTerm::Var(v) => {
+                            b[*v as usize].clone().expect("demand inputs bound")
+                        }
+                    })
+                    .collect();
+                if seen.insert((open_pred, key.clone())) {
+                    out.push((open_pred, key));
+                }
+                Ok(())
+            };
+            eval_body(
+                program,
+                db,
+                &demand.sub_body,
+                0,
+                &mut bind,
+                None,
+                None,
+                &mut stats,
+                &mut emit,
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::compile;
+    use crate::parser::parse;
+    use crowd4u_storage::prelude::*;
+
+    fn setup(src: &str) -> (CompiledProgram, Database) {
+        let program = compile(&parse(src).unwrap()).unwrap();
+        let mut db = Database::new();
+        for info in &program.preds {
+            let cols: Vec<Column> = info
+                .col_names
+                .iter()
+                .zip(&info.col_types)
+                .map(|(n, t)| Column::nullable(n.clone(), *t))
+                .collect();
+            db.create_relation(&info.name, Schema::new(cols).unwrap())
+                .unwrap();
+        }
+        for (pid, vals) in &program.facts {
+            db.relation_mut(&program.preds[*pid].name)
+                .unwrap()
+                .insert_distinct(Tuple::new(vals.clone()))
+                .unwrap();
+        }
+        (program, db)
+    }
+
+    fn rows(db: &Database, name: &str) -> Vec<Tuple> {
+        let mut r = db.relation(name).unwrap().to_rows();
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (p, mut db) = setup(
+            "rel edge(a: int, b: int).\nrel path(a: int, b: int).\n\
+             edge(1, 2). edge(2, 3). edge(3, 4).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n",
+        );
+        let stats = eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "path").len(), 6); // 1-2,1-3,1-4,2-3,2-4,3-4
+        assert_eq!(stats.derived, 6);
+        assert!(stats.rounds >= 3);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let src = "rel edge(a: int, b: int).\nrel path(a: int, b: int).\n\
+             edge(1, 2). edge(2, 3). edge(3, 1). edge(3, 4). edge(4, 5).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n";
+        let (p1, mut db1) = setup(src);
+        let (p2, mut db2) = setup(src);
+        let s1 = eval_program(&p1, &mut db1, EvalMode::Naive).unwrap();
+        let s2 = eval_program(&p2, &mut db2, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db1, "path"), rows(&db2, "path"));
+        assert_eq!(s1.derived, s2.derived);
+        // Semi-naive explores fewer join candidates on recursive programs.
+        assert!(s2.firings <= s1.firings, "semi-naive should not do more work");
+    }
+
+    #[test]
+    fn negation_stratified() {
+        let (p, mut db) = setup(
+            "rel node(x: int).\nrel edge(a: int, b: int).\n\
+             rel reachable(x: int).\nrel isolated(x: int).\n\
+             node(1). node(2). node(3).\n\
+             edge(1, 2).\n\
+             reachable(X) :- edge(_, X).\n\
+             reachable(X) :- edge(X, _).\n\
+             isolated(X) :- node(X), not reachable(X).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "isolated"), vec![tuple![3i64]]);
+    }
+
+    #[test]
+    fn comparisons_and_lets() {
+        let (p, mut db) = setup(
+            "rel score(w: id, s: float).\nrel grade(w: id, g: float).\n\
+             score(#1, 0.5). score(#2, 0.9).\n\
+             grade(W, G) :- score(W, S), S >= 0.6, G := S * 100.0.\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        let g = rows(&db, "grade");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0], tuple![2u64, 90.0f64]);
+    }
+
+    #[test]
+    fn string_concat() {
+        let (p, mut db) = setup(
+            "rel name(n: str).\nrel greet(g: str).\n\
+             name(\"ann\").\n\
+             greet(G) :- name(N), G := \"hi \" + N.\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "greet"), vec![tuple!["hi ann"]]);
+    }
+
+    #[test]
+    fn aggregates_group_correctly() {
+        let (p, mut db) = setup(
+            "rel w(team: str, score: float).\n\
+             rel summary(team: str, n: int, avg: float, best: float).\n\
+             w(\"a\", 0.5). w(\"a\", 0.7). w(\"b\", 1.0).\n\
+             summary(T, count<S>, avg<S>, max<S>) :- w(T, S).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        let s = rows(&db, "summary");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0][0], Value::Str("a".into()));
+        assert_eq!(s[0][1], Value::Int(2));
+        assert!((s[0][2].as_float().unwrap() - 0.6).abs() < 1e-9);
+        assert_eq!(s[0][3], Value::Float(0.7));
+        assert_eq!(s[1], tuple!["b", 1i64, 1.0f64, 1.0f64]);
+    }
+
+    #[test]
+    fn aggregate_feeding_rule_in_same_run() {
+        let (p, mut db) = setup(
+            "rel w(team: str, score: float).\n\
+             rel n(team: str, c: int).\n\
+             rel big(team: str).\n\
+             w(\"a\", 0.5). w(\"a\", 0.7). w(\"b\", 1.0).\n\
+             n(T, count<S>) :- w(T, S).\n\
+             big(T) :- n(T, C), C >= 2.\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "big"), vec![tuple!["a"]]);
+    }
+
+    #[test]
+    fn division_by_zero_surfaces() {
+        let (p, mut db) = setup(
+            "rel a(x: int).\nrel r(x: int).\n\
+             a(1). a(0).\n\
+             r(Z) :- a(X), Z := 10 / X.\n",
+        );
+        let err = eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn demands_computed_and_shrink_with_answers() {
+        let (p, mut db) = setup(
+            "rel sentence(s: str).\n\
+             open translate(s: str) -> (t: str).\n\
+             rel out(s: str, t: str).\n\
+             sentence(\"hello\"). sentence(\"bye\").\n\
+             out(S, T) :- sentence(S), translate(S, T).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        let demands = compute_demands(&p, &db).unwrap();
+        assert_eq!(demands.len(), 2);
+        // Supply one answer: out derives for it; demand remains for the other.
+        db.relation_mut("translate")
+            .unwrap()
+            .insert_distinct(tuple!["hello", "bonjour"])
+            .unwrap();
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "out"), vec![tuple!["hello", "bonjour"]]);
+        // Demands are still both "wanted" by the rule; the engine layer
+        // dedups against already-asked questions.
+        let demands = compute_demands(&p, &db).unwrap();
+        assert_eq!(demands.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let (p, mut db) = setup(
+            "rel e(a: int, b: int).\nrel selfloop(x: int).\n\
+             e(1, 1). e(1, 2). e(3, 3).\n\
+             selfloop(X) :- e(X, X).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "selfloop"), vec![tuple![1i64], tuple![3i64]]);
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let (p, mut db) = setup(
+            "rel e(a: int, b: str).\nrel hit(x: int).\n\
+             e(1, \"x\"). e(2, \"y\").\n\
+             hit(A) :- e(A, \"x\").\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "hit"), vec![tuple![1i64]]);
+    }
+
+    #[test]
+    fn null_comparisons_never_hold() {
+        let (p, mut db) = setup(
+            "rel v(x: int).\nrel r(x: int).\n\
+             v(null). v(5).\n\
+             r(X) :- v(X), X > 0.\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "r"), vec![tuple![5i64]]);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let (p, mut db) = setup(
+            "rel go().\nrel done().\n\
+             go().\n\
+             done() :- go().\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(db.relation("done").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = EvalStats {
+            rounds: 1,
+            derived: 2,
+            duplicates: 3,
+            firings: 4,
+        };
+        a.absorb(EvalStats {
+            rounds: 10,
+            derived: 20,
+            duplicates: 30,
+            firings: 40,
+        });
+        assert_eq!(a.rounds, 11);
+        assert_eq!(a.derived, 22);
+        assert_eq!(a.duplicates, 33);
+        assert_eq!(a.firings, 44);
+    }
+}

@@ -1,0 +1,457 @@
+//! Hand-written lexer for CyLog source text.
+
+use crate::error::CylogError;
+use crate::token::{Pos, Spanned, Tok};
+
+pub struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            chars: src.chars().peekable(),
+            pos: Pos::start(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // possible // comment
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else {
+                        return;
+                    }
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CylogError {
+        CylogError::Lex {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn lex_string(&mut self, start: Pos) -> Result<Spanned, CylogError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some(other) => return Err(self.err(format!("bad escape `\\{other}`"))),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(Spanned {
+            tok: Tok::Str(s),
+            pos: start,
+        })
+    }
+
+    fn lex_number(&mut self, first: char, start: Pos) -> Result<Spanned, CylogError> {
+        let mut text = String::new();
+        text.push(first);
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // Lookahead: `.` followed by a digit is a decimal point,
+                // otherwise it terminates the clause (e.g. `f(1).`).
+                let mut clone = self.chars.clone();
+                clone.next();
+                match clone.peek() {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        text.push('.');
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if c == 'e' || c == 'E' {
+                // exponent
+                let mut clone = self.chars.clone();
+                clone.next();
+                let next = clone.peek().copied();
+                let ok = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+') | Some('-') => {
+                        clone.next();
+                        matches!(clone.peek(), Some(d) if d.is_ascii_digit())
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    break;
+                }
+                is_float = true;
+                text.push(c);
+                self.bump();
+                if let Some(sign @ ('+' | '-')) = self.peek() {
+                    text.push(sign);
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let tok = if is_float {
+            Tok::Float(
+                text.parse::<f64>()
+                    .map_err(|e| self.err(format!("bad float `{text}`: {e}")))?,
+            )
+        } else {
+            Tok::Int(
+                text.parse::<i64>()
+                    .map_err(|e| self.err(format!("bad integer `{text}`: {e}")))?,
+            )
+        };
+        Ok(Spanned { tok, pos: start })
+    }
+
+    fn lex_word(&mut self, first: char, start: Pos) -> Spanned {
+        let mut text = String::new();
+        text.push(first);
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let tok = match text.as_str() {
+            "rel" => Tok::KwRel,
+            "open" => Tok::KwOpen,
+            "not" => Tok::KwNot,
+            "true" => Tok::KwTrue,
+            "false" => Tok::KwFalse,
+            "null" => Tok::KwNull,
+            "points" => Tok::KwPoints,
+            "by" => Tok::KwBy,
+            _ => {
+                let head = text.chars().next().expect("nonempty");
+                if head.is_uppercase() || head == '_' {
+                    Tok::Var(text)
+                } else {
+                    Tok::Ident(text)
+                }
+            }
+        };
+        Spanned { tok, pos: start }
+    }
+
+    pub fn tokenize(mut self) -> Result<Vec<Spanned>, CylogError> {
+        let _ = self.src; // keep for future span slicing
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(c) = self.bump() else {
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    pos: start,
+                });
+                return Ok(out);
+            };
+            let sp = match c {
+                '(' => Spanned { tok: Tok::LParen, pos: start },
+                ')' => Spanned { tok: Tok::RParen, pos: start },
+                ',' => Spanned { tok: Tok::Comma, pos: start },
+                '.' => Spanned { tok: Tok::Dot, pos: start },
+                '+' => Spanned { tok: Tok::Plus, pos: start },
+                '*' => Spanned { tok: Tok::StarTok, pos: start },
+                '/' => Spanned { tok: Tok::Slash, pos: start },
+                '?' => Spanned { tok: Tok::Question, pos: start },
+                '=' => Spanned { tok: Tok::Eq, pos: start },
+                '-' => {
+                    if self.peek() == Some('>') {
+                        self.bump();
+                        Spanned { tok: Tok::Arrow, pos: start }
+                    } else {
+                        Spanned { tok: Tok::Minus, pos: start }
+                    }
+                }
+                ':' => match self.peek() {
+                    Some('-') => {
+                        self.bump();
+                        Spanned { tok: Tok::ColonDash, pos: start }
+                    }
+                    Some('=') => {
+                        self.bump();
+                        Spanned { tok: Tok::Assign, pos: start }
+                    }
+                    _ => Spanned { tok: Tok::Colon, pos: start },
+                },
+                '!' => {
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Spanned { tok: Tok::Ne, pos: start }
+                    } else {
+                        return Err(self.err("expected `=` after `!`"));
+                    }
+                }
+                '<' => {
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Spanned { tok: Tok::Le, pos: start }
+                    } else {
+                        Spanned { tok: Tok::LAngle, pos: start }
+                    }
+                }
+                '>' => {
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Spanned { tok: Tok::Ge, pos: start }
+                    } else {
+                        Spanned { tok: Tok::RAngle, pos: start }
+                    }
+                }
+                '"' => self.lex_string(start)?,
+                '#' => {
+                    let mut digits = String::new();
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            digits.push(d);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if digits.is_empty() {
+                        return Err(self.err("expected digits after `#`"));
+                    }
+                    Spanned {
+                        tok: Tok::IdLit(
+                            digits
+                                .parse::<u64>()
+                                .map_err(|e| self.err(format!("bad id literal: {e}")))?,
+                        ),
+                        pos: start,
+                    }
+                }
+                d if d.is_ascii_digit() => self.lex_number(d, start)?,
+                w if w.is_alphabetic() || w == '_' => self.lex_word(w, start),
+                other => return Err(self.err(format!("unexpected character `{other}`"))),
+            };
+            out.push(sp);
+        }
+    }
+}
+
+/// Convenience: tokenize a whole source string.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, CylogError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_clause() {
+        assert_eq!(
+            toks("p(X) :- q(X)."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::ColonDash,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("rel open not true false null points by relx"),
+            vec![
+                Tok::KwRel,
+                Tok::KwOpen,
+                Tok::KwNot,
+                Tok::KwTrue,
+                Tok::KwFalse,
+                Tok::KwNull,
+                Tok::KwPoints,
+                Tok::KwBy,
+                Tok::Ident("relx".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_start_upper_or_underscore() {
+        assert_eq!(
+            toks("X _y abc Abc"),
+            vec![
+                Tok::Var("X".into()),
+                Tok::Var("_y".into()),
+                Tok::Ident("abc".into()),
+                Tok::Var("Abc".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2 7."),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Int(7),
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_number_is_clause_end() {
+        // `f(1).` must lex Int(1) Dot, not Float(1.)
+        assert_eq!(
+            toks("f(1)."),
+            vec![
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#""hi" "a\nb" "q\"q" "back\\""#),
+            vec![
+                Tok::Str("hi".into()),
+                Tok::Str("a\nb".into()),
+                Tok::Str("q\"q".into()),
+                Tok::Str("back\\".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn id_literals() {
+        assert_eq!(toks("#42"), vec![Tok::IdLit(42), Tok::Eof]);
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks(":- := -> = != < <= > >= + - * / ?"),
+            vec![
+                Tok::ColonDash,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::LAngle,
+                Tok::Le,
+                Tok::RAngle,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::StarTok,
+                Tok::Slash,
+                Tok::Question,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("p(X). // trailing\n% full line\nq(Y)."),
+            toks("p(X). q(Y).")
+        );
+        // a lone slash is still an operator
+        assert_eq!(toks("1 / 2"), vec![Tok::Int(1), Tok::Slash, Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize(r#""bad \q escape""#).is_err());
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("@").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = tokenize("p\n  q").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+}

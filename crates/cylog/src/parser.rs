@@ -1,0 +1,502 @@
+//! Recursive-descent parser for CyLog.
+
+use crate::ast::*;
+use crate::error::CylogError;
+use crate::lexer::tokenize;
+use crate::token::{Pos, Spanned, Tok};
+use crowd4u_storage::prelude::{Value, ValueType};
+
+pub struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    pub fn new(src: &str) -> Result<Parser, CylogError> {
+        Ok(Parser {
+            toks: tokenize(src)?,
+            at: 0,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.at + 1).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> CylogError {
+        CylogError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), CylogError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CylogError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, CylogError> {
+        match self.peek().clone() {
+            Tok::Var(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected variable, found {other}"))),
+        }
+    }
+
+    /// Parse a whole program.
+    pub fn parse_program(mut self) -> Result<Program, CylogError> {
+        let mut clauses = Vec::new();
+        while self.peek() != &Tok::Eof {
+            clauses.push(self.parse_clause()?);
+        }
+        Ok(Program { clauses })
+    }
+
+    fn parse_clause(&mut self) -> Result<Clause, CylogError> {
+        match self.peek() {
+            Tok::KwRel => self.parse_rel_decl().map(Clause::Rel),
+            Tok::KwOpen => self.parse_open_decl().map(Clause::Open),
+            _ => self.parse_rule().map(Clause::Rule),
+        }
+    }
+
+    fn parse_rel_decl(&mut self) -> Result<RelDecl, CylogError> {
+        self.expect(&Tok::KwRel)?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let cols = self.parse_col_decls()?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Dot)?;
+        Ok(RelDecl { name, cols })
+    }
+
+    fn parse_open_decl(&mut self) -> Result<OpenDecl, CylogError> {
+        self.expect(&Tok::KwOpen)?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let inputs = self.parse_col_decls()?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Arrow)?;
+        self.expect(&Tok::LParen)?;
+        let outputs = self.parse_col_decls()?;
+        self.expect(&Tok::RParen)?;
+        let mut points = 0;
+        if self.peek() == &Tok::KwPoints {
+            self.bump();
+            match self.bump() {
+                Tok::Int(n) => points = n,
+                other => return Err(self.err(format!("expected point count, found {other}"))),
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        if outputs.is_empty() {
+            return Err(self.err(format!(
+                "open predicate `{name}` needs at least one output column"
+            )));
+        }
+        Ok(OpenDecl {
+            name,
+            inputs,
+            outputs,
+            points,
+        })
+    }
+
+    fn parse_col_decls(&mut self) -> Result<Vec<ColDecl>, CylogError> {
+        let mut cols = Vec::new();
+        if self.peek() == &Tok::RParen {
+            return Ok(cols);
+        }
+        loop {
+            let name = self.expect_ident()?;
+            self.expect(&Tok::Colon)?;
+            let tyname = self.expect_ident()?;
+            let ty = ValueType::parse(&tyname)
+                .ok_or_else(|| self.err(format!("unknown type `{tyname}`")))?;
+            cols.push(ColDecl { name, ty });
+            if self.peek() == &Tok::Comma {
+                self.bump();
+            } else {
+                return Ok(cols);
+            }
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, CylogError> {
+        let head_pred = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut head_terms = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                head_terms.push(self.parse_head_term()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let mut body = Vec::new();
+        if self.peek() == &Tok::ColonDash {
+            self.bump();
+            loop {
+                body.push(self.parse_body_lit()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        Ok(Rule {
+            head_pred,
+            head_terms,
+            body,
+        })
+    }
+
+    fn parse_head_term(&mut self) -> Result<HeadTerm, CylogError> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            // aggregate: count<X>
+            let func = AggFunc::parse(&name)
+                .ok_or_else(|| self.err(format!("unknown aggregate `{name}`")))?;
+            self.bump();
+            self.expect(&Tok::LAngle)?;
+            let var = self.expect_var()?;
+            self.expect(&Tok::RAngle)?;
+            Ok(HeadTerm::Agg(func, var))
+        } else {
+            Ok(HeadTerm::Plain(self.parse_term()?))
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, CylogError> {
+        match self.peek().clone() {
+            Tok::Var(v) => {
+                self.bump();
+                Ok(Term::Var(v))
+            }
+            _ => self.parse_const().map(Term::Const),
+        }
+    }
+
+    fn parse_const(&mut self) -> Result<Value, CylogError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Value::Int(i))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Value::Float(x))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            Tok::IdLit(i) => {
+                self.bump();
+                Ok(Value::Id(i))
+            }
+            Tok::KwTrue => {
+                self.bump();
+                Ok(Value::Bool(true))
+            }
+            Tok::KwFalse => {
+                self.bump();
+                Ok(Value::Bool(false))
+            }
+            Tok::KwNull => {
+                self.bump();
+                Ok(Value::Null)
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(i) => Ok(Value::Int(-i)),
+                    Tok::Float(x) => Ok(Value::Float(-x)),
+                    other => Err(self.err(format!("expected number after `-`, found {other}"))),
+                }
+            }
+            other => Err(self.err(format!("expected constant, found {other}"))),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, CylogError> {
+        let pred = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut terms = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                terms.push(self.parse_term()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Atom { pred, terms })
+    }
+
+    fn parse_body_lit(&mut self) -> Result<BodyLit, CylogError> {
+        match self.peek().clone() {
+            Tok::KwNot => {
+                self.bump();
+                Ok(BodyLit::Neg(self.parse_atom()?))
+            }
+            Tok::Var(v) if self.peek2() == &Tok::Assign => {
+                self.bump(); // var
+                self.bump(); // :=
+                Ok(BodyLit::Let(v, self.parse_expr()?))
+            }
+            Tok::Ident(_) => Ok(BodyLit::Pos(self.parse_atom()?)),
+            _ => {
+                // comparison: expr cmpop expr
+                let lhs = self.parse_expr()?;
+                let op = match self.bump() {
+                    Tok::Eq => CmpOp::Eq,
+                    Tok::Ne => CmpOp::Ne,
+                    Tok::LAngle => CmpOp::Lt,
+                    Tok::Le => CmpOp::Le,
+                    Tok::RAngle => CmpOp::Gt,
+                    Tok::Ge => CmpOp::Ge,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected comparison operator, found {other}"
+                        )))
+                    }
+                };
+                let rhs = self.parse_expr()?;
+                Ok(BodyLit::Cmp(op, lhs, rhs))
+            }
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<ScalarExpr, CylogError> {
+        let mut lhs = self.parse_mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => ArithOp::Add,
+                Tok::Minus => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_mul_expr()?;
+            lhs = ScalarExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_mul_expr(&mut self) -> Result<ScalarExpr, CylogError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::StarTok => ArithOp::Mul,
+                Tok::Slash => ArithOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_primary()?;
+            lhs = ScalarExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<ScalarExpr, CylogError> {
+        if self.peek() == &Tok::LParen {
+            self.bump();
+            let e = self.parse_expr()?;
+            self.expect(&Tok::RParen)?;
+            Ok(e)
+        } else {
+            Ok(ScalarExpr::Term(self.parse_term()?))
+        }
+    }
+}
+
+/// Parse CyLog source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, CylogError> {
+    Parser::new(src)?.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_declarations() {
+        let p = parse(
+            "rel t(src: str, n: int).\n\
+             open judge(src: str) -> (ok: bool) points 5.\n\
+             open vote(x: id) -> (v: int).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rel_decls().count(), 1);
+        let opens: Vec<_> = p.open_decls().collect();
+        assert_eq!(opens.len(), 2);
+        assert_eq!(opens[0].points, 5);
+        assert_eq!(opens[1].points, 0);
+        assert_eq!(opens[0].inputs.len(), 1);
+        assert_eq!(opens[0].outputs.len(), 1);
+    }
+
+    #[test]
+    fn parse_facts_and_rules() {
+        let p = parse(
+            "t(\"hello\", 1).\n\
+             t(\"bye\", -2).\n\
+             good(S) :- t(S, N), N > 0.\n",
+        )
+        .unwrap();
+        let rules: Vec<_> = p.rules().collect();
+        assert_eq!(rules.len(), 3);
+        assert!(rules[0].is_fact());
+        assert!(rules[1].is_fact());
+        match &rules[1].head_terms[1] {
+            HeadTerm::Plain(Term::Const(Value::Int(n))) => assert_eq!(*n, -2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(rules[2].body.len(), 2);
+    }
+
+    #[test]
+    fn parse_all_literal_kinds() {
+        let p = parse(
+            "r(X, Z) :- p(X), not q(X), X != 3, Z := X * 2 + 1, Z <= 100.\n",
+        )
+        .unwrap();
+        let r = p.rules().next().unwrap();
+        assert_eq!(r.body.len(), 5);
+        assert!(matches!(r.body[0], BodyLit::Pos(_)));
+        assert!(matches!(r.body[1], BodyLit::Neg(_)));
+        assert!(matches!(r.body[2], BodyLit::Cmp(CmpOp::Ne, _, _)));
+        assert!(matches!(r.body[3], BodyLit::Let(_, _)));
+        assert!(matches!(r.body[4], BodyLit::Cmp(CmpOp::Le, _, _)));
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let p = parse("n(G, count<X>, avg<S>) :- w(G, X, S).\n").unwrap();
+        let r = p.rules().next().unwrap();
+        assert!(r.is_aggregate());
+        assert!(matches!(r.head_terms[0], HeadTerm::Plain(_)));
+        assert!(matches!(r.head_terms[1], HeadTerm::Agg(AggFunc::Count, _)));
+        assert!(matches!(r.head_terms[2], HeadTerm::Agg(AggFunc::Avg, _)));
+    }
+
+    #[test]
+    fn parse_constants_of_all_types() {
+        let p = parse("k(1, 2.5, \"s\", #9, true, false, null).\n").unwrap();
+        let r = p.rules().next().unwrap();
+        let consts: Vec<&Value> = r
+            .head_terms
+            .iter()
+            .map(|t| match t {
+                HeadTerm::Plain(Term::Const(v)) => v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(consts[0], &Value::Int(1));
+        assert_eq!(consts[1], &Value::Float(2.5));
+        assert_eq!(consts[2], &Value::Str("s".into()));
+        assert_eq!(consts[3], &Value::Id(9));
+        assert_eq!(consts[4], &Value::Bool(true));
+        assert_eq!(consts[5], &Value::Bool(false));
+        assert_eq!(consts[6], &Value::Null);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("r(Z) :- p(X), Z := X + 2 * 3.\n").unwrap();
+        let r = p.rules().next().unwrap();
+        match &r.body[1] {
+            BodyLit::Let(_, ScalarExpr::Binary(ArithOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, ScalarExpr::Binary(ArithOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // parens override
+        let p = parse("r(Z) :- p(X), Z := (X + 2) * 3.\n").unwrap();
+        let r = p.rules().next().unwrap();
+        match &r.body[1] {
+            BodyLit::Let(_, ScalarExpr::Binary(ArithOp::Mul, lhs, _)) => {
+                assert!(matches!(**lhs, ScalarExpr::Binary(ArithOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let p = parse("flag() :- src().\n").unwrap();
+        let r = p.rules().next().unwrap();
+        assert!(r.head_terms.is_empty());
+        assert!(matches!(&r.body[0], BodyLit::Pos(a) if a.terms.is_empty()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        // missing dot
+        assert!(parse("p(X) :- q(X)").is_err());
+        // bad type
+        assert!(parse("rel t(x: wat).").is_err());
+        // open without outputs
+        assert!(parse("open j(x: int) -> ().").is_err());
+        // unknown aggregate
+        assert!(parse("n(total<X>) :- w(X).").is_err());
+        // comparison missing operator
+        assert!(parse("r(X) :- p(X), X.").is_err());
+        // garbage after points
+        assert!(parse("open j(x: int) -> (y: int) points oops.").is_err());
+        // unclosed paren
+        assert!(parse("p(X :- q(X).").is_err());
+    }
+
+    #[test]
+    fn round_trip_pretty_print() {
+        let src = "rel t(src: str, n: int).\n\
+                   open judge(src: str) -> (ok: bool) points 5.\n\
+                   t(\"hello\", 1).\n\
+                   good(S) :- t(S, N), judge(S, OK), OK = true, N > 0.\n\
+                   n_good(count<S>) :- good(S).\n";
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty-print must reparse to the same AST");
+    }
+}

@@ -1,0 +1,147 @@
+//! Tokens and source positions for the CyLog language.
+
+use std::fmt;
+
+/// 1-based line/column position in a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub fn start() -> Pos {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Identifiers & literals
+    /// lower-case initial: predicate or keyword-adjacent name
+    Ident(String),
+    /// Upper-case initial (or `_`): variable
+    Var(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `#123` entity id literal
+    IdLit(u64),
+
+    // Keywords
+    KwRel,
+    KwOpen,
+    KwNot,
+    KwTrue,
+    KwFalse,
+    KwNull,
+    KwPoints,
+    KwBy,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LAngle, // <  (also comparison)
+    RAngle, // >  (also comparison)
+    Comma,
+    Dot,
+    Colon,
+    ColonDash, // :-
+    Assign,    // :=
+    Arrow,     // ->
+    Eq,        // =
+    Ne,        // !=
+    Le,        // <=
+    Ge,        // >=
+    Plus,
+    Minus,
+    StarTok,
+    Slash,
+    Question, // ? (demand rule marker, reserved)
+
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Var(s) => write!(f, "variable `{s}`"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::IdLit(i) => write!(f, "id #{i}"),
+            Tok::KwRel => f.write_str("`rel`"),
+            Tok::KwOpen => f.write_str("`open`"),
+            Tok::KwNot => f.write_str("`not`"),
+            Tok::KwTrue => f.write_str("`true`"),
+            Tok::KwFalse => f.write_str("`false`"),
+            Tok::KwNull => f.write_str("`null`"),
+            Tok::KwPoints => f.write_str("`points`"),
+            Tok::KwBy => f.write_str("`by`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LAngle => f.write_str("`<`"),
+            Tok::RAngle => f.write_str("`>`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::ColonDash => f.write_str("`:-`"),
+            Tok::Assign => f.write_str("`:=`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Ne => f.write_str("`!=`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::StarTok => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Question => f.write_str("`?`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos { line: 3, col: 7 }.to_string(), "3:7");
+        assert_eq!(Pos::start().to_string(), "1:1");
+    }
+
+    #[test]
+    fn token_display_nonempty() {
+        let toks = [
+            Tok::Ident("p".into()),
+            Tok::Var("X".into()),
+            Tok::Int(1),
+            Tok::Float(2.5),
+            Tok::Str("s".into()),
+            Tok::IdLit(3),
+            Tok::KwRel,
+            Tok::ColonDash,
+            Tok::Eof,
+        ];
+        for t in toks {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

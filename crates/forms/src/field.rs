@@ -1,0 +1,277 @@
+//! Form fields: typed inputs with validation.
+
+use crowd4u_storage::prelude::{Value, ValueType};
+use std::fmt;
+
+/// The type of a form field, with its validation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldType {
+    /// Free text; `max_len` 0 means unlimited.
+    Text { multiline: bool, max_len: usize },
+    /// A number, optionally integral and/or bounded.
+    Number {
+        integer: bool,
+        min: Option<f64>,
+        max: Option<f64>,
+    },
+    /// Yes/no.
+    Boolean,
+    /// One of a fixed set of options.
+    Choice { options: Vec<String> },
+    /// 1..=max stars.
+    Rating { max: u32 },
+}
+
+impl FieldType {
+    pub fn text() -> FieldType {
+        FieldType::Text {
+            multiline: false,
+            max_len: 0,
+        }
+    }
+
+    pub fn textarea() -> FieldType {
+        FieldType::Text {
+            multiline: true,
+            max_len: 0,
+        }
+    }
+
+    pub fn number() -> FieldType {
+        FieldType::Number {
+            integer: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    pub fn integer() -> FieldType {
+        FieldType::Number {
+            integer: true,
+            min: None,
+            max: None,
+        }
+    }
+
+    pub fn bounded(min: f64, max: f64) -> FieldType {
+        FieldType::Number {
+            integer: false,
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+
+    pub fn choice(options: &[&str]) -> FieldType {
+        FieldType::Choice {
+            options: options.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// Storage type a valid value of this field has.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            FieldType::Text { .. } | FieldType::Choice { .. } => ValueType::Str,
+            FieldType::Number { integer: true, .. } => ValueType::Int,
+            FieldType::Number { .. } => ValueType::Float,
+            FieldType::Boolean => ValueType::Bool,
+            FieldType::Rating { .. } => ValueType::Int,
+        }
+    }
+}
+
+/// A single field of a form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub label: String,
+    pub required: bool,
+    pub ty: FieldType,
+    /// Pre-filled, non-editable context (used to show open-predicate inputs).
+    pub readonly_value: Option<Value>,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, label: impl Into<String>, ty: FieldType) -> Field {
+        Field {
+            name: name.into(),
+            label: label.into(),
+            required: true,
+            ty,
+            readonly_value: None,
+        }
+    }
+
+    pub fn optional(mut self) -> Field {
+        self.required = false;
+        self
+    }
+
+    pub fn readonly(mut self, v: Value) -> Field {
+        self.readonly_value = Some(v);
+        self
+    }
+
+    /// Validate a submitted value against this field.
+    pub fn validate(&self, value: &Value) -> Result<(), FieldError> {
+        if self.readonly_value.is_some() {
+            // Read-only fields must echo the prefilled value (or be omitted,
+            // which the form layer handles by substituting it).
+            if Some(value) != self.readonly_value.as_ref() {
+                return Err(FieldError {
+                    field: self.name.clone(),
+                    message: "read-only field was modified".into(),
+                });
+            }
+            return Ok(());
+        }
+        if value.is_null() {
+            if self.required {
+                return Err(self.err("required field is empty"));
+            }
+            return Ok(());
+        }
+        match (&self.ty, value) {
+            (FieldType::Text { max_len, .. }, Value::Str(s)) => {
+                if *max_len > 0 && s.chars().count() > *max_len {
+                    return Err(self.err(format!("text exceeds {max_len} characters")));
+                }
+                Ok(())
+            }
+            (FieldType::Boolean, Value::Bool(_)) => Ok(()),
+            (FieldType::Number { integer, min, max }, v) => {
+                let f = match (v, integer) {
+                    (Value::Int(i), _) => *i as f64,
+                    (Value::Float(f), false) => *f,
+                    (Value::Float(_), true) => {
+                        return Err(self.err("expected an integer"));
+                    }
+                    _ => return Err(self.err("expected a number")),
+                };
+                if let Some(lo) = min {
+                    if f < *lo {
+                        return Err(self.err(format!("below minimum {lo}")));
+                    }
+                }
+                if let Some(hi) = max {
+                    if f > *hi {
+                        return Err(self.err(format!("above maximum {hi}")));
+                    }
+                }
+                Ok(())
+            }
+            (FieldType::Choice { options }, Value::Str(s)) => {
+                if options.iter().any(|o| o == s) {
+                    Ok(())
+                } else {
+                    Err(self.err(format!("`{s}` is not one of the options")))
+                }
+            }
+            (FieldType::Rating { max }, Value::Int(i)) => {
+                if *i >= 1 && *i <= *max as i64 {
+                    Ok(())
+                } else {
+                    Err(self.err(format!("rating must be between 1 and {max}")))
+                }
+            }
+            _ => Err(self.err("wrong value type")),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> FieldError {
+        FieldError {
+            field: self.name.clone(),
+            message: message.into(),
+        }
+    }
+}
+
+/// A validation failure for one field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldError {
+    pub field: String,
+    pub message: String,
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_validation() {
+        let f = Field::new(
+            "title",
+            "Title",
+            FieldType::Text {
+                multiline: false,
+                max_len: 5,
+            },
+        );
+        f.validate(&Value::Str("ok".into())).unwrap();
+        assert!(f.validate(&Value::Str("toolong".into())).is_err());
+        assert!(f.validate(&Value::Int(3)).is_err());
+        assert!(f.validate(&Value::Null).is_err()); // required
+        f.clone().optional().validate(&Value::Null).unwrap();
+    }
+
+    #[test]
+    fn number_validation() {
+        let f = Field::new("n", "N", FieldType::bounded(0.0, 1.0));
+        f.validate(&Value::Float(0.5)).unwrap();
+        f.validate(&Value::Int(1)).unwrap(); // int accepted for float field
+        assert!(f.validate(&Value::Float(1.5)).is_err());
+        assert!(f.validate(&Value::Float(-0.1)).is_err());
+        assert!(f.validate(&Value::Str("x".into())).is_err());
+        let i = Field::new("i", "I", FieldType::integer());
+        i.validate(&Value::Int(-3)).unwrap();
+        assert!(i.validate(&Value::Float(0.5)).is_err());
+    }
+
+    #[test]
+    fn boolean_choice_rating() {
+        let b = Field::new("ok", "OK?", FieldType::Boolean);
+        b.validate(&Value::Bool(true)).unwrap();
+        assert!(b.validate(&Value::Int(1)).is_err());
+
+        let c = Field::new("topic", "Topic", FieldType::choice(&["news", "sports"]));
+        c.validate(&Value::Str("news".into())).unwrap();
+        assert!(c.validate(&Value::Str("cooking".into())).is_err());
+
+        let r = Field::new("stars", "Stars", FieldType::Rating { max: 5 });
+        r.validate(&Value::Int(1)).unwrap();
+        r.validate(&Value::Int(5)).unwrap();
+        assert!(r.validate(&Value::Int(0)).is_err());
+        assert!(r.validate(&Value::Int(6)).is_err());
+    }
+
+    #[test]
+    fn readonly_fields() {
+        let f = Field::new("src", "Source", FieldType::text()).readonly(Value::Str("hi".into()));
+        f.validate(&Value::Str("hi".into())).unwrap();
+        assert!(f.validate(&Value::Str("changed".into())).is_err());
+    }
+
+    #[test]
+    fn value_types() {
+        assert_eq!(FieldType::text().value_type(), ValueType::Str);
+        assert_eq!(FieldType::integer().value_type(), ValueType::Int);
+        assert_eq!(FieldType::number().value_type(), ValueType::Float);
+        assert_eq!(FieldType::Boolean.value_type(), ValueType::Bool);
+        assert_eq!(FieldType::Rating { max: 5 }.value_type(), ValueType::Int);
+        assert_eq!(FieldType::choice(&["a"]).value_type(), ValueType::Str);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FieldError {
+            field: "x".into(),
+            message: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "x: bad");
+    }
+}

@@ -1,0 +1,197 @@
+//! Forms: ordered fields + validation + text rendering.
+//!
+//! The production platform renders these as web pages (paper Figures 3–5);
+//! here a form is a data structure with a deterministic text rendering, and
+//! simulated workers fill in [`FormResponse`]s programmatically.
+
+use crate::field::{Field, FieldError};
+use crowd4u_storage::prelude::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered collection of fields with a title.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Form {
+    pub title: String,
+    pub description: String,
+    pub fields: Vec<Field>,
+}
+
+impl Form {
+    pub fn new(title: impl Into<String>) -> Form {
+        Form {
+            title: title.into(),
+            description: String::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    pub fn describe(mut self, d: impl Into<String>) -> Form {
+        self.description = d.into();
+        self
+    }
+
+    pub fn field(mut self, f: Field) -> Form {
+        self.fields.push(f);
+        self
+    }
+
+    pub fn get_field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Validate a response. On success returns the values in field order
+    /// (read-only fields are substituted from the form itself; omitted
+    /// optional fields become `Null`). On failure returns every field error.
+    pub fn validate(&self, response: &FormResponse) -> Result<Vec<Value>, Vec<FieldError>> {
+        let mut errors = Vec::new();
+        let mut out = Vec::with_capacity(self.fields.len());
+        for f in &self.fields {
+            let value = match (&f.readonly_value, response.values.get(&f.name)) {
+                (Some(ro), None) => ro.clone(),
+                (_, Some(v)) => v.clone(),
+                (None, None) => Value::Null,
+            };
+            if let Err(e) = f.validate(&value) {
+                errors.push(e);
+            }
+            out.push(value);
+        }
+        // Unknown fields are rejected: they signal a mismatched form version.
+        for name in response.values.keys() {
+            if self.get_field(name).is_none() {
+                errors.push(FieldError {
+                    field: name.clone(),
+                    message: "unknown field".into(),
+                });
+            }
+        }
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+impl fmt::Display for Form {
+    /// Deterministic text rendering — the offline stand-in for the web UI.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "┌─ {} ─", self.title)?;
+        if !self.description.is_empty() {
+            writeln!(f, "│ {}", self.description)?;
+        }
+        for fd in &self.fields {
+            let marker = if fd.required { "*" } else { " " };
+            match &fd.readonly_value {
+                Some(v) => writeln!(f, "│ {} [{}]: {v} (fixed)", marker, fd.label)?,
+                None => writeln!(f, "│ {} [{}]: ______", marker, fd.label)?,
+            }
+        }
+        write!(f, "└─")
+    }
+}
+
+/// A worker's (or requester's) submitted values, keyed by field name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FormResponse {
+    pub values: BTreeMap<String, Value>,
+}
+
+impl FormResponse {
+    pub fn new() -> FormResponse {
+        FormResponse::default()
+    }
+
+    pub fn set(mut self, name: impl Into<String>, v: impl Into<Value>) -> FormResponse {
+        self.values.insert(name.into(), v.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldType;
+
+    fn report_form() -> Form {
+        Form::new("Citizen report")
+            .describe("Write a short report on your chosen topic")
+            .field(Field::new("topic", "Topic", FieldType::choice(&["news", "sports"])))
+            .field(Field::new("body", "Report", FieldType::textarea()))
+            .field(Field::new("rating", "Confidence", FieldType::Rating { max: 5 }).optional())
+    }
+
+    #[test]
+    fn valid_response_ordered_values() {
+        let form = report_form();
+        let resp = FormResponse::new()
+            .set("topic", "news")
+            .set("body", "something happened")
+            .set("rating", 4i64);
+        let vals = form.validate(&resp).unwrap();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals[0], Value::Str("news".into()));
+        assert_eq!(vals[2], Value::Int(4));
+    }
+
+    #[test]
+    fn omitted_optional_becomes_null() {
+        let form = report_form();
+        let resp = FormResponse::new().set("topic", "news").set("body", "x");
+        let vals = form.validate(&resp).unwrap();
+        assert_eq!(vals[2], Value::Null);
+    }
+
+    #[test]
+    fn missing_required_and_unknown_fields_collected() {
+        let form = report_form();
+        let resp = FormResponse::new().set("bogus", 1i64);
+        let errs = form.validate(&resp).unwrap_err();
+        let fields: Vec<&str> = errs.iter().map(|e| e.field.as_str()).collect();
+        assert!(fields.contains(&"topic"));
+        assert!(fields.contains(&"body"));
+        assert!(fields.contains(&"bogus"));
+    }
+
+    #[test]
+    fn readonly_substitution() {
+        let form = Form::new("Check translation")
+            .field(
+                Field::new("src", "Source", FieldType::text())
+                    .readonly(Value::Str("hello".into())),
+            )
+            .field(Field::new("ok", "Correct?", FieldType::Boolean));
+        // Omitting the read-only field is fine; it is substituted.
+        let vals = form
+            .validate(&FormResponse::new().set("ok", true))
+            .unwrap();
+        assert_eq!(vals[0], Value::Str("hello".into()));
+        // Tampering is rejected.
+        let errs = form
+            .validate(&FormResponse::new().set("src", "bye").set("ok", true))
+            .unwrap_err();
+        assert_eq!(errs[0].field, "src");
+    }
+
+    #[test]
+    fn rendering_contains_fields() {
+        let text = report_form().to_string();
+        assert!(text.contains("Citizen report"));
+        assert!(text.contains("[Topic]"));
+        assert!(text.contains("[Report]"));
+        assert!(text.contains("______"));
+        // readonly rendering
+        let f = Form::new("t").field(
+            Field::new("s", "S", FieldType::text()).readonly(Value::Str("v".into())),
+        );
+        assert!(f.to_string().contains("(fixed)"));
+    }
+
+    #[test]
+    fn get_field() {
+        let form = report_form();
+        assert!(form.get_field("topic").is_some());
+        assert!(form.get_field("nope").is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Spreadsheet (CSV) task import.
+//!
+//! Paper §2.1: requesters can "define tasks with a form-based user interface
+//! and spreadsheets". A spreadsheet is a CSV file whose header names the
+//! input columns of a CyLog base relation; each row becomes one seed fact
+//! (and hence, through the rules, one or more generated tasks).
+
+use crowd4u_cylog::engine::CylogEngine;
+use crowd4u_cylog::error::CylogError;
+use crowd4u_storage::csv::csv_to_rows;
+use crowd4u_storage::prelude::{Column, Schema, StorageError};
+
+/// Import a CSV document into a (non-derived) predicate of the engine.
+/// Returns how many *new* facts were inserted.
+pub fn import_csv(
+    engine: &mut CylogEngine,
+    pred: &str,
+    csv_text: &str,
+) -> Result<usize, CylogError> {
+    let pid = engine
+        .program()
+        .pred(pred)
+        .ok_or_else(|| CylogError::Eval(format!("unknown predicate `{pred}`")))?;
+    let info = engine.program().pred_info(pid).clone();
+    let cols: Vec<Column> = info
+        .col_names
+        .iter()
+        .zip(&info.col_types)
+        .map(|(n, t)| Column::nullable(n.clone(), *t))
+        .collect();
+    let schema = Schema::new(cols).map_err(CylogError::from)?;
+    let rows = csv_to_rows(csv_text, &schema).map_err(CylogError::from)?;
+    let mut added = 0;
+    for row in rows {
+        if engine.add_fact(pred, row.into_values())? {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+/// Export all facts of a predicate as CSV (the reverse direction: task
+/// results back to the requester's spreadsheet).
+pub fn export_csv(engine: &CylogEngine, pred: &str) -> Result<String, CylogError> {
+    let rs = engine.facts(pred)?;
+    Ok(crowd4u_storage::csv::rows_to_csv(&rs.schema, &rs.rows))
+}
+
+/// Convenience: map a CSV error to a line-labelled message for the UI.
+pub fn describe_csv_error(e: &CylogError) -> String {
+    match e {
+        CylogError::Storage(StorageError::Csv { line, message }) => {
+            format!("spreadsheet line {line}: {message}")
+        }
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CylogEngine {
+        CylogEngine::from_source(
+            "rel sentence(sid: id, text: str).\n\
+             open translate(sid: id, text: str) -> (t: str).\n\
+             rel out(sid: id, t: str).\n\
+             out(S, T) :- sentence(S, X), translate(S, X, T).\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn import_seeds_tasks() {
+        let mut e = engine();
+        let n = import_csv(
+            &mut e,
+            "sentence",
+            "sid,text\n#1,hello\n#2,good morning\n",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        e.run().unwrap();
+        assert_eq!(e.pending_requests().len(), 2);
+        // Re-import is idempotent.
+        let n2 = import_csv(&mut e, "sentence", "sid,text\n#1,hello\n").unwrap();
+        assert_eq!(n2, 0);
+    }
+
+    #[test]
+    fn import_reordered_columns() {
+        let mut e = engine();
+        let n = import_csv(&mut e, "sentence", "text,sid\nhej,#5\n").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(e.fact_count("sentence").unwrap(), 1);
+    }
+
+    #[test]
+    fn import_errors() {
+        let mut e = engine();
+        // unknown predicate
+        assert!(import_csv(&mut e, "nope", "a\n1\n").is_err());
+        // unknown column in header
+        assert!(import_csv(&mut e, "sentence", "bogus\nx\n").is_err());
+        // type error in a cell, with line info
+        let err = import_csv(&mut e, "sentence", "sid,text\nnotanid,x\n").unwrap_err();
+        let msg = describe_csv_error(&err);
+        assert!(msg.contains("line 2"), "got: {msg}");
+        // derived predicates cannot be imported into
+        let err = import_csv(&mut e, "out", "sid,t\n#1,x\n").unwrap_err();
+        assert!(err.to_string().contains("derived"));
+    }
+
+    #[test]
+    fn export_round_trip() {
+        let mut e = engine();
+        import_csv(&mut e, "sentence", "sid,text\n#1,hello\n").unwrap();
+        e.run().unwrap();
+        e.answer(
+            "translate",
+            vec![1u64.into(), "hello".into()],
+            vec!["bonjour".into()],
+            None,
+        )
+        .unwrap();
+        e.run().unwrap();
+        let csv = export_csv(&e, "out").unwrap();
+        assert!(csv.starts_with("sid,t\n"));
+        assert!(csv.contains("#1,bonjour"));
+        assert!(export_csv(&e, "nope").is_err());
+    }
+
+    #[test]
+    fn describe_passes_through_other_errors() {
+        let e = CylogError::Eval("boom".into());
+        assert!(describe_csv_error(&e).contains("boom"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Common glue driving the platform with the simulated crowd: registering
+//! a population, collecting interest, running assignment with deadline
+//! handling, and tracking elapsed simulated time.
+
+use crate::config::ScenarioConfig;
+use crowd4u_assign::prelude::Team;
+use crowd4u_collab::Scheme;
+use crowd4u_core::prelude::*;
+use crowd4u_crowd::population::{generate, Population, PopulationConfig};
+use crowd4u_crowd::profile::WorkerId;
+use crowd4u_forms::admin::DesiredFactors;
+use crowd4u_sim::rng::SimRng;
+use crowd4u_sim::time::{SimDuration, SimTime};
+
+/// A platform + population pair with a shared clock.
+pub struct Driver {
+    pub platform: Crowd4U,
+    pub crowd: Population,
+    pub rng: SimRng,
+    start: SimTime,
+}
+
+impl Driver {
+    /// Build the world: a seeded crowd registered on a fresh platform.
+    pub fn new(config: &ScenarioConfig) -> Driver {
+        let mut rng = SimRng::seed_from(config.seed);
+        let crowd = generate(
+            &PopulationConfig {
+                size: config.crowd,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut platform = Crowd4U::new();
+        platform.controller.algorithm = config.algorithm;
+        for agent in &crowd.agents {
+            platform.register_worker(agent.profile.clone());
+        }
+        Driver {
+            platform,
+            crowd,
+            rng,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Desired factors matching the config (language-agnostic by default).
+    pub fn factors(&self, config: &ScenarioConfig, skill: Option<&str>) -> DesiredFactors {
+        DesiredFactors {
+            skill_name: skill.map(str::to_owned),
+            min_quality: if skill.is_some() { 0.4 } else { 0.0 },
+            min_team: config.min_team,
+            max_team: config.max_team,
+            recruitment_secs: 1800,
+            ..Default::default()
+        }
+    }
+
+    /// Advance the shared clock by `d` and process platform deadlines.
+    pub fn pass_time(&mut self, d: SimDuration) -> Result<(), PlatformError> {
+        let t = self.platform.now() + d;
+        self.platform.advance_to(t)
+    }
+
+    /// Simulated elapsed time since the driver was built.
+    pub fn elapsed(&self) -> SimDuration {
+        self.platform.now() - self.start
+    }
+
+    /// Step (3) of the workflow: every eligible agent looks at the task and
+    /// may declare interest (per its behaviour model). Returns how many did.
+    pub fn collect_interest(&mut self, task: TaskId) -> Result<usize, PlatformError> {
+        let eligible = self.platform.relations.eligible_workers(task);
+        let mut n = 0;
+        let mut max_delay = SimDuration::ZERO;
+        for w in eligible {
+            let Some(agent) = self.crowd.agent_mut(w) else {
+                continue;
+            };
+            let delay = agent.response_delay();
+            if agent.declares_interest() {
+                self.platform.express_interest(w, task)?;
+                n += 1;
+                if delay > max_delay {
+                    max_delay = delay;
+                }
+            }
+        }
+        // Interest arrives in parallel: advance by the slowest responder.
+        self.pass_time(max_delay)?;
+        Ok(n)
+    }
+
+    /// Steps (4)+(5) with undertake simulation and deadline-driven retry:
+    /// returns the team that actually started (task `InProgress`), or
+    /// `None` when assignment remained infeasible after `max_rounds`.
+    pub fn form_team(
+        &mut self,
+        task: TaskId,
+        max_rounds: usize,
+    ) -> Result<Option<Team>, PlatformError> {
+        for _ in 0..max_rounds {
+            // Pending members awaiting an undertake decision this round.
+            let pending: Vec<WorkerId> = match self.platform.pool.get(task)?.state.clone() {
+                TaskState::Open => match self.platform.run_assignment(task) {
+                    Ok(t) => t.members,
+                    Err(PlatformError::NoFeasibleTeam { .. }) => return Ok(None),
+                    Err(e) => return Err(e),
+                },
+                TaskState::Suggested {
+                    team, undertaken, ..
+                } => team
+                    .into_iter()
+                    .filter(|m| !undertaken.contains(m))
+                    .collect(),
+                TaskState::InProgress { team } => return Ok(Some(self.assemble(&team))),
+                TaskState::Completed { .. } | TaskState::Abandoned { .. } => return Ok(None),
+            };
+            // Each pending member independently decides to start.
+            let mut max_delay = SimDuration::ZERO;
+            for &m in &pending {
+                let Some(agent) = self.crowd.agent_mut(m) else {
+                    continue;
+                };
+                let delay = agent.response_delay();
+                if delay > max_delay {
+                    max_delay = delay;
+                }
+                if agent.commits() {
+                    self.platform.undertake(m, task)?;
+                }
+            }
+            self.pass_time(max_delay)?;
+            if let TaskState::InProgress { team } = self.platform.pool.get(task)?.state.clone() {
+                return Ok(Some(self.assemble(&team)));
+            }
+            // Someone held out: jump past the recruitment deadline so the
+            // platform re-executes assignment (§2.2.1) and try again.
+            self.pass_time(SimDuration::secs(1801))?;
+        }
+        Ok(None)
+    }
+
+    /// Rebuild a [`Team`] record (members + affinity) for a started team.
+    fn assemble(&mut self, members: &[WorkerId]) -> Team {
+        let affinity = self.team_affinity(members);
+        Team {
+            members: members.to_vec(),
+            affinity,
+            quality: 0.0,
+            cost: 0.0,
+        }
+    }
+
+    /// Mean pairwise affinity of a set of workers under the platform matrix.
+    pub fn team_affinity(&mut self, members: &[WorkerId]) -> f64 {
+        let m = self.platform.workers.affinity();
+        crowd4u_crowd::affinity::group_affinity(m, members)
+    }
+
+    /// Register a collaborative project with scheme + factors in one call.
+    pub fn collab_project(
+        &mut self,
+        name: &str,
+        cylog: &str,
+        config: &ScenarioConfig,
+        scheme: Scheme,
+        skill: Option<&str>,
+    ) -> Result<ProjectId, PlatformError> {
+        let f = self.factors(config, skill);
+        self.platform.register_project(name, cylog, f, scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "rel item(x: str).\nopen label(x: str) -> (y: str).\nrel out(x: str, y: str).\nout(X, Y) :- item(X), label(X, Y).\n";
+
+    #[test]
+    fn driver_builds_world() {
+        let cfg = ScenarioConfig::default().with_crowd(20);
+        let d = Driver::new(&cfg);
+        assert_eq!(d.platform.workers.len(), 20);
+        assert_eq!(d.crowd.agents.len(), 20);
+        assert_eq!(d.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn interest_collection_is_seeded() {
+        let cfg = ScenarioConfig::default().with_crowd(30).with_seed(5);
+        let mut d1 = Driver::new(&cfg);
+        let mut d2 = Driver::new(&cfg);
+        for d in [&mut d1, &mut d2] {
+            let proj = d
+                .collab_project("p", SRC, &cfg, Scheme::Sequential, None)
+                .unwrap();
+            let task = d.platform.create_collab_task(proj, "x").unwrap();
+            let n = d.collect_interest(task).unwrap();
+            assert!(n > 0);
+        }
+        assert_eq!(d1.elapsed(), d2.elapsed());
+        assert_eq!(
+            d1.platform.counters.get("interest_expressed"),
+            d2.platform.counters.get("interest_expressed")
+        );
+    }
+
+    #[test]
+    fn team_formation_end_to_end() {
+        let cfg = ScenarioConfig::default().with_crowd(40).with_seed(9);
+        let mut d = Driver::new(&cfg);
+        let proj = d
+            .collab_project("p", SRC, &cfg, Scheme::Sequential, None)
+            .unwrap();
+        let task = d.platform.create_collab_task(proj, "x").unwrap();
+        d.collect_interest(task).unwrap();
+        let team = d.form_team(task, 5).unwrap();
+        if let Some(team) = team {
+            assert!(team.size() >= cfg.min_team);
+            let aff = d.team_affinity(&team.members);
+            assert!((0.0..=1.0).contains(&aff));
+            // the task is in progress now
+            assert_eq!(d.platform.pool.get(task).unwrap().state.label(), "in-progress");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_no_interest() {
+        let cfg = ScenarioConfig {
+            crowd: 3,
+            min_team: 3,
+            max_team: 3,
+            ..Default::default()
+        };
+        let mut d = Driver::new(&cfg);
+        let proj = d
+            .collab_project("p", SRC, &cfg, Scheme::Sequential, None)
+            .unwrap();
+        let task = d.platform.create_collab_task(proj, "x").unwrap();
+        // nobody expressed interest
+        let team = d.form_team(task, 2).unwrap();
+        assert!(team.is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! The simulation driver: pops events in time order and hands them to a
+//! handler which may schedule further events through a [`Scheduler`].
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Interface the event handler uses to schedule follow-up events.
+/// Newly scheduled events are merged into the main queue after each
+/// handler invocation, so a handler can never starve the queue.
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+    stop: bool,
+}
+
+impl<E> Scheduler<E> {
+    /// Current simulated time (time of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event at an absolute time. Events scheduled in the past
+    /// are clamped to "now" (they run next, preserving causality).
+    pub fn at(&mut self, time: SimTime, event: E) {
+        let t = time.max(self.now);
+        self.pending.push((t, event));
+    }
+
+    /// Schedule an event after a delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Request the run loop to stop after this handler returns.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Outcome of [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Queue drained.
+    Exhausted,
+    /// Handler called [`Scheduler::stop`].
+    Stopped,
+    /// Event horizon reached (events beyond the horizon remain queued).
+    HorizonReached,
+    /// Step budget exhausted.
+    StepLimit,
+}
+
+/// A discrete-event simulation over events of type `E`.
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    steps: u64,
+    max_steps: u64,
+    horizon: Option<SimTime>,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            steps: 0,
+            max_steps: u64::MAX,
+            horizon: None,
+        }
+    }
+}
+
+impl<E> Simulation<E> {
+    pub fn new() -> Simulation<E> {
+        Self::default()
+    }
+
+    /// Hard cap on handled events (guards against runaway feedback loops).
+    pub fn with_max_steps(mut self, max: u64) -> Simulation<E> {
+        self.max_steps = max;
+        self
+    }
+
+    /// Stop once simulated time would pass `horizon`.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Simulation<E> {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule before the run starts (or between runs).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.queue.schedule(time, event);
+    }
+
+    /// Drive the simulation until exhaustion, stop request, horizon or step
+    /// budget, whichever comes first.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Scheduler<E>, E)) -> RunOutcome {
+        loop {
+            if self.steps >= self.max_steps {
+                return RunOutcome::StepLimit;
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                return RunOutcome::Exhausted;
+            };
+            if let Some(h) = self.horizon {
+                if next_time > h {
+                    self.now = h;
+                    return RunOutcome::HorizonReached;
+                }
+            }
+            let (time, event) = self.queue.pop().expect("peeked");
+            self.now = time;
+            self.steps += 1;
+            let mut sched = Scheduler {
+                now: time,
+                pending: Vec::new(),
+                stop: false,
+            };
+            handler(&mut sched, event);
+            let stop = sched.stop;
+            for (t, e) in sched.pending {
+                self.queue.schedule(t, e);
+            }
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[test]
+    fn chain_of_events_until_exhausted() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime(0), Ev::Ping(0));
+        let mut seen = Vec::new();
+        let out = sim.run(|s, e| {
+            if let Ev::Ping(n) = e {
+                seen.push((s.now(), n));
+                if n < 4 {
+                    s.after(SimDuration::secs(10), Ev::Ping(n + 1));
+                }
+            }
+        });
+        assert_eq!(out, RunOutcome::Exhausted);
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[4], (SimTime(40), 4));
+        assert_eq!(sim.steps(), 5);
+        assert_eq!(sim.now(), SimTime(40));
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime(1), Ev::Stop);
+        sim.schedule(SimTime(2), Ev::Ping(1));
+        let out = sim.run(|s, e| {
+            if matches!(e, Ev::Stop) {
+                s.stop();
+            } else {
+                panic!("should not reach the later event");
+            }
+        });
+        assert_eq!(out, RunOutcome::Stopped);
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn horizon_leaves_future_events_queued() {
+        let mut sim = Simulation::new().with_horizon(SimTime(100));
+        sim.schedule(SimTime(50), Ev::Ping(1));
+        sim.schedule(SimTime(150), Ev::Ping(2));
+        let mut handled = 0;
+        let out = sim.run(|_, _| handled += 1);
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(handled, 1);
+        assert_eq!(sim.now(), SimTime(100));
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn step_limit_bounds_feedback_loops() {
+        let mut sim = Simulation::new().with_max_steps(10);
+        sim.schedule(SimTime(0), Ev::Ping(0));
+        let out = sim.run(|s, _| s.after(SimDuration::ZERO, Ev::Ping(0)));
+        assert_eq!(out, RunOutcome::StepLimit);
+        assert_eq!(sim.steps(), 10);
+    }
+
+    #[test]
+    fn past_scheduling_clamped_to_now() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime(10), Ev::Ping(0));
+        let mut times = Vec::new();
+        sim.run(|s, e| {
+            times.push(s.now());
+            if let Ev::Ping(0) = e {
+                s.at(SimTime(3), Ev::Ping(1)); // "in the past"
+            }
+        });
+        assert_eq!(times, vec![SimTime(10), SimTime(10)]);
+    }
+
+    #[test]
+    fn empty_simulation_exhausts_immediately() {
+        let mut sim: Simulation<Ev> = Simulation::new();
+        assert_eq!(sim.run(|_, _| {}), RunOutcome::Exhausted);
+        assert_eq!(sim.steps(), 0);
+    }
+}

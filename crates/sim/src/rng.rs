@@ -1,0 +1,271 @@
+//! Deterministic random source for simulations.
+//!
+//! Wraps a seeded ChaCha-based `StdRng` and adds the distributions the crowd
+//! simulator needs (gaussian quality noise, exponential inter-arrival times,
+//! weighted choices) without pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded RNG with simulation-oriented helpers. Two `SimRng`s built from the
+/// same seed produce identical streams.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    pub fn seed_from(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child stream (for per-worker randomness that
+    /// must not depend on scheduling order).
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Requires `lo < hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Requires `lo < hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Requires `n > 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit() < p
+    }
+
+    /// Standard normal via Box–Muller (cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // u1 in (0,1] to avoid ln(0)
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with mean/σ.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Normal clamped into `[lo, hi]` (quality scores live in `[0,1]`).
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Exponential with the given mean (inter-arrival times).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = 1.0 - self.unit(); // (0,1]
+        -mean * u.ln()
+    }
+
+    /// Pick a reference uniformly from a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Pick an index proportionally to non-negative weights.
+    /// Returns `None` if all weights are zero or the slice is empty.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating point slack: return the last positive-weight index.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        debug_assert!(k <= n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+        let mut c = SimRng::seed_from(43);
+        let va: Vec<f64> = (0..10).map(|_| a.unit()).collect();
+        let vc: Vec<f64> = (0..10).map(|_| c.unit()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
+        let mut fa = a.fork(7);
+        let mut fb = b.fork(7);
+        for _ in 0..20 {
+            assert_eq!(fa.unit(), fb.unit());
+        }
+        let mut other = SimRng::seed_from(1).fork(8);
+        assert_ne!(fa.unit(), other.unit());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SimRng::seed_from(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::seed_from(11);
+        let n = 20_000;
+        let mean = 5.0;
+        let total: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let got = total / n as f64;
+        assert!((got - mean).abs() < 0.2, "mean {got}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn normal_clamped_stays_in_bounds() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let v = r.normal_clamped(0.5, 0.5, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::seed_from(9);
+        assert_eq!(r.weighted_index(&[]), None);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), None);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = SimRng::seed_from(17);
+        let s = r.sample_indices(10, 4);
+        assert_eq!(s.len(), 4);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        assert!(s.iter().all(|&i| i < 10));
+        assert!(r.sample_indices(3, 0).is_empty());
+    }
+
+    #[test]
+    fn choose_and_ranges() {
+        let mut r = SimRng::seed_from(19);
+        let items = ["a", "b", "c"];
+        for _ in 0..20 {
+            assert!(items.contains(r.choose(&items)));
+            let x = r.range_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let y = r.range_u64(5, 8);
+            assert!((5..8).contains(&y));
+        }
+    }
+}

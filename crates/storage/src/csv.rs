@@ -1,0 +1,338 @@
+//! Minimal RFC-4180-style CSV support for spreadsheet task import/export
+//! (the paper's requesters "define tasks with a form-based user interface
+//! and spreadsheets").
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+
+/// Parse CSV text into records of string fields.
+/// Handles quoted fields, embedded commas, doubled quotes and CRLF.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, StorageError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(StorageError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        continue; // handled by the \n branch
+                    }
+                    // lone CR treated as newline
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Serialise records to CSV text, quoting only when needed.
+pub fn write_csv(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        for (i, f) in rec.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+                out.push('"');
+                for c in f.chars() {
+                    if c == '"' {
+                        out.push('"');
+                    }
+                    out.push(c);
+                }
+                out.push('"');
+            } else {
+                out.push_str(f);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Convert a CSV string field to a typed value according to a column type.
+/// Empty fields become `Null`.
+pub fn field_to_value(field: &str, ty: ValueType) -> Result<Value, StorageError> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    let err = |msg: String| StorageError::Csv { line: 0, message: msg };
+    match ty {
+        ValueType::Bool => match field {
+            "true" | "TRUE" | "1" | "yes" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" | "no" => Ok(Value::Bool(false)),
+            _ => Err(err(format!("cannot parse `{field}` as bool"))),
+        },
+        ValueType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(format!("cannot parse `{field}` as int"))),
+        ValueType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(format!("cannot parse `{field}` as float"))),
+        ValueType::Str => Ok(Value::Str(field.to_owned())),
+        ValueType::Id => field
+            .strip_prefix('#')
+            .unwrap_or(field)
+            .parse::<u64>()
+            .map(Value::Id)
+            .map_err(|_| err(format!("cannot parse `{field}` as id"))),
+    }
+}
+
+/// Parse a CSV document with a header row into tuples of `schema`.
+/// The header must name exactly the schema columns (any order).
+pub fn csv_to_rows(input: &str, schema: &Schema) -> Result<Vec<Tuple>, StorageError> {
+    let records = parse_csv(input)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or(StorageError::Csv {
+        line: 1,
+        message: "missing header row".into(),
+    })?;
+    // Map file columns to schema positions.
+    let mut mapping = Vec::with_capacity(header.len());
+    for h in &header {
+        mapping.push(
+            schema
+                .index_of(h)
+                .ok_or_else(|| StorageError::NoSuchColumn(h.clone()))?,
+        );
+    }
+    if mapping.len() != schema.arity() {
+        return Err(StorageError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, schema needs {}",
+                mapping.len(),
+                schema.arity()
+            ),
+        });
+    }
+    let mut rows = Vec::new();
+    for (lineno, rec) in it.enumerate() {
+        if rec.len() != mapping.len() {
+            return Err(StorageError::Csv {
+                line: lineno + 2,
+                message: format!("expected {} fields, got {}", mapping.len(), rec.len()),
+            });
+        }
+        let mut vals = vec![Value::Null; schema.arity()];
+        for (f, &pos) in rec.iter().zip(&mapping) {
+            let ty = schema.columns()[pos].ty;
+            vals[pos] = field_to_value(f, ty).map_err(|e| match e {
+                StorageError::Csv { message, .. } => StorageError::Csv {
+                    line: lineno + 2,
+                    message,
+                },
+                other => other,
+            })?;
+        }
+        schema.check_row(&vals)?;
+        rows.push(Tuple::new(vals));
+    }
+    Ok(rows)
+}
+
+/// Render rows of `schema` as CSV text with a header row.
+pub fn rows_to_csv(schema: &Schema, rows: &[Tuple]) -> String {
+    let mut records = Vec::with_capacity(rows.len() + 1);
+    records.push(
+        schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect::<Vec<_>>(),
+    );
+    for r in rows {
+        records.push(
+            r.values()
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    other => other.to_string(),
+                })
+                .collect(),
+        );
+    }
+    write_csv(&records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::tuple;
+
+    #[test]
+    fn parse_simple() {
+        let recs = parse_csv("a,b\n1,2\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn parse_quoted_comma_and_newline() {
+        let recs = parse_csv("\"x,y\",\"line1\nline2\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(recs[0][0], "x,y");
+        assert_eq!(recs[0][1], "line1\nline2");
+        assert_eq!(recs[0][2], "he said \"hi\"");
+    }
+
+    #[test]
+    fn parse_crlf_and_no_trailing_newline() {
+        let recs = parse_csv("a,b\r\nc,d").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_csv("ab\"c\n"),
+            Err(StorageError::Csv { .. })
+        ));
+        assert!(matches!(
+            parse_csv("\"unterminated"),
+            Err(StorageError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn write_quotes_when_needed() {
+        let out = write_csv(&[vec!["plain".into(), "a,b".into(), "q\"q".into()]]);
+        assert_eq!(out, "plain,\"a,b\",\"q\"\"q\"\n");
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_records() {
+        let recs = vec![
+            vec!["a".to_string(), "b,c".to_string()],
+            vec!["\"".to_string(), "x\ny".to_string()],
+        ];
+        let text = write_csv(&recs);
+        assert_eq!(parse_csv(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn field_parsing_by_type() {
+        assert_eq!(field_to_value("true", ValueType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(field_to_value("no", ValueType::Bool).unwrap(), Value::Bool(false));
+        assert_eq!(field_to_value("42", ValueType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            field_to_value("2.5", ValueType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            field_to_value("#7", ValueType::Id).unwrap(),
+            Value::Id(7)
+        );
+        assert_eq!(
+            field_to_value("7", ValueType::Id).unwrap(),
+            Value::Id(7)
+        );
+        assert_eq!(field_to_value("", ValueType::Int).unwrap(), Value::Null);
+        assert!(field_to_value("abc", ValueType::Int).is_err());
+        assert!(field_to_value("maybe", ValueType::Bool).is_err());
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ValueType::Id),
+            Column::new("title", ValueType::Str),
+            Column::nullable("hours", ValueType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_to_rows_with_reordered_header() {
+        let rows =
+            csv_to_rows("title,hours,id\ntranslate,1.5,#1\nreview,,#2\n", &schema()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], tuple![1u64, "translate", 1.5]);
+        assert_eq!(rows[1][2], Value::Null);
+    }
+
+    #[test]
+    fn csv_to_rows_error_cases() {
+        // unknown column
+        assert!(csv_to_rows("bogus\n1\n", &schema()).is_err());
+        // wrong field count
+        assert!(csv_to_rows("id,title,hours\n#1,x\n", &schema()).is_err());
+        // bad value with line number
+        let err = csv_to_rows("id,title,hours\n#1,x,notafloat\n", &schema()).unwrap_err();
+        match err {
+            StorageError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // null in non-nullable column
+        assert!(csv_to_rows("id,title,hours\n,x,1.0\n", &schema()).is_err());
+        // empty input
+        assert!(csv_to_rows("", &schema()).is_err());
+    }
+
+    #[test]
+    fn rows_to_csv_round_trip() {
+        let s = schema();
+        let rows = vec![tuple![1u64, "a,b", 0.5], tuple![2u64, "plain", Value::Null]];
+        let text = rows_to_csv(&s, &rows);
+        let back = csv_to_rows(&text, &s).unwrap();
+        assert_eq!(back, rows);
+    }
+}

@@ -1,0 +1,383 @@
+//! Row-level expressions used for filters and computed columns.
+
+use crate::error::StorageError;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn apply(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Binary arithmetic operators (numeric; `Add` also concatenates strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Expression tree evaluated against a single tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>),
+    /// Case-sensitive substring containment on strings.
+    Contains(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    pub fn contains(self, needle: Expr) -> Expr {
+        Expr::Contains(Box::new(self), Box::new(needle))
+    }
+
+    /// Evaluate against a tuple. Comparisons and arithmetic on `Null`
+    /// produce `Null` (three-valued logic collapses to "not a match" at the
+    /// filter boundary).
+    pub fn eval(&self, row: &Tuple) -> Result<Value, StorageError> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or(StorageError::ColumnIndexOutOfRange(*i)),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(op.apply(va.cmp(&vb))))
+            }
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(*op, &va, &vb)
+            }
+            Expr::And(a, b) => {
+                let va = a.eval(row)?;
+                if va == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let vb = b.eval(row)?;
+                match (truth(&va), truth(&vb)) {
+                    (Some(true), Some(true)) => Ok(Value::Bool(true)),
+                    (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Or(a, b) => {
+                let va = a.eval(row)?;
+                if va == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let vb = b.eval(row)?;
+                match (truth(&va), truth(&vb)) {
+                    (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+                    (Some(false), Some(false)) => Ok(Value::Bool(false)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Not(a) => {
+                let v = a.eval(row)?;
+                match truth(&v) {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(row)?.is_null())),
+            Expr::Contains(a, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (va.as_str(), vb.as_str()) {
+                    (Some(h), Some(n)) => Ok(Value::Bool(h.contains(n))),
+                    _ => Err(StorageError::ExprType(
+                        "contains expects string operands".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: true iff the result is `Bool(true)`.
+    pub fn matches(&self, row: &Tuple) -> Result<bool, StorageError> {
+        Ok(self.eval(row)? == Value::Bool(true))
+    }
+}
+
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        _ => Some(true), // non-null non-bool is truthy (convenience)
+    }
+}
+
+fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, StorageError> {
+    // String concatenation via Add.
+    if let (ArithOp::Add, Some(x), Some(y)) = (op, a.as_str(), b.as_str()) {
+        let mut s = String::with_capacity(x.len() + y.len());
+        s.push_str(x);
+        s.push_str(y);
+        return Ok(Value::Str(s));
+    }
+    // Integer arithmetic stays integral when both sides are ints.
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        return match op {
+            ArithOp::Add => Ok(Value::Int(x.wrapping_add(y))),
+            ArithOp::Sub => Ok(Value::Int(x.wrapping_sub(y))),
+            ArithOp::Mul => Ok(Value::Int(x.wrapping_mul(y))),
+            ArithOp::Div => {
+                if y == 0 {
+                    Err(StorageError::ExprType("integer division by zero".into()))
+                } else {
+                    Ok(Value::Int(x / y))
+                }
+            }
+            ArithOp::Mod => {
+                if y == 0 {
+                    Err(StorageError::ExprType("integer modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(x % y))
+                }
+            }
+        };
+    }
+    match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => {
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x % y,
+            };
+            Ok(Value::Float(r))
+        }
+        _ => Err(StorageError::ExprType(format!(
+            "arithmetic on non-numeric operands {a} and {b}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn row() -> Tuple {
+        tuple![10i64, "hello world", 2.5, Value::Null]
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row();
+        assert!(Expr::col(0).eq(Expr::lit(10i64)).matches(&r).unwrap());
+        assert!(Expr::col(0).lt(Expr::lit(11i64)).matches(&r).unwrap());
+        assert!(Expr::col(2).ge(Expr::lit(2.5)).matches(&r).unwrap());
+        assert!(Expr::col(0).ne(Expr::lit(9i64)).matches(&r).unwrap());
+        assert!(!Expr::col(0).gt(Expr::lit(10i64)).matches(&r).unwrap());
+        assert!(Expr::col(0).le(Expr::lit(10i64)).matches(&r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_do_not_match() {
+        let r = row();
+        assert!(!Expr::col(3).eq(Expr::lit(1i64)).matches(&r).unwrap());
+        assert!(!Expr::col(3).ne(Expr::lit(1i64)).matches(&r).unwrap());
+        assert!(Expr::col(3).is_null().matches(&r).unwrap());
+        assert!(!Expr::col(0).is_null().matches(&r).unwrap());
+    }
+
+    #[test]
+    fn boolean_logic_three_valued() {
+        let r = row();
+        let t = || Expr::lit(true);
+        let f = || Expr::lit(false);
+        let n = || Expr::col(3).eq(Expr::lit(1i64)); // evaluates to Null
+        assert!(t().and(t()).matches(&r).unwrap());
+        assert!(!t().and(f()).matches(&r).unwrap());
+        assert!(!n().and(t()).matches(&r).unwrap()); // Null AND true = Null
+        assert!(!f().and(n()).matches(&r).unwrap()); // false short-circuits
+        assert!(t().or(n()).matches(&r).unwrap()); // true short-circuits
+        assert!(!f().or(f()).matches(&r).unwrap());
+        assert!(!n().or(f()).matches(&r).unwrap());
+        assert!(f().not().matches(&r).unwrap());
+        assert!(!n().not().matches(&r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let r = row();
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(5i64)),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(15));
+        let e = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::col(2)),
+            Box::new(Expr::lit(2i64)),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(5.0));
+        let e = Expr::Arith(
+            ArithOp::Mod,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(3i64)),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let r = row();
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(0i64)),
+        );
+        assert!(e.eval(&r).is_err());
+        let e = Expr::Arith(
+            ArithOp::Mod,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(0i64)),
+        );
+        assert!(e.eval(&r).is_err());
+        // Float division by zero yields inf, not an error.
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::lit(1.0)),
+            Box::new(Expr::lit(0.0)),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn string_concat_and_contains() {
+        let r = row();
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::lit("ab")),
+            Box::new(Expr::lit("cd")),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Str("abcd".into()));
+        assert!(Expr::col(1)
+            .contains(Expr::lit("world"))
+            .matches(&r)
+            .unwrap());
+        assert!(!Expr::col(1).contains(Expr::lit("mars")).matches(&r).unwrap());
+        // contains on non-strings is a type error
+        assert!(Expr::col(0).contains(Expr::lit("1")).eval(&r).is_err());
+    }
+
+    #[test]
+    fn arith_type_error() {
+        let r = row();
+        let e = Expr::Arith(
+            ArithOp::Sub,
+            Box::new(Expr::lit("a")),
+            Box::new(Expr::lit(1i64)),
+        );
+        assert!(matches!(e.eval(&r), Err(StorageError::ExprType(_))));
+    }
+
+    #[test]
+    fn column_out_of_range() {
+        let r = row();
+        assert!(Expr::col(99).eval(&r).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arith() {
+        let r = row();
+        let e = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(3)),
+            Box::new(Expr::lit(1i64)),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+}

@@ -1,0 +1,473 @@
+//! A single relation (table): slab row storage plus secondary hash indexes.
+//!
+//! Rows live in a slab (`Vec<Option<Tuple>>`) so that row ids stay stable
+//! across deletions; every registered index is maintained eagerly on
+//! insert/delete, which matches the platform's read-heavy workload (task
+//! lookups vastly outnumber task insertions).
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Stable identifier of a row inside one relation.
+pub type RowId = u64;
+
+#[derive(Debug, Clone, Default)]
+struct HashIndex {
+    cols: Vec<usize>,
+    unique: bool,
+    map: HashMap<Vec<Value>, Vec<RowId>>,
+}
+
+/// An in-memory table with schema enforcement and secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Tuple>>,
+    free: Vec<RowId>,
+    live: usize,
+    indexes: Vec<HashIndex>,
+}
+
+impl Relation {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Relation {
+        Relation {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Register a hash index over the named columns. Existing rows are
+    /// indexed immediately. `unique` enforces key uniqueness on inserts.
+    pub fn create_index(&mut self, cols: &[&str], unique: bool) -> Result<(), StorageError> {
+        let mut idx_cols = Vec::with_capacity(cols.len());
+        for c in cols {
+            idx_cols.push(
+                self.schema
+                    .index_of(c)
+                    .ok_or_else(|| StorageError::NoSuchColumn((*c).to_owned()))?,
+            );
+        }
+        let mut index = HashIndex {
+            cols: idx_cols,
+            unique,
+            map: HashMap::new(),
+        };
+        for (rid, slot) in self.slots.iter().enumerate() {
+            if let Some(t) = slot {
+                let key = t.key(&index.cols);
+                let ids = index.map.entry(key).or_default();
+                if unique && !ids.is_empty() {
+                    return Err(StorageError::UniqueViolation {
+                        relation: self.name.clone(),
+                        key: format!("{:?}", t.key(&index.cols)),
+                    });
+                }
+                ids.push(rid as RowId);
+            }
+        }
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Whether an index exactly covering `cols` (by position) exists.
+    pub fn has_index_on(&self, cols: &[usize]) -> bool {
+        self.indexes.iter().any(|i| i.cols == cols)
+    }
+
+    /// Insert a row, returning its id. Fails on schema or unique violations;
+    /// a failed insert leaves the relation unchanged.
+    pub fn insert(&mut self, row: impl Into<Tuple>) -> Result<RowId, StorageError> {
+        let t: Tuple = row.into();
+        self.schema.check_row(t.values())?;
+        for ix in &self.indexes {
+            if ix.unique {
+                let key = t.key(&ix.cols);
+                if ix.map.get(&key).is_some_and(|v| !v.is_empty()) {
+                    return Err(StorageError::UniqueViolation {
+                        relation: self.name.clone(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        let rid = match self.free.pop() {
+            Some(r) => {
+                self.slots[r as usize] = Some(t.clone());
+                r
+            }
+            None => {
+                self.slots.push(Some(t.clone()));
+                (self.slots.len() - 1) as RowId
+            }
+        };
+        for ix in &mut self.indexes {
+            ix.map.entry(t.key(&ix.cols)).or_default().push(rid);
+        }
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Insert unless an identical tuple is already present. Returns the row id
+    /// and whether the tuple was newly inserted. This is the set-semantics
+    /// primitive the Datalog evaluator builds on.
+    pub fn insert_distinct(&mut self, row: impl Into<Tuple>) -> Result<(RowId, bool), StorageError> {
+        let t: Tuple = row.into();
+        self.schema.check_row(t.values())?;
+        if let Some(rid) = self.find_row(&t) {
+            return Ok((rid, false));
+        }
+        let rid = self.insert(t)?;
+        Ok((rid, true))
+    }
+
+    fn find_row(&self, t: &Tuple) -> Option<RowId> {
+        // Use the most selective available index, else scan.
+        if let Some(ix) = self.indexes.first() {
+            let key = t.key(&ix.cols);
+            if let Some(ids) = ix.map.get(&key) {
+                return ids
+                    .iter()
+                    .copied()
+                    .find(|&rid| self.slots[rid as usize].as_ref() == Some(t));
+            }
+            return None;
+        }
+        self.iter_ids()
+            .find(|&(_, row)| row == t)
+            .map(|(rid, _)| rid)
+    }
+
+    /// True if an identical tuple exists.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.find_row(t).is_some()
+    }
+
+    pub fn get(&self, rid: RowId) -> Option<&Tuple> {
+        self.slots.get(rid as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Delete a row by id. Returns the removed tuple.
+    pub fn delete(&mut self, rid: RowId) -> Result<Tuple, StorageError> {
+        let slot = self
+            .slots
+            .get_mut(rid as usize)
+            .ok_or(StorageError::NoSuchRow(rid))?;
+        let t = slot.take().ok_or(StorageError::NoSuchRow(rid))?;
+        for ix in &mut self.indexes {
+            if let Entry::Occupied(mut e) = ix.map.entry(t.key(&ix.cols)) {
+                e.get_mut().retain(|&r| r != rid);
+                if e.get().is_empty() {
+                    e.remove();
+                }
+            }
+        }
+        self.free.push(rid);
+        self.live -= 1;
+        Ok(t)
+    }
+
+    /// Delete every row matching `pred`; returns how many were removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> usize {
+        let victims: Vec<RowId> = self
+            .iter_ids()
+            .filter(|(_, t)| pred(t))
+            .map(|(rid, _)| rid)
+            .collect();
+        let n = victims.len();
+        for rid in victims {
+            let _ = self.delete(rid);
+        }
+        n
+    }
+
+    /// Replace the row at `rid` with `row` (schema checked, indexes updated).
+    pub fn update(&mut self, rid: RowId, row: impl Into<Tuple>) -> Result<(), StorageError> {
+        let t: Tuple = row.into();
+        self.schema.check_row(t.values())?;
+        let old = self.get(rid).cloned().ok_or(StorageError::NoSuchRow(rid))?;
+        // Unique check against *other* rows.
+        for ix in &self.indexes {
+            if ix.unique {
+                let key = t.key(&ix.cols);
+                if let Some(ids) = ix.map.get(&key) {
+                    if ids.iter().any(|&r| r != rid) {
+                        return Err(StorageError::UniqueViolation {
+                            relation: self.name.clone(),
+                            key: format!("{key:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        for ix in &mut self.indexes {
+            let old_key = old.key(&ix.cols);
+            let new_key = t.key(&ix.cols);
+            if old_key != new_key {
+                if let Entry::Occupied(mut e) = ix.map.entry(old_key) {
+                    e.get_mut().retain(|&r| r != rid);
+                    if e.get().is_empty() {
+                        e.remove();
+                    }
+                }
+                ix.map.entry(new_key).or_default().push(rid);
+            }
+        }
+        self.slots[rid as usize] = Some(t);
+        Ok(())
+    }
+
+    /// Iterate live `(RowId, &Tuple)` pairs in slab order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (i as RowId, t)))
+    }
+
+    /// Iterate live rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.iter_ids().map(|(_, t)| t)
+    }
+
+    /// Point lookup on `cols` (column positions) matching `key` values.
+    /// Uses the largest index whose columns are a subset of `cols`, then
+    /// post-filters the remaining columns; falls back to a scan when no
+    /// index applies.
+    pub fn lookup(&self, cols: &[usize], key: &[Value]) -> Vec<&Tuple> {
+        // Pick the most selective applicable index.
+        let mut best: Option<&HashIndex> = None;
+        for ix in &self.indexes {
+            if !ix.cols.is_empty() && ix.cols.iter().all(|c| cols.contains(c))
+                && best.is_none_or(|b| ix.cols.len() > b.cols.len()) {
+                    best = Some(ix);
+                }
+        }
+        if let Some(ix) = best {
+            let subkey: Vec<Value> = ix
+                .cols
+                .iter()
+                .map(|c| {
+                    let pos = cols.iter().position(|x| x == c).expect("subset");
+                    key[pos].clone()
+                })
+                .collect();
+            let Some(ids) = ix.map.get(&subkey) else {
+                return Vec::new();
+            };
+            return ids
+                .iter()
+                .filter_map(|&rid| self.slots[rid as usize].as_ref())
+                .filter(|t| cols.iter().zip(key).all(|(&c, k)| &t[c] == k))
+                .collect();
+        }
+        self.iter()
+            .filter(|t| cols.iter().zip(key).all(|(&c, k)| &t[c] == k))
+            .collect()
+    }
+
+    /// Like [`lookup`](Self::lookup) but resolving column names first.
+    pub fn lookup_by_name(&self, cols: &[&str], key: &[Value]) -> Result<Vec<&Tuple>, StorageError> {
+        let mut idx = Vec::with_capacity(cols.len());
+        for c in cols {
+            idx.push(
+                self.schema
+                    .index_of(c)
+                    .ok_or_else(|| StorageError::NoSuchColumn((*c).to_owned()))?,
+            );
+        }
+        Ok(self.lookup(&idx, key))
+    }
+
+    /// Remove all rows but keep schema and index definitions.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        for ix in &mut self.indexes {
+            ix.map.clear();
+        }
+    }
+
+    /// Clone all live tuples into a vector (snapshot order = slab order).
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn workers() -> Relation {
+        let mut r = Relation::new(
+            "worker",
+            Schema::of(&[
+                ("id", ValueType::Id),
+                ("name", ValueType::Str),
+                ("skill", ValueType::Float),
+            ]),
+        );
+        r.create_index(&["id"], true).unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut r = workers();
+        let a = r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        let b = r.insert(tuple![2u64, "bob", 0.5]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).unwrap()[1], Value::Str("ann".into()));
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut r = workers();
+        let err = r.insert(tuple![1u64, 2i64, 0.9]).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unique_index_enforced() {
+        let mut r = workers();
+        r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        let err = r.insert(tuple![1u64, "dup", 0.1]).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn create_unique_index_on_conflicting_data_fails() {
+        let mut r = Relation::new(
+            "t",
+            Schema::of(&[("k", ValueType::Int)]),
+        );
+        r.insert(tuple![1i64]).unwrap();
+        r.insert(tuple![1i64]).unwrap();
+        assert!(r.create_index(&["k"], true).is_err());
+    }
+
+    #[test]
+    fn delete_frees_slot_and_index() {
+        let mut r = workers();
+        let a = r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        let t = r.delete(a).unwrap();
+        assert_eq!(t[0], Value::Id(1));
+        assert!(r.get(a).is_none());
+        assert!(r.lookup_by_name(&["id"], &[Value::Id(1)]).unwrap().is_empty());
+        // Slot reuse keeps ids stable for other rows.
+        let b = r.insert(tuple![2u64, "bob", 0.5]).unwrap();
+        assert_eq!(a, b, "slab reuses freed slot");
+        assert!(r.delete(999).is_err());
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut r = workers();
+        let a = r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        r.update(a, tuple![3u64, "ann", 0.9]).unwrap();
+        assert!(r.lookup_by_name(&["id"], &[Value::Id(1)]).unwrap().is_empty());
+        assert_eq!(r.lookup_by_name(&["id"], &[Value::Id(3)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_unique_violation() {
+        let mut r = workers();
+        let _a = r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        let b = r.insert(tuple![2u64, "bob", 0.5]).unwrap();
+        let err = r.update(b, tuple![1u64, "bob", 0.5]).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        // Self-update to the same key is fine.
+        r.update(b, tuple![2u64, "bobby", 0.6]).unwrap();
+    }
+
+    #[test]
+    fn insert_distinct_dedups() {
+        let mut r = Relation::new("t", Schema::of(&[("x", ValueType::Int)]));
+        let (a, fresh) = r.insert_distinct(tuple![1i64]).unwrap();
+        assert!(fresh);
+        let (b, fresh2) = r.insert_distinct(tuple![1i64]).unwrap();
+        assert!(!fresh2);
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![1i64]));
+        assert!(!r.contains(&tuple![2i64]));
+    }
+
+    #[test]
+    fn lookup_without_index_scans() {
+        let mut r = workers();
+        r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        r.insert(tuple![2u64, "bob", 0.9]).unwrap();
+        // no index on skill
+        let hits = r.lookup_by_name(&["skill"], &[Value::Float(0.9)]).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(r.lookup_by_name(&["nope"], &[Value::Null]).is_err());
+    }
+
+    #[test]
+    fn delete_where_counts() {
+        let mut r = workers();
+        for i in 0..10u64 {
+            r.insert(tuple![i, "w", (i as f64) / 10.0]).unwrap();
+        }
+        let n = r.delete_where(|t| t[2].as_float().unwrap() < 0.5);
+        assert_eq!(n, 5);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn clear_keeps_indexes_working() {
+        let mut r = workers();
+        r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        r.clear();
+        assert!(r.is_empty());
+        r.insert(tuple![1u64, "ann", 0.9]).unwrap();
+        assert_eq!(r.lookup_by_name(&["id"], &[Value::Id(1)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_unique_index_groups() {
+        let mut r = Relation::new(
+            "t",
+            Schema::of(&[("g", ValueType::Int), ("v", ValueType::Int)]),
+        );
+        r.create_index(&["g"], false).unwrap();
+        for i in 0..6i64 {
+            r.insert(tuple![i % 2, i]).unwrap();
+        }
+        assert_eq!(r.lookup_by_name(&["g"], &[Value::Int(0)]).unwrap().len(), 3);
+        assert!(r.has_index_on(&[0]));
+        assert!(!r.has_index_on(&[1]));
+    }
+}

@@ -1,0 +1,380 @@
+//! Snapshot persistence: a human-readable, line-oriented dump of a whole
+//! [`Database`] that round-trips exactly.
+//!
+//! Format:
+//! ```text
+//! crowd4u-snapshot v1
+//! nextid <n>
+//! relation <name>
+//! col <name> <type> <nullable>
+//! row <v1>\t<v2>...      (values in escaped cell encoding)
+//! end
+//! ```
+//! Strings are escaped (`\t`, `\n`, `\\`, `\r`) so one row is always one
+//! line. The format is versioned so future layouts can coexist.
+
+use crate::database::Database;
+use crate::error::StorageError;
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const MAGIC: &str = "crowd4u-snapshot v1";
+
+fn escape_cell(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn unescape_cell(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("bad escape \\{other}")),
+            None => return Err("dangling backslash".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push('_'),
+        Value::Bool(b) => {
+            out.push('b');
+            out.push(if *b { '1' } else { '0' });
+        }
+        Value::Int(i) => {
+            out.push('i');
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => {
+            out.push('f');
+            // {:?} prints enough digits to round-trip f64 exactly.
+            let _ = write!(out, "{f:?}");
+        }
+        Value::Str(s) => {
+            out.push('s');
+            escape_cell(s, out);
+        }
+        Value::Id(i) => {
+            out.push('#');
+            let _ = write!(out, "{i}");
+        }
+    }
+}
+
+fn decode_value(cell: &str) -> Result<Value, String> {
+    let mut chars = cell.chars();
+    let tag = chars.next().ok_or("empty cell")?;
+    let rest: String = chars.collect();
+    match tag {
+        '_' => Ok(Value::Null),
+        'b' => match rest.as_str() {
+            "1" => Ok(Value::Bool(true)),
+            "0" => Ok(Value::Bool(false)),
+            _ => Err(format!("bad bool `{rest}`")),
+        },
+        'i' => rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| e.to_string()),
+        'f' => match rest.as_str() {
+            "NaN" => Ok(Value::Float(f64::NAN)),
+            "inf" => Ok(Value::Float(f64::INFINITY)),
+            "-inf" => Ok(Value::Float(f64::NEG_INFINITY)),
+            _ => rest
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| e.to_string()),
+        },
+        's' => unescape_cell(&rest).map(Value::Str),
+        '#' => rest.parse::<u64>().map(Value::Id).map_err(|e| e.to_string()),
+        _ => Err(format!("unknown tag `{tag}`")),
+    }
+}
+
+/// Serialise the database (schemas + rows + id counter) to text.
+/// Index definitions are *not* part of snapshots; callers re-create them
+/// (the platform layer does this on load).
+pub fn dump(db: &Database) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    let _ = writeln!(out, "nextid {}", db.next_id_hint());
+    for rel in db.relations() {
+        let _ = writeln!(out, "relation {}", rel.name());
+        for c in rel.schema().columns() {
+            let _ = writeln!(out, "col {} {} {}", c.name, c.ty, c.nullable);
+        }
+        for row in rel.iter() {
+            out.push_str("row ");
+            for (i, v) in row.values().iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                encode_value(v, &mut out);
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parse a snapshot produced by [`dump`].
+pub fn load(text: &str) -> Result<Database, StorageError> {
+    let snap_err = |line: usize, message: String| StorageError::Snapshot { line, message };
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| snap_err(1, "empty snapshot".into()))?;
+    if first != MAGIC {
+        return Err(snap_err(1, format!("bad magic `{first}`")));
+    }
+    let mut db = Database::new();
+    let mut current: Option<(String, Vec<Column>, Vec<Tuple>)> = None;
+    for (idx, raw) in lines {
+        let lineno = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let (kw, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kw {
+            "nextid" => {
+                let n = rest
+                    .parse::<u64>()
+                    .map_err(|e| snap_err(lineno, e.to_string()))?;
+                db.ensure_id_floor(n);
+            }
+            "relation" => {
+                if current.is_some() {
+                    return Err(snap_err(lineno, "nested relation".into()));
+                }
+                if rest.is_empty() {
+                    return Err(snap_err(lineno, "relation without a name".into()));
+                }
+                current = Some((rest.to_owned(), Vec::new(), Vec::new()));
+            }
+            "col" => {
+                let cur = current
+                    .as_mut()
+                    .ok_or_else(|| snap_err(lineno, "col outside relation".into()))?;
+                if !cur.2.is_empty() {
+                    return Err(snap_err(lineno, "col after rows".into()));
+                }
+                let parts: Vec<&str> = rest.split(' ').collect();
+                if parts.len() != 3 {
+                    return Err(snap_err(lineno, "col needs: name type nullable".into()));
+                }
+                let ty = ValueType::parse(parts[1])
+                    .ok_or_else(|| snap_err(lineno, format!("bad type `{}`", parts[1])))?;
+                let nullable = match parts[2] {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(snap_err(lineno, format!("bad nullable `{other}`"))),
+                };
+                cur.1.push(Column {
+                    name: parts[0].to_owned(),
+                    ty,
+                    nullable,
+                });
+            }
+            "row" => {
+                let cur = current
+                    .as_mut()
+                    .ok_or_else(|| snap_err(lineno, "row outside relation".into()))?;
+                let mut vals = Vec::with_capacity(cur.1.len());
+                for cell in rest.split('\t') {
+                    vals.push(decode_value(cell).map_err(|m| snap_err(lineno, m))?);
+                }
+                cur.2.push(Tuple::new(vals));
+            }
+            "end" => {
+                let (name, cols, rows) = current
+                    .take()
+                    .ok_or_else(|| snap_err(lineno, "end outside relation".into()))?;
+                let schema = Schema::new(cols)
+                    .map_err(|e| snap_err(lineno, e.to_string()))?;
+                let rel = db
+                    .create_relation(&name, schema)
+                    .map_err(|e| snap_err(lineno, e.to_string()))?;
+                for row in rows {
+                    rel.insert(row).map_err(|e| snap_err(lineno, e.to_string()))?;
+                }
+            }
+            other => return Err(snap_err(lineno, format!("unknown keyword `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(snap_err(0, "unterminated relation".into()));
+    }
+    Ok(db)
+}
+
+/// Write a snapshot to a file.
+pub fn save_to_file(db: &Database, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    use std::io::Write;
+    let text = dump(db);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(text.as_bytes())?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Read a snapshot from a file.
+pub fn load_from_file(path: impl AsRef<Path>) -> Result<Database, StorageError> {
+    let text = std::fs::read_to_string(path)?;
+    load(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        let r = db
+            .create_relation(
+                "worker",
+                Schema::new(vec![
+                    Column::new("id", ValueType::Id),
+                    Column::new("name", ValueType::Str),
+                    Column::nullable("skill", ValueType::Float),
+                    Column::new("active", ValueType::Bool),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        r.insert(tuple![1u64, "ann\twith tab", 0.1 + 0.2, true])
+            .unwrap();
+        r.insert(tuple![2u64, "multi\nline", Value::Null, false])
+            .unwrap();
+        r.insert(tuple![3u64, "back\\slash", f64::NAN, true]).unwrap();
+        db.create_relation("empty", Schema::of(&[("x", ValueType::Int)]))
+            .unwrap();
+        db.fresh_id();
+        db.fresh_id();
+        db
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let db = sample();
+        let text = dump(&db);
+        let back = load(&text).unwrap();
+        assert_eq!(back.next_id_hint(), db.next_id_hint());
+        let names: Vec<&str> = back.relation_names().collect();
+        assert_eq!(names, vec!["empty", "worker"]);
+        let orig = db.relation("worker").unwrap().to_rows();
+        let got = back.relation("worker").unwrap().to_rows();
+        assert_eq!(orig, got); // NaN compares equal under Value's total order
+        assert!(back.relation("empty").unwrap().is_empty());
+        // Dump of the loaded database is byte-identical (canonical form).
+        assert_eq!(dump(&back), text);
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        let mut db = Database::new();
+        let r = db
+            .create_relation("f", Schema::of(&[("x", ValueType::Float)]))
+            .unwrap();
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::MIN, f64::MAX, 1e-300] {
+            r.insert(tuple![v]).unwrap();
+        }
+        let back = load(&dump(&db)).unwrap();
+        assert_eq!(
+            back.relation("f").unwrap().to_rows(),
+            db.relation("f").unwrap().to_rows()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            load("not a snapshot\n"),
+            Err(StorageError::Snapshot { line: 1, .. })
+        ));
+        assert!(load("").is_err());
+    }
+
+    #[test]
+    fn structural_errors_rejected() {
+        let cases = [
+            "crowd4u-snapshot v1\ncol a int false\n",        // col outside relation
+            "crowd4u-snapshot v1\nrow i1\n",                 // row outside relation
+            "crowd4u-snapshot v1\nend\n",                    // end outside relation
+            "crowd4u-snapshot v1\nrelation a\nrelation b\n", // nested
+            "crowd4u-snapshot v1\nrelation a\n",             // unterminated
+            "crowd4u-snapshot v1\nwat 1\n",                  // unknown keyword
+            "crowd4u-snapshot v1\nrelation a\ncol a wat false\nend\n", // bad type
+            "crowd4u-snapshot v1\nrelation a\ncol a int maybe\nend\n", // bad nullable
+            "crowd4u-snapshot v1\nrelation a\ncol a int false\nrow x9\nend\n", // bad tag
+            "crowd4u-snapshot v1\nrelation a\ncol a int false\nrow i1\ncol b int false\nend\n", // col after row
+        ];
+        for c in cases {
+            assert!(load(c).is_err(), "should reject: {c:?}");
+        }
+    }
+
+    #[test]
+    fn value_codec_edge_cases() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Str(String::new()),
+            Value::Str("tab\t nl\n cr\r bs\\ plain".into()),
+            Value::Id(u64::MAX),
+            Value::Float(-0.0),
+        ] {
+            let mut s = String::new();
+            encode_value(&v, &mut s);
+            let back = decode_value(&s).unwrap();
+            // Compare through the canonical encoding (handles -0.0 == 0.0).
+            let mut s2 = String::new();
+            encode_value(&back, &mut s2);
+            assert_eq!(s, s2, "value {v:?}");
+        }
+        assert!(decode_value("").is_err());
+        assert!(decode_value("b7").is_err());
+        assert!(decode_value("sbad\\escape\\q").is_err());
+        assert!(decode_value("s\\").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample();
+        let dir = std::env::temp_dir().join("crowd4u_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        save_to_file(&db, &path).unwrap();
+        let back = load_from_file(&path).unwrap();
+        assert_eq!(dump(&back), dump(&db));
+        std::fs::remove_file(&path).ok();
+        assert!(load_from_file(dir.join("missing.txt")).is_err());
+    }
+}

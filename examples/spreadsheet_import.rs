@@ -1,0 +1,57 @@
+//! Spreadsheet-driven task definition (§2.1): a requester uploads a CSV of
+//! items; each row seeds the CyLog database and becomes a crowd question;
+//! answers are exported back to CSV.
+//!
+//! Run with: `cargo run --example spreadsheet_import`
+
+use crowd4u::cylog::engine::CylogEngine;
+use crowd4u::forms::spreadsheet::{export_csv, import_csv};
+use crowd4u::storage::prelude::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = CylogEngine::from_source(
+        "rel photo(pid: id, url: str).\n\
+         open tag(pid: id, url: str) -> (animal: str, cute: bool) points 1.\n\
+         rel cute_animals(pid: id, animal: str).\n\
+         cute_animals(P, A) :- photo(P, U), tag(P, U, A, C), C = true.\n",
+    )?;
+
+    // The requester's spreadsheet (columns may be in any order).
+    let sheet = "\
+url,pid
+https://example.net/cat.jpg,#1
+https://example.net/dog.jpg,#2
+https://example.net/rock.jpg,#3
+";
+    let added = import_csv(&mut engine, "photo", sheet)?;
+    println!("imported {added} rows from the spreadsheet");
+
+    engine.run()?;
+    println!("crowd questions generated: {}", engine.pending_requests().len());
+
+    // Simulated workers tag the photos.
+    let answers = [
+        (1u64, "cat", true),
+        (2, "dog", true),
+        (3, "rock", false),
+    ];
+    for (pid, animal, cute) in answers {
+        let url = format!(
+            "https://example.net/{}.jpg",
+            if pid == 3 { "rock" } else { animal }
+        );
+        engine.answer(
+            "tag",
+            vec![Value::Id(pid), Value::Str(url)],
+            vec![Value::Str(animal.into()), Value::Bool(cute)],
+            Some(100 + pid),
+        )?;
+    }
+    engine.run()?;
+
+    // Export results back to the requester as CSV.
+    let out = export_csv(&engine, "cute_animals")?;
+    println!("\ncute_animals.csv:\n{out}");
+    println!("leaderboard: {:?}", engine.leaderboard());
+    Ok(())
+}

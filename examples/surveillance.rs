@@ -1,0 +1,38 @@
+//! Demo scenario 3 (§2.5): surveillance with **hybrid** coordination —
+//! team members collect facts sequentially, correcting each other's
+//! observations, while independent witnesses testify simultaneously; the
+//! two tracks join into one report per region.
+//!
+//! Run with: `cargo run --example surveillance [crowd] [regions] [seed]`
+
+use crowd4u::scenarios::{surveillance, ScenarioConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let crowd: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let regions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("surveillance — hybrid coordination");
+    println!("crowd={crowd} regions={regions} seed={seed}\n");
+
+    let config = ScenarioConfig::default()
+        .with_crowd(crowd)
+        .with_items(regions)
+        .with_seed(seed);
+    match surveillance::run(&config) {
+        Ok(report) => {
+            println!("{report}\n");
+            println!(
+                "{}/{} regions verified as credible; overall quality {:.3}",
+                report.items_completed, report.items_total, report.mean_quality
+            );
+            println!(
+                "affinity-aware teams (same-area workers pair better, §2.2.1): \
+                 mean team affinity {:.3}",
+                report.mean_team_affinity
+            );
+        }
+        Err(e) => println!("scenario failed: {e}"),
+    }
+}

@@ -1,0 +1,54 @@
+//! Demo scenario 1 (§2.5): video subtitle generation and translation with
+//! **sequential** collaboration — workers improve each other's
+//! contributions through dynamically generated follow-up tasks
+//! (transcribe → translate → review).
+//!
+//! Run with: `cargo run --example translation [crowd] [items] [seed]`
+
+use crowd4u::core::controller::AlgorithmChoice;
+use crowd4u::scenarios::{translation, ScenarioConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let crowd: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let items: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("video subtitle translation — sequential collaboration");
+    println!("crowd={crowd} items={items} seed={seed}\n");
+
+    for alg in [
+        AlgorithmChoice::Greedy,
+        AlgorithmChoice::LocalSearch,
+        AlgorithmChoice::Exact,
+    ] {
+        // Exact team formation explodes on big pools; cap its candidates by
+        // shrinking the crowd for that run (the assignment controller sees
+        // only interested workers anyway).
+        let crowd_for = if matches!(alg, AlgorithmChoice::Exact) {
+            crowd.min(18)
+        } else {
+            crowd
+        };
+        let config = ScenarioConfig::default()
+            .with_crowd(crowd_for)
+            .with_items(items)
+            .with_seed(seed)
+            .with_algorithm(alg);
+        match translation::run(&config) {
+            Ok(report) => {
+                println!("[{:>12}] {report}", format!("{alg:?}"));
+                println!(
+                    "               completion {:.0}%, {:.1} answers/item",
+                    report.completion_rate() * 100.0,
+                    report.answers as f64 / report.items_total.max(1) as f64
+                );
+            }
+            Err(e) => println!("[{:>12}] failed: {e}", format!("{alg:?}")),
+        }
+    }
+    println!(
+        "\nsequential coordination pays per-item quality for makespan — compare\n\
+         with `cargo run --example journalism` (simultaneous) on the same seed."
+    );
+}

@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole Crowd4U workspace.
+pub use crowd4u_assign as assign;
+pub use crowd4u_collab as collab;
+pub use crowd4u_core as core;
+pub use crowd4u_crowd as crowd;
+pub use crowd4u_cylog as cylog;
+pub use crowd4u_forms as forms;
+pub use crowd4u_scenarios as scenarios;
+pub use crowd4u_sim as sim;
+pub use crowd4u_storage as storage;

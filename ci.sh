@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate for the crowd4u workspace. Run from the repo root.
+#
+# Mirrors what a hosted CI would run; every step must pass:
+#   1. cargo fmt --check       — formatting is canonical
+#   2. cargo clippy -D warnings — lint-clean across all targets
+#   3. cargo build --release   — the whole workspace builds optimized
+#   4. cargo test -q           — unit + property + integration + doc tests
+#   5. cargo doc --no-deps     — docs build with zero warnings
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all --check
+step cargo clippy --workspace --all-targets -- -D warnings
+step cargo build --release
+step cargo test -q
+# Docs must be warning-free, not just successful.
+echo
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo
+echo "CI green."

@@ -1,6 +1,6 @@
 //! Exact team formation via branch and bound.
 //!
-//! Optimal but exponential — [9] proves the problem NP-complete, and
+//! Optimal but exponential — \[9\] proves the problem NP-complete, and
 //! experiment E7 shows exactly where this algorithm stops being viable,
 //! which is the paper's motivation for the approximations in the sibling
 //! modules. An optional affinity upper-bound pruning step (DESIGN.md §5

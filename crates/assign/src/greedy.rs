@@ -1,6 +1,6 @@
 //! Greedy team formation with multi-seed restarts, plus local-search
 //! refinement by member swaps — the "efficient in practice" approximations
-//! of Rahman et al. [9] that Crowd4U adapts per collaboration scheme.
+//! of Rahman et al. \[9\] that Crowd4U adapts per collaboration scheme.
 
 use crate::types::{Candidate, Team, TeamConstraints, TeamFormation};
 use crowd4u_crowd::affinity::AffinityLookup;
@@ -43,8 +43,11 @@ fn grow_from_seed(
         return None;
     }
     let mut best: Option<(f64, Vec<WorkerId>)> = None;
-    let consider = |team: &[usize], pair_sum: f64, skill_sum: f64, cost_sum: f64,
-                        best: &mut Option<(f64, Vec<WorkerId>)>| {
+    let consider = |team: &[usize],
+                    pair_sum: f64,
+                    skill_sum: f64,
+                    cost_sum: f64,
+                    best: &mut Option<(f64, Vec<WorkerId>)>| {
         let n = team.len();
         if n < constraints.min_size {
             return;
@@ -237,7 +240,9 @@ mod tests {
             let (cands, m) = random_instance(25, seed);
             let constraints = TeamConstraints::sized(3, 5);
             let g = GreedyAff::default().form(&cands, &m, &constraints).unwrap();
-            let l = LocalSearch::default().form(&cands, &m, &constraints).unwrap();
+            let l = LocalSearch::default()
+                .form(&cands, &m, &constraints)
+                .unwrap();
             assert!(
                 l.affinity + 1e-9 >= g.affinity,
                 "seed {seed}: local {} < greedy {}",
@@ -253,7 +258,9 @@ mod tests {
         for seed in 0..5 {
             let (cands, m) = random_instance(9, seed);
             let constraints = TeamConstraints::sized(2, 4);
-            let l = LocalSearch::default().form(&cands, &m, &constraints).unwrap();
+            let l = LocalSearch::default()
+                .form(&cands, &m, &constraints)
+                .unwrap();
             let e = ExactBB::default().form(&cands, &m, &constraints).unwrap();
             assert!(e.affinity + 1e-9 >= l.affinity, "seed {seed}");
         }
@@ -280,7 +287,9 @@ mod tests {
     fn greedy_seed_cap_reduces_work_but_stays_feasible() {
         let (cands, m) = random_instance(40, 3);
         let constraints = TeamConstraints::sized(3, 6).with_quality(0.2);
-        let capped = GreedyAff::with_seed_cap(4).form(&cands, &m, &constraints).unwrap();
+        let capped = GreedyAff::with_seed_cap(4)
+            .form(&cands, &m, &constraints)
+            .unwrap();
         let full = GreedyAff::default().form(&cands, &m, &constraints).unwrap();
         assert!(validate_team(&capped, &cands, &constraints));
         assert!(full.affinity + 1e-9 >= capped.affinity);

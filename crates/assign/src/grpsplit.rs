@@ -133,7 +133,11 @@ impl GrpSplit {
                 }
             }
         }
-        let merge_affinity = if pairs == 0 { 0.0 } else { merge / pairs as f64 };
+        let merge_affinity = if pairs == 0 {
+            0.0
+        } else {
+            merge / pairs as f64
+        };
         Some(SplitAssignment {
             groups: teams,
             merge_affinity,
@@ -224,7 +228,10 @@ mod tests {
                 random_better += 1;
             }
         }
-        assert_eq!(random_better, 0, "random split should never beat Grp&Split here");
+        assert_eq!(
+            random_better, 0,
+            "random split should never beat Grp&Split here"
+        );
     }
 
     #[test]

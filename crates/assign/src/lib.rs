@@ -42,10 +42,7 @@ mod proptests {
     use crowd4u_crowd::profile::WorkerId;
     use proptest::prelude::*;
 
-    fn build(
-        skills: &[f64],
-        affs: &[f64],
-    ) -> (Vec<Candidate>, AffinityMatrix) {
+    fn build(skills: &[f64], affs: &[f64]) -> (Vec<Candidate>, AffinityMatrix) {
         let n = skills.len();
         let cands: Vec<Candidate> = skills
             .iter()

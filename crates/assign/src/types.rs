@@ -5,7 +5,7 @@
 //! of workers is a clique in the graph whose size does not surpass the
 //! critical mass imposed by a task. … Our task assignment problem reduces to
 //! finding a clique that maximizes intra-affinity and satisfies quality and
-//! cost limits." ([9] proves the optimization NP-complete.)
+//! cost limits." (\[9\] proves the optimization NP-complete.)
 
 use crowd4u_crowd::affinity::{group_affinity, AffinityLookup};
 use crowd4u_crowd::profile::WorkerId;
@@ -98,11 +98,7 @@ pub struct Team {
 
 impl Team {
     /// Build a team record from members, computing objective/limits.
-    pub fn assemble(
-        members: Vec<WorkerId>,
-        cands: &[Candidate],
-        aff: &dyn AffinityLookup,
-    ) -> Team {
+    pub fn assemble(members: Vec<WorkerId>, cands: &[Candidate], aff: &dyn AffinityLookup) -> Team {
         let n = members.len().max(1);
         let quality = members
             .iter()

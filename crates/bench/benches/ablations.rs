@@ -35,7 +35,10 @@ fn ablation_seminaive(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("ablation_seminaive");
     group.sample_size(10);
-    for (name, mode) in [("semi-naive", EvalMode::SemiNaive), ("naive", EvalMode::Naive)] {
+    for (name, mode) in [
+        ("semi-naive", EvalMode::SemiNaive),
+        ("naive", EvalMode::Naive),
+    ] {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || build(mode),

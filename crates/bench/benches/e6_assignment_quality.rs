@@ -37,16 +37,12 @@ fn bench_quality(c: &mut Criterion) {
     for &n in &[14usize, 18] {
         let (cands, aff) = clustered_instance(n, 3, 1);
         for alg in all_algorithms(1) {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let t = alg.form(&cands, &aff, &constraints);
-                        std::hint::black_box(t.map(|t| t.affinity))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let t = alg.form(&cands, &aff, &constraints);
+                    std::hint::black_box(t.map(|t| t.affinity))
+                })
+            });
         }
     }
     group.finish();

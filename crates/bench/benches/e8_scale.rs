@@ -19,7 +19,12 @@ fn pipeline(n: u64) -> usize {
     let pending = engine.pending_requests().to_vec();
     for (k, req) in pending.iter().enumerate() {
         engine
-            .answer(&req.pred_name, req.inputs.clone(), vec![(k % 10 != 0).into()], None)
+            .answer(
+                &req.pred_name,
+                req.inputs.clone(),
+                vec![(k % 10 != 0).into()],
+                None,
+            )
             .unwrap();
     }
     engine.run().unwrap();

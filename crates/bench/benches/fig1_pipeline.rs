@@ -17,7 +17,10 @@ fn bench_pipeline(c: &mut Criterion) {
             BenchmarkId::from_parameter(scheme.name()),
             &scheme,
             |b, &scheme| {
-                let cfg = ScenarioConfig::default().with_crowd(40).with_items(4).with_seed(42);
+                let cfg = ScenarioConfig::default()
+                    .with_crowd(40)
+                    .with_items(4)
+                    .with_seed(42);
                 b.iter(|| {
                     let r = run_scheme(scheme, &cfg).expect("scenario");
                     std::hint::black_box(r.items_completed)

@@ -18,7 +18,10 @@ fn valid_response() -> FormResponse {
 }
 
 fn bench_admin_form(c: &mut Criterion) {
-    let form = constraint_form(&["translation", "journalism", "surveillance"], &["en", "ja", "fr"]);
+    let form = constraint_form(
+        &["translation", "journalism", "surveillance"],
+        &["en", "ja", "fr"],
+    );
     let valid = valid_response();
     let invalid = valid_response()
         .set("language", "xx")

@@ -15,8 +15,13 @@ fn run_session(members: usize, edits_per_member: usize, seed: u64) -> f64 {
     let mut rng = SimRng::seed_from(seed);
     for round in 0..edits_per_member {
         for (k, &m) in ids.iter().enumerate() {
-            s.contribute(m, (k + round) % 3, format!("text {round} by {m}"), rng.unit())
-                .unwrap();
+            s.contribute(
+                m,
+                (k + round) % 3,
+                format!("text {round} by {m}"),
+                rng.unit(),
+            )
+            .unwrap();
         }
     }
     let (_, q) = s.submit(ids[0]).unwrap();
@@ -29,9 +34,7 @@ fn bench_simultaneous(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("session", members),
             &members,
-            |b, &members| {
-                b.iter(|| std::hint::black_box(run_session(members, 5, 9)))
-            },
+            |b, &members| b.iter(|| std::hint::black_box(run_session(members, 5, 9))),
         );
     }
     // Heavy-edit workspace merge.

@@ -60,10 +60,19 @@ fn main() {
 fn e1_pipeline() {
     println!("## E1 (Figure 1) — deployment pipeline per scheme\n");
     let mut t = TablePrinter::new(&[
-        "scheme", "items", "completed", "quality", "makespan", "answers", "teams",
+        "scheme",
+        "items",
+        "completed",
+        "quality",
+        "makespan",
+        "answers",
+        "teams",
         "reassign",
     ]);
-    let cfg = ScenarioConfig::default().with_crowd(60).with_items(8).with_seed(42);
+    let cfg = ScenarioConfig::default()
+        .with_crowd(60)
+        .with_items(8)
+        .with_seed(42);
     for scheme in Scheme::all() {
         let r = crowd4u_scenarios::run_scheme(scheme, &cfg).expect("scenario");
         t.row(vec![
@@ -131,8 +140,12 @@ fn e2_workflow() {
                 let _ = p.undertake(m, task);
             }
         }
-        if matches!(p.pool.get(task).unwrap().state, TaskState::InProgress { .. }) {
-            p.complete_collab_task(task, 0.7 + 0.3 * rng.unit()).unwrap();
+        if matches!(
+            p.pool.get(task).unwrap().state,
+            TaskState::InProgress { .. }
+        ) {
+            p.complete_collab_task(task, 0.7 + 0.3 * rng.unit())
+                .unwrap();
         }
     }
     let mut t = TablePrinter::new(&["counter", "value"]);
@@ -161,7 +174,10 @@ fn e3_admin_form() {
         ("valid", base()),
         ("bad language", base().set("language", "xx")),
         ("quality out of range", base().set("min_quality", 1.5)),
-        ("inverted team bounds", base().set("min_team", 6i64).set("max_team", 2i64)),
+        (
+            "inverted team bounds",
+            base().set("min_team", 6i64).set("max_team", 2i64),
+        ),
         ("non-integer team size", base().set("min_team", 2.5)),
         ("zero recruitment", base().set("recruitment_secs", 0i64)),
         ("unknown field", base().set("bogus", 1i64)),
@@ -190,7 +206,11 @@ fn e4_worker_factors() {
     let mut obs = Vec::new();
     for _ in 0..400 {
         let k = 2 + rng.index(3);
-        let members: Vec<u64> = rng.sample_indices(truth.len(), k).into_iter().map(|i| i as u64).collect();
+        let members: Vec<u64> = rng
+            .sample_indices(truth.len(), k)
+            .into_iter()
+            .map(|i| i as u64)
+            .collect();
         let mean: f64 =
             members.iter().map(|m| truth[*m as usize].1).sum::<f64>() / members.len() as f64;
         let q = (mean + rng.normal(0.0, 0.05)).clamp(0.0, 1.0);
@@ -236,7 +256,8 @@ fn e5_simultaneous() {
             }
             let mut rng = SimRng::seed_from(5 + k as u64);
             for (i, &m) in members.iter().enumerate() {
-                s.contribute(m, i % 2, "text", 0.55 + 0.3 * rng.unit()).unwrap();
+                s.contribute(m, i % 2, "text", 0.55 + 0.3 * rng.unit())
+                    .unwrap();
             }
             let (_, q) = s.submit(members[0]).unwrap();
             t.row(vec![format!("{aff:.1}"), k.to_string(), format!("{q:.3}")]);
@@ -297,7 +318,7 @@ fn e6_assignment_quality() {
     println!("expected shape: exact ≥ local-search ≥ greedy ≫ random\n");
 }
 
-/// E7: assignment runtime — where exact explodes (why [9]'s approximations
+/// E7: assignment runtime — where exact explodes (why \[9\]'s approximations
 /// exist).
 fn e7_assignment_runtime() {
     println!("## E7 — assignment runtime vs pool size\n");
@@ -386,7 +407,12 @@ fn e8_scale(full: bool) {
     let good = engine.fact_count("good").unwrap();
     let mut t = TablePrinter::new(&["phase", "items", "time", "rate (items/s)"]);
     let rate = |n: usize, d: std::time::Duration| format!("{:.0}", n as f64 / d.as_secs_f64());
-    t.row(vec!["seed facts".into(), n.to_string(), format!("{t_seed:.2?}"), rate(n, t_seed)]);
+    t.row(vec![
+        "seed facts".into(),
+        n.to_string(),
+        format!("{t_seed:.2?}"),
+        rate(n, t_seed),
+    ]);
     t.row(vec![
         "generate questions".into(),
         questions.to_string(),
@@ -414,7 +440,12 @@ fn e8_scale(full: bool) {
 fn e9_scenarios() {
     println!("## E9 (§2.5) — demo scenarios × assignment algorithms\n");
     let mut t = TablePrinter::new(&[
-        "scenario", "algorithm", "completed", "quality", "affinity", "makespan",
+        "scenario",
+        "algorithm",
+        "completed",
+        "quality",
+        "affinity",
+        "makespan",
     ]);
     for alg in [AlgorithmChoice::Greedy, AlgorithmChoice::LocalSearch] {
         let cfg = ScenarioConfig::default()

@@ -8,7 +8,7 @@
 //! Experiment map (see DESIGN.md §4): E1 = Figure 1 pipeline, E2 = Figure 2
 //! workflow, E3 = Figure 3 admin form, E4 = Figure 4 worker factors,
 //! E5 = Figure 5 simultaneous session, E6/E7 = the assignment-algorithm
-//! quality/runtime evaluation the demo adapts from Rahman et al. [9],
+//! quality/runtime evaluation the demo adapts from Rahman et al. \[9\],
 //! E8 = platform scale ("600,000 tasks performed"), E9 = the three demo
 //! scenarios.
 

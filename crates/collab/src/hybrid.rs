@@ -305,7 +305,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(HybridError::NoSuchFact(1).to_string().contains("fact"));
-        assert!(HybridError::SelfCorrection(w(2)).to_string().contains("own"));
+        assert!(HybridError::SelfCorrection(w(2))
+            .to_string()
+            .contains("own"));
         assert!(HybridError::AlreadyClosed.to_string().contains("closed"));
     }
 }

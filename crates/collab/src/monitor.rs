@@ -107,11 +107,7 @@ mod tests {
     }
 
     fn monitor() -> CollabMonitor {
-        CollabMonitor::new(
-            &[w(1), w(2), w(3)],
-            SimTime(0),
-            SimDuration::minutes(10),
-        )
+        CollabMonitor::new(&[w(1), w(2), w(3)], SimTime(0), SimDuration::minutes(10))
     }
 
     #[test]
@@ -138,7 +134,10 @@ mod tests {
     #[test]
     fn full_stall_detected() {
         let m = monitor();
-        assert_eq!(m.check(SimTime(0) + SimDuration::minutes(10)), Verdict::Stalled);
+        assert_eq!(
+            m.check(SimTime(0) + SimDuration::minutes(10)),
+            Verdict::Stalled
+        );
         // just before the threshold: healthy
         assert_eq!(m.check(SimTime(599)), Verdict::Healthy);
     }
@@ -147,7 +146,10 @@ mod tests {
     fn completion_is_terminal() {
         let mut m = monitor();
         m.mark_complete();
-        assert_eq!(m.check(SimTime(0) + SimDuration::days(1)), Verdict::Complete);
+        assert_eq!(
+            m.check(SimTime(0) + SimDuration::days(1)),
+            Verdict::Complete
+        );
     }
 
     #[test]

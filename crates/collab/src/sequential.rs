@@ -251,7 +251,10 @@ mod tests {
             art,
         );
         flow.advance(w(2), "", 0.9).unwrap();
-        assert_eq!(flow.advance(w(3), "", 0.9).unwrap_err(), SequentialError::Complete);
+        assert_eq!(
+            flow.advance(w(3), "", 0.9).unwrap_err(),
+            SequentialError::Complete
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionError::WrongPhase { expected, actual } => {
-                write!(f, "operation requires phase {expected:?}, session is {actual:?}")
+                write!(
+                    f,
+                    "operation requires phase {expected:?}, session is {actual:?}"
+                )
             }
             SessionError::NotAMember(w) => write!(f, "worker {w} is not a member"),
             SessionError::Workspace(e) => write!(f, "workspace: {e}"),
@@ -160,7 +163,10 @@ impl SimultaneousSession {
                 actual: self.phase,
             });
         }
-        let ws = self.workspace.as_mut().expect("working phase has workspace");
+        let ws = self
+            .workspace
+            .as_mut()
+            .expect("working phase has workspace");
         // Quality: mean over sections of the simultaneous merge model.
         let mut section_q = Vec::new();
         for s in ws.sections() {
@@ -204,7 +210,10 @@ mod tests {
             s.contribute(w(1), 0, "early", 0.5),
             Err(SessionError::WrongPhase { .. })
         ));
-        assert_eq!(s.provide_sns_id(w(1), "ann@gmail").unwrap(), Phase::CollectingIds);
+        assert_eq!(
+            s.provide_sns_id(w(1), "ann@gmail").unwrap(),
+            Phase::CollectingIds
+        );
         assert_eq!(s.provide_sns_id(w(2), "bob@gmail").unwrap(), Phase::Working);
         assert_eq!(s.sns_ids().len(), 2);
         s.contribute(w(1), 0, "protest downtown", 0.7).unwrap();
@@ -249,12 +258,18 @@ mod tests {
     #[test]
     fn cannot_submit_twice_or_out_of_phase() {
         let mut s = session();
-        assert!(matches!(s.submit(w(1)), Err(SessionError::WrongPhase { .. })));
+        assert!(matches!(
+            s.submit(w(1)),
+            Err(SessionError::WrongPhase { .. })
+        ));
         s.provide_sns_id(w(1), "a").unwrap();
         s.provide_sns_id(w(2), "b").unwrap();
         s.contribute(w(1), 0, "x", 0.5).unwrap();
         s.submit(w(1)).unwrap();
-        assert!(matches!(s.submit(w(2)), Err(SessionError::WrongPhase { .. })));
+        assert!(matches!(
+            s.submit(w(2)),
+            Err(SessionError::WrongPhase { .. })
+        ));
         // and ids can no longer be provided
         assert!(matches!(
             s.provide_sns_id(w(2), "late"),

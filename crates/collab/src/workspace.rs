@@ -284,7 +284,10 @@ mod tests {
             s.contribute(w(1), 0, "late", 0.5).unwrap_err(),
             WorkspaceError::AlreadySubmitted
         );
-        assert_eq!(s.submit(w(1)).unwrap_err(), WorkspaceError::AlreadySubmitted);
+        assert_eq!(
+            s.submit(w(1)).unwrap_err(),
+            WorkspaceError::AlreadySubmitted
+        );
         let text = doc.to_string();
         assert!(text.contains("# VLDB impressions"));
         assert!(text.contains("submitted by w2"));
@@ -293,7 +296,10 @@ mod tests {
     #[test]
     fn submit_by_non_member_rejected() {
         let mut s = ws();
-        assert_eq!(s.submit(w(7)).unwrap_err(), WorkspaceError::NotAMember(w(7)));
+        assert_eq!(
+            s.submit(w(7)).unwrap_err(),
+            WorkspaceError::NotAMember(w(7))
+        );
         assert!(!s.is_submitted());
     }
 
@@ -321,8 +327,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(WorkspaceError::NoSuchSection(1).to_string().contains("section"));
-        assert!(WorkspaceError::NotAMember(w(1)).to_string().contains("member"));
-        assert!(WorkspaceError::AlreadySubmitted.to_string().contains("submitted"));
+        assert!(WorkspaceError::NoSuchSection(1)
+            .to_string()
+            .contains("section"));
+        assert!(WorkspaceError::NotAMember(w(1))
+            .to_string()
+            .contains("member"));
+        assert!(WorkspaceError::AlreadySubmitted
+            .to_string()
+            .contains("submitted"));
     }
 }

@@ -122,9 +122,7 @@ impl AssignmentController {
         }
         match self.algorithm {
             AlgorithmChoice::Exact => ExactBB::default().form(candidates, affinity, constraints),
-            AlgorithmChoice::Greedy => {
-                GreedyAff::default().form(candidates, affinity, constraints)
-            }
+            AlgorithmChoice::Greedy => GreedyAff::default().form(candidates, affinity, constraints),
             AlgorithmChoice::LocalSearch => {
                 LocalSearch::default().form(candidates, affinity, constraints)
             }

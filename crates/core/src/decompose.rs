@@ -137,7 +137,13 @@ mod tests {
         let texts: Vec<&str> = pieces.iter().map(|p| p.content.as_str()).collect();
         assert_eq!(
             texts,
-            vec!["Hello there.", "How are you?", "Fine!", "了解。", "trailing"]
+            vec![
+                "Hello there.",
+                "How are you?",
+                "Fine!",
+                "了解。",
+                "trailing"
+            ]
         );
         assert_eq!(pieces[2].index, 2);
         assert!(d.decompose("").is_empty());

@@ -153,6 +153,8 @@ mod tests {
         assert!(Ineligibility::LacksLanguage("en".into())
             .to_string()
             .contains("en"));
-        assert!(Ineligibility::LacksSkill("x".into()).to_string().contains("x"));
+        assert!(Ineligibility::LacksSkill("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -34,14 +34,25 @@ pub enum PlatformError {
     UnknownProject(ProjectId),
     UnknownTask(TaskId),
     /// Worker not eligible for the task (precondition of Undertakes, §2.2).
-    NotEligible { worker: WorkerId, task: TaskId },
+    NotEligible {
+        worker: WorkerId,
+        task: TaskId,
+    },
     /// Worker has not been suggested for this task.
-    NotSuggested { worker: WorkerId, task: TaskId },
+    NotSuggested {
+        worker: WorkerId,
+        task: TaskId,
+    },
     /// Operation invalid in the task's current state.
-    BadTaskState { task: TaskId, state: String },
+    BadTaskState {
+        task: TaskId,
+        state: String,
+    },
     /// No team satisfying the desired human factors exists; the requester
     /// should relax the constraints (§2.2.1).
-    NoFeasibleTeam { task: TaskId },
+    NoFeasibleTeam {
+        task: TaskId,
+    },
     Cylog(CylogError),
     Storage(StorageError),
 }

@@ -28,9 +28,9 @@ pub mod declarative;
 pub mod decompose;
 pub mod eligibility;
 pub mod error;
-pub mod qualification;
 pub mod pages;
 pub mod platform;
+pub mod qualification;
 pub mod relations;
 pub mod task;
 pub mod workers;
@@ -44,10 +44,10 @@ pub mod prelude {
         ChunkSplitter, Decomposer, OutlineSplitter, Piece, SentenceSplitter,
     };
     pub use crate::eligibility::{check_eligibility, is_eligible, Ineligibility};
-    pub use crate::qualification::{take_test, QualificationTest};
     pub use crate::error::{PlatformError, ProjectId, TaskId, WorkerId};
     pub use crate::pages::{admin_page, user_page, AdminPage, UserPage};
     pub use crate::platform::{Crowd4U, Project};
+    pub use crate::qualification::{take_test, QualificationTest};
     pub use crate::relations::RelationStore;
     pub use crate::task::{Task, TaskBody, TaskPool, TaskState};
     pub use crate::workers::WorkerManager;

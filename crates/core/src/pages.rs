@@ -56,7 +56,10 @@ impl fmt::Display for UserPage {
 }
 
 /// Build a worker's user page from the platform state.
-pub fn user_page(platform: &Crowd4U, worker: WorkerId) -> Result<UserPage, crate::error::PlatformError> {
+pub fn user_page(
+    platform: &Crowd4U,
+    worker: WorkerId,
+) -> Result<UserPage, crate::error::PlatformError> {
     let profile = platform.workers.get(worker)?;
     let entries = platform
         .visible_tasks(worker)

@@ -174,7 +174,9 @@ impl Crowd4U {
     }
 
     pub fn project(&self, id: ProjectId) -> Result<&Project, PlatformError> {
-        self.projects.get(&id).ok_or(PlatformError::UnknownProject(id))
+        self.projects
+            .get(&id)
+            .ok_or(PlatformError::UnknownProject(id))
     }
 
     pub fn project_mut(&mut self, id: ProjectId) -> Result<&mut Project, PlatformError> {
@@ -228,7 +230,8 @@ impl Crowd4U {
                 new_tasks.push(id);
             }
         }
-        self.counters.add("micro_tasks_generated", new_tasks.len() as u64);
+        self.counters
+            .add("micro_tasks_generated", new_tasks.len() as u64);
         if !new_tasks.is_empty() {
             let eligible = self.eligible_set(project)?;
             for task in &new_tasks {
@@ -264,7 +267,11 @@ impl Crowd4U {
     // ---- workflow steps (3)–(5) ----
 
     /// Step (3): a worker declares interest in an eligible task.
-    pub fn express_interest(&mut self, worker: WorkerId, task: TaskId) -> Result<(), PlatformError> {
+    pub fn express_interest(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+    ) -> Result<(), PlatformError> {
         self.workers.get(worker)?;
         self.pool.get(task)?;
         self.relations.express_interest(worker, task)?;
@@ -535,7 +542,14 @@ published(S, T) :- sentence(S), translate(S, T).
         p.submit_micro_answer(WorkerId(1), task, vec!["bonjour".into()])
             .unwrap();
         p.sync_tasks(proj).unwrap();
-        assert_eq!(p.project(proj).unwrap().engine.fact_count("published").unwrap(), 1);
+        assert_eq!(
+            p.project(proj)
+                .unwrap()
+                .engine
+                .fact_count("published")
+                .unwrap(),
+            1
+        );
         assert_eq!(p.points_of(WorkerId(1)), 2);
         // answered task is completed; answering again fails
         assert!(p
@@ -709,12 +723,8 @@ published(S, T) :- sentence(S), translate(S, T).
     #[test]
     fn eligibility_respects_factors() {
         let mut p = Crowd4U::new();
-        p.register_worker(
-            WorkerProfile::new(WorkerId(1), "en-native").with_native_lang("en"),
-        );
-        p.register_worker(
-            WorkerProfile::new(WorkerId(2), "ja-only").with_native_lang("ja"),
-        );
+        p.register_worker(WorkerProfile::new(WorkerId(1), "en-native").with_native_lang("en"));
+        p.register_worker(WorkerProfile::new(WorkerId(2), "ja-only").with_native_lang("ja"));
         let f = DesiredFactors {
             required_language: Some("en".into()),
             ..factors()
@@ -728,9 +738,7 @@ published(S, T) :- sentence(S), translate(S, T).
             Err(PlatformError::NotEligible { .. })
         ));
         // late-registering qualified worker becomes eligible
-        p.register_worker(
-            WorkerProfile::new(WorkerId(3), "late").with_native_lang("en"),
-        );
+        p.register_worker(WorkerProfile::new(WorkerId(3), "late").with_native_lang("en"));
         assert!(p.relations.is_eligible(WorkerId(3), task));
     }
 }

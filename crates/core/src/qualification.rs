@@ -6,8 +6,8 @@
 //! (fraction of correctly answered questions) becomes the worker's level
 //! on the tested skill.
 
-use crate::workers::WorkerManager;
 use crate::error::{PlatformError, WorkerId};
+use crate::workers::WorkerManager;
 use crowd4u_forms::field::{Field, FieldType};
 use crowd4u_forms::form::{Form, FormResponse};
 use crowd4u_storage::prelude::Value;
@@ -36,7 +36,11 @@ impl QualificationTest {
                 choices.contains(correct),
                 "answer key must be one of the choices"
             );
-            form = form.field(Field::new(name.clone(), *prompt, FieldType::choice(choices)));
+            form = form.field(Field::new(
+                name.clone(),
+                *prompt,
+                FieldType::choice(choices),
+            ));
             answer_key.push((name, Value::Str((*correct).to_string())));
         }
         QualificationTest {
@@ -158,9 +162,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn answer_key_must_be_a_choice() {
-        let _ = QualificationTest::multiple_choice(
-            "x",
-            &[("q", &["a", "b"] as &[&str], "c")],
-        );
+        let _ = QualificationTest::multiple_choice("x", &[("q", &["a", "b"] as &[&str], "c")]);
     }
 }

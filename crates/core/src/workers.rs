@@ -179,7 +179,10 @@ mod tests {
         assert!(s1 > 0.8, "skilled worker got {s1}");
         assert!(s3 < 0.3, "unskilled worker got {s3}");
         // worker 2 never observed: unchanged default
-        assert_eq!(m.get(WorkerId(2)).unwrap().factors.skill("translation"), 0.0);
+        assert_eq!(
+            m.get(WorkerId(2)).unwrap().factors.skill("translation"),
+            0.0
+        );
     }
 
     #[test]

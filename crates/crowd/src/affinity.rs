@@ -35,7 +35,12 @@ impl AffinityMatrix {
     pub fn new(ids: Vec<WorkerId>) -> AffinityMatrix {
         let n = ids.len();
         let pairs = if n < 2 { 0 } else { n * (n - 1) / 2 };
-        let index = ids.iter().copied().enumerate().map(|(i, w)| (w, i)).collect();
+        let index = ids
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, w)| (w, i))
+            .collect();
         AffinityMatrix {
             ids,
             index,

@@ -125,9 +125,8 @@ impl WorkerAgent {
             Some(name) => 0.3 * (self.profile.factors.skill(name) - 0.5),
             None => 0.0,
         };
-        
-        self
-            .rng
+
+        self.rng
             .normal_clamped(base + skill_bonus, self.behavior.quality_std, 0.0, 1.0)
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Paper §2.4 says skills are "computed by the system based on previously
 //! performed tasks (e.g., via qualification tests, or by learning workers'
-//! profiles as in [10])". Reference [10] (Rahman et al., PVLDB 2015)
+//! profiles as in \[10\])". Reference \[10\] (Rahman et al., PVLDB 2015)
 //! estimates *individual* skills from the observed quality of *team* tasks.
 //!
 //! This module implements the additive-model variant: the observed quality
@@ -86,8 +86,7 @@ pub fn estimate_skills(
             involved.entry(w).or_default().push(i);
         }
     }
-    let mut skills: BTreeMap<WorkerId, f64> =
-        involved.keys().map(|&w| (w, config.prior)).collect();
+    let mut skills: BTreeMap<WorkerId, f64> = involved.keys().map(|&w| (w, config.prior)).collect();
 
     let predict = |skills: &BTreeMap<WorkerId, f64>, o: &TeamObservation| -> f64 {
         if o.members.is_empty() {
@@ -131,7 +130,10 @@ pub fn estimate_skills(
         let e = o.quality - predict(&skills, o);
         sq += e * e;
     }
-    let n = observations.iter().filter(|o| !o.members.is_empty()).count();
+    let n = observations
+        .iter()
+        .filter(|o| !o.members.is_empty())
+        .count();
     let rmse = if n == 0 { 0.0 } else { (sq / n as f64).sqrt() };
 
     SkillEstimate {

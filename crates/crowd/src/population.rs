@@ -100,10 +100,8 @@ pub fn generate(config: &PopulationConfig, rng: &mut SimRng) -> Population {
                 if other == li {
                     other = (other + 1) % config.languages.len();
                 }
-                profile = profile.with_fluency(
-                    config.languages[other].0.clone(),
-                    rng.range_f64(0.5, 1.0),
-                );
+                profile = profile
+                    .with_fluency(config.languages[other].0.clone(), rng.range_f64(0.5, 1.0));
             }
         }
 
@@ -199,7 +197,10 @@ mod tests {
             .iter()
             .flat_map(|a| a.profile.factors.native_langs.iter().map(|l| l.0.clone()))
             .collect();
-        assert!(langs.len() >= 3, "expected ≥3 native languages, got {langs:?}");
+        assert!(
+            langs.len() >= 3,
+            "expected ≥3 native languages, got {langs:?}"
+        );
         let regions: std::collections::HashSet<String> = p
             .agents
             .iter()

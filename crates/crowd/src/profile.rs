@@ -124,7 +124,7 @@ pub struct WorkerProfile {
     pub factors: HumanFactors,
     /// Per-task cost of engaging this worker. Crowd4U is volunteer-based so
     /// production cost is 0, but the assignment algorithms of Rahman et al.
-    /// [9] include cost budgets, so the field is carried through.
+    /// \[9\] include cost budgets, so the field is carried through.
     pub cost: f64,
 }
 

@@ -197,8 +197,8 @@ pub fn compile(program: &Program) -> Result<CompiledProgram, CylogError> {
     let mut preds: Vec<PredInfo> = Vec::new();
     let mut pred_ids: HashMap<String, PredId> = HashMap::new();
     let declare = |preds: &mut Vec<PredInfo>,
-                       pred_ids: &mut HashMap<String, PredId>,
-                       info: PredInfo|
+                   pred_ids: &mut HashMap<String, PredId>,
+                   info: PredInfo|
      -> Result<PredId, CylogError> {
         if pred_ids.contains_key(&info.name) {
             return Err(CylogError::Semantic(format!(
@@ -461,11 +461,7 @@ fn reorder_body(lits: &[CLit]) -> Result<Vec<CLit>, usize> {
     Ok(out)
 }
 
-fn infer_expr_type(
-    e: &CExpr,
-    ctx: &RuleCtx,
-    rule: &str,
-) -> Result<Option<ValueType>, CylogError> {
+fn infer_expr_type(e: &CExpr, ctx: &RuleCtx, rule: &str) -> Result<Option<ValueType>, CylogError> {
     match e {
         CExpr::Var(v) => Ok(ctx.var_types[*v as usize]),
         CExpr::Const(c) => Ok(c.value_type()),
@@ -562,11 +558,9 @@ fn compile_rule(
                     CLit::Neg(catom)
                 }
             }
-            BodyLit::Cmp(op, a, b) => CLit::Cmp(
-                *op,
-                compile_expr(a, &mut ctx),
-                compile_expr(b, &mut ctx),
-            ),
+            BodyLit::Cmp(op, a, b) => {
+                CLit::Cmp(*op, compile_expr(a, &mut ctx), compile_expr(b, &mut ctx))
+            }
             BodyLit::Let(v, e) => {
                 let e = compile_expr(e, &mut ctx);
                 let vid = ctx.intern(v);
@@ -678,8 +672,7 @@ fn compile_rule(
             let col_ty = head_info.col_types[i];
             let in_ty = ctx.var_types[*v as usize].unwrap_or(col_ty);
             let out_ty = func.output_type(in_ty);
-            let ok = col_ty == out_ty
-                || (col_ty == ValueType::Float && out_ty == ValueType::Int);
+            let ok = col_ty == out_ty || (col_ty == ValueType::Float && out_ty == ValueType::Int);
             if !ok {
                 return Err(CylogError::Semantic(format!(
                     "aggregate {} produces {out_ty} but column {i} of `{}` is {col_ty} in `{rule_str}`",
@@ -927,18 +920,16 @@ mod tests {
     fn duplicate_declaration_rejected() {
         let err = compile_src("rel p(a: int).\nrel p(b: int).").unwrap_err();
         assert!(err.to_string().contains("twice"));
-        let err =
-            compile_src("rel p(a: int, a: str).").unwrap_err();
+        let err = compile_src("rel p(a: int, a: str).").unwrap_err();
         assert!(err.to_string().contains("duplicate column"));
     }
 
     #[test]
     fn type_conflicts_rejected() {
         // X used as int and str
-        let err = compile_src(
-            "rel a(x: int).\nrel b(x: str).\nrel r(x: int).\nr(X) :- a(X), b(X).",
-        )
-        .unwrap_err();
+        let err =
+            compile_src("rel a(x: int).\nrel b(x: str).\nrel r(x: int).\nr(X) :- a(X), b(X).")
+                .unwrap_err();
         assert!(err.to_string().contains("used as"));
         // fact value of the wrong type
         let err = compile_src("rel p(a: int).\np(\"no\").").unwrap_err();
@@ -958,8 +949,7 @@ mod tests {
                 .unwrap_err();
         assert!(err.to_string().contains("unsafe"));
         // comparison with unbound var
-        let err = compile_src("rel p(a: int).\nrel r(a: int).\nr(X) :- p(X), Y > 3.")
-            .unwrap_err();
+        let err = compile_src("rel p(a: int).\nrel r(a: int).\nr(X) :- p(X), Y > 3.").unwrap_err();
         assert!(err.to_string().contains("unsafe"));
     }
 
@@ -974,19 +964,14 @@ mod tests {
 
     #[test]
     fn let_rebinding_rejected() {
-        let err = compile_src(
-            "rel p(a: int).\nrel r(a: int).\nr(X) :- p(X), X := 3.",
-        )
-        .unwrap_err();
+        let err = compile_src("rel p(a: int).\nrel r(a: int).\nr(X) :- p(X), X := 3.").unwrap_err();
         assert!(err.to_string().contains("unsafe"));
     }
 
     #[test]
     fn open_predicates_cannot_be_derived() {
-        let err = compile_src(
-            "open j(x: int) -> (ok: bool).\nrel p(x: int).\nj(X, true) :- p(X).",
-        )
-        .unwrap_err();
+        let err = compile_src("open j(x: int) -> (ok: bool).\nrel p(x: int).\nj(X, true) :- p(X).")
+            .unwrap_err();
         assert!(err.to_string().contains("cannot be derived"));
     }
 

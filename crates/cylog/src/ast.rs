@@ -431,7 +431,13 @@ mod tests {
         assert_eq!(AggFunc::Count.output_type(ValueType::Str), ValueType::Int);
         assert_eq!(AggFunc::Min.output_type(ValueType::Str), ValueType::Str);
         assert_eq!(AggFunc::Avg.output_type(ValueType::Int), ValueType::Float);
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             assert_eq!(AggFunc::parse(f.name()), Some(f));
         }
     }

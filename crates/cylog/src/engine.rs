@@ -55,7 +55,8 @@ impl CylogEngine {
                 .zip(&info.col_types)
                 .map(|(n, t)| Column::nullable(n.clone(), *t))
                 .collect();
-            let rel = db.create_relation(&info.name, Schema::new(cols).map_err(CylogError::from)?)?;
+            let rel =
+                db.create_relation(&info.name, Schema::new(cols).map_err(CylogError::from)?)?;
             // Index strategy (keeps large workloads linear):
             // * full-row index first → O(1) set-semantics dedup;
             // * open predicates: index on the input columns → O(1)
@@ -142,7 +143,9 @@ impl CylogEngine {
             )));
         }
         for (v, ty) in values.iter().zip(&info.col_types) {
-            let ok = v.is_null() || v.conforms_to(*ty) || matches!((v, ty), (Value::Int(_), ValueType::Float));
+            let ok = v.is_null()
+                || v.conforms_to(*ty)
+                || matches!((v, ty), (Value::Int(_), ValueType::Float));
             if !ok {
                 return Err(CylogError::Eval(format!(
                     "value {v} incompatible with {ty} column of `{pred}`"
@@ -257,7 +260,9 @@ impl CylogEngine {
         let mut values = inputs.clone();
         values.extend(outputs);
         for (v, ty) in values.iter().zip(&info.col_types) {
-            let ok = v.is_null() || v.conforms_to(*ty) || matches!((v, ty), (Value::Int(_), ValueType::Float));
+            let ok = v.is_null()
+                || v.conforms_to(*ty)
+                || matches!((v, ty), (Value::Int(_), ValueType::Float));
             if !ok {
                 return Err(CylogError::Eval(format!(
                     "answer value {v} incompatible with {ty} column of `{pred}`"
@@ -402,8 +407,13 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
         e.add_fact("sentence", vec!["hello".into()]).unwrap();
         e.run().unwrap();
         assert_eq!(e.pending_requests().len(), 1);
-        e.answer("translate", vec!["hello".into()], vec!["salut".into()], None)
-            .unwrap();
+        e.answer(
+            "translate",
+            vec!["hello".into()],
+            vec!["salut".into()],
+            None,
+        )
+        .unwrap();
         e.run().unwrap();
         // translate question answered; only the check question pends.
         let names: Vec<&str> = e
@@ -423,10 +433,20 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
         e.add_fact("sentence", vec!["hello".into()]).unwrap();
         e.run().unwrap();
         assert!(e
-            .answer("translate", vec!["hello".into()], vec!["salut".into()], Some(1))
+            .answer(
+                "translate",
+                vec!["hello".into()],
+                vec!["salut".into()],
+                Some(1)
+            )
             .unwrap());
         assert!(!e
-            .answer("translate", vec!["hello".into()], vec!["salut".into()], Some(1))
+            .answer(
+                "translate",
+                vec!["hello".into()],
+                vec!["salut".into()],
+                Some(1)
+            )
             .unwrap());
         assert_eq!(e.points_of(1), 3);
     }
@@ -438,10 +458,20 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
         let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
         e.add_fact("sentence", vec!["hello".into()]).unwrap();
         e.run().unwrap();
-        e.answer("translate", vec!["hello".into()], vec!["salut".into()], Some(1))
-            .unwrap();
-        e.answer("translate", vec!["hello".into()], vec!["bonjour".into()], Some(2))
-            .unwrap();
+        e.answer(
+            "translate",
+            vec!["hello".into()],
+            vec!["salut".into()],
+            Some(1),
+        )
+        .unwrap();
+        e.answer(
+            "translate",
+            vec!["hello".into()],
+            vec!["bonjour".into()],
+            Some(2),
+        )
+        .unwrap();
         assert_eq!(e.fact_count("translate").unwrap(), 2);
         assert_eq!(e.points_of(2), 3);
     }
@@ -468,28 +498,26 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
     #[test]
     fn add_fact_validation() {
         let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
-        assert!(e.add_fact("approved", vec!["a".into(), "b".into()]).is_err()); // derived
+        assert!(e
+            .add_fact("approved", vec!["a".into(), "b".into()])
+            .is_err()); // derived
         assert!(e.add_fact("sentence", vec![]).is_err()); // arity
         assert!(e.add_fact("sentence", vec![Value::Int(1)]).is_err()); // type
         assert!(e.add_fact("nope", vec![]).is_err()); // unknown
-        // duplicates are deduped
+                                                      // duplicates are deduped
         assert!(e.add_fact("sentence", vec!["x".into()]).unwrap());
         assert!(!e.add_fact("sentence", vec!["x".into()]).unwrap());
     }
 
     #[test]
     fn retraction_recomputes_derived() {
-        let mut e = CylogEngine::from_source(
-            "rel a(x: int).\nrel b(x: int).\nb(X) :- a(X).\n",
-        )
-        .unwrap();
+        let mut e =
+            CylogEngine::from_source("rel a(x: int).\nrel b(x: int).\nb(X) :- a(X).\n").unwrap();
         e.add_fact("a", vec![Value::Int(1)]).unwrap();
         e.add_fact("a", vec![Value::Int(2)]).unwrap();
         e.run().unwrap();
         assert_eq!(e.fact_count("b").unwrap(), 2);
-        let n = e
-            .retract_where("a", |t| t[0] == Value::Int(1))
-            .unwrap();
+        let n = e.retract_where("a", |t| t[0] == Value::Int(1)).unwrap();
         assert_eq!(n, 1);
         e.run().unwrap();
         assert_eq!(e.fact_count("b").unwrap(), 1);
@@ -499,10 +527,9 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
 
     #[test]
     fn program_facts_survive_reruns() {
-        let mut e = CylogEngine::from_source(
-            "rel a(x: int).\nrel b(x: int).\na(5).\nb(X) :- a(X).\n",
-        )
-        .unwrap();
+        let mut e =
+            CylogEngine::from_source("rel a(x: int).\nrel b(x: int).\na(5).\nb(X) :- a(X).\n")
+                .unwrap();
         e.run().unwrap();
         e.run().unwrap();
         assert_eq!(e.fact_count("a").unwrap(), 1);
@@ -531,8 +558,13 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
             e.run().unwrap();
             e.answer("translate", vec!["s".into()], vec!["t".into()], None)
                 .unwrap();
-            e.answer("check", vec!["s".into(), "t".into()], vec![true.into()], None)
-                .unwrap();
+            e.answer(
+                "check",
+                vec!["s".into(), "t".into()],
+                vec![true.into()],
+                None,
+            )
+            .unwrap();
             e.run().unwrap();
         }
         assert_eq!(

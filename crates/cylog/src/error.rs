@@ -7,8 +7,14 @@ use std::fmt;
 /// Errors from lexing, parsing, semantic analysis or evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CylogError {
-    Lex { pos: Pos, message: String },
-    Parse { pos: Pos, message: String },
+    Lex {
+        pos: Pos,
+        message: String,
+    },
+    Parse {
+        pos: Pos,
+        message: String,
+    },
     /// Semantic errors (undeclared predicate, arity/type mismatch, unsafe
     /// rule, unstratifiable program…).
     Semantic(String),

@@ -145,7 +145,12 @@ fn undo(bind: &mut [Option<Value>], vars: &[u32]) {
 }
 
 /// Check whether any tuple of `rows` matches the (fully ground) atom.
-fn exists_match(atom: &CAtom, db: &Database, program: &CompiledProgram, bind: &[Option<Value>]) -> bool {
+fn exists_match(
+    atom: &CAtom,
+    db: &Database,
+    program: &CompiledProgram,
+    bind: &[Option<Value>],
+) -> bool {
     let name = &program.preds[atom.pred].name;
     let Ok(rel) = db.relation(name) else {
         return false;
@@ -191,7 +196,17 @@ fn eval_body(
                 let rows = delta.expect("delta provided");
                 for row in rows {
                     if let Some(newly) = unify_atom(atom, row, bind) {
-                        eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+                        eval_body(
+                            program,
+                            db,
+                            body,
+                            idx + 1,
+                            bind,
+                            delta_at,
+                            delta,
+                            stats,
+                            emit,
+                        )?;
                         undo(bind, &newly);
                     }
                 }
@@ -220,7 +235,17 @@ fn eval_body(
                 let rows = rel.lookup(&cols, &key);
                 for row in rows {
                     if let Some(newly) = unify_atom(atom, row, bind) {
-                        eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+                        eval_body(
+                            program,
+                            db,
+                            body,
+                            idx + 1,
+                            bind,
+                            delta_at,
+                            delta,
+                            stats,
+                            emit,
+                        )?;
                         undo(bind, &newly);
                     }
                 }
@@ -229,7 +254,17 @@ fn eval_body(
         }
         CLit::Neg(atom) => {
             if !exists_match(atom, db, program, bind) {
-                eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+                eval_body(
+                    program,
+                    db,
+                    body,
+                    idx + 1,
+                    bind,
+                    delta_at,
+                    delta,
+                    stats,
+                    emit,
+                )?;
             }
             Ok(())
         }
@@ -237,14 +272,34 @@ fn eval_body(
             let va = eval_expr(a, bind)?;
             let vb = eval_expr(b, bind)?;
             if cmp_holds(*op, &va, &vb) {
-                eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+                eval_body(
+                    program,
+                    db,
+                    body,
+                    idx + 1,
+                    bind,
+                    delta_at,
+                    delta,
+                    stats,
+                    emit,
+                )?;
             }
             Ok(())
         }
         CLit::Let(v, e) => {
             let val = eval_expr(e, bind)?;
             bind[*v as usize] = Some(val);
-            eval_body(program, db, body, idx + 1, bind, delta_at, delta, stats, emit)?;
+            eval_body(
+                program,
+                db,
+                body,
+                idx + 1,
+                bind,
+                delta_at,
+                delta,
+                stats,
+                emit,
+            )?;
             bind[*v as usize] = None;
             Ok(())
         }
@@ -431,7 +486,14 @@ pub fn eval_stratum(
             continue;
         }
         let rows = eval_agg_rule(program, db, rule, &mut stats)?;
-        insert_all(program, db, rule.head_pred, rows, &mut stats, &mut Vec::new())?;
+        insert_all(
+            program,
+            db,
+            rule.head_pred,
+            rows,
+            &mut stats,
+            &mut Vec::new(),
+        )?;
     }
 
     let regular: Vec<usize> = rule_indices
@@ -445,8 +507,10 @@ pub fn eval_stratum(
 
     // Which predicates are derived by regular rules *in this stratum*
     // (semi-naive deltas only make sense for those).
-    let stratum_preds: HashSet<PredId> =
-        regular.iter().map(|&ri| program.rules[ri].head_pred).collect();
+    let stratum_preds: HashSet<PredId> = regular
+        .iter()
+        .map(|&ri| program.rules[ri].head_pred)
+        .collect();
 
     // Round 0: full evaluation.
     let mut delta: HashMap<PredId, Vec<Tuple>> = HashMap::new();
@@ -496,8 +560,7 @@ pub fn eval_stratum(
                         if d.is_empty() {
                             continue;
                         }
-                        let rows =
-                            eval_rule(program, db, rule, Some(*pos), Some(d), &mut stats)?;
+                        let rows = eval_rule(program, db, rule, Some(*pos), Some(d), &mut stats)?;
                         let mut fresh = Vec::new();
                         insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
                         next_delta.entry(rule.head_pred).or_default().extend(fresh);
@@ -652,7 +715,10 @@ mod tests {
         assert_eq!(rows(&db1, "path"), rows(&db2, "path"));
         assert_eq!(s1.derived, s2.derived);
         // Semi-naive explores fewer join candidates on recursive programs.
-        assert!(s2.firings <= s1.firings, "semi-naive should not do more work");
+        assert!(
+            s2.firings <= s1.firings,
+            "semi-naive should not do more work"
+        );
     }
 
     #[test]

@@ -204,38 +204,83 @@ impl<'a> Lexer<'a> {
                 return Ok(out);
             };
             let sp = match c {
-                '(' => Spanned { tok: Tok::LParen, pos: start },
-                ')' => Spanned { tok: Tok::RParen, pos: start },
-                ',' => Spanned { tok: Tok::Comma, pos: start },
-                '.' => Spanned { tok: Tok::Dot, pos: start },
-                '+' => Spanned { tok: Tok::Plus, pos: start },
-                '*' => Spanned { tok: Tok::StarTok, pos: start },
-                '/' => Spanned { tok: Tok::Slash, pos: start },
-                '?' => Spanned { tok: Tok::Question, pos: start },
-                '=' => Spanned { tok: Tok::Eq, pos: start },
+                '(' => Spanned {
+                    tok: Tok::LParen,
+                    pos: start,
+                },
+                ')' => Spanned {
+                    tok: Tok::RParen,
+                    pos: start,
+                },
+                ',' => Spanned {
+                    tok: Tok::Comma,
+                    pos: start,
+                },
+                '.' => Spanned {
+                    tok: Tok::Dot,
+                    pos: start,
+                },
+                '+' => Spanned {
+                    tok: Tok::Plus,
+                    pos: start,
+                },
+                '*' => Spanned {
+                    tok: Tok::StarTok,
+                    pos: start,
+                },
+                '/' => Spanned {
+                    tok: Tok::Slash,
+                    pos: start,
+                },
+                '?' => Spanned {
+                    tok: Tok::Question,
+                    pos: start,
+                },
+                '=' => Spanned {
+                    tok: Tok::Eq,
+                    pos: start,
+                },
                 '-' => {
                     if self.peek() == Some('>') {
                         self.bump();
-                        Spanned { tok: Tok::Arrow, pos: start }
+                        Spanned {
+                            tok: Tok::Arrow,
+                            pos: start,
+                        }
                     } else {
-                        Spanned { tok: Tok::Minus, pos: start }
+                        Spanned {
+                            tok: Tok::Minus,
+                            pos: start,
+                        }
                     }
                 }
                 ':' => match self.peek() {
                     Some('-') => {
                         self.bump();
-                        Spanned { tok: Tok::ColonDash, pos: start }
+                        Spanned {
+                            tok: Tok::ColonDash,
+                            pos: start,
+                        }
                     }
                     Some('=') => {
                         self.bump();
-                        Spanned { tok: Tok::Assign, pos: start }
+                        Spanned {
+                            tok: Tok::Assign,
+                            pos: start,
+                        }
                     }
-                    _ => Spanned { tok: Tok::Colon, pos: start },
+                    _ => Spanned {
+                        tok: Tok::Colon,
+                        pos: start,
+                    },
                 },
                 '!' => {
                     if self.peek() == Some('=') {
                         self.bump();
-                        Spanned { tok: Tok::Ne, pos: start }
+                        Spanned {
+                            tok: Tok::Ne,
+                            pos: start,
+                        }
                     } else {
                         return Err(self.err("expected `=` after `!`"));
                     }
@@ -243,17 +288,29 @@ impl<'a> Lexer<'a> {
                 '<' => {
                     if self.peek() == Some('=') {
                         self.bump();
-                        Spanned { tok: Tok::Le, pos: start }
+                        Spanned {
+                            tok: Tok::Le,
+                            pos: start,
+                        }
                     } else {
-                        Spanned { tok: Tok::LAngle, pos: start }
+                        Spanned {
+                            tok: Tok::LAngle,
+                            pos: start,
+                        }
                     }
                 }
                 '>' => {
                     if self.peek() == Some('=') {
                         self.bump();
-                        Spanned { tok: Tok::Ge, pos: start }
+                        Spanned {
+                            tok: Tok::Ge,
+                            pos: start,
+                        }
                     } else {
-                        Spanned { tok: Tok::RAngle, pos: start }
+                        Spanned {
+                            tok: Tok::RAngle,
+                            pos: start,
+                        }
                     }
                 }
                 '"' => self.lex_string(start)?,
@@ -437,7 +494,10 @@ mod tests {
             toks("p(X). q(Y).")
         );
         // a lone slash is still an operator
-        assert_eq!(toks("1 / 2"), vec![Tok::Int(1), Tok::Slash, Tok::Int(2), Tok::Eof]);
+        assert_eq!(
+            toks("1 / 2"),
+            vec![Tok::Int(1), Tok::Slash, Tok::Int(2), Tok::Eof]
+        );
     }
 
     #[test]

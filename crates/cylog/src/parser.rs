@@ -298,9 +298,7 @@ impl Parser {
                     Tok::RAngle => CmpOp::Gt,
                     Tok::Ge => CmpOp::Ge,
                     other => {
-                        return Err(self.err(format!(
-                            "expected comparison operator, found {other}"
-                        )))
+                        return Err(self.err(format!("expected comparison operator, found {other}")))
                     }
                 };
                 let rhs = self.parse_expr()?;
@@ -396,10 +394,7 @@ mod tests {
 
     #[test]
     fn parse_all_literal_kinds() {
-        let p = parse(
-            "r(X, Z) :- p(X), not q(X), X != 3, Z := X * 2 + 1, Z <= 100.\n",
-        )
-        .unwrap();
+        let p = parse("r(X, Z) :- p(X), not q(X), X != 3, Z := X * 2 + 1, Z <= 100.\n").unwrap();
         let r = p.rules().next().unwrap();
         assert_eq!(r.body.len(), 5);
         assert!(matches!(r.body[0], BodyLit::Pos(_)));

@@ -48,8 +48,16 @@ pub fn constraint_form(skill_options: &[&str], language_options: &[&str]) -> For
     skills.extend_from_slice(skill_options);
     Form::new("Project administration: desired human factors")
         .describe("Constraints the suggested worker team must satisfy")
-        .field(Field::new("language", "Required language", FieldType::choice(&langs)))
-        .field(Field::new("skill", "Skill to screen on", FieldType::choice(&skills)))
+        .field(Field::new(
+            "language",
+            "Required language",
+            FieldType::choice(&langs),
+        ))
+        .field(Field::new(
+            "skill",
+            "Skill to screen on",
+            FieldType::choice(&skills),
+        ))
         .field(Field::new(
             "min_quality",
             "Minimum mean skill",
@@ -94,7 +102,11 @@ pub fn constraint_form(skill_options: &[&str], language_options: &[&str]) -> For
                 max: None,
             },
         ))
-        .field(Field::new("require_login", "Workers must be logged in", FieldType::Boolean))
+        .field(Field::new(
+            "require_login",
+            "Workers must be logged in",
+            FieldType::Boolean,
+        ))
 }
 
 /// Errors from cross-field validation of the admin form.
@@ -102,7 +114,10 @@ pub fn constraint_form(skill_options: &[&str], language_options: &[&str]) -> For
 pub enum AdminFormError {
     Field(Vec<crate::field::FieldError>),
     /// min_team > max_team.
-    TeamBoundsInverted { min: usize, max: usize },
+    TeamBoundsInverted {
+        min: usize,
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for AdminFormError {
@@ -119,7 +134,10 @@ impl std::fmt::Display for AdminFormError {
                 Ok(())
             }
             AdminFormError::TeamBoundsInverted { min, max } => {
-                write!(f, "minimum team size {min} exceeds upper critical mass {max}")
+                write!(
+                    f,
+                    "minimum team size {min} exceeds upper critical mass {max}"
+                )
             }
         }
     }

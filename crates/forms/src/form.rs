@@ -117,7 +117,11 @@ mod tests {
     fn report_form() -> Form {
         Form::new("Citizen report")
             .describe("Write a short report on your chosen topic")
-            .field(Field::new("topic", "Topic", FieldType::choice(&["news", "sports"])))
+            .field(Field::new(
+                "topic",
+                "Topic",
+                FieldType::choice(&["news", "sports"]),
+            ))
             .field(Field::new("body", "Report", FieldType::textarea()))
             .field(Field::new("rating", "Confidence", FieldType::Rating { max: 5 }).optional())
     }
@@ -158,14 +162,11 @@ mod tests {
     fn readonly_substitution() {
         let form = Form::new("Check translation")
             .field(
-                Field::new("src", "Source", FieldType::text())
-                    .readonly(Value::Str("hello".into())),
+                Field::new("src", "Source", FieldType::text()).readonly(Value::Str("hello".into())),
             )
             .field(Field::new("ok", "Correct?", FieldType::Boolean));
         // Omitting the read-only field is fine; it is substituted.
-        let vals = form
-            .validate(&FormResponse::new().set("ok", true))
-            .unwrap();
+        let vals = form.validate(&FormResponse::new().set("ok", true)).unwrap();
         assert_eq!(vals[0], Value::Str("hello".into()));
         // Tampering is rejected.
         let errs = form
@@ -182,9 +183,8 @@ mod tests {
         assert!(text.contains("[Report]"));
         assert!(text.contains("______"));
         // readonly rendering
-        let f = Form::new("t").field(
-            Field::new("s", "S", FieldType::text()).readonly(Value::Str("v".into())),
-        );
+        let f = Form::new("t")
+            .field(Field::new("s", "S", FieldType::text()).readonly(Value::Str("v".into())));
         assert!(f.to_string().contains("(fixed)"));
     }
 

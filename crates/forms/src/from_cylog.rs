@@ -47,16 +47,10 @@ pub fn form_for_request(program: &CompiledProgram, req: &OpenRequest) -> Form {
         .take(n_inputs)
     {
         let value = req.inputs.get(i).cloned().unwrap_or(Value::Null);
-        form = form.field(
-            Field::new(name.clone(), name.clone(), field_type_for(*ty)).readonly(value),
-        );
+        form =
+            form.field(Field::new(name.clone(), name.clone(), field_type_for(*ty)).readonly(value));
     }
-    for (name, ty) in info
-        .col_names
-        .iter()
-        .zip(&info.col_types)
-        .skip(n_inputs)
-    {
+    for (name, ty) in info.col_names.iter().zip(&info.col_types).skip(n_inputs) {
         form = form.field(Field::new(name.clone(), name.clone(), field_type_for(*ty)));
     }
     form

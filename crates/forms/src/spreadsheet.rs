@@ -73,12 +73,7 @@ mod tests {
     #[test]
     fn import_seeds_tasks() {
         let mut e = engine();
-        let n = import_csv(
-            &mut e,
-            "sentence",
-            "sid,text\n#1,hello\n#2,good morning\n",
-        )
-        .unwrap();
+        let n = import_csv(&mut e, "sentence", "sid,text\n#1,hello\n#2,good morning\n").unwrap();
         assert_eq!(n, 2);
         e.run().unwrap();
         assert_eq!(e.pending_requests().len(), 2);

@@ -222,7 +222,10 @@ mod tests {
             let aff = d.team_affinity(&team.members);
             assert!((0.0..=1.0).contains(&aff));
             // the task is in progress now
-            assert_eq!(d.platform.pool.get(task).unwrap().state.label(), "in-progress");
+            assert_eq!(
+                d.platform.pool.get(task).unwrap().state.label(),
+                "in-progress"
+            );
         }
     }
 

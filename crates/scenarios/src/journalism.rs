@@ -58,12 +58,8 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         affinities.push(aff);
 
         // Simultaneous protocol.
-        let mut session = SimultaneousSession::new(
-            format!("report {i}"),
-            team.members.clone(),
-            &SECTIONS,
-            aff,
-        );
+        let mut session =
+            SimultaneousSession::new(format!("report {i}"), team.members.clone(), &SECTIONS, aff);
         for &m in &team.members {
             session
                 .provide_sns_id(m, format!("{m}@example.net"))
@@ -95,12 +91,13 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         }
         // Simultaneous work: elapsed time is the slowest member, not the sum.
         d.pass_time(max_delay)?;
-        let (doc, quality) = session
-            .submit(team.members[0])
-            .map_err(|e| PlatformError::BadTaskState {
-                task,
-                state: e.to_string(),
-            })?;
+        let (doc, quality) =
+            session
+                .submit(team.members[0])
+                .map_err(|e| PlatformError::BadTaskState {
+                    task,
+                    state: e.to_string(),
+                })?;
         assert_eq!(doc.team.len(), team.members.len());
         qualities.push(quality);
         d.platform.complete_collab_task(task, quality)?;
@@ -169,7 +166,10 @@ mod tests {
 
     #[test]
     fn journalism_produces_reports() {
-        let cfg = ScenarioConfig::default().with_crowd(50).with_items(5).with_seed(21);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(50)
+            .with_items(5)
+            .with_seed(21);
         let r = run(&cfg).unwrap();
         assert_eq!(r.scheme, Scheme::Simultaneous);
         assert!(r.items_completed > 0, "no reports: {r}");
@@ -180,7 +180,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = ScenarioConfig::default().with_crowd(30).with_items(3).with_seed(8);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(3)
+            .with_seed(8);
         let a = run(&cfg).unwrap();
         let b = run(&cfg).unwrap();
         assert_eq!(a.items_completed, b.items_completed);
@@ -193,10 +196,16 @@ mod tests {
         // Because members work in parallel, makespan grows sublinearly in
         // team size; mostly it tracks item count. Sanity: doubling items
         // should not 10x the makespan.
-        let base = run(&ScenarioConfig::default().with_crowd(40).with_items(2).with_seed(4))
-            .unwrap();
-        let more = run(&ScenarioConfig::default().with_crowd(40).with_items(4).with_seed(4))
-            .unwrap();
+        let base = run(&ScenarioConfig::default()
+            .with_crowd(40)
+            .with_items(2)
+            .with_seed(4))
+        .unwrap();
+        let more = run(&ScenarioConfig::default()
+            .with_crowd(40)
+            .with_items(4)
+            .with_seed(4))
+        .unwrap();
         assert!(more.makespan.ticks() < base.makespan.ticks() * 10 + 1);
     }
 }

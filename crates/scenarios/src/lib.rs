@@ -28,7 +28,10 @@ use crowd4u_collab::Scheme;
 use crowd4u_core::prelude::PlatformError;
 
 /// Run one scenario by scheme (convenience for sweeps).
-pub fn run_scheme(scheme: Scheme, config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
+pub fn run_scheme(
+    scheme: Scheme,
+    config: &ScenarioConfig,
+) -> Result<ScenarioReport, PlatformError> {
     match scheme {
         Scheme::Sequential => translation::run(config),
         Scheme::Simultaneous => journalism::run(config),
@@ -42,7 +45,10 @@ mod tests {
 
     #[test]
     fn run_scheme_dispatches_all_three() {
-        let cfg = ScenarioConfig::default().with_crowd(30).with_items(2).with_seed(2);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(2)
+            .with_seed(2);
         for scheme in Scheme::all() {
             let r = run_scheme(scheme, &cfg).unwrap();
             assert_eq!(r.scheme, scheme);
@@ -57,7 +63,10 @@ mod tests {
     /// produces both facts and testimonials (most answers per item).
     #[test]
     fn scheme_signatures_match_paper_claims() {
-        let cfg = ScenarioConfig::default().with_crowd(60).with_items(4).with_seed(33);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(60)
+            .with_items(4)
+            .with_seed(33);
         let seq = translation::run(&cfg).unwrap();
         let sim = journalism::run(&cfg).unwrap();
         let hyb = surveillance::run(&cfg).unwrap();

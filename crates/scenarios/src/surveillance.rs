@@ -70,7 +70,12 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
             // Observation rounds happen in sequence: time accumulates.
             d.pass_time(delay)?;
             let fact = flow
-                .observe(obs, region_name.clone(), format!("fact {k} in {region_name}"), q)
+                .observe(
+                    obs,
+                    region_name.clone(),
+                    format!("fact {k} in {region_name}"),
+                    q,
+                )
                 .map_err(|e| PlatformError::BadTaskState {
                     task,
                     state: e.to_string(),
@@ -197,7 +202,10 @@ mod tests {
 
     #[test]
     fn surveillance_verifies_regions() {
-        let cfg = ScenarioConfig::default().with_crowd(50).with_items(4).with_seed(17);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(50)
+            .with_items(4)
+            .with_seed(17);
         let r = run(&cfg).unwrap();
         assert_eq!(r.scheme, Scheme::Hybrid);
         assert!(r.items_completed > 0, "no regions verified: {r}");
@@ -207,7 +215,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = ScenarioConfig::default().with_crowd(30).with_items(3).with_seed(6);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(3)
+            .with_seed(6);
         let a = run(&cfg).unwrap();
         let b = run(&cfg).unwrap();
         assert_eq!(a.items_completed, b.items_completed);
@@ -219,7 +230,10 @@ mod tests {
     fn corrections_lift_quality_over_raw_observation() {
         // With hybrid coordination, correction + testimony lifts quality
         // over what a lone average observer would produce (~0.6-0.7).
-        let cfg = ScenarioConfig::default().with_crowd(60).with_items(5).with_seed(23);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(60)
+            .with_items(5)
+            .with_seed(23);
         let r = run(&cfg).unwrap();
         assert!(
             r.mean_quality > 0.55,

@@ -46,7 +46,10 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         d.platform.seed_fact(
             proj,
             "utterance",
-            vec![Value::Id(i as u64 + 1), Value::Str(format!("speech segment {i}"))],
+            vec![
+                Value::Id(i as u64 + 1),
+                Value::Str(format!("speech segment {i}")),
+            ],
         )?;
     }
 
@@ -159,11 +162,7 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
     d.platform.complete_collab_task(batch, mean_quality)?;
 
     let published = d.platform.project(proj)?.engine.fact_count("published")?;
-    let points: i64 = team
-        .members
-        .iter()
-        .map(|m| d.platform.points_of(*m))
-        .sum();
+    let points: i64 = team.members.iter().map(|m| d.platform.points_of(*m)).sum();
     Ok(ScenarioReport {
         scheme: Scheme::Sequential,
         items_completed: published,
@@ -199,7 +198,10 @@ mod tests {
 
     #[test]
     fn translation_pipeline_publishes_items() {
-        let cfg = ScenarioConfig::default().with_crowd(40).with_items(6).with_seed(3);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(40)
+            .with_items(6)
+            .with_seed(3);
         let r = run(&cfg).unwrap();
         assert_eq!(r.scheme, Scheme::Sequential);
         assert!(r.items_completed > 0, "nothing published: {r}");
@@ -213,7 +215,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = ScenarioConfig::default().with_crowd(30).with_items(4).with_seed(11);
+        let cfg = ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(4)
+            .with_seed(11);
         let a = run(&cfg).unwrap();
         let b = run(&cfg).unwrap();
         assert_eq!(a.items_completed, b.items_completed);
@@ -224,8 +229,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ_somewhere() {
-        let a = run(&ScenarioConfig::default().with_crowd(30).with_items(4).with_seed(1)).unwrap();
-        let b = run(&ScenarioConfig::default().with_crowd(30).with_items(4).with_seed(2)).unwrap();
+        let a = run(&ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(4)
+            .with_seed(1))
+        .unwrap();
+        let b = run(&ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(4)
+            .with_seed(2))
+        .unwrap();
         // At least one observable differs (makespan is effectively continuous).
         assert!(
             a.makespan != b.makespan || a.answers != b.answers || a.mean_quality != b.mean_quality

@@ -113,7 +113,10 @@ pub fn field_to_value(field: &str, ty: ValueType) -> Result<Value, StorageError>
     if field.is_empty() {
         return Ok(Value::Null);
     }
-    let err = |msg: String| StorageError::Csv { line: 0, message: msg };
+    let err = |msg: String| StorageError::Csv {
+        line: 0,
+        message: msg,
+    };
     match ty {
         ValueType::Bool => match field {
             "true" | "TRUE" | "1" | "yes" => Ok(Value::Bool(true)),
@@ -271,21 +274,24 @@ mod tests {
 
     #[test]
     fn field_parsing_by_type() {
-        assert_eq!(field_to_value("true", ValueType::Bool).unwrap(), Value::Bool(true));
-        assert_eq!(field_to_value("no", ValueType::Bool).unwrap(), Value::Bool(false));
-        assert_eq!(field_to_value("42", ValueType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            field_to_value("true", ValueType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            field_to_value("no", ValueType::Bool).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            field_to_value("42", ValueType::Int).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             field_to_value("2.5", ValueType::Float).unwrap(),
             Value::Float(2.5)
         );
-        assert_eq!(
-            field_to_value("#7", ValueType::Id).unwrap(),
-            Value::Id(7)
-        );
-        assert_eq!(
-            field_to_value("7", ValueType::Id).unwrap(),
-            Value::Id(7)
-        );
+        assert_eq!(field_to_value("#7", ValueType::Id).unwrap(), Value::Id(7));
+        assert_eq!(field_to_value("7", ValueType::Id).unwrap(), Value::Id(7));
         assert_eq!(field_to_value("", ValueType::Int).unwrap(), Value::Null);
         assert!(field_to_value("abc", ValueType::Int).is_err());
         assert!(field_to_value("maybe", ValueType::Bool).is_err());

@@ -7,7 +7,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum StorageError {
     DuplicateColumn(String),
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
     TypeMismatch {
         column: String,
         expected: ValueType,
@@ -26,9 +29,15 @@ pub enum StorageError {
     /// An expression evaluated to a type unusable in its context.
     ExprType(String),
     /// Malformed CSV input.
-    Csv { line: usize, message: String },
+    Csv {
+        line: usize,
+        message: String,
+    },
     /// Malformed snapshot input.
-    Snapshot { line: usize, message: String },
+    Snapshot {
+        line: usize,
+        message: String,
+    },
     Io(String),
 }
 

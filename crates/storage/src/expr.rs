@@ -348,7 +348,10 @@ mod tests {
             .contains(Expr::lit("world"))
             .matches(&r)
             .unwrap());
-        assert!(!Expr::col(1).contains(Expr::lit("mars")).matches(&r).unwrap());
+        assert!(!Expr::col(1)
+            .contains(Expr::lit("mars"))
+            .matches(&r)
+            .unwrap());
         // contains on non-strings is a type error
         assert!(Expr::col(0).contains(Expr::lit("1")).eval(&r).is_err());
     }

@@ -129,8 +129,7 @@ impl ResultSet {
                     .ok_or_else(|| StorageError::NoSuchColumn((*c).to_owned()))?,
             );
         }
-        self.rows
-            .sort_by_key(|a| a.key(&idx));
+        self.rows.sort_by_key(|a| a.key(&idx));
         Ok(self)
     }
 
@@ -475,10 +474,7 @@ mod tests {
 
     #[test]
     fn sum_of_strings_is_error() {
-        let rs = ResultSet::new(
-            Schema::of(&[("s", ValueType::Str)]),
-            vec![tuple!["a"]],
-        );
+        let rs = ResultSet::new(Schema::of(&[("s", ValueType::Str)]), vec![tuple!["a"]]);
         assert!(rs
             .aggregate(&[], &[AggSpec::new(AggFunc::Sum, "s", "t")])
             .is_err());

@@ -136,7 +136,10 @@ impl Relation {
     /// Insert unless an identical tuple is already present. Returns the row id
     /// and whether the tuple was newly inserted. This is the set-semantics
     /// primitive the Datalog evaluator builds on.
-    pub fn insert_distinct(&mut self, row: impl Into<Tuple>) -> Result<(RowId, bool), StorageError> {
+    pub fn insert_distinct(
+        &mut self,
+        row: impl Into<Tuple>,
+    ) -> Result<(RowId, bool), StorageError> {
         let t: Tuple = row.into();
         self.schema.check_row(t.values())?;
         if let Some(rid) = self.find_row(&t) {
@@ -263,10 +266,12 @@ impl Relation {
         // Pick the most selective applicable index.
         let mut best: Option<&HashIndex> = None;
         for ix in &self.indexes {
-            if !ix.cols.is_empty() && ix.cols.iter().all(|c| cols.contains(c))
-                && best.is_none_or(|b| ix.cols.len() > b.cols.len()) {
-                    best = Some(ix);
-                }
+            if !ix.cols.is_empty()
+                && ix.cols.iter().all(|c| cols.contains(c))
+                && best.is_none_or(|b| ix.cols.len() > b.cols.len())
+            {
+                best = Some(ix);
+            }
         }
         if let Some(ix) = best {
             let subkey: Vec<Value> = ix
@@ -292,7 +297,11 @@ impl Relation {
     }
 
     /// Like [`lookup`](Self::lookup) but resolving column names first.
-    pub fn lookup_by_name(&self, cols: &[&str], key: &[Value]) -> Result<Vec<&Tuple>, StorageError> {
+    pub fn lookup_by_name(
+        &self,
+        cols: &[&str],
+        key: &[Value],
+    ) -> Result<Vec<&Tuple>, StorageError> {
         let mut idx = Vec::with_capacity(cols.len());
         for c in cols {
             idx.push(
@@ -368,10 +377,7 @@ mod tests {
 
     #[test]
     fn create_unique_index_on_conflicting_data_fails() {
-        let mut r = Relation::new(
-            "t",
-            Schema::of(&[("k", ValueType::Int)]),
-        );
+        let mut r = Relation::new("t", Schema::of(&[("k", ValueType::Int)]));
         r.insert(tuple![1i64]).unwrap();
         r.insert(tuple![1i64]).unwrap();
         assert!(r.create_index(&["k"], true).is_err());
@@ -384,7 +390,10 @@ mod tests {
         let t = r.delete(a).unwrap();
         assert_eq!(t[0], Value::Id(1));
         assert!(r.get(a).is_none());
-        assert!(r.lookup_by_name(&["id"], &[Value::Id(1)]).unwrap().is_empty());
+        assert!(r
+            .lookup_by_name(&["id"], &[Value::Id(1)])
+            .unwrap()
+            .is_empty());
         // Slot reuse keeps ids stable for other rows.
         let b = r.insert(tuple![2u64, "bob", 0.5]).unwrap();
         assert_eq!(a, b, "slab reuses freed slot");
@@ -396,7 +405,10 @@ mod tests {
         let mut r = workers();
         let a = r.insert(tuple![1u64, "ann", 0.9]).unwrap();
         r.update(a, tuple![3u64, "ann", 0.9]).unwrap();
-        assert!(r.lookup_by_name(&["id"], &[Value::Id(1)]).unwrap().is_empty());
+        assert!(r
+            .lookup_by_name(&["id"], &[Value::Id(1)])
+            .unwrap()
+            .is_empty());
         assert_eq!(r.lookup_by_name(&["id"], &[Value::Id(3)]).unwrap().len(), 1);
     }
 

@@ -143,7 +143,13 @@ impl fmt::Display for Schema {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}: {}{}", c.name, c.ty, if c.nullable { "?" } else { "" })?;
+            write!(
+                f,
+                "{}: {}{}",
+                c.name,
+                c.ty,
+                if c.nullable { "?" } else { "" }
+            )?;
         }
         write!(f, ")")
     }
@@ -204,7 +210,11 @@ mod tests {
     fn check_row_rejects_type() {
         let s = abc();
         let err = s
-            .check_row(&[Value::Str("no".into()), Value::Str("x".into()), Value::Float(0.5)])
+            .check_row(&[
+                Value::Str("no".into()),
+                Value::Str("x".into()),
+                Value::Float(0.5),
+            ])
             .unwrap_err();
         assert!(matches!(err, StorageError::TypeMismatch { .. }));
     }

@@ -107,7 +107,10 @@ fn decode_value(cell: &str) -> Result<Value, String> {
                 .map_err(|e| e.to_string()),
         },
         's' => unescape_cell(&rest).map(Value::Str),
-        '#' => rest.parse::<u64>().map(Value::Id).map_err(|e| e.to_string()),
+        '#' => rest
+            .parse::<u64>()
+            .map(Value::Id)
+            .map_err(|e| e.to_string()),
         _ => Err(format!("unknown tag `{tag}`")),
     }
 }
@@ -213,13 +216,13 @@ pub fn load(text: &str) -> Result<Database, StorageError> {
                 let (name, cols, rows) = current
                     .take()
                     .ok_or_else(|| snap_err(lineno, "end outside relation".into()))?;
-                let schema = Schema::new(cols)
-                    .map_err(|e| snap_err(lineno, e.to_string()))?;
+                let schema = Schema::new(cols).map_err(|e| snap_err(lineno, e.to_string()))?;
                 let rel = db
                     .create_relation(&name, schema)
                     .map_err(|e| snap_err(lineno, e.to_string()))?;
                 for row in rows {
-                    rel.insert(row).map_err(|e| snap_err(lineno, e.to_string()))?;
+                    rel.insert(row)
+                        .map_err(|e| snap_err(lineno, e.to_string()))?;
                 }
             }
             other => return Err(snap_err(lineno, format!("unknown keyword `{other}`"))),
@@ -270,7 +273,8 @@ mod tests {
             .unwrap();
         r.insert(tuple![2u64, "multi\nline", Value::Null, false])
             .unwrap();
-        r.insert(tuple![3u64, "back\\slash", f64::NAN, true]).unwrap();
+        r.insert(tuple![3u64, "back\\slash", f64::NAN, true])
+            .unwrap();
         db.create_relation("empty", Schema::of(&[("x", ValueType::Int)]))
             .unwrap();
         db.fresh_id();
@@ -322,12 +326,12 @@ mod tests {
     #[test]
     fn structural_errors_rejected() {
         let cases = [
-            "crowd4u-snapshot v1\ncol a int false\n",        // col outside relation
-            "crowd4u-snapshot v1\nrow i1\n",                 // row outside relation
-            "crowd4u-snapshot v1\nend\n",                    // end outside relation
+            "crowd4u-snapshot v1\ncol a int false\n", // col outside relation
+            "crowd4u-snapshot v1\nrow i1\n",          // row outside relation
+            "crowd4u-snapshot v1\nend\n",             // end outside relation
             "crowd4u-snapshot v1\nrelation a\nrelation b\n", // nested
-            "crowd4u-snapshot v1\nrelation a\n",             // unterminated
-            "crowd4u-snapshot v1\nwat 1\n",                  // unknown keyword
+            "crowd4u-snapshot v1\nrelation a\n",      // unterminated
+            "crowd4u-snapshot v1\nwat 1\n",           // unknown keyword
             "crowd4u-snapshot v1\nrelation a\ncol a wat false\nend\n", // bad type
             "crowd4u-snapshot v1\nrelation a\ncol a int maybe\nend\n", // bad nullable
             "crowd4u-snapshot v1\nrelation a\ncol a int false\nrow x9\nend\n", // bad tag

@@ -306,11 +306,13 @@ mod tests {
 
     #[test]
     fn heterogeneous_ordering_is_stable() {
-        let mut vals = [Value::Str("a".into()),
+        let mut vals = [
+            Value::Str("a".into()),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
-            Value::Id(9)];
+            Value::Id(9),
+        ];
         vals.sort();
         assert!(matches!(vals[0], Value::Null));
         assert!(matches!(vals[1], Value::Bool(_)));

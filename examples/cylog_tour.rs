@@ -36,10 +36,7 @@ labelled(X, N) :- unreachable(X), label(X, N).
     engine.run()?;
 
     println!("paths from 1: {:?}", engine.facts("path")?.rows.len());
-    println!(
-        "reach_count = {}",
-        engine.facts("reach_count")?.rows[0][0]
-    );
+    println!("reach_count = {}", engine.facts("reach_count")?.rows[0][0]);
     for row in &engine.facts("unreachable")?.rows {
         println!("unreachable node: {row}");
     }
@@ -47,14 +44,22 @@ labelled(X, N) :- unreachable(X), label(X, N).
     // The engine turned the `label` demand into crowd questions:
     println!("\npending crowd questions:");
     for req in engine.pending_requests().to_vec() {
-        println!("  {}({:?}) for {} points", req.pred_name, req.inputs, req.points);
+        println!(
+            "  {}({:?}) for {} points",
+            req.pred_name, req.inputs, req.points
+        );
         // …each of which renders as a task form (the worker UI):
         let form = form_for_request(engine.program(), &req);
         println!("{form}\n");
     }
 
     // A simulated worker answers; the dependent rule fires on the next run.
-    engine.answer("label", vec![Value::Int(5)], vec!["isolated-5".into()], Some(7))?;
+    engine.answer(
+        "label",
+        vec![Value::Int(5)],
+        vec!["isolated-5".into()],
+        Some(7),
+    )?;
     engine.run()?;
     for row in &engine.facts("labelled")?.rows {
         println!("labelled: {row}");

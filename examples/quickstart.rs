@@ -50,7 +50,10 @@ published(S, T) :- sentence(S, X), translate(S, X, T).
     let project = platform.register_project("quickstart", cylog, factors, Scheme::Sequential)?;
 
     // --- decomposition: sentences become micro-tasks via CyLog demands ---
-    for (i, text) in ["hello world", "good morning", "see you soon"].iter().enumerate() {
+    for (i, text) in ["hello world", "good morning", "see you soon"]
+        .iter()
+        .enumerate()
+    {
         platform.seed_fact(
             project,
             "sentence",
@@ -110,7 +113,10 @@ published(S, T) :- sentence(S, X), translate(S, X, T).
         println!("  {row}");
     }
     println!();
-    println!("{}", admin_page(&platform, project, &["translation"], &["en", "ja", "fr"])?);
+    println!(
+        "{}",
+        admin_page(&platform, project, &["translation"], &["en", "ja", "fr"])?
+    );
     println!("\nplatform counters:\n{}", platform.counters);
     Ok(())
 }

@@ -27,14 +27,13 @@ https://example.net/rock.jpg,#3
     println!("imported {added} rows from the spreadsheet");
 
     engine.run()?;
-    println!("crowd questions generated: {}", engine.pending_requests().len());
+    println!(
+        "crowd questions generated: {}",
+        engine.pending_requests().len()
+    );
 
     // Simulated workers tag the photos.
-    let answers = [
-        (1u64, "cat", true),
-        (2, "dog", true),
-        (3, "rock", false),
-    ];
+    let answers = [(1u64, "cat", true), (2, "dog", true), (3, "rock", false)];
     for (pid, animal, cute) in answers {
         let url = format!(
             "https://example.net/{}.jpg",

@@ -19,7 +19,13 @@ fn main() {
     // Build a clustered instance: 3 communities with high intra-affinity.
     let mut rng = SimRng::seed_from(seed);
     let cands: Vec<Candidate> = (0..n as u64)
-        .map(|i| Candidate::new(WorkerId(i), rng.range_f64(0.3, 1.0), rng.range_f64(0.0, 2.0)))
+        .map(|i| {
+            Candidate::new(
+                WorkerId(i),
+                rng.range_f64(0.3, 1.0),
+                rng.range_f64(0.0, 2.0),
+            )
+        })
         .collect();
     let mut aff = AffinityMatrix::new(cands.iter().map(|c| c.id).collect());
     for i in 0..n {
@@ -33,7 +39,9 @@ fn main() {
             );
         }
     }
-    let constraints = TeamConstraints::sized(3, 5).with_quality(0.4).with_budget(8.0);
+    let constraints = TeamConstraints::sized(3, 5)
+        .with_quality(0.4)
+        .with_budget(8.0);
     println!(
         "instance: {n} workers, 3 latent communities, teams of 3–5, \
          mean skill ≥ 0.4, budget 8.0\n"
@@ -52,7 +60,11 @@ fn main() {
     );
     for alg in &algorithms {
         if n > 22 && alg.name().starts_with("exact") {
-            println!("{:<18} {:>9} — skipped (combinatorial blow-up)", alg.name(), "");
+            println!(
+                "{:<18} {:>9} — skipped (combinatorial blow-up)",
+                alg.name(),
+                ""
+            );
             continue;
         }
         let start = Instant::now();

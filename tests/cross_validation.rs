@@ -7,10 +7,7 @@ use crowd4u::storage::prelude::*;
 use proptest::prelude::*;
 
 /// Nested-loop reference join for the property test.
-fn reference_join(
-    left: &[(i64, i64)],
-    right: &[(i64, i64)],
-) -> Vec<(i64, i64, i64, i64)> {
+fn reference_join(left: &[(i64, i64)], right: &[(i64, i64)]) -> Vec<(i64, i64, i64, i64)> {
     let mut out = Vec::new();
     for &(a, b) in left {
         for &(c, d) in right {

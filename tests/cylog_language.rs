@@ -29,14 +29,12 @@ fn rows(e: &CylogEngine, pred: &str) -> Vec<Vec<Value>> {
 fn same_generation_classic() {
     // sg(X,Y) :- siblings or cousins at the same depth — a classic
     // non-linear recursive Datalog program.
-    let e = run(
-        "rel parent(c: str, p: str).\nrel sg(a: str, b: str).\n\
+    let e = run("rel parent(c: str, p: str).\nrel sg(a: str, b: str).\n\
          parent(\"carol\", \"root\").\n\
          parent(\"ann\", \"carol\"). parent(\"bob\", \"carol\").\n\
          parent(\"dan\", \"ann\"). parent(\"eva\", \"bob\").\n\
          sg(X, X) :- parent(X, _).\n\
-         sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).\n",
-    );
+         sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).\n");
     let sg = rows(&e, "sg");
     // dan and eva are cousins (parents ann/bob are siblings via carol)
     assert!(sg.contains(&vec!["dan".into(), "eva".into()]));
@@ -45,11 +43,9 @@ fn same_generation_classic() {
 
 #[test]
 fn arithmetic_chains_and_string_building() {
-    let e = run(
-        "rel n(v: int).\nrel out(v: int, label: str).\n\
+    let e = run("rel n(v: int).\nrel out(v: int, label: str).\n\
          n(1). n(2). n(3).\n\
-         out(Sq, L) :- n(V), Sq := V * V + 1, L := \"sq=\" + \"?\".\n",
-    );
+         out(Sq, L) :- n(V), Sq := V * V + 1, L := \"sq=\" + \"?\".\n");
     let out = rows(&e, "out");
     assert_eq!(out.len(), 3);
     assert_eq!(out[0][0], Value::Int(2));
@@ -60,14 +56,12 @@ fn arithmetic_chains_and_string_building() {
 #[test]
 fn negation_layers_stack() {
     // Three strata: base → derived → doubly-negated.
-    let e = run(
-        "rel a(x: int).\nrel b(x: int).\nrel c(x: int).\n\
+    let e = run("rel a(x: int).\nrel b(x: int).\nrel c(x: int).\n\
          a(1). a(2). a(3).\n\
          b(X) :- a(X), X > 1.\n\
          c(X) :- a(X), not b(X).\n\
          rel d(x: int).\n\
-         d(X) :- a(X), not c(X).\n",
-    );
+         d(X) :- a(X), not c(X).\n");
     assert_eq!(rows(&e, "c"), vec![vec![Value::Int(1)]]);
     assert_eq!(
         rows(&e, "d"),
@@ -77,14 +71,12 @@ fn negation_layers_stack() {
 
 #[test]
 fn aggregates_over_derived_predicates() {
-    let e = run(
-        "rel sale(region: str, amount: float).\n\
+    let e = run("rel sale(region: str, amount: float).\n\
          rel big(region: str, amount: float).\n\
          rel stats(region: str, n: int, total: float).\n\
          sale(\"east\", 10.0). sale(\"east\", 90.0). sale(\"west\", 50.0).\n\
          big(R, A) :- sale(R, A), A >= 50.0.\n\
-         stats(R, count<A>, sum<A>) :- big(R, A).\n",
-    );
+         stats(R, count<A>, sum<A>) :- big(R, A).\n");
     let stats = rows(&e, "stats");
     assert_eq!(
         stats,
@@ -98,25 +90,21 @@ fn aggregates_over_derived_predicates() {
 #[test]
 fn ids_booleans_and_floats_mix() {
     // note: `open` and `rel` are keywords, so columns use other names
-    let e = run(
-        "rel task(t: id, active: bool, priority: float).\n\
+    let e = run("rel task(t: id, active: bool, priority: float).\n\
          rel urgent(t: id).\n\
          task(#1, true, 0.9). task(#2, true, 0.2). task(#3, false, 1.0).\n\
-         urgent(T) :- task(T, true, P), P >= 0.5.\n",
-    );
+         urgent(T) :- task(T, true, P), P >= 0.5.\n");
     assert_eq!(rows(&e, "urgent"), vec![vec![Value::Id(1)]]);
 }
 
 #[test]
 fn open_predicates_chain_through_rules() {
-    let mut e = run(
-        "rel doc(d: id).\n\
+    let mut e = run("rel doc(d: id).\n\
          open split(d: id) -> (part: str).\n\
          open translate(part: str) -> (out: str).\n\
          rel done(d: id, out: str).\n\
          done(D, O) :- doc(D), split(D, P), translate(P, O).\n\
-         doc(#1).\n",
-    );
+         doc(#1).\n");
     // Only the first-stage question exists initially.
     let preds: Vec<&str> = e
         .pending_requests()
@@ -133,8 +121,13 @@ fn open_predicates_chain_through_rules() {
         .map(|r| r.pred_name.as_str())
         .collect();
     assert_eq!(preds, vec!["translate"]);
-    e.answer("translate", vec!["part-a".into()], vec!["partie-a".into()], None)
-        .unwrap();
+    e.answer(
+        "translate",
+        vec!["part-a".into()],
+        vec!["partie-a".into()],
+        None,
+    )
+    .unwrap();
     e.run().unwrap();
     assert_eq!(e.fact_count("done").unwrap(), 1);
     assert!(e.pending_requests().is_empty());
@@ -142,12 +135,10 @@ fn open_predicates_chain_through_rules() {
 
 #[test]
 fn comments_and_whitespace_are_free() {
-    let e = run(
-        "% prolog-style comment\n\
+    let e = run("% prolog-style comment\n\
          rel a(x: int). // trailing comment\n\
          \n\
-         a(1).\n   a( 2 ) .\n",
-    );
+         a(1).\n   a( 2 ) .\n");
     assert_eq!(e.fact_count("a").unwrap(), 2);
 }
 
@@ -169,14 +160,17 @@ fn rejection_catalogue() {
             "rel p(a: int).\nrel q(a: str).\nrel r(a: int).\nr(X) :- p(X), q(X).",
             "used as",
         ),
-        ("open j(x: int) -> (y: int).\nrel p(x: int).\nj(X, 1) :- p(X).", "derived"),
+        (
+            "open j(x: int) -> (y: int).\nrel p(x: int).\nj(X, 1) :- p(X).",
+            "derived",
+        ),
         ("rel p(a: int", "parse"),
         ("rel p(a: wat).", "unknown type"),
     ];
     for (src, needle) in cases {
-        let err = CylogEngine::from_source(src).err().unwrap_or_else(|| {
-            panic!("program should be rejected: {src}")
-        });
+        let err = CylogEngine::from_source(src)
+            .err()
+            .unwrap_or_else(|| panic!("program should be rejected: {src}"));
         let msg = err.to_string();
         assert!(
             msg.contains(needle),
@@ -187,7 +181,9 @@ fn rejection_catalogue() {
 
 #[test]
 fn runtime_type_errors_are_reported_not_panics() {
-    let mut e = CylogEngine::from_source("rel a(x: int).\nrel r(x: int).\nr(Z) :- a(X), Z := 1 / X.\n").unwrap();
+    let mut e =
+        CylogEngine::from_source("rel a(x: int).\nrel r(x: int).\nr(Z) :- a(X), Z := 1 / X.\n")
+            .unwrap();
     e.add_fact("a", vec![Value::Int(0)]).unwrap();
     let err = e.run().unwrap_err();
     assert!(err.to_string().contains("division by zero"));
@@ -206,7 +202,10 @@ fn program_introspection() {
     assert!(p.pred_info(b).derived);
     assert!(p.pred_info(j).is_open());
     assert_eq!(p.pred_info(j).open_inputs(), 1);
-    assert_eq!(p.pred_info(j).col_types, vec![ValueType::Int, ValueType::Str]);
+    assert_eq!(
+        p.pred_info(j).col_types,
+        vec![ValueType::Int, ValueType::Str]
+    );
     assert!(matches!(
         p.pred_info(j).kind,
         PredKind::Open { points: 4, .. }

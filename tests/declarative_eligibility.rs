@@ -44,7 +44,9 @@ fn cylog_rules_decide_eligibility_on_the_platform() {
             Scheme::Sequential,
         )
         .unwrap();
-    assert!(uses_declarative_eligibility(&p.project(proj).unwrap().engine));
+    assert!(uses_declarative_eligibility(
+        &p.project(proj).unwrap().engine
+    ));
 
     let task = p.create_collab_task(proj, "work").unwrap();
     // Only the online English native qualifies — exactly the paper's rule.
@@ -107,7 +109,10 @@ fn micro_tasks_respect_declarative_eligibility() {
     p.submit_micro_answer(WorkerId(1), task, vec!["tag".into()])
         .unwrap();
     p.sync_tasks(proj).unwrap();
-    assert_eq!(p.project(proj).unwrap().engine.fact_count("out").unwrap(), 1);
+    assert_eq!(
+        p.project(proj).unwrap().engine.fact_count("out").unwrap(),
+        1
+    );
 }
 
 #[test]
@@ -147,11 +152,22 @@ out(X, Y) :- item(X), label(X, Y).
         .set("q1", "please")
         .set("q2", "dog")
         .set("q3", "bread");
-    assert_eq!(take_test(&mut p.workers, WorkerId(1), &test, &ann).unwrap(), 1.0);
-    assert_eq!(take_test(&mut p.workers, WorkerId(2), &test, &bob).unwrap(), 0.5);
+    assert_eq!(
+        take_test(&mut p.workers, WorkerId(1), &test, &ann).unwrap(),
+        1.0
+    );
+    assert_eq!(
+        take_test(&mut p.workers, WorkerId(2), &test, &bob).unwrap(),
+        0.5
+    );
 
     let proj = p
-        .register_project("gated", SKILL_GATED, DesiredFactors::default(), Scheme::Sequential)
+        .register_project(
+            "gated",
+            SKILL_GATED,
+            DesiredFactors::default(),
+            Scheme::Sequential,
+        )
         .unwrap();
     let task = p.create_collab_task(proj, "translate things").unwrap();
     assert_eq!(p.relations.eligible_workers(task), vec![WorkerId(1)]);

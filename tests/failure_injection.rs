@@ -64,7 +64,9 @@ fn flaky_team_dissolves_and_task_eventually_abandons() {
         recruitment_secs: 60,
         ..Default::default()
     };
-    let proj = p.register_project("flaky", SRC, f, Scheme::Sequential).unwrap();
+    let proj = p
+        .register_project("flaky", SRC, f, Scheme::Sequential)
+        .unwrap();
     let task = p.create_collab_task(proj, "x").unwrap();
     for i in 1..=4 {
         p.express_interest(WorkerId(i), task).unwrap();

@@ -28,9 +28,7 @@ fn factors(min_team: usize, max_team: usize) -> DesiredFactors {
 fn world(n_workers: u64) -> Crowd4U {
     let mut p = Crowd4U::new();
     for i in 1..=n_workers {
-        p.register_worker(
-            WorkerProfile::new(WorkerId(i), format!("w{i}")).with_native_lang("en"),
-        );
+        p.register_worker(WorkerProfile::new(WorkerId(i), format!("w{i}")).with_native_lang("en"));
     }
     p
 }
@@ -92,7 +90,10 @@ fn deadline_miss_reexecutes_assignment_with_new_team() {
     let state = p.pool.get(task).unwrap().state.clone();
     match state {
         TaskState::Suggested { team, .. } => {
-            assert!(!team.contains(&first.members[1]), "no-show must be excluded");
+            assert!(
+                !team.contains(&first.members[1]),
+                "no-show must be excluded"
+            );
         }
         other => panic!("expected a fresh suggestion, got {other:?}"),
     }

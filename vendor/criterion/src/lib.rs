@@ -1,0 +1,317 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the criterion 0.5 API surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each routine is warmed up briefly, then timed over
+//! enough iterations to fill a small per-bench time budget (~60 ms by
+//! default, `CRITERION_BUDGET_MS` to override). The mean ns/iter is printed
+//! in a `cargo bench`-like format. There is no statistical analysis, HTML
+//! report, or comparison with previous runs — this harness exists so that
+//! `cargo bench` runs and reports plausible relative numbers offline, not to
+//! replace criterion's statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-bench time budget.
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(60);
+    Duration::from_millis(ms)
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix
+/// (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the shim.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id: a [`BenchmarkId`] or a plain string.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure
+/// (subset of `criterion::Bencher`).
+pub struct Bencher {
+    /// Total time spent inside timed routines.
+    elapsed: Duration,
+    /// Number of timed routine invocations.
+    iters: u64,
+    /// Wall-clock budget for this bench.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Time `routine` repeatedly until the budget is filled.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup: one untimed call (also forces lazy setup).
+        black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(budget());
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<50} (no timed iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() / b.iters as u128;
+    println!(
+        "{id:<50} time: {:>12} ns/iter  ({} iterations)",
+        per_iter, b.iters
+    );
+}
+
+/// Declare a group of benchmark functions (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running one or more groups
+/// (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: tests drive `Bencher` with an explicit budget rather than via
+    // `CRITERION_BUDGET_MS` — mutating the process environment would race
+    // with concurrent tests reading it.
+
+    #[test]
+    fn bencher_iter_runs_routine() {
+        let mut calls = 0u64;
+        let mut b = Bencher::new(Duration::from_millis(1));
+        b.iter(|| calls += 1);
+        assert!(calls > 0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn bencher_iter_batched_times_routine_only() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        let mut b = Bencher::new(Duration::from_millis(1));
+        b.iter_batched(
+            || {
+                setups += 1;
+                7u64
+            },
+            |n| {
+                runs += 1;
+                black_box(n + 1)
+            },
+            BatchSize::SmallInput,
+        );
+        assert!(runs > 0);
+        assert!(setups >= runs); // warmup setup included
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter_batched(|| 7u64, |n| black_box(n + 1), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 4).into_benchmark_id(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+}

@@ -1,0 +1,438 @@
+//! The [`Strategy`] trait and the concrete strategies the workspace uses.
+//!
+//! A strategy is simply "a way to sample a value from a [`TestRng`]". Unlike
+//! the real proptest there is no value tree and no shrinking.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep resampling until `pred` accepts the value. `reason` is reported
+    /// if no acceptable value is found within a resample budget.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous lists (see `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.as_ref().sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 10000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Strategy that always yields a clone of one value (`Just(x)`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies with the same value type
+/// (behind `prop_oneof!`).
+pub struct Union<V> {
+    choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Uniform union of `choices`. Panics if empty.
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_in(0, self.choices.len());
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Types with a default "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// `any::<T>()` — the default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Finite floats over a wide dynamic range (mirrors the real crate's
+    /// default of excluding NaN and the infinities).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Occasionally produce exact zero, a common edge case.
+        if rng.usize_in(0, 32) == 0 {
+            return 0.0;
+        }
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        let exp = rng.usize_in(0, 401) as i32 - 200;
+        let mantissa = rng.unit_f64() + 1.0; // [1, 2)
+        sign * mantissa * 2f64.powi(exp)
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// String literals act as regex-subset strategies, e.g. `"[a-z]{1,8}"`.
+///
+/// Supported syntax: a concatenation of atoms, where an atom is either a
+/// literal character or a character class `[...]` (with `a-z` style ranges),
+/// optionally followed by `{n}` or `{m,n}` repetition (inclusive bounds,
+/// regex semantics).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex_subset(self, rng)
+    }
+}
+
+fn sample_regex_subset(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in strategy pattern {pattern:?}"))
+                + i;
+            let class = expand_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            class
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Parse an optional {n} / {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in strategy pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (parse_rep(m, pattern), parse_rep(n, pattern)),
+                None => {
+                    let n = parse_rep(&spec, pattern);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        debug_assert!(lo <= hi, "bad repetition in {pattern:?}");
+        let count = rng.usize_in(lo, hi + 1);
+        for _ in 0..count {
+            out.push(alphabet[rng.usize_in(0, alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn parse_rep(s: &str, pattern: &str) -> usize {
+    s.trim()
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in strategy pattern {pattern:?}"))
+}
+
+/// Expand the interior of a `[...]` class into its member characters.
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty character class in {pattern:?}");
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            for c in lo..=hi {
+                members.push(c);
+            }
+            i += 3;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    members
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(42, 0)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3u64..9).sample(&mut r);
+            assert!((3..9).contains(&v));
+            let s = (-5i64..5).sample(&mut r);
+            assert!((-5..5).contains(&s));
+            let f = (0.25f64..0.75).sample(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_strings() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".sample(&mut r);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let p = "[ -~]{0,16}".sample(&mut r);
+            assert!(p.chars().count() <= 16);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+        }
+        // Literals and fixed repetitions.
+        assert_eq!("abc".sample(&mut r), "abc");
+        assert_eq!("x{3}".sample(&mut r), "xxx");
+    }
+
+    #[test]
+    fn map_filter_just_union() {
+        let mut r = rng();
+        let doubled = (0u64..10).prop_map(|v| v * 2).sample(&mut r);
+        assert!(doubled % 2 == 0 && doubled < 20);
+
+        let odd = (0u64..10).prop_filter("odd", |v| v % 2 == 1);
+        for _ in 0..100 {
+            assert!(odd.sample(&mut r) % 2 == 1);
+        }
+
+        assert_eq!(Just(7u8).sample(&mut r), 7);
+
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[u.sample(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn collections_and_options() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..5, 2..6).sample(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = crate::collection::vec(0u64..5, 4).sample(&mut r);
+        assert_eq!(fixed.len(), 4);
+
+        let mut nones = 0;
+        let mut somes = 0;
+        for _ in 0..400 {
+            match crate::option::of(0u64..5).sample(&mut r) {
+                None => nones += 1,
+                Some(v) => {
+                    assert!(v < 5);
+                    somes += 1;
+                }
+            }
+        }
+        assert!(nones > 0 && somes > 0);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            assert!(f64::arbitrary(&mut r).is_finite());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Test-case execution support: configuration, RNG, and case failure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Configuration for a `proptest!` block (subset of the real crate's
+/// `ProptestConfig`; only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Seed shared by every case of a property run. Deterministic by default so
+/// CI is reproducible; override with the `PROPTEST_SEED` environment
+/// variable to replay a reported failure.
+pub fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => 0xC0FF_EED0_0D00,
+    }
+}
+
+/// Random source handed to strategies while sampling one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of a run with base seed `seed`.
+    pub fn for_case(seed: u64, case: u32) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                seed.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Requires `lo < hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+}
+
+/// Why a single test case failed. Returned (via `Err`) by the
+/// `prop_assert*` macros; the `proptest!` harness turns it into a panic that
+/// reports the seed and case index.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion inside the case body failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

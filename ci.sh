@@ -6,7 +6,8 @@
 #   2. cargo clippy -D warnings — lint-clean across all targets
 #   3. cargo build --release   — the whole workspace builds optimized
 #   4. cargo test -q           — unit + property + integration + doc tests
-#   5. cargo doc --no-deps     — docs build with zero warnings
+#   5. bench smoke             — ingestion-throughput bench still runs
+#   6. cargo doc --no-deps     — docs build with zero warnings
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,6 +21,16 @@ step cargo fmt --all --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step cargo build --release
 step cargo test -q
+# Bench smoke: run the ingestion-throughput bench on a tiny budget so a
+# batching regression fails fast. The per-answer/10000 baseline runs one
+# full pass by design (that slowness is the point of the comparison);
+# skipping the shim's warmup keeps this step to roughly that single pass.
+# The recorded reference numbers live in BENCH_ingest.json (regenerate
+# with `cargo run --release -p crowd4u-bench --bin report -- ingest`).
+echo
+echo "==> bench smoke: e9_ingest_throughput (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e9_ingest_throughput
 # Docs must be warning-free, not just successful.
 echo
 echo "==> cargo doc --no-deps (deny warnings)"

@@ -1,0 +1,55 @@
+//! E9-ingest: batched vs per-answer ingestion throughput.
+//!
+//! The motivation for the event-driven execution core: ingesting each
+//! worker answer with its own fixpoint run (`answer` + `run`, the
+//! call-at-a-time path) re-derives the whole database N times, while
+//! `answer_batch` applies N answers and runs the fixpoint **once**. At 10k
+//! answers the batched path must be ≥5× faster (in practice it is orders
+//! of magnitude faster); `ci.sh` runs this bench as a smoke test and the
+//! `report` binary records the `BENCH_ingest.json` baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use crowd4u_bench::ingest_workload;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ingest_throughput");
+    group.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(criterion::Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter_batched(
+                || ingest_workload(n),
+                |(mut engine, answers)| {
+                    engine.answer_batch(&answers).unwrap();
+                    engine.fact_count("good").unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    // The per-answer baseline runs the fixpoint once per answer — that
+    // slowness is the point of the comparison, and why `ci.sh` runs this
+    // bench with CRITERION_SKIP_WARMUP=1 (one full pass, not two).
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(criterion::Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("per_answer", n), &n, |b, &n| {
+            b.iter_batched(
+                || ingest_workload(n),
+                |(mut engine, answers)| {
+                    for a in answers {
+                        engine
+                            .answer(&a.pred, a.inputs, a.outputs, a.worker)
+                            .unwrap();
+                        engine.run().unwrap();
+                    }
+                    engine.fact_count("good").unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

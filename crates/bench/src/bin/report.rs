@@ -4,9 +4,13 @@
 //! cargo run --release -p crowd4u-bench --bin report            # all
 //! cargo run --release -p crowd4u-bench --bin report -- e6 e7   # subset
 //! cargo run --release -p crowd4u-bench --bin report -- e8full  # full 600k
+//! cargo run --release -p crowd4u-bench --bin report -- ingest  # BENCH_ingest.json
 //! ```
 //!
-//! The output of this binary is what EXPERIMENTS.md records.
+//! The output of this binary is what EXPERIMENTS.md records. The `ingest`
+//! experiment (explicit only — its per-answer baseline runs ~10⁴ fixpoints
+//! and takes minutes) records the batched-vs-per-answer ingestion baseline
+//! to `BENCH_ingest.json` and fails if batching is less than 5× faster.
 
 use crowd4u_assign::prelude::*;
 use crowd4u_bench::{all_algorithms, clustered_instance, random_instance, TablePrinter};
@@ -52,6 +56,10 @@ fn main() {
     }
     if want("e9") {
         e9_scenarios();
+    }
+    // Explicit only: the per-answer baseline takes minutes by design.
+    if args.iter().any(|a| a == "ingest") {
+        ingest_baseline();
     }
 }
 
@@ -434,6 +442,64 @@ fn e8_scale(full: bool) {
     println!("{}", t.render());
     let summary = engine.facts("summary").unwrap();
     println!("summary fact: {} good items of {n}\n", summary.rows[0][0]);
+}
+
+/// Ingest baseline: batched (`answer_batch`, one fixpoint) vs per-answer
+/// (`answer` + `run` each) ingestion of 10k answers. Records the result to
+/// `BENCH_ingest.json` so CI and future sessions can compare against it,
+/// and exits non-zero if the batched path is less than 5× faster.
+fn ingest_baseline() {
+    const N: u64 = 10_000;
+    println!("## Ingest baseline — batched vs per-answer at {N} answers\n");
+
+    let (mut engine, answers) = crowd4u_bench::ingest_workload(N);
+    let start = Instant::now();
+    engine.answer_batch(&answers).unwrap();
+    let t_batched = start.elapsed();
+    let good_batched = engine.fact_count("good").unwrap();
+
+    let (mut engine, answers) = crowd4u_bench::ingest_workload(N);
+    let start = Instant::now();
+    for a in answers {
+        engine
+            .answer(&a.pred, a.inputs, a.outputs, a.worker)
+            .unwrap();
+        engine.run().unwrap();
+    }
+    let t_per_answer = start.elapsed();
+    assert_eq!(engine.fact_count("good").unwrap(), good_batched);
+
+    let speedup = t_per_answer.as_secs_f64() / t_batched.as_secs_f64();
+    let mut t = TablePrinter::new(&["path", "fixpoint runs", "time", "answers/s"]);
+    t.row(vec![
+        "batched (answer_batch)".into(),
+        "1".into(),
+        format!("{t_batched:.2?}"),
+        format!("{:.0}", N as f64 / t_batched.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "per-answer (answer + run)".into(),
+        N.to_string(),
+        format!("{t_per_answer:.2?}"),
+        format!("{:.0}", N as f64 / t_per_answer.as_secs_f64()),
+    ]);
+    println!("{}", t.render());
+    println!("speedup: {speedup:.1}×\n");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e9_ingest_throughput\",\n  \"answers\": {N},\n  \
+         \"batched_ms\": {:.3},\n  \"per_answer_ms\": {:.3},\n  \"speedup\": {:.1},\n  \
+         \"good_facts\": {good_batched}\n}}\n",
+        t_batched.as_secs_f64() * 1e3,
+        t_per_answer.as_secs_f64() * 1e3,
+        speedup,
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("baseline recorded to BENCH_ingest.json");
+    assert!(
+        speedup >= 5.0,
+        "batched ingestion regressed: only {speedup:.1}× faster than per-answer"
+    );
 }
 
 /// E9: the three demo scenarios at demo scale, all algorithms.

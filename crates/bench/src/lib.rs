@@ -15,7 +15,39 @@
 use crowd4u_assign::prelude::*;
 use crowd4u_crowd::affinity::AffinityMatrix;
 use crowd4u_crowd::profile::WorkerId;
+use crowd4u_cylog::engine::{AnswerRecord, CylogEngine};
 use crowd4u_sim::rng::SimRng;
+
+/// The CyLog program of the ingestion-throughput experiment (E9-ingest):
+/// one open judge question per item, one derived relation consuming it.
+pub const INGEST_SRC: &str = "rel item(i: id).\nopen judge(i: id) -> (ok: bool) points 1.\n\
+     rel good(i: id).\ngood(I) :- item(I), judge(I, OK), OK = true.\n";
+
+/// The E9-ingest workload: an engine with `n` open questions plus the
+/// answers for all of them (90% approvals, workers rotating over 100 ids).
+/// Shared by the `e9_ingest_throughput` bench and the `report -- ingest`
+/// baseline so both measure the same experiment.
+pub fn ingest_workload(n: u64) -> (CylogEngine, Vec<AnswerRecord>) {
+    let mut engine = CylogEngine::from_source(INGEST_SRC).expect("static program");
+    for i in 0..n {
+        engine
+            .add_fact("item", vec![(i + 1).into()])
+            .expect("typed fact");
+    }
+    engine.run().expect("stratified program");
+    let answers: Vec<AnswerRecord> = engine
+        .pending_requests()
+        .iter()
+        .enumerate()
+        .map(|(k, req)| AnswerRecord {
+            pred: req.pred_name.clone(),
+            inputs: req.inputs.clone(),
+            outputs: vec![(k % 10 != 0).into()],
+            worker: Some(1 + (k % 100) as u64),
+        })
+        .collect();
+    (engine, answers)
+}
 
 /// A random team-formation instance: `n` workers with uniform skills,
 /// costs in `[0, 3)` and uniform pairwise affinities.

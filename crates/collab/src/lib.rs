@@ -56,7 +56,7 @@ impl std::fmt::Display for Scheme {
 
 pub mod prelude {
     pub use crate::hybrid::{FactRecord, HybridError, HybridFlow, SurveillanceReport, Testimonial};
-    pub use crate::monitor::{CollabMonitor, Verdict};
+    pub use crate::monitor::{CollabMonitor, MonitorEvent, Verdict};
     pub use crate::quality::{correction, sequential_improve, simultaneous_merge};
     pub use crate::sequential::{
         Artifact, Pass, SequentialError, SequentialFlow, SequentialPipeline, StageKind,

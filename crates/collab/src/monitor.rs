@@ -8,6 +8,23 @@ use crowd4u_crowd::profile::WorkerId;
 use crowd4u_sim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
+/// A monitoring-relevant occurrence, as mapped from the platform's event
+/// stream. The platform translates its own `PlatformEvent`s into these
+/// and feeds them through [`CollabMonitor::apply`] — activity records and
+/// completions today — so monitoring state is driven by the same events
+/// that drive execution. `MemberRemoved` exists for team-repair flows
+/// (dropping a stalled member and recruiting a replacement), which operate
+/// on the monitor directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// A member did something at the given time.
+    Activity(WorkerId, SimTime),
+    /// A member left the team.
+    MemberRemoved(WorkerId),
+    /// The collaboration finished (terminal).
+    Completed,
+}
+
 /// Health verdict for one collaboration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
@@ -39,6 +56,15 @@ impl CollabMonitor {
             stall_after,
             last_activity: members.iter().map(|&m| (m, started)).collect(),
             complete: false,
+        }
+    }
+
+    /// Apply one event from the platform's event stream.
+    pub fn apply(&mut self, event: MonitorEvent) {
+        match event {
+            MonitorEvent::Activity(member, at) => self.record_activity(member, at),
+            MonitorEvent::MemberRemoved(member) => self.remove_member(member),
+            MonitorEvent::Completed => self.mark_complete(),
         }
     }
 
@@ -184,5 +210,20 @@ mod tests {
     fn age_tracks_start() {
         let m = CollabMonitor::new(&[w(1)], SimTime(100), SimDuration::minutes(1));
         assert_eq!(m.age(SimTime(160)), SimDuration::secs(60));
+    }
+
+    #[test]
+    fn event_stream_drives_monitor() {
+        let mut m = monitor();
+        m.apply(MonitorEvent::Activity(w(1), SimTime(500)));
+        m.apply(MonitorEvent::Activity(w(2), SimTime(550)));
+        m.apply(MonitorEvent::MemberRemoved(w(3)));
+        assert_eq!(
+            m.check(SimTime(0) + SimDuration::minutes(10)),
+            Verdict::Healthy
+        );
+        assert_eq!(m.members(), vec![w(1), w(2)]);
+        m.apply(MonitorEvent::Completed);
+        assert_eq!(m.check(SimTime(10_000)), Verdict::Complete);
     }
 }

@@ -53,6 +53,8 @@ pub enum PlatformError {
     NoFeasibleTeam {
         task: TaskId,
     },
+    /// A journal entry could not be decoded into a [`crate::events::PlatformEvent`].
+    BadEvent(String),
     Cylog(CylogError),
     Storage(StorageError),
 }
@@ -77,6 +79,7 @@ impl fmt::Display for PlatformError {
                 "no team satisfying the desired human factors exists for task {task}; \
                  consider relaxing the constraints"
             ),
+            PlatformError::BadEvent(m) => write!(f, "bad event: {m}"),
             PlatformError::Cylog(e) => write!(f, "cylog: {e}"),
             PlatformError::Storage(e) => write!(f, "storage: {e}"),
         }
@@ -126,6 +129,7 @@ mod tests {
                 state: "done".into(),
             },
             PlatformError::NoFeasibleTeam { task: TaskId(2) },
+            PlatformError::BadEvent("mystery".into()),
             PlatformError::Cylog(CylogError::Eval("x".into())),
             PlatformError::Storage(StorageError::NoSuchRelation("r".into())),
         ];

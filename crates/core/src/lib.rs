@@ -28,6 +28,7 @@ pub mod declarative;
 pub mod decompose;
 pub mod eligibility;
 pub mod error;
+pub mod events;
 pub mod pages;
 pub mod platform;
 pub mod qualification;
@@ -45,8 +46,9 @@ pub mod prelude {
     };
     pub use crate::eligibility::{check_eligibility, is_eligible, Ineligibility};
     pub use crate::error::{PlatformError, ProjectId, TaskId, WorkerId};
+    pub use crate::events::PlatformEvent;
     pub use crate::pages::{admin_page, user_page, AdminPage, UserPage};
-    pub use crate::platform::{Crowd4U, Project};
+    pub use crate::platform::{BatchReport, Crowd4U, Project};
     pub use crate::qualification::{take_test, QualificationTest};
     pub use crate::relations::RelationStore;
     pub use crate::task::{Task, TaskBody, TaskPool, TaskState};

@@ -1,23 +1,45 @@
 //! The Crowd4U platform facade: projects, task generation, the five-step
 //! assignment workflow of §2.2.1, deadline-driven re-assignment, and task
 //! completion bookkeeping.
+//!
+//! # Event-driven execution core
+//!
+//! Every state-changing entry point has a [`PlatformEvent`] counterpart and
+//! appends one entry to an append-only [`EventJournal`] on success, so a
+//! platform can be replayed deterministically ([`Crowd4U::replay_with`]).
+//! Worker actions can be ingested one call at a time or as batches
+//! ([`Crowd4U::apply_batch`]): batched answers mark their project *dirty*
+//! instead of re-running the CyLog fixpoint per answer, and
+//! [`Crowd4U::drain_events`] synchronises each dirty project exactly once.
+//! Eligibility is epoch-cached per project and invalidated only by the
+//! events that can change it (worker-profile changes, new facts/answers).
 
 use crate::controller::{
     candidates_from_profiles, constraints_from_factors, non_committers, AssignmentController,
 };
 use crate::eligibility;
 use crate::error::{PlatformError, ProjectId, TaskId, WorkerId};
+use crate::events::{PlatformEvent, DRAIN_KIND};
 use crate::relations::RelationStore;
 use crate::task::{Task, TaskBody, TaskPool, TaskState};
 use crate::workers::WorkerManager;
 use crowd4u_assign::prelude::Team;
+use crowd4u_collab::prelude::{CollabMonitor, MonitorEvent, Verdict};
 use crowd4u_collab::Scheme;
 use crowd4u_cylog::engine::CylogEngine;
 use crowd4u_forms::admin::DesiredFactors;
 use crowd4u_sim::stats::Counters;
 use crowd4u_sim::time::{SimDuration, SimTime};
-use crowd4u_storage::prelude::Value;
-use std::collections::BTreeMap;
+use crowd4u_storage::prelude::{EventJournal, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The eligibility cache of one project: valid while both epochs match.
+#[derive(Debug, Clone)]
+struct EligibleCache {
+    worker_version: u64,
+    project_epoch: u64,
+    workers: Vec<WorkerId>,
+}
 
 /// A registered project: declarative description + desired human factors.
 pub struct Project {
@@ -30,6 +52,30 @@ pub struct Project {
     /// Feedback to the requester when no feasible team exists (§2.2.1:
     /// "Crowd4U suggests to the requester to update her input").
     pub suggestion: Option<String>,
+    /// Bumped whenever the project's fact base changes through the platform
+    /// (seeded facts, answers); part of the eligibility-cache key.
+    epoch: u64,
+    /// Cached eligible set, keyed by (worker version, project epoch).
+    eligible_cache: Option<EligibleCache>,
+}
+
+impl Project {
+    /// The project's data epoch (for cache-staleness diagnostics).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Outcome of [`Crowd4U::apply_batch`]: events are applied with per-event
+/// error tolerance, so one invalid worker action does not poison the batch.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// Events applied (and journaled) successfully.
+    pub applied: usize,
+    /// Events rejected, with their position in the batch.
+    pub errors: Vec<(usize, PlatformError)>,
+    /// Projects synchronised by the closing [`Crowd4U::drain_events`].
+    pub synced: Vec<ProjectId>,
 }
 
 /// The platform.
@@ -44,6 +90,14 @@ pub struct Crowd4U {
     pub counters: Counters,
     /// Give up on a collaborative task after this many missed deadlines.
     pub max_reassignments: u32,
+    /// A collaboration member idle for this long counts as stalled.
+    pub stall_after: SimDuration,
+    /// Append-only log of every applied event (the replay source of truth).
+    journal: EventJournal,
+    /// Projects whose CyLog fact base changed since their last sync.
+    dirty: BTreeSet<ProjectId>,
+    /// Collaboration monitors, one per task whose team started.
+    monitors: BTreeMap<TaskId, CollabMonitor>,
 }
 
 impl Default for Crowd4U {
@@ -58,6 +112,10 @@ impl Default for Crowd4U {
             controller: AssignmentController::default(),
             counters: Counters::new(),
             max_reassignments: 3,
+            stall_after: SimDuration::minutes(30),
+            journal: EventJournal::new(),
+            dirty: BTreeSet::new(),
+            monitors: BTreeMap::new(),
         }
     }
 }
@@ -71,32 +129,44 @@ impl Crowd4U {
         self.now
     }
 
+    /// Append one event to the journal (call only after the event's effects
+    /// were applied successfully).
+    fn record(&mut self, event: &PlatformEvent) {
+        let entry = event.encode();
+        self.journal
+            .append(entry.kind, entry.args)
+            .expect("event kinds are static identifiers");
+        self.counters.incr("events_journaled");
+    }
+
+    /// The append-only event journal (replay it with [`Crowd4U::replay_with`]).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
     /// Move the platform clock forward, processing any expired recruitment
     /// deadlines (workflow step: "unless all suggested workers start … by
     /// the specified deadline, task assignment is re-executed").
     pub fn advance_to(&mut self, t: SimTime) -> Result<(), PlatformError> {
+        self.record(&PlatformEvent::ClockAdvanced { to: t });
         if t > self.now {
             self.now = t;
         }
-        self.process_deadlines()
+        self.process_deadlines_inner()
     }
 
     // ---- workers ----
 
     pub fn register_worker(&mut self, profile: crowd4u_crowd::profile::WorkerProfile) {
+        self.record(&PlatformEvent::WorkerRegistered {
+            profile: profile.clone(),
+        });
         self.counters.incr("workers_registered");
         self.workers.register(profile);
         // New workers become eligible for existing open tasks they qualify
-        // for; eligibility is computed once per project touching open tasks.
-        let mut projects: Vec<ProjectId> = self
-            .pool
-            .open_tasks(None)
-            .iter()
-            .map(|t| t.project)
-            .collect();
-        projects.sort();
-        projects.dedup();
-        for project in projects {
+        // for; eligibility is computed once per project touching open tasks
+        // (the registration already invalidated the eligibility caches).
+        for project in self.pool.projects_with_open_tasks() {
             let _ = self.refresh_project_eligibility(project);
         }
     }
@@ -105,26 +175,47 @@ impl Crowd4U {
     /// description derives `eligible(w: id)` get the declarative path
     /// (§2.2: Eligible "is computed by the CyLog processor"); all others
     /// use the built-in human-factor screen.
+    ///
+    /// The result is epoch-cached: it is recomputed only when the worker
+    /// population changed ([`WorkerManager::version`]) or the project's
+    /// fact base changed (its epoch), and served from the cache otherwise.
     pub fn eligible_set(&mut self, project: ProjectId) -> Result<Vec<WorkerId>, PlatformError> {
+        let worker_version = self.workers.version();
+        {
+            let proj = self
+                .projects
+                .get(&project)
+                .ok_or(PlatformError::UnknownProject(project))?;
+            if let Some(cache) = &proj.eligible_cache {
+                if cache.worker_version == worker_version && cache.project_epoch == proj.epoch {
+                    self.counters.incr("eligibility_cache_hits");
+                    return Ok(cache.workers.clone());
+                }
+            }
+        }
+        self.counters.incr("eligibility_cache_misses");
         let profiles: Vec<crowd4u_crowd::profile::WorkerProfile> =
             self.workers.profiles().cloned().collect();
-        let proj = self
-            .projects
-            .get_mut(&project)
-            .ok_or(PlatformError::UnknownProject(project))?;
-        if crate::declarative::uses_declarative_eligibility(&proj.engine) {
+        let proj = self.projects.get_mut(&project).expect("checked above");
+        let workers = if crate::declarative::uses_declarative_eligibility(&proj.engine) {
             for p in &profiles {
                 crate::declarative::sync_worker_facts(&mut proj.engine, p)?;
             }
             proj.engine.run()?;
-            crate::declarative::eligible_workers(&proj.engine)
+            crate::declarative::eligible_workers(&proj.engine)?
         } else {
-            Ok(profiles
+            profiles
                 .iter()
                 .filter(|p| eligibility::is_eligible(p, &proj.factors))
                 .map(|p| p.id)
-                .collect())
-        }
+                .collect()
+        };
+        proj.eligible_cache = Some(EligibleCache {
+            worker_version,
+            project_epoch: proj.epoch,
+            workers: workers.clone(),
+        });
+        Ok(workers)
     }
 
     /// Recompute the Eligible relation for every open task of a project.
@@ -156,17 +247,26 @@ impl Crowd4U {
         scheme: Scheme,
     ) -> Result<ProjectId, PlatformError> {
         let engine = CylogEngine::from_source(cylog_source)?;
+        let name = name.into();
+        self.record(&PlatformEvent::ProjectRegistered {
+            name: name.clone(),
+            source: cylog_source.to_owned(),
+            factors: factors.clone(),
+            scheme,
+        });
         self.next_project += 1;
         let id = ProjectId(self.next_project);
         self.projects.insert(
             id,
             Project {
                 id,
-                name: name.into(),
+                name,
                 engine,
                 factors,
                 scheme,
                 suggestion: None,
+                epoch: 0,
+                eligible_cache: None,
             },
         );
         self.counters.incr("projects_registered");
@@ -179,6 +279,9 @@ impl Crowd4U {
             .ok_or(PlatformError::UnknownProject(id))
     }
 
+    /// Mutable project access. Prefer [`Crowd4U::seed_fact`] for data
+    /// changes: mutations made directly through the returned reference are
+    /// neither journaled nor visible to the eligibility cache.
     pub fn project_mut(&mut self, id: ProjectId) -> Result<&mut Project, PlatformError> {
         self.projects
             .get_mut(&id)
@@ -189,20 +292,51 @@ impl Crowd4U {
         self.projects.keys().copied().collect()
     }
 
-    /// Add a base fact to a project's CyLog database.
+    /// Mark a project's fact base changed: invalidates its eligibility
+    /// cache and queues it for the next [`Crowd4U::drain_events`].
+    fn touch_project(&mut self, id: ProjectId) {
+        if let Some(p) = self.projects.get_mut(&id) {
+            p.epoch += 1;
+        }
+        self.dirty.insert(id);
+    }
+
+    /// Add a base fact to a project's CyLog database. The project is marked
+    /// dirty; call [`Crowd4U::sync_tasks`] (or let a batch drain) to turn
+    /// new demands into tasks.
     pub fn seed_fact(
         &mut self,
         project: ProjectId,
         pred: &str,
         values: Vec<Value>,
     ) -> Result<bool, PlatformError> {
-        Ok(self.project_mut(project)?.engine.add_fact(pred, values)?)
+        let fresh = self
+            .projects
+            .get_mut(&project)
+            .ok_or(PlatformError::UnknownProject(project))?
+            .engine
+            .add_fact(pred, values.clone())?;
+        self.touch_project(project);
+        self.record(&PlatformEvent::FactSeeded {
+            project,
+            pred: pred.to_owned(),
+            values,
+        });
+        Ok(fresh)
     }
 
     /// Run the project's CyLog rules and register a micro-task for every
     /// new open question. Returns the number of new tasks. Eligibility for
     /// the new tasks is computed for all registered workers.
     pub fn sync_tasks(&mut self, project: ProjectId) -> Result<usize, PlatformError> {
+        let n = self.sync_tasks_inner(project)?;
+        self.record(&PlatformEvent::TasksSynced { project });
+        Ok(n)
+    }
+
+    /// [`Crowd4U::sync_tasks`] without the journal entry — used by
+    /// [`Crowd4U::drain_events`], whose own `drain` entry implies the syncs.
+    fn sync_tasks_inner(&mut self, project: ProjectId) -> Result<usize, PlatformError> {
         let now = self.now;
         let proj = self
             .projects
@@ -240,6 +374,7 @@ impl Crowd4U {
                 }
             }
         }
+        self.dirty.remove(&project);
         Ok(new_tasks.len())
     }
 
@@ -249,10 +384,11 @@ impl Crowd4U {
         project: ProjectId,
         description: impl Into<String>,
     ) -> Result<TaskId, PlatformError> {
+        let description = description.into();
         let proj = self.project(project)?;
         let body = TaskBody::Collaborative {
             scheme: proj.scheme,
-            description: description.into(),
+            description: description.clone(),
             skill: proj.factors.skill_name.clone(),
         };
         let id = self.pool.register(project, body, self.now);
@@ -261,6 +397,10 @@ impl Crowd4U {
         for w in eligible {
             self.relations.mark_eligible(w, id)?;
         }
+        self.record(&PlatformEvent::CollabTaskCreated {
+            project,
+            description,
+        });
         Ok(id)
     }
 
@@ -276,6 +416,7 @@ impl Crowd4U {
         self.pool.get(task)?;
         self.relations.express_interest(worker, task)?;
         self.counters.incr("interest_expressed");
+        self.record(&PlatformEvent::InterestExpressed { worker, task });
         Ok(())
     }
 
@@ -289,6 +430,17 @@ impl Crowd4U {
                 state: t.state.label().into(),
             });
         }
+        // Journaled regardless of feasibility: an infeasible run still
+        // mutates state (suggestion + counters) that a replay must repeat.
+        self.record(&PlatformEvent::AssignmentRun { task });
+        self.run_assignment_inner(task)
+    }
+
+    /// Assignment without the state precondition or journal entry (the
+    /// deadline sweep re-executes assignment as a consequence of a
+    /// journaled clock advance).
+    fn run_assignment_inner(&mut self, task: TaskId) -> Result<Team, PlatformError> {
+        let t = self.pool.get(task)?;
         let project = t.project;
         let skill = match &t.body {
             TaskBody::Collaborative { skill, .. } => skill.clone(),
@@ -314,11 +466,14 @@ impl Crowd4U {
         match team {
             Some(team) => {
                 let deadline = self.now + SimDuration::secs(factors.recruitment_secs);
-                self.pool.get_mut(task)?.state = TaskState::Suggested {
-                    team: team.members.clone(),
-                    deadline,
-                    undertaken: Vec::new(),
-                };
+                self.pool.set_state(
+                    task,
+                    TaskState::Suggested {
+                        team: team.members.clone(),
+                        deadline,
+                        undertaken: Vec::new(),
+                    },
+                )?;
                 self.counters.incr("teams_suggested");
                 self.project_mut(project)?.suggestion = None;
                 Ok(team)
@@ -336,14 +491,18 @@ impl Crowd4U {
     }
 
     /// A suggested worker confirms they start the task. When the whole team
-    /// has confirmed, the task moves to `InProgress`.
+    /// has confirmed, the task moves to `InProgress` and a collaboration
+    /// monitor starts tracking the team.
     pub fn undertake(&mut self, worker: WorkerId, task: TaskId) -> Result<(), PlatformError> {
-        // Eligibility precondition enforced by the relation store.
-        self.relations.undertake(worker, task)?;
-        let t = self.pool.get_mut(task)?;
+        // Validate state and membership BEFORE touching the relation store:
+        // a failed call must leave no trace, or replaying the journal (which
+        // only holds successful events) would diverge from the live state.
+        let t = self.pool.get(task)?;
         let TaskState::Suggested {
-            team, undertaken, ..
-        } = &mut t.state
+            team,
+            deadline,
+            undertaken,
+        } = t.state.clone()
         else {
             return Err(PlatformError::BadTaskState {
                 task,
@@ -353,13 +512,29 @@ impl Crowd4U {
         if !team.contains(&worker) {
             return Err(PlatformError::NotSuggested { worker, task });
         }
+        // Eligibility precondition enforced by the relation store.
+        self.relations.undertake(worker, task)?;
+        let mut undertaken = undertaken;
         if !undertaken.contains(&worker) {
             undertaken.push(worker);
         }
+        self.record(&PlatformEvent::Undertaken { worker, task });
         if undertaken.len() == team.len() {
-            let members = team.clone();
-            t.state = TaskState::InProgress { team: members };
+            self.pool
+                .set_state(task, TaskState::InProgress { team: team.clone() })?;
             self.counters.incr("teams_started");
+            // Undertaking counts as the team's first activity.
+            self.monitors
+                .insert(task, CollabMonitor::new(&team, self.now, self.stall_after));
+        } else {
+            self.pool.set_state(
+                task,
+                TaskState::Suggested {
+                    team,
+                    deadline,
+                    undertaken,
+                },
+            )?;
         }
         Ok(())
     }
@@ -369,17 +544,24 @@ impl Crowd4U {
     /// lose their interest; after `max_reassignments` misses the task is
     /// abandoned.
     pub fn process_deadlines(&mut self) -> Result<(), PlatformError> {
+        // Deadline processing is a consequence of time passing, so it is
+        // journaled as a clock event at the current instant.
+        self.record(&PlatformEvent::ClockAdvanced { to: self.now });
+        self.process_deadlines_inner()
+    }
+
+    fn process_deadlines_inner(&mut self) -> Result<(), PlatformError> {
         let now = self.now;
+        // Range-scan the deadline index instead of sweeping the whole pool.
         let expired: Vec<TaskId> = self
             .pool
-            .iter()
-            .filter_map(|t| match &t.state {
-                TaskState::Suggested {
-                    deadline,
-                    team,
-                    undertaken,
-                } if *deadline <= now && undertaken.len() < team.len() => Some(t.id),
-                _ => None,
+            .expired_suggested(now)
+            .into_iter()
+            .filter(|id| match self.pool.get(*id).map(|t| &t.state) {
+                Ok(TaskState::Suggested {
+                    team, undertaken, ..
+                }) => undertaken.len() < team.len(),
+                _ => false,
             })
             .collect();
         for task in expired {
@@ -393,20 +575,21 @@ impl Crowd4U {
                 self.relations.withdraw_interest(w, task)?;
             }
             self.counters.incr("deadlines_missed");
-            let t = self.pool.get_mut(task)?;
-            t.reassignments += 1;
-            if t.reassignments > self.max_reassignments {
-                t.state = TaskState::Abandoned {
-                    reason: "no team undertook before the deadline".into(),
-                };
+            if self.pool.bump_reassignments(task)? > self.max_reassignments {
+                self.pool.set_state(
+                    task,
+                    TaskState::Abandoned {
+                        reason: "no team undertook before the deadline".into(),
+                    },
+                )?;
                 self.relations.clear_task(task)?;
                 self.counters.incr("tasks_abandoned");
                 continue;
             }
-            t.state = TaskState::Open;
+            self.pool.set_state(task, TaskState::Open)?;
             // Re-execute assignment immediately; infeasibility leaves the
             // task open with a suggestion recorded for the requester.
-            let _ = self.run_assignment(task);
+            let _ = self.run_assignment_inner(task);
         }
         Ok(())
     }
@@ -414,7 +597,9 @@ impl Crowd4U {
     // ---- completion ----
 
     /// A worker answers a micro-task directly (micro-tasks are performed by
-    /// one worker; no team formation).
+    /// one worker; no team formation). The answer lands in the project's
+    /// fact base without re-running rules; the project is marked dirty and
+    /// is synchronised by the next [`Crowd4U::sync_tasks`] or batch drain.
     pub fn submit_micro_answer(
         &mut self,
         worker: WorkerId,
@@ -442,23 +627,32 @@ impl Crowd4U {
         }
         let project = t.project;
         let (predicate, inputs) = (predicate.clone(), inputs.clone());
-        self.project_mut(project)?
+        self.projects
+            .get_mut(&project)
+            .ok_or(PlatformError::UnknownProject(project))?
             .engine
-            .answer(&predicate, inputs, outputs, Some(worker.0))?;
-        self.pool.get_mut(task)?.state = TaskState::Completed { team: vec![worker] };
+            .answer(&predicate, inputs, outputs.clone(), Some(worker.0))?;
+        self.pool
+            .set_state(task, TaskState::Completed { team: vec![worker] })?;
         self.relations.clear_task(task)?;
         self.counters.incr("micro_tasks_completed");
+        self.touch_project(project);
+        self.record(&PlatformEvent::AnswerSubmitted {
+            worker,
+            task,
+            outputs,
+        });
         Ok(())
     }
 
     /// Record completion of a collaborative task with an observed quality;
-    /// the outcome feeds the skill estimator.
+    /// the outcome feeds the skill estimator and closes the monitor.
     pub fn complete_collab_task(
         &mut self,
         task: TaskId,
         quality: f64,
     ) -> Result<(), PlatformError> {
-        let t = self.pool.get_mut(task)?;
+        let t = self.pool.get(task)?;
         let TaskState::InProgress { team } = &t.state else {
             return Err(PlatformError::BadTaskState {
                 task,
@@ -466,14 +660,176 @@ impl Crowd4U {
             });
         };
         let members = team.clone();
-        t.state = TaskState::Completed {
-            team: members.clone(),
-        };
+        self.pool.set_state(
+            task,
+            TaskState::Completed {
+                team: members.clone(),
+            },
+        )?;
         self.workers.record_outcome(members, quality);
         self.relations.clear_task(task)?;
         self.counters.incr("collab_tasks_completed");
+        if let Some(m) = self.monitors.get_mut(&task) {
+            m.apply(MonitorEvent::Completed);
+        }
+        self.record(&PlatformEvent::TaskCompleted { task, quality });
         Ok(())
     }
+
+    // ---- collaboration monitoring ----
+
+    /// A team member showed activity on an in-progress collaborative task
+    /// ("Crowd4U monitors their collaboration for ensuring successful task
+    /// completion", §2.2.1).
+    pub fn record_activity(&mut self, worker: WorkerId, task: TaskId) -> Result<(), PlatformError> {
+        let now = self.now;
+        let Some(m) = self.monitors.get_mut(&task) else {
+            return Err(PlatformError::BadTaskState {
+                task,
+                state: "not monitored (team never started)".into(),
+            });
+        };
+        m.apply(MonitorEvent::Activity(worker, now));
+        self.record(&PlatformEvent::ActivityRecorded { worker, task });
+        Ok(())
+    }
+
+    /// The monitor of a task whose team started, if any.
+    pub fn monitor(&self, task: TaskId) -> Option<&CollabMonitor> {
+        self.monitors.get(&task)
+    }
+
+    /// Health verdicts of every monitored collaboration at the current
+    /// platform time, in task order.
+    pub fn collaboration_health(&self) -> Vec<(TaskId, Verdict)> {
+        self.monitors
+            .iter()
+            .map(|(&t, m)| (t, m.check(self.now)))
+            .collect()
+    }
+
+    // ---- batched ingestion & replay ----
+
+    /// Apply one typed event through the corresponding platform call.
+    pub fn apply_event(&mut self, event: PlatformEvent) -> Result<(), PlatformError> {
+        match event {
+            PlatformEvent::WorkerRegistered { profile } => {
+                self.register_worker(profile);
+                Ok(())
+            }
+            PlatformEvent::ProjectRegistered {
+                name,
+                source,
+                factors,
+                scheme,
+            } => self
+                .register_project(name, &source, factors, scheme)
+                .map(|_| ()),
+            PlatformEvent::FactSeeded {
+                project,
+                pred,
+                values,
+            } => self.seed_fact(project, &pred, values).map(|_| ()),
+            PlatformEvent::TasksSynced { project } => self.sync_tasks(project).map(|_| ()),
+            PlatformEvent::CollabTaskCreated {
+                project,
+                description,
+            } => self.create_collab_task(project, description).map(|_| ()),
+            PlatformEvent::InterestExpressed { worker, task } => {
+                self.express_interest(worker, task)
+            }
+            PlatformEvent::AssignmentRun { task } => match self.run_assignment(task) {
+                Ok(_) => Ok(()),
+                // Infeasibility is a journaled outcome, not a failure.
+                Err(PlatformError::NoFeasibleTeam { .. }) => Ok(()),
+                Err(e) => Err(e),
+            },
+            PlatformEvent::Undertaken { worker, task } => self.undertake(worker, task),
+            PlatformEvent::ClockAdvanced { to } => self.advance_to(to),
+            PlatformEvent::AnswerSubmitted {
+                worker,
+                task,
+                outputs,
+            } => self.submit_micro_answer(worker, task, outputs),
+            PlatformEvent::TaskCompleted { task, quality } => {
+                self.complete_collab_task(task, quality)
+            }
+            PlatformEvent::ActivityRecorded { worker, task } => self.record_activity(worker, task),
+        }
+    }
+
+    /// Ingest a batch of events, then drain: answers and seeded facts mark
+    /// their project dirty, and every dirty project is synchronised exactly
+    /// once at the end — N answers cost one fixpoint run instead of N.
+    /// Events are applied in order with per-event error tolerance; failures
+    /// are reported, not journaled.
+    pub fn apply_batch(
+        &mut self,
+        events: impl IntoIterator<Item = PlatformEvent>,
+    ) -> Result<BatchReport, PlatformError> {
+        let mut report = BatchReport::default();
+        for (i, event) in events.into_iter().enumerate() {
+            match self.apply_event(event) {
+                Ok(()) => report.applied += 1,
+                Err(e) => report.errors.push((i, e)),
+            }
+        }
+        report.synced = self.drain_events()?;
+        self.counters.incr("batches_applied");
+        Ok(report)
+    }
+
+    /// Synchronise every dirty project (run its rules once, register new
+    /// micro-tasks, refresh eligibility) and clear the dirty set. Returns
+    /// the projects synchronised, in id order.
+    pub fn drain_events(&mut self) -> Result<Vec<ProjectId>, PlatformError> {
+        // Sync from a snapshot of the dirty set; each project is removed
+        // from it only when its sync succeeds, so a mid-drain error keeps
+        // the failed and remaining projects dirty for a retry. The `drain`
+        // entry is journaled after the syncs so the journal never records a
+        // drain that did not happen.
+        let dirty: Vec<ProjectId> = self.dirty.iter().copied().collect();
+        for p in &dirty {
+            self.sync_tasks_inner(*p)?;
+        }
+        self.journal
+            .append(DRAIN_KIND, vec![])
+            .expect("static kind");
+        self.counters.incr("events_journaled");
+        Ok(dirty)
+    }
+
+    /// Replay a journal into a fresh, default-configured platform.
+    pub fn replay(journal: &EventJournal) -> Result<Crowd4U, PlatformError> {
+        Self::replay_with(journal, Crowd4U::new())
+    }
+
+    /// Replay a journal into `base` — a freshly configured platform (set
+    /// the controller algorithm, `max_reassignments` etc. first; those are
+    /// configuration, not events). Replay applies every entry through the
+    /// same public entry points that produced it, so the reconstructed
+    /// platform's relations, points ledgers, pending queues — and its
+    /// journal — are identical to the live one's.
+    pub fn replay_with(
+        journal: &EventJournal,
+        mut base: Crowd4U,
+    ) -> Result<Crowd4U, PlatformError> {
+        if !base.journal.is_empty() {
+            return Err(PlatformError::BadEvent(
+                "replay base must not have journaled events of its own".into(),
+            ));
+        }
+        for entry in journal.iter() {
+            if entry.kind == DRAIN_KIND {
+                base.drain_events()?;
+                continue;
+            }
+            base.apply_event(PlatformEvent::decode(entry)?)?;
+        }
+        Ok(base)
+    }
+
+    // ---- user-facing queries ----
 
     /// Worker's accumulated points across all projects (game aspect).
     pub fn points_of(&self, worker: WorkerId) -> i64 {
@@ -483,13 +839,15 @@ impl Crowd4U {
             .sum()
     }
 
-    /// Tasks (ids) a worker may currently see on their user page.
+    /// Tasks (ids) a worker may currently see on their user page. Served
+    /// from the worker's eligibility relation intersected with the pool's
+    /// by-state index (open ∪ suggested) — no full-pool scan.
     pub fn visible_tasks(&self, worker: WorkerId) -> Vec<&Task> {
         self.relations
             .eligible_tasks(worker)
             .into_iter()
+            .filter(|t| self.pool.is_active(*t))
             .filter_map(|t| self.pool.get(t).ok())
-            .filter(|t| matches!(t.state, TaskState::Open | TaskState::Suggested { .. }))
             .collect()
     }
 }
@@ -681,13 +1039,19 @@ published(S, T) :- sentence(S), translate(S, T).
         p.express_interest(WorkerId(1), task).unwrap();
         p.express_interest(WorkerId(2), task).unwrap();
         let team = p.run_assignment(task).unwrap();
-        // a worker outside the team cannot undertake
+        // a worker outside the team cannot undertake — and the failed call
+        // leaves no trace (no relation row, no journal entry), or journal
+        // replay would diverge from the live state
         let outsider = (1..=3).map(WorkerId).find(|w| !team.members.contains(w));
         if let Some(w) = outsider {
+            let counts_before = p.relations.counts();
+            let journal_before = p.journal().len();
             assert!(matches!(
                 p.undertake(w, task),
                 Err(PlatformError::NotSuggested { .. })
             ));
+            assert_eq!(p.relations.counts(), counts_before);
+            assert_eq!(p.journal().len(), journal_before);
         }
         // double undertake is idempotent
         p.undertake(team.members[0], task).unwrap();
@@ -718,6 +1082,8 @@ published(S, T) :- sentence(S), translate(S, T).
         assert!(p.project(ProjectId(1)).is_err());
         assert!(p.seed_fact(ProjectId(1), "x", vec![]).is_err());
         assert!(p.sync_tasks(ProjectId(1)).is_err());
+        // nothing was journaled for the failed calls
+        assert!(p.journal().is_empty());
     }
 
     #[test]
@@ -740,5 +1106,233 @@ published(S, T) :- sentence(S), translate(S, T).
         // late-registering qualified worker becomes eligible
         p.register_worker(WorkerProfile::new(WorkerId(3), "late").with_native_lang("en"));
         assert!(p.relations.is_eligible(WorkerId(3), task));
+    }
+
+    // ---- event-core tests ----
+
+    /// Build a platform that exercises every event kind, for replay tests.
+    fn eventful_platform() -> (Crowd4U, ProjectId, TaskId) {
+        let mut p = platform_with_workers(4);
+        let proj = p
+            .register_project("demo", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        p.seed_fact(proj, "sentence", vec!["hello".into()]).unwrap();
+        p.seed_fact(proj, "sentence", vec!["bye".into()]).unwrap();
+        p.sync_tasks(proj).unwrap();
+        let micro = p.pool.open_tasks(Some(proj))[0].id;
+        p.submit_micro_answer(WorkerId(1), micro, vec!["bonjour".into()])
+            .unwrap();
+        let collab = p.create_collab_task(proj, "subtitle").unwrap();
+        for i in 1..=3 {
+            p.express_interest(WorkerId(i), collab).unwrap();
+        }
+        let team = p.run_assignment(collab).unwrap();
+        for &m in &team.members {
+            p.undertake(m, collab).unwrap();
+        }
+        p.advance_to(SimTime(120)).unwrap();
+        p.record_activity(team.members[0], collab).unwrap();
+        p.complete_collab_task(collab, 0.9).unwrap();
+        p.drain_events().unwrap();
+        (p, proj, collab)
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_identical_state() {
+        let (live, proj, _) = eventful_platform();
+        // Round-trip the journal through its text form, then replay.
+        let text = live.journal().dump();
+        let journal = EventJournal::load(&text).unwrap();
+        let replayed = Crowd4U::replay(&journal).unwrap();
+
+        // Relations byte-identical.
+        assert_eq!(
+            crowd4u_storage::snapshot::dump(live.relations.database()),
+            crowd4u_storage::snapshot::dump(replayed.relations.database())
+        );
+        // Every project engine byte-identical (facts, derived, everything).
+        for id in live.project_ids() {
+            assert_eq!(
+                crowd4u_storage::snapshot::dump(live.project(id).unwrap().engine.database()),
+                crowd4u_storage::snapshot::dump(replayed.project(id).unwrap().engine.database())
+            );
+            assert_eq!(
+                live.project(id).unwrap().engine.pending_requests(),
+                replayed.project(id).unwrap().engine.pending_requests()
+            );
+            assert_eq!(
+                live.project(id).unwrap().engine.leaderboard(),
+                replayed.project(id).unwrap().engine.leaderboard()
+            );
+        }
+        // Task pool, clock, monitors agree.
+        assert_eq!(live.pool.state_counts(), replayed.pool.state_counts());
+        assert_eq!(live.now(), replayed.now());
+        assert_eq!(live.collaboration_health(), replayed.collaboration_health());
+        assert_eq!(live.points_of(WorkerId(1)), replayed.points_of(WorkerId(1)));
+        // The replayed journal is the same journal.
+        assert_eq!(replayed.journal().dump(), text);
+        // Sanity: the cache saw real traffic on both sides.
+        assert!(live.project(proj).unwrap().epoch() > 0);
+    }
+
+    #[test]
+    fn replay_base_must_be_fresh() {
+        let (live, ..) = eventful_platform();
+        let dirty_base = platform_with_workers(1);
+        assert!(matches!(
+            Crowd4U::replay_with(live.journal(), dirty_base),
+            Err(PlatformError::BadEvent(..))
+        ));
+    }
+
+    #[test]
+    fn apply_batch_ingests_answers_with_one_drain() {
+        let mut serial = platform_with_workers(2);
+        let mut batched = platform_with_workers(2);
+        let setup = |p: &mut Crowd4U| -> (ProjectId, Vec<TaskId>) {
+            let proj = p
+                .register_project("demo", SRC, factors(), Scheme::Sequential)
+                .unwrap();
+            for s in ["a", "b", "c"] {
+                p.seed_fact(proj, "sentence", vec![s.into()]).unwrap();
+            }
+            p.sync_tasks(proj).unwrap();
+            let tasks = p.pool.open_tasks(Some(proj)).iter().map(|t| t.id).collect();
+            (proj, tasks)
+        };
+        let (proj_s, tasks_s) = setup(&mut serial);
+        let (proj_b, tasks_b) = setup(&mut batched);
+        assert_eq!(tasks_s, tasks_b);
+
+        // Serial path: answer + sync per answer.
+        for (i, t) in tasks_s.iter().enumerate() {
+            serial
+                .submit_micro_answer(WorkerId(1), *t, vec![format!("t{i}").into()])
+                .unwrap();
+            serial.sync_tasks(proj_s).unwrap();
+        }
+        // Batched path: one batch, one drain.
+        let events: Vec<PlatformEvent> = tasks_b
+            .iter()
+            .enumerate()
+            .map(|(i, t)| PlatformEvent::AnswerSubmitted {
+                worker: WorkerId(1),
+                task: *t,
+                outputs: vec![format!("t{i}").into()],
+            })
+            .collect();
+        let report = batched.apply_batch(events).unwrap();
+        assert_eq!(report.applied, 3);
+        assert!(report.errors.is_empty());
+        assert_eq!(report.synced, vec![proj_b]);
+
+        // Same final knowledge, points and task states.
+        assert_eq!(
+            crowd4u_storage::snapshot::dump(serial.project(proj_s).unwrap().engine.database()),
+            crowd4u_storage::snapshot::dump(batched.project(proj_b).unwrap().engine.database())
+        );
+        assert_eq!(
+            serial.points_of(WorkerId(1)),
+            batched.points_of(WorkerId(1))
+        );
+        assert_eq!(serial.pool.state_counts(), batched.pool.state_counts());
+    }
+
+    #[test]
+    fn apply_batch_tolerates_bad_events() {
+        let mut p = platform_with_workers(2);
+        let proj = p
+            .register_project("demo", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let before = p.journal().len();
+        let report = p
+            .apply_batch(vec![
+                PlatformEvent::FactSeeded {
+                    project: proj,
+                    pred: "sentence".into(),
+                    values: vec!["ok".into()],
+                },
+                PlatformEvent::FactSeeded {
+                    project: ProjectId(99),
+                    pred: "sentence".into(),
+                    values: vec!["bad".into()],
+                },
+                PlatformEvent::InterestExpressed {
+                    worker: WorkerId(1),
+                    task: TaskId(42), // unknown task
+                },
+            ])
+            .unwrap();
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.errors[0].0, 1);
+        // The drain synced the dirty project: the seeded fact became a task.
+        assert_eq!(report.synced, vec![proj]);
+        assert_eq!(p.pool.open_tasks(Some(proj)).len(), 1);
+        // Journal holds only the applied event + the drain marker.
+        assert_eq!(p.journal().len(), before + 2);
+    }
+
+    #[test]
+    fn eligibility_cache_hits_until_invalidated() {
+        let mut p = platform_with_workers(3);
+        let proj = p
+            .register_project("c", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        p.eligible_set(proj).unwrap();
+        let misses_after_first = p.counters.get("eligibility_cache_misses");
+        for _ in 0..5 {
+            assert_eq!(p.eligible_set(proj).unwrap().len(), 3);
+        }
+        assert_eq!(
+            p.counters.get("eligibility_cache_misses"),
+            misses_after_first
+        );
+        assert!(p.counters.get("eligibility_cache_hits") >= 5);
+
+        // A new worker invalidates (worker version bump).
+        p.register_worker(WorkerProfile::new(WorkerId(9), "late"));
+        assert_eq!(p.eligible_set(proj).unwrap().len(), 4);
+        assert!(p.counters.get("eligibility_cache_misses") > misses_after_first);
+
+        // New facts invalidate too (declarative rules may depend on them).
+        let misses = p.counters.get("eligibility_cache_misses");
+        p.seed_fact(proj, "sentence", vec!["x".into()]).unwrap();
+        p.eligible_set(proj).unwrap();
+        assert_eq!(p.counters.get("eligibility_cache_misses"), misses + 1);
+    }
+
+    #[test]
+    fn monitors_track_started_teams() {
+        let mut p = platform_with_workers(3);
+        let proj = p
+            .register_project("c", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let task = p.create_collab_task(proj, "x").unwrap();
+        assert!(p.monitor(task).is_none());
+        assert!(p.record_activity(WorkerId(1), task).is_err());
+        p.express_interest(WorkerId(1), task).unwrap();
+        p.express_interest(WorkerId(2), task).unwrap();
+        let team = p.run_assignment(task).unwrap();
+        for &m in &team.members {
+            p.undertake(m, task).unwrap();
+        }
+        // the monitor started with the team
+        assert_eq!(p.monitor(task).unwrap().members(), {
+            let mut m = team.members.clone();
+            m.sort();
+            m
+        });
+        assert_eq!(p.collaboration_health(), vec![(task, Verdict::Healthy)]);
+        // one member acts much later; the other goes stale
+        p.advance_to(p.now() + p.stall_after).unwrap();
+        p.record_activity(team.members[0], task).unwrap();
+        match &p.collaboration_health()[0].1 {
+            Verdict::MembersStalled(stalled) => assert!(!stalled.contains(&team.members[0])),
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        p.complete_collab_task(task, 0.7).unwrap();
+        assert_eq!(p.collaboration_health(), vec![(task, Verdict::Complete)]);
     }
 }

@@ -170,6 +170,12 @@ impl RelationStore {
         Ok(())
     }
 
+    /// The underlying database (read-only), e.g. for snapshots and
+    /// replay-equality checks.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
     /// Relationship row counts `(eligible, interested, undertakes)`.
     pub fn counts(&self) -> (usize, usize, usize) {
         (

@@ -17,6 +17,10 @@ pub struct WorkerManager {
     history: Vec<TeamObservation>,
     /// Affinity synthesis weights (geo, language, skill).
     pub weights: (f64, f64, f64),
+    /// Bumped on every profile change (registration, mutable access, skill
+    /// refresh). Epoch-based caches — the platform's eligibility cache —
+    /// compare this to detect staleness without scanning profiles.
+    version: u64,
 }
 
 impl Default for WorkerManager {
@@ -26,6 +30,7 @@ impl Default for WorkerManager {
             affinity: None,
             history: Vec::new(),
             weights: (1.0, 1.0, 0.5),
+            version: 0,
         }
     }
 }
@@ -38,6 +43,12 @@ impl WorkerManager {
     pub fn register(&mut self, profile: WorkerProfile) {
         self.profiles.insert(profile.id, profile);
         self.affinity = None; // invalidate cache
+        self.version += 1;
+    }
+
+    /// Profile-set version; changes whenever any profile may have changed.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn get(&self, id: WorkerId) -> Result<&WorkerProfile, PlatformError> {
@@ -46,10 +57,15 @@ impl WorkerManager {
             .ok_or(PlatformError::UnknownWorker(id))
     }
 
+    /// Mutable profile access. Conservatively bumps the version: the caller
+    /// may change factors, which invalidates eligibility caches.
     pub fn get_mut(&mut self, id: WorkerId) -> Result<&mut WorkerProfile, PlatformError> {
-        self.profiles
+        let p = self
+            .profiles
             .get_mut(&id)
-            .ok_or(PlatformError::UnknownWorker(id))
+            .ok_or(PlatformError::UnknownWorker(id))?;
+        self.version += 1;
+        Ok(p)
     }
 
     pub fn len(&self) -> usize {
@@ -109,6 +125,7 @@ impl WorkerManager {
         }
         if updated > 0 {
             self.affinity = None; // skills feed the affinity matrix
+            self.version += 1;
         }
         updated
     }
@@ -189,6 +206,28 @@ mod tests {
     fn refresh_with_no_history_is_noop() {
         let mut m = manager();
         assert_eq!(m.refresh_skills("x"), 0);
+    }
+
+    #[test]
+    fn version_tracks_profile_changes() {
+        let mut m = manager();
+        let v0 = m.version();
+        m.register(WorkerProfile::new(WorkerId(9), "new"));
+        let v1 = m.version();
+        assert!(v1 > v0);
+        // reads do not bump
+        m.get(WorkerId(9)).unwrap();
+        assert_eq!(m.version(), v1);
+        // mutable access bumps (conservatively)
+        m.get_mut(WorkerId(9)).unwrap().factors.logged_in = false;
+        assert!(m.version() > v1);
+        let v2 = m.version();
+        // skill refresh bumps only when profiles changed
+        assert_eq!(m.refresh_skills("x"), 0);
+        assert_eq!(m.version(), v2);
+        m.record_outcome(vec![WorkerId(1)], 0.9);
+        assert!(m.refresh_skills("x") > 0);
+        assert!(m.version() > v2);
     }
 
     #[test]

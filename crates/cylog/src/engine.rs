@@ -24,6 +24,28 @@ pub struct OpenRequest {
     pub points: i64,
 }
 
+/// One worker answer destined for [`CylogEngine::answer_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerRecord {
+    /// Open predicate being answered.
+    pub pred: String,
+    /// The question's input values.
+    pub inputs: Vec<Value>,
+    /// The worker-supplied output values.
+    pub outputs: Vec<Value>,
+    /// Worker credited the predicate's points (if any).
+    pub worker: Option<u64>,
+}
+
+/// What a call to [`CylogEngine::answer_batch`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Answers that created a new fact.
+    pub fresh: usize,
+    /// Answers whose fact already existed (no points awarded).
+    pub duplicates: usize,
+}
+
 /// The CyLog engine: compiled program + fact database + open-task queue.
 pub struct CylogEngine {
     program: CompiledProgram,
@@ -34,9 +56,12 @@ pub struct CylogEngine {
     /// Questions posed and not yet answered.
     pending: Vec<OpenRequest>,
     /// Keys of `pending` for O(1) membership/removal; `pending` is
-    /// compacted lazily at the next `run` when entries were answered.
+    /// compacted eagerly once answered entries exceed half the queue, and
+    /// otherwise lazily at the next `run`.
     pending_set: HashSet<(PredId, Vec<Value>)>,
     pending_dirty: bool,
+    /// Times the pending queue was compacted (eager + lazy).
+    compactions: u64,
     /// Game aspect: worker id → accumulated points.
     points: BTreeMap<u64, i64>,
     /// Cumulative evaluation statistics.
@@ -82,6 +107,7 @@ impl CylogEngine {
             pending: Vec::new(),
             pending_set: HashSet::new(),
             pending_dirty: false,
+            compactions: 0,
             points: BTreeMap::new(),
             stats: EvalStats::default(),
         };
@@ -184,12 +210,7 @@ impl CylogEngine {
         self.stats.absorb(stats);
 
         // Compact pending entries answered since the last run.
-        if self.pending_dirty {
-            let set = &self.pending_set;
-            self.pending
-                .retain(|r| set.contains(&(r.pred, r.inputs.clone())));
-            self.pending_dirty = false;
-        }
+        self.compact_pending();
 
         // New demands become pending questions (asked at most once).
         let demands = compute_demands(&self.program, &self.db)?;
@@ -230,17 +251,15 @@ impl CylogEngine {
         &self.pending
     }
 
-    /// Supply a worker's answer to an open question. `worker` (if given) is
-    /// credited the predicate's points. Returns whether the answer created a
-    /// new fact. The engine does **not** rerun rules automatically — call
-    /// [`run`](Self::run) after a batch of answers.
-    pub fn answer(
-        &mut self,
+    /// Validate one answer against the program: the predicate must be open,
+    /// arities must match, values must conform to column types. Returns the
+    /// predicate id and its per-answer points.
+    fn validate_answer(
+        &self,
         pred: &str,
-        inputs: Vec<Value>,
-        outputs: Vec<Value>,
-        worker: Option<u64>,
-    ) -> Result<bool, CylogError> {
+        inputs: &[Value],
+        outputs: &[Value],
+    ) -> Result<(PredId, i64), CylogError> {
         let pid = self.pred_id(pred)?;
         let info = &self.program.preds[pid];
         let PredKind::Open { n_inputs, points } = info.kind else {
@@ -257,9 +276,7 @@ impl CylogEngine {
                 outputs.len()
             )));
         }
-        let mut values = inputs.clone();
-        values.extend(outputs);
-        for (v, ty) in values.iter().zip(&info.col_types) {
+        for (v, ty) in inputs.iter().chain(outputs).zip(&info.col_types) {
             let ok = v.is_null()
                 || v.conforms_to(*ty)
                 || matches!((v, ty), (Value::Int(_), ValueType::Float));
@@ -269,15 +286,35 @@ impl CylogEngine {
                 )));
             }
         }
-        let name = info.name.clone();
+        Ok((pid, points))
+    }
+
+    /// Apply a validated answer: store the fact, retire the pending entry,
+    /// credit the worker. Does not run rules.
+    fn apply_answer(
+        &mut self,
+        pid: PredId,
+        points: i64,
+        inputs: Vec<Value>,
+        outputs: Vec<Value>,
+        worker: Option<u64>,
+    ) -> Result<bool, CylogError> {
+        let mut values = inputs.clone();
+        values.extend(outputs);
+        let name = self.program.preds[pid].name.clone();
         let (_, fresh) = self
             .db
             .relation_mut(&name)?
             .insert_distinct(Tuple::new(values))?;
         // Remove from pending (it may have been unsolicited — that's fine).
-        // The Vec is compacted lazily at the next run.
         if self.pending_set.remove(&(pid, inputs.clone())) {
             self.pending_dirty = true;
+            // Eager compaction: once answered entries outnumber live ones,
+            // rebuilding the queue now keeps the answered history from
+            // accumulating between runs.
+            if 2 * self.pending_set.len() < self.pending.len() {
+                self.compact_pending();
+            }
         }
         self.asked.insert((pid, inputs));
         if fresh {
@@ -286,6 +323,69 @@ impl CylogEngine {
             }
         }
         Ok(fresh)
+    }
+
+    /// Drop answered entries from the pending queue (no-op when clean).
+    fn compact_pending(&mut self) {
+        if !self.pending_dirty {
+            return;
+        }
+        let set = &self.pending_set;
+        self.pending
+            .retain(|r| set.contains(&(r.pred, r.inputs.clone())));
+        self.pending_dirty = false;
+        self.compactions += 1;
+    }
+
+    /// Times the pending queue has been compacted (for observability).
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Supply a worker's answer to an open question. `worker` (if given) is
+    /// credited the predicate's points. Returns whether the answer created a
+    /// new fact. The engine does **not** rerun rules automatically — call
+    /// [`run`](Self::run) after a batch of answers, or use
+    /// [`answer_batch`](Self::answer_batch) to do both in one step.
+    pub fn answer(
+        &mut self,
+        pred: &str,
+        inputs: Vec<Value>,
+        outputs: Vec<Value>,
+        worker: Option<u64>,
+    ) -> Result<bool, CylogError> {
+        let (pid, points) = self.validate_answer(pred, &inputs, &outputs)?;
+        self.apply_answer(pid, points, inputs, outputs, worker)
+    }
+
+    /// Ingest a batch of answers and run the fixpoint **once**, instead of
+    /// once per answer. The whole batch is validated up front, so either
+    /// every answer is applied or none is (the error names the offending
+    /// answer). Equivalent to calling [`answer`](Self::answer) followed by
+    /// [`run`](Self::run) for each record, at a fraction of the cost — this
+    /// is the engine half of the platform's batched ingestion path.
+    pub fn answer_batch(&mut self, answers: &[AnswerRecord]) -> Result<BatchOutcome, CylogError> {
+        let mut validated = Vec::with_capacity(answers.len());
+        for (i, a) in answers.iter().enumerate() {
+            let (pid, points) = self
+                .validate_answer(&a.pred, &a.inputs, &a.outputs)
+                .map_err(|e| {
+                    CylogError::Eval(format!("answer {} of {}: {e}", i + 1, answers.len()))
+                })?;
+            validated.push((pid, points));
+        }
+        let mut outcome = BatchOutcome::default();
+        for (a, (pid, points)) in answers.iter().zip(validated) {
+            let fresh =
+                self.apply_answer(pid, points, a.inputs.clone(), a.outputs.clone(), a.worker)?;
+            if fresh {
+                outcome.fresh += 1;
+            } else {
+                outcome.duplicates += 1;
+            }
+        }
+        self.run()?;
+        Ok(outcome)
     }
 
     /// All facts of a predicate as a result set (snapshot).
@@ -571,6 +671,130 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
             a.facts("approved").unwrap().rows,
             b.facts("approved").unwrap().rows
         );
+    }
+
+    #[test]
+    fn answer_batch_matches_one_at_a_time() {
+        let mut batched = CylogEngine::from_source(TRANSLATE).unwrap();
+        let mut serial = CylogEngine::from_source(TRANSLATE).unwrap();
+        for e in [&mut batched, &mut serial] {
+            e.add_fact("sentence", vec!["a".into()]).unwrap();
+            e.add_fact("sentence", vec!["b".into()]).unwrap();
+            e.run().unwrap();
+        }
+        let answers = vec![
+            AnswerRecord {
+                pred: "translate".into(),
+                inputs: vec!["a".into()],
+                outputs: vec!["A".into()],
+                worker: Some(1),
+            },
+            AnswerRecord {
+                pred: "check".into(),
+                inputs: vec!["a".into(), "A".into()],
+                outputs: vec![true.into()],
+                worker: Some(2),
+            },
+            AnswerRecord {
+                pred: "translate".into(),
+                inputs: vec!["b".into()],
+                outputs: vec!["B".into()],
+                worker: Some(1),
+            },
+        ];
+        let outcome = batched.answer_batch(&answers).unwrap();
+        assert_eq!(outcome.fresh, 3);
+        assert_eq!(outcome.duplicates, 0);
+        for a in &answers {
+            serial
+                .answer(&a.pred, a.inputs.clone(), a.outputs.clone(), a.worker)
+                .unwrap();
+            serial.run().unwrap();
+        }
+        // Same databases, points and remaining work.
+        assert_eq!(
+            crowd4u_storage::snapshot::dump(batched.database()),
+            crowd4u_storage::snapshot::dump(serial.database())
+        );
+        assert_eq!(batched.leaderboard(), serial.leaderboard());
+        assert_eq!(batched.pending_requests(), serial.pending_requests());
+    }
+
+    #[test]
+    fn answer_batch_rejects_whole_batch_on_bad_answer() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["a".into()]).unwrap();
+        e.run().unwrap();
+        let answers = vec![
+            AnswerRecord {
+                pred: "translate".into(),
+                inputs: vec!["a".into()],
+                outputs: vec!["A".into()],
+                worker: Some(1),
+            },
+            AnswerRecord {
+                pred: "sentence".into(), // not an open predicate
+                inputs: vec!["x".into()],
+                outputs: vec![],
+                worker: None,
+            },
+        ];
+        let err = e.answer_batch(&answers).unwrap_err();
+        assert!(err.to_string().contains("answer 2 of 2"));
+        // Nothing was applied: the valid first answer did not land either.
+        assert_eq!(e.fact_count("translate").unwrap(), 0);
+        assert_eq!(e.points_of(1), 0);
+        assert_eq!(e.pending_requests().len(), 1);
+    }
+
+    #[test]
+    fn answer_batch_counts_duplicates_and_skips_their_points() {
+        let mut e = CylogEngine::from_source(TRANSLATE).unwrap();
+        e.add_fact("sentence", vec!["a".into()]).unwrap();
+        e.run().unwrap();
+        let rec = AnswerRecord {
+            pred: "translate".into(),
+            inputs: vec!["a".into()],
+            outputs: vec!["A".into()],
+            worker: Some(7),
+        };
+        let outcome = e.answer_batch(&[rec.clone(), rec]).unwrap();
+        assert_eq!(outcome.fresh, 1);
+        assert_eq!(outcome.duplicates, 1);
+        assert_eq!(e.points_of(7), 3);
+    }
+
+    #[test]
+    fn pending_compacts_eagerly_when_half_answered() {
+        let mut e = CylogEngine::from_source(
+            "rel item(x: int).\nopen judge(x: int) -> (ok: bool) points 1.\n\
+             rel good(x: int).\ngood(X) :- item(X), judge(X, OK), OK = true.\n",
+        )
+        .unwrap();
+        for i in 0..8 {
+            e.add_fact("item", vec![Value::Int(i)]).unwrap();
+        }
+        e.run().unwrap();
+        assert_eq!(e.pending_requests().len(), 8);
+        assert_eq!(e.compaction_count(), 0);
+        // Answer four: answered == live, not yet a majority → no compaction;
+        // the queue still carries the answered entries.
+        for i in 0..4 {
+            e.answer("judge", vec![Value::Int(i)], vec![true.into()], None)
+                .unwrap();
+        }
+        assert_eq!(e.compaction_count(), 0);
+        assert_eq!(e.pending_requests().len(), 8);
+        // The fifth answer tips the majority: compaction happens without a
+        // `run`, and the queue shrinks to the live entries.
+        e.answer("judge", vec![Value::Int(4)], vec![true.into()], None)
+            .unwrap();
+        assert_eq!(e.compaction_count(), 1);
+        assert_eq!(e.pending_requests().len(), 3);
+        assert!(e
+            .pending_requests()
+            .iter()
+            .all(|r| r.inputs[0].as_int().unwrap() >= 5));
     }
 
     #[test]

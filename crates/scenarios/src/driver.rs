@@ -1,6 +1,13 @@
 //! Common glue driving the platform with the simulated crowd: registering
 //! a population, collecting interest, running assignment with deadline
 //! handling, and tracking elapsed simulated time.
+//!
+//! Since the event-core refactor the driver is a thin scheduler: simulated
+//! worker actions (interest, undertakes, answers) become timed
+//! [`PlatformEvent`]s on a discrete-event queue, and [`Driver::pump`]
+//! delivers them to the platform in time order — advancing the clock batch
+//! by batch and draining dirty projects once at the end, exactly the way a
+//! production front-end would feed the ingestion API.
 
 use crate::config::ScenarioConfig;
 use crowd4u_assign::prelude::Team;
@@ -9,6 +16,7 @@ use crowd4u_core::prelude::*;
 use crowd4u_crowd::population::{generate, Population, PopulationConfig};
 use crowd4u_crowd::profile::WorkerId;
 use crowd4u_forms::admin::DesiredFactors;
+use crowd4u_sim::engine::Simulation;
 use crowd4u_sim::rng::SimRng;
 use crowd4u_sim::time::{SimDuration, SimTime};
 
@@ -17,11 +25,14 @@ pub struct Driver {
     pub platform: Crowd4U,
     pub crowd: Population,
     pub rng: SimRng,
+    /// Timed platform events awaiting delivery (the simulated "network").
+    events: Simulation<PlatformEvent>,
     start: SimTime,
 }
 
 impl Driver {
-    /// Build the world: a seeded crowd registered on a fresh platform.
+    /// Build the world: a seeded crowd registered on a fresh platform, as
+    /// one registration batch through the event-ingestion path.
     pub fn new(config: &ScenarioConfig) -> Driver {
         let mut rng = SimRng::seed_from(config.seed);
         let crowd = generate(
@@ -33,15 +44,72 @@ impl Driver {
         );
         let mut platform = Crowd4U::new();
         platform.controller.algorithm = config.algorithm;
-        for agent in &crowd.agents {
-            platform.register_worker(agent.profile.clone());
-        }
+        let registrations: Vec<PlatformEvent> = crowd
+            .agents
+            .iter()
+            .map(|agent| PlatformEvent::WorkerRegistered {
+                profile: agent.profile.clone(),
+            })
+            .collect();
+        platform
+            .apply_batch(registrations)
+            .expect("worker registration cannot fail");
         Driver {
             platform,
             crowd,
             rng,
+            events: Simulation::new(),
             start: SimTime::ZERO,
         }
+    }
+
+    /// Schedule a platform event for delivery at an absolute time.
+    pub fn schedule_at(&mut self, at: SimTime, event: PlatformEvent) {
+        self.events.schedule(at, event);
+    }
+
+    /// Schedule a platform event for delivery after a delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: PlatformEvent) {
+        let at = self.platform.now() + delay;
+        self.events.schedule(at, event);
+    }
+
+    /// Deliver every scheduled event in time order: the platform clock
+    /// advances to each batch's tick (processing deadlines on the way), the
+    /// batch is applied, and dirty projects are synchronised once at the
+    /// end. Worker actions that became invalid in flight — e.g. an
+    /// undertake arriving after its recruitment deadline expired — are
+    /// dropped and counted, like a production platform rejecting a stale
+    /// request.
+    ///
+    /// Deadline boundary: "unless all suggested workers start … **by** the
+    /// specified deadline" is inclusive, so deadlines strictly before a
+    /// batch's tick are processed first, the batch's events are applied,
+    /// and only then does the sweep at the tick itself run — an undertake
+    /// arriving exactly at its recruitment deadline still counts.
+    pub fn pump(&mut self) -> Result<(), PlatformError> {
+        while let Some((t, batch)) = self.events.next_batch() {
+            if t.ticks() > 0 {
+                self.platform.advance_to(SimTime(t.ticks() - 1))?;
+            }
+            for event in batch {
+                match self.platform.apply_event(event) {
+                    Ok(()) => {}
+                    Err(
+                        PlatformError::BadTaskState { .. }
+                        | PlatformError::NotSuggested { .. }
+                        | PlatformError::NotEligible { .. }
+                        | PlatformError::NoFeasibleTeam { .. },
+                    ) => {
+                        self.platform.counters.incr("events_dropped");
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            self.platform.advance_to(t)?;
+        }
+        self.platform.drain_events()?;
+        Ok(())
     }
 
     /// Desired factors matching the config (language-agnostic by default).
@@ -68,26 +136,23 @@ impl Driver {
     }
 
     /// Step (3) of the workflow: every eligible agent looks at the task and
-    /// may declare interest (per its behaviour model). Returns how many did.
+    /// may declare interest (per its behaviour model). Interest arrives in
+    /// parallel as timed events and is pumped through the platform — the
+    /// clock ends at the slowest responder. Returns how many declared.
     pub fn collect_interest(&mut self, task: TaskId) -> Result<usize, PlatformError> {
         let eligible = self.platform.relations.eligible_workers(task);
         let mut n = 0;
-        let mut max_delay = SimDuration::ZERO;
         for w in eligible {
             let Some(agent) = self.crowd.agent_mut(w) else {
                 continue;
             };
             let delay = agent.response_delay();
             if agent.declares_interest() {
-                self.platform.express_interest(w, task)?;
+                self.schedule_after(delay, PlatformEvent::InterestExpressed { worker: w, task });
                 n += 1;
-                if delay > max_delay {
-                    max_delay = delay;
-                }
             }
         }
-        // Interest arrives in parallel: advance by the slowest responder.
-        self.pass_time(max_delay)?;
+        self.pump()?;
         Ok(n)
     }
 
@@ -116,7 +181,10 @@ impl Driver {
                 TaskState::InProgress { team } => return Ok(Some(self.assemble(&team))),
                 TaskState::Completed { .. } | TaskState::Abandoned { .. } => return Ok(None),
             };
-            // Each pending member independently decides to start.
+            // Each pending member independently decides to start; the
+            // undertakes arrive as timed events. Even members who hold out
+            // consume wall-clock time (the platform waits for them), so the
+            // round lasts until the slowest decision either way.
             let mut max_delay = SimDuration::ZERO;
             for &m in &pending {
                 let Some(agent) = self.crowd.agent_mut(m) else {
@@ -127,10 +195,16 @@ impl Driver {
                     max_delay = delay;
                 }
                 if agent.commits() {
-                    self.platform.undertake(m, task)?;
+                    self.schedule_after(delay, PlatformEvent::Undertaken { worker: m, task });
                 }
             }
-            self.pass_time(max_delay)?;
+            self.schedule_after(
+                max_delay,
+                PlatformEvent::ClockAdvanced {
+                    to: self.platform.now() + max_delay,
+                },
+            );
+            self.pump()?;
             if let TaskState::InProgress { team } = self.platform.pool.get(task)?.state.clone() {
                 return Ok(Some(self.assemble(&team)));
             }
@@ -227,6 +301,55 @@ mod tests {
                 "in-progress"
             );
         }
+    }
+
+    #[test]
+    fn scheduled_events_deliver_in_time_order() {
+        let cfg = ScenarioConfig::default().with_crowd(10).with_seed(2);
+        let mut d = Driver::new(&cfg);
+        let proj = d
+            .collab_project("p", SRC, &cfg, Scheme::Sequential, None)
+            .unwrap();
+        // Seed a fact late, a worker answer even later; pump delivers both
+        // and the closing drain generates + completes the pipeline.
+        d.schedule_after(
+            SimDuration::secs(10),
+            PlatformEvent::FactSeeded {
+                project: proj,
+                pred: "item".into(),
+                values: vec!["a".into()],
+            },
+        );
+        d.pump().unwrap();
+        assert_eq!(d.platform.now(), SimTime(10));
+        // the drain synced the dirty project: the question became a task
+        let task = d.platform.pool.open_tasks(Some(proj))[0].id;
+        let worker = d.platform.relations.eligible_workers(task)[0];
+        d.schedule_after(
+            SimDuration::secs(5),
+            PlatformEvent::AnswerSubmitted {
+                worker,
+                task,
+                outputs: vec!["b".into()],
+            },
+        );
+        d.pump().unwrap();
+        assert_eq!(d.platform.now(), SimTime(15));
+        assert_eq!(
+            d.platform.project(proj).unwrap().engine.fact_count("out"),
+            Ok(1)
+        );
+        // stale events are dropped, not fatal: answering the same task again
+        d.schedule_after(
+            SimDuration::secs(1),
+            PlatformEvent::AnswerSubmitted {
+                worker,
+                task,
+                outputs: vec!["c".into()],
+            },
+        );
+        d.pump().unwrap();
+        assert_eq!(d.platform.counters.get("events_dropped"), 1);
     }
 
     #[test]

@@ -103,31 +103,28 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         d.platform.complete_collab_task(task, quality)?;
         completed += 1;
 
-        // The headline micro-task goes to the submitting member.
+        // The headline micro-tasks go to the submitting member, ingested as
+        // one event batch (a single drain syncs the project afterwards).
         d.platform.sync_tasks(proj)?;
-        let micro: Vec<TaskId> = d
-            .platform
-            .pool
-            .open_tasks(Some(proj))
-            .iter()
-            .filter(|t| t.is_micro())
-            .map(|t| t.id)
-            .collect();
-        for mt in micro {
-            let inputs = match &d.platform.pool.get(mt)?.body {
-                TaskBody::Micro { inputs, .. } => inputs.clone(),
-                _ => continue,
+        let mut headline_events = Vec::new();
+        for t in d.platform.pool.open_tasks(Some(proj)) {
+            let TaskBody::Micro { inputs, .. } = &t.body else {
+                continue;
             };
             let headline = format!("HEADLINE: {}", inputs[1]);
             let writer = team.members[0];
-            if d.platform.relations.is_eligible(writer, mt) {
-                d.platform
-                    .submit_micro_answer(writer, mt, vec![Value::Str(headline)])?;
-                answers += 1;
+            if d.platform.relations.is_eligible(writer, t.id) {
+                headline_events.push(PlatformEvent::AnswerSubmitted {
+                    worker: writer,
+                    task: t.id,
+                    outputs: vec![Value::Str(headline)],
+                });
             }
         }
+        let report = d.platform.apply_batch(headline_events)?;
+        answers += report.applied as u64;
     }
-    d.platform.sync_tasks(proj)?;
+    d.platform.drain_events()?;
 
     let mean_quality = if qualities.is_empty() {
         0.0

@@ -140,29 +140,28 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         d.platform
             .complete_collab_task(task, report.overall_quality)?;
 
-        // The confirm micro-task: a team member vouches for the region when
-        // the report is strong enough.
+        // The confirm micro-tasks: a team member vouches for the region
+        // when the report is strong enough. Ingested as one event batch.
         d.platform.sync_tasks(proj)?;
-        let micro: Vec<TaskId> = d
+        let voucher = team.members[0];
+        let credible = report.overall_quality >= 0.5;
+        let vouch_events: Vec<PlatformEvent> = d
             .platform
             .pool
             .open_tasks(Some(proj))
             .iter()
-            .filter(|t| t.is_micro())
-            .map(|t| t.id)
+            .filter(|t| t.is_micro() && d.platform.relations.is_eligible(voucher, t.id))
+            .map(|t| PlatformEvent::AnswerSubmitted {
+                worker: voucher,
+                task: t.id,
+                outputs: vec![Value::Bool(credible)],
+            })
             .collect();
-        for mt in micro {
-            let voucher = team.members[0];
-            if d.platform.relations.is_eligible(voucher, mt) {
-                let credible = report.overall_quality >= 0.5;
-                d.platform
-                    .submit_micro_answer(voucher, mt, vec![Value::Bool(credible)])?;
-                answers += 1;
-            }
-        }
+        let batch = d.platform.apply_batch(vouch_events)?;
+        answers += batch.applied as u64;
         reports.push(report);
     }
-    d.platform.sync_tasks(proj)?;
+    d.platform.drain_events()?;
 
     let verified = d.platform.project(proj)?.engine.fact_count("verified")?;
     let mean_quality = if reports.is_empty() {

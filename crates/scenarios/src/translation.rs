@@ -79,9 +79,13 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         }
     };
 
-    // Drive the CyLog task pool until no open questions remain.
+    // Drive the CyLog task pool until no open questions remain. Each round
+    // schedules every answer as a timed event (sequential scheme: one
+    // worker after another, so delivery times accumulate) and pumps them
+    // through the platform; the closing drain synchronises the project and
+    // surfaces the next pass's questions.
+    d.platform.sync_tasks(proj)?;
     loop {
-        let new = d.platform.sync_tasks(proj)?;
         let open: Vec<(TaskId, String, Vec<Value>)> = d
             .platform
             .pool
@@ -95,11 +99,10 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
             })
             .collect();
         if open.is_empty() {
-            if new == 0 {
-                break;
-            }
-            continue;
+            break;
         }
+        let done_before = d.platform.counters.get("micro_tasks_completed");
+        let mut at = d.platform.now();
         for (task, pred, inputs) in open {
             let uid = inputs[0].as_id().expect("uid input") as usize - 1;
             let last = flows[uid]
@@ -116,7 +119,7 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
                 .agent_mut(worker)
                 .map(|a| a.response_delay())
                 .unwrap_or_default();
-            d.pass_time(delay)?;
+            at += delay;
             let outputs: Vec<Value> = match pred.as_str() {
                 "transcribe" => {
                     let art = Artifact::produced_by(worker, format!("sub-{uid}"), skill_q);
@@ -148,8 +151,20 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
                 }
                 other => panic!("unexpected open predicate {other}"),
             };
-            d.platform.submit_micro_answer(worker, task, outputs)?;
+            d.schedule_at(
+                at,
+                PlatformEvent::AnswerSubmitted {
+                    worker,
+                    task,
+                    outputs,
+                },
+            );
             answers += 1;
+        }
+        d.pump()?;
+        // Defensive: if no scheduled answer landed, stop rather than spin.
+        if d.platform.counters.get("micro_tasks_completed") == done_before {
+            break;
         }
     }
 

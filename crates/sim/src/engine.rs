@@ -105,6 +105,37 @@ impl<E> Simulation<E> {
         self.queue.schedule(time, event);
     }
 
+    /// Pop every event scheduled for the earliest pending tick as one
+    /// batch, advancing the clock to that tick. Within a batch, events keep
+    /// their FIFO scheduling order.
+    ///
+    /// This is the pull-style counterpart of [`run`](Self::run) for
+    /// batch-ingesting consumers (the platform applies a whole tick's
+    /// worth of worker actions in one go, then synchronises task state
+    /// once). Returns `None` when the queue is exhausted, the horizon would
+    /// be passed (the clock then rests at the horizon), or the step budget
+    /// is spent.
+    pub fn next_batch(&mut self) -> Option<(SimTime, Vec<E>)> {
+        if self.steps >= self.max_steps {
+            return None;
+        }
+        let time = self.queue.peek_time()?;
+        if let Some(h) = self.horizon {
+            if time > h {
+                self.now = h;
+                return None;
+            }
+        }
+        let mut batch = Vec::new();
+        while self.queue.peek_time() == Some(time) && self.steps < self.max_steps {
+            let (_, event) = self.queue.pop().expect("peeked");
+            batch.push(event);
+            self.steps += 1;
+        }
+        self.now = time;
+        Some((time, batch))
+    }
+
     /// Drive the simulation until exhaustion, stop request, horizon or step
     /// budget, whichever comes first.
     pub fn run(&mut self, mut handler: impl FnMut(&mut Scheduler<E>, E)) -> RunOutcome {
@@ -228,5 +259,39 @@ mod tests {
         let mut sim: Simulation<Ev> = Simulation::new();
         assert_eq!(sim.run(|_, _| {}), RunOutcome::Exhausted);
         assert_eq!(sim.steps(), 0);
+    }
+
+    #[test]
+    fn next_batch_groups_same_tick_events_fifo() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime(10), Ev::Ping(1));
+        sim.schedule(SimTime(5), Ev::Ping(0));
+        sim.schedule(SimTime(10), Ev::Ping(2));
+        let (t, batch) = sim.next_batch().unwrap();
+        assert_eq!(t, SimTime(5));
+        assert_eq!(batch, vec![Ev::Ping(0)]);
+        let (t, batch) = sim.next_batch().unwrap();
+        assert_eq!(t, SimTime(10));
+        assert_eq!(batch, vec![Ev::Ping(1), Ev::Ping(2)]);
+        assert_eq!(sim.now(), SimTime(10));
+        assert_eq!(sim.steps(), 3);
+        assert!(sim.next_batch().is_none());
+    }
+
+    #[test]
+    fn next_batch_respects_horizon_and_step_budget() {
+        let mut sim = Simulation::new().with_horizon(SimTime(50));
+        sim.schedule(SimTime(60), Ev::Ping(1));
+        assert!(sim.next_batch().is_none());
+        assert_eq!(sim.now(), SimTime(50));
+        assert_eq!(sim.pending_events(), 1);
+
+        let mut sim = Simulation::new().with_max_steps(2);
+        for i in 0..3 {
+            sim.schedule(SimTime(1), Ev::Ping(i));
+        }
+        let (_, batch) = sim.next_batch().unwrap();
+        assert_eq!(batch.len(), 2); // budget splits the tick
+        assert!(sim.next_batch().is_none());
     }
 }

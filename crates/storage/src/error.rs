@@ -38,6 +38,11 @@ pub enum StorageError {
         line: usize,
         message: String,
     },
+    /// Malformed event-journal input, or an invalid entry kind.
+    Journal {
+        line: usize,
+        message: String,
+    },
     Io(String),
 }
 
@@ -73,6 +78,9 @@ impl fmt::Display for StorageError {
             StorageError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             StorageError::Snapshot { line, message } => {
                 write!(f, "snapshot error at line {line}: {message}")
+            }
+            StorageError::Journal { line, message } => {
+                write!(f, "journal error at line {line}: {message}")
             }
             StorageError::Io(m) => write!(f, "io error: {m}"),
         }
@@ -126,6 +134,10 @@ mod tests {
             },
             StorageError::Snapshot {
                 line: 4,
+                message: "oops".into(),
+            },
+            StorageError::Journal {
+                line: 5,
                 message: "oops".into(),
             },
             StorageError::Io("gone".into()),

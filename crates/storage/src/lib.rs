@@ -36,6 +36,7 @@ pub mod csv;
 pub mod database;
 pub mod error;
 pub mod expr;
+pub mod journal;
 pub mod query;
 pub mod relation;
 pub mod schema;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::error::StorageError;
     pub use crate::expr::{ArithOp, CmpOp, Expr};
+    pub use crate::journal::{EventJournal, JournalEntry};
     pub use crate::query::{AggFunc, AggSpec, ResultSet};
     pub use crate::relation::{Relation, RowId};
     pub use crate::schema::{Column, Schema};

@@ -55,7 +55,10 @@ fn unescape_cell(s: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn encode_value(v: &Value, out: &mut String) {
+/// Encode one value in the tagged single-cell form shared by snapshots and
+/// the event journal (`_` null, `b` bool, `i` int, `f` float, `s` string,
+/// `#` id; strings escaped so a cell never spans lines or contains tabs).
+pub(crate) fn encode_value(v: &Value, out: &mut String) {
     match v {
         Value::Null => out.push('_'),
         Value::Bool(b) => {
@@ -82,7 +85,8 @@ fn encode_value(v: &Value, out: &mut String) {
     }
 }
 
-fn decode_value(cell: &str) -> Result<Value, String> {
+/// Decode one cell produced by [`encode_value`].
+pub(crate) fn decode_value(cell: &str) -> Result<Value, String> {
     let mut chars = cell.chars();
     let tag = chars.next().ok_or("empty cell")?;
     let rest: String = chars.collect();

@@ -1,0 +1,87 @@
+//! Property: batched answer ingestion is observationally identical to
+//! call-at-a-time ingestion. For any sequence of worker answers,
+//! `CylogEngine::answer_batch` (N answers, one fixpoint) and the serial
+//! `answer` + `run` path (N answers, N fixpoints) must reach the same
+//! database (byte-identical snapshot), the same points ledger, and the
+//! same pending-question set — this is what makes the platform's batch
+//! path a pure optimisation.
+
+use crowd4u::cylog::engine::{AnswerRecord, CylogEngine};
+use crowd4u::storage::snapshot;
+use proptest::prelude::*;
+
+const SRC: &str = "\
+rel sentence(s: str).
+open translate(s: str) -> (t: str) points 2.
+open check(s: str, t: str) -> (ok: bool) points 1.
+rel approved(s: str, t: str).
+approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
+";
+
+fn engine_with(items: &[String]) -> CylogEngine {
+    let mut e = CylogEngine::from_source(SRC).unwrap();
+    for s in items {
+        e.add_fact("sentence", vec![s.clone().into()]).unwrap();
+    }
+    e.run().unwrap();
+    e
+}
+
+proptest! {
+    #[test]
+    fn answer_batch_equals_serial_answer_plus_run(
+        items in proptest::collection::vec("[a-m]{1,6}", 1..8),
+        // (item index, output, worker, approve) — indexes wrap over items,
+        // so every answer is valid; duplicate outputs and repeated answers
+        // to one question are part of the space.
+        raw in proptest::collection::vec(
+            (0usize..16, "[n-z]{1,4}", 1u64..5, any::<bool>()),
+            0..24,
+        ),
+    ) {
+        // First translate answers, then check answers referencing them —
+        // mirrors the two crowd passes of the translation pipeline.
+        let mut answers: Vec<AnswerRecord> = Vec::new();
+        for (idx, out, worker, _) in &raw {
+            let item = &items[idx % items.len()];
+            answers.push(AnswerRecord {
+                pred: "translate".into(),
+                inputs: vec![item.clone().into()],
+                outputs: vec![out.clone().into()],
+                worker: Some(*worker),
+            });
+        }
+        for (idx, out, worker, ok) in &raw {
+            let item = &items[idx % items.len()];
+            answers.push(AnswerRecord {
+                pred: "check".into(),
+                inputs: vec![item.clone().into(), out.clone().into()],
+                outputs: vec![(*ok).into()],
+                worker: Some(*worker),
+            });
+        }
+
+        let mut batched = engine_with(&items);
+        let mut serial = engine_with(&items);
+
+        let outcome = batched.answer_batch(&answers).unwrap();
+        prop_assert_eq!(outcome.fresh + outcome.duplicates, answers.len());
+
+        for a in &answers {
+            serial
+                .answer(&a.pred, a.inputs.clone(), a.outputs.clone(), a.worker)
+                .unwrap();
+            serial.run().unwrap();
+        }
+
+        // Identical databases (facts + derived), byte for byte.
+        prop_assert_eq!(
+            snapshot::dump(batched.database()),
+            snapshot::dump(serial.database())
+        );
+        // Identical points ledgers.
+        prop_assert_eq!(batched.leaderboard(), serial.leaderboard());
+        // Identical pending sets (order included).
+        prop_assert_eq!(batched.pending_requests(), serial.pending_requests());
+    }
+}

@@ -30,6 +30,14 @@ fn budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Skip the untimed warmup invocation (`CRITERION_SKIP_WARMUP=1`): CI smoke
+/// runs use this so a slow routine is executed once, not twice. The first
+/// timed iteration then absorbs lazy-setup costs — acceptable for a smoke
+/// gate, wrong for careful measurements.
+fn skip_warmup() -> bool {
+    std::env::var("CRITERION_SKIP_WARMUP").is_ok_and(|v| v == "1")
+}
+
 /// Top-level benchmark driver (subset of `criterion::Criterion`).
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -191,7 +199,9 @@ impl Bencher {
         R: FnMut() -> O,
     {
         // Warmup: one untimed call (also forces lazy setup).
-        black_box(routine());
+        if !skip_warmup() {
+            black_box(routine());
+        }
         let start = Instant::now();
         loop {
             let t0 = Instant::now();
@@ -211,7 +221,9 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        black_box(routine(setup()));
+        if !skip_warmup() {
+            black_box(routine(setup()));
+        }
         let start = Instant::now();
         loop {
             let input = setup();

@@ -31,6 +31,20 @@ echo
 echo "==> bench smoke: e9_ingest_throughput (CRITERION_BUDGET_MS=50)"
 CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
     cargo bench -p crowd4u-bench --bench e9_ingest_throughput
+# Shard-scaling smoke: the bench itself asserts that 4 shards out-ingest
+# 1 shard on the mixed multi-project workload (the full-size baseline with
+# the >=2x gate lives in BENCH_shard.json; regenerate with
+# `cargo run --release -p crowd4u-bench --bin report -- shard`).
+echo
+echo "==> bench smoke: e10_shard_scaling (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e10_shard_scaling
+# Exercise the parallel path on every CI run: the integration suite again,
+# with the runtime pinned to 4 shards (shard_equivalence picks the value
+# up via RUNTIME_SHARDS and adds it to its shard-count sweep).
+echo
+echo "==> integration tests with RUNTIME_SHARDS=4"
+RUNTIME_SHARDS=4 cargo test -q -p crowd4u --tests
 # Docs must be warning-free, not just successful.
 echo
 echo "==> cargo doc --no-deps (deny warnings)"

@@ -61,6 +61,11 @@ fn main() {
     if args.iter().any(|a| a == "ingest") {
         ingest_baseline();
     }
+    // Explicit only: the shard-scaling sweep ingests the full workload at
+    // four shard counts (records BENCH_shard.json).
+    if args.iter().any(|a| a == "shard") {
+        shard_baseline();
+    }
 }
 
 /// E1 (Figure 1): deployment pipeline decomposition → assignment →
@@ -499,6 +504,81 @@ fn ingest_baseline() {
     assert!(
         speedup >= 5.0,
         "batched ingestion regressed: only {speedup:.1}× faster than per-answer"
+    );
+}
+
+/// E10 baseline: the mixed multi-project workload through the sharded
+/// runtime at 1/2/4/8 shards (streaming mode). Records the sweep to
+/// `BENCH_shard.json` so CI and future sessions can compare against it,
+/// and exits non-zero if 4 shards are less than 2× faster than 1 shard.
+/// The speedup has two sources: parallel fixpoint work on multi-core
+/// hosts, and — independent of core count — deeper per-project mailbox
+/// batching (each shard syncs only its own dirty projects every
+/// `drain_every` events, so redundant re-sync work shrinks with the shard
+/// count).
+fn shard_baseline() {
+    use crowd4u_bench::{run_shard_workload, ShardWorkload};
+    let w = ShardWorkload::default();
+    println!(
+        "## E10 — shard scaling: {} projects x {} items, drain_every {}\n",
+        w.projects, w.items, w.drain_every
+    );
+    let mut t = TablePrinter::new(&["shards", "time", "events/s", "speedup"]);
+    let mut rows = Vec::new();
+    let mut t1 = 0.0f64;
+    let mut good_ref = None;
+    for &shards in &[1usize, 2, 4, 8] {
+        let (elapsed, events, good) = run_shard_workload(shards, &w);
+        match good_ref {
+            None => good_ref = Some(good),
+            Some(g) => assert_eq!(g, good, "shard counts must derive identical facts"),
+        }
+        let secs = elapsed.as_secs_f64();
+        if shards == 1 {
+            t1 = secs;
+        }
+        let rate = events as f64 / secs;
+        let speedup = t1 / secs;
+        t.row(vec![
+            shards.to_string(),
+            format!("{elapsed:.2?}"),
+            format!("{rate:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push((shards, secs * 1e3, rate, speedup));
+    }
+    println!("{}", t.render());
+
+    let speedup_4 = rows
+        .iter()
+        .find(|(s, ..)| *s == 4)
+        .map(|(_, _, _, x)| *x)
+        .expect("4-shard row");
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|(s, ms, rate, x)| {
+            format!(
+                "    {{ \"shards\": {s}, \"ms\": {ms:.3}, \"events_per_sec\": {rate:.0}, \
+                 \"speedup\": {x:.2} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e10_shard_scaling\",\n  \"projects\": {},\n  \
+         \"items\": {},\n  \"drain_every\": {},\n  \"good_facts\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_4_shards\": {:.2}\n}}\n",
+        w.projects,
+        w.items,
+        w.drain_every,
+        good_ref.unwrap_or(0),
+        runs.join(",\n"),
+        speedup_4,
+    );
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("baseline recorded to BENCH_shard.json");
+    assert!(
+        speedup_4 >= 2.0,
+        "shard scaling regressed: 4 shards only {speedup_4:.2}x faster than 1"
     );
 }
 

@@ -49,6 +49,123 @@ pub fn ingest_workload(n: u64) -> (CylogEngine, Vec<AnswerRecord>) {
     (engine, answers)
 }
 
+/// The E10 shard-scaling workload shape: a mixed multi-project stream —
+/// `projects` CyLog projects, `items` judged items each, answers arriving
+/// round-robin across projects (the interleaving a router has to unpick).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardWorkload {
+    pub projects: usize,
+    pub items: usize,
+    pub workers: u64,
+    /// Streaming-mode mailbox batch size handed to the runtime: each shard
+    /// syncs its dirty projects after this many mailbox events.
+    pub drain_every: usize,
+}
+
+impl Default for ShardWorkload {
+    fn default() -> Self {
+        ShardWorkload {
+            projects: 8,
+            items: 400,
+            workers: 8,
+            drain_every: 48,
+        }
+    }
+}
+
+/// The E10 event stream: `(setup, answers)`. Setup registers workers and
+/// projects and seeds every item; answers approve/reject each project's
+/// judge tasks round-robin across projects. Task ids are project-strided,
+/// so the answer stream is written without touching a platform.
+pub fn shard_workload_events(
+    w: &ShardWorkload,
+) -> (
+    Vec<crowd4u_core::events::PlatformEvent>,
+    Vec<crowd4u_core::events::PlatformEvent>,
+) {
+    use crowd4u_core::error::{ProjectId, TaskId};
+    use crowd4u_core::events::PlatformEvent;
+    use crowd4u_crowd::profile::WorkerProfile;
+    use crowd4u_forms::admin::DesiredFactors;
+
+    let mut setup = Vec::new();
+    for i in 1..=w.workers {
+        setup.push(PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(i), format!("w{i}")),
+        });
+    }
+    for p in 0..w.projects {
+        setup.push(PlatformEvent::ProjectRegistered {
+            name: format!("proj-{p}"),
+            source: INGEST_SRC.into(),
+            factors: DesiredFactors::default(),
+            scheme: crowd4u_collab::Scheme::Sequential,
+        });
+    }
+    for i in 0..w.items {
+        for p in 0..w.projects {
+            setup.push(PlatformEvent::FactSeeded {
+                project: ProjectId(p as u64 + 1),
+                pred: "item".into(),
+                values: vec![(i as u64 + 1).into()],
+            });
+        }
+    }
+    let mut answers = Vec::new();
+    for i in 0..w.items {
+        for p in 0..w.projects {
+            answers.push(PlatformEvent::AnswerSubmitted {
+                worker: WorkerId(1 + (i as u64 % w.workers)),
+                task: TaskId::compose(ProjectId(p as u64 + 1), i as u64 + 1),
+                outputs: vec![(i % 10 != 0).into()],
+            });
+        }
+    }
+    (setup, answers)
+}
+
+/// Run the E10 workload through a `ShardedRuntime` at the given shard
+/// count; returns (elapsed, events ingested, derived `good` facts). The
+/// `good` count is the correctness check — every shard count must derive
+/// the same facts.
+pub fn run_shard_workload(shards: usize, w: &ShardWorkload) -> (std::time::Duration, u64, usize) {
+    use crowd4u_core::error::ProjectId;
+    use crowd4u_runtime::prelude::*;
+
+    let (setup, answers) = shard_workload_events(w);
+    let total = (setup.len() + answers.len()) as u64;
+    let mut rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: w.drain_every,
+    });
+    let start = std::time::Instant::now();
+    rt.submit_batch(setup);
+    rt.drain();
+    rt.barrier(); // every judge task exists before the answer stream starts
+    rt.submit_batch(answers);
+    rt.drain();
+    rt.barrier();
+    let elapsed = start.elapsed();
+    // Capture placements from the router itself before it shuts down —
+    // the owner's slice holds the real facts, replicas are empty.
+    let owners: Vec<usize> = (0..w.projects)
+        .map(|p| rt.owner_of(ProjectId(p as u64 + 1)))
+        .collect();
+    let run = rt.finish().expect("runtime finish");
+    assert_eq!(run.stats.dropped, 0, "E10 workload must be fully valid");
+    let mut good = 0usize;
+    for (p, &owner) in owners.iter().enumerate() {
+        let project = ProjectId(p as u64 + 1);
+        good += run.platforms[owner]
+            .project(project)
+            .expect("registered")
+            .engine
+            .fact_count("good")
+            .expect("derived");
+    }
+    (elapsed, total, good)
+}
+
 /// A random team-formation instance: `n` workers with uniform skills,
 /// costs in `[0, 3)` and uniform pairwise affinities.
 pub fn random_instance(n: usize, seed: u64) -> (Vec<Candidate>, AffinityMatrix) {
@@ -187,6 +304,24 @@ mod tests {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&same) > mean(&cross) + 0.3);
+    }
+
+    #[test]
+    fn shard_workload_runs_and_agrees_across_shard_counts() {
+        let w = ShardWorkload {
+            projects: 4,
+            items: 20,
+            workers: 4,
+            drain_every: 8,
+        };
+        let (setup, answers) = shard_workload_events(&w);
+        assert_eq!(setup.len(), 4 + 4 + 4 * 20);
+        assert_eq!(answers.len(), 4 * 20);
+        let (_, total1, good1) = run_shard_workload(1, &w);
+        let (_, total2, good2) = run_shard_workload(2, &w);
+        assert_eq!(total1, total2);
+        assert_eq!(good1, good2);
+        assert_eq!(good1, 4 * 18); // 10% of 20 rejected per project
     }
 
     #[test]

@@ -18,12 +18,47 @@ impl fmt::Display for ProjectId {
 }
 
 /// Unique task identifier.
+///
+/// Task ids are **project-strided**: the upper bits carry the owning
+/// project, the lower bits a per-project sequence number (see
+/// [`TaskId::compose`]). Because each project's tasks are numbered by that
+/// project's own event order alone, id allocation is deterministic under
+/// any partitioning of projects — a shard that owns a project assigns the
+/// exact ids a single-threaded platform would, which is what lets the
+/// sharded runtime route task-scoped events without a lookup table and
+/// keeps merged journals replayable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u64);
 
+/// Bit position splitting a [`TaskId`] into (project, local sequence).
+pub const TASK_PROJECT_SHIFT: u32 = 32;
+
+impl TaskId {
+    /// Build the id of the `local`-th task (1-based) of `project`.
+    pub fn compose(project: ProjectId, local: u64) -> TaskId {
+        debug_assert!(local < (1 << TASK_PROJECT_SHIFT));
+        TaskId((project.0 << TASK_PROJECT_SHIFT) | local)
+    }
+
+    /// The project encoded in this id ([`ProjectId(0)`](ProjectId) for ids
+    /// that never came from a [`crate::task::TaskPool`]).
+    pub fn project(self) -> ProjectId {
+        ProjectId(self.0 >> TASK_PROJECT_SHIFT)
+    }
+
+    /// The per-project sequence number encoded in this id.
+    pub fn local(self) -> u64 {
+        self.0 & ((1 << TASK_PROJECT_SHIFT) - 1)
+    }
+}
+
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t{}", self.0)
+        if self.project().0 == 0 {
+            write!(f, "t{}", self.0)
+        } else {
+            write!(f, "t{}.{}", self.project().0, self.local())
+        }
     }
 }
 
@@ -108,6 +143,20 @@ mod tests {
     fn ids_display() {
         assert_eq!(ProjectId(3).to_string(), "p3");
         assert_eq!(TaskId(9).to_string(), "t9");
+        assert_eq!(TaskId::compose(ProjectId(3), 9).to_string(), "t3.9");
+    }
+
+    #[test]
+    fn task_ids_are_project_strided() {
+        let id = TaskId::compose(ProjectId(7), 42);
+        assert_eq!(id.project(), ProjectId(7));
+        assert_eq!(id.local(), 42);
+        // Raw ids (e.g. hand-written in tests) decode as project 0.
+        assert_eq!(TaskId(42).project(), ProjectId(0));
+        assert_eq!(TaskId(42).local(), 42);
+        // Ordering groups by project, then by allocation order.
+        assert!(TaskId::compose(ProjectId(1), 2) < TaskId::compose(ProjectId(2), 1));
+        assert!(TaskId::compose(ProjectId(1), 1) < TaskId::compose(ProjectId(1), 2));
     }
 
     #[test]

@@ -279,10 +279,14 @@ impl Crowd4U {
             .ok_or(PlatformError::UnknownProject(id))
     }
 
-    /// Mutable project access. Prefer [`Crowd4U::seed_fact`] for data
-    /// changes: mutations made directly through the returned reference are
-    /// neither journaled nor visible to the eligibility cache.
-    pub fn project_mut(&mut self, id: ProjectId) -> Result<&mut Project, PlatformError> {
+    /// Mutable project access — crate-internal only. Mutations made through
+    /// the returned reference bypass both the event journal and the
+    /// eligibility epoch cache, so external callers must go through the
+    /// journaled entry points ([`Crowd4U::seed_fact`],
+    /// [`Crowd4U::sync_tasks`], …) instead; internal callers may only touch
+    /// state that is neither journaled nor part of a cache key (e.g. the
+    /// requester `suggestion`).
+    pub(crate) fn project_mut(&mut self, id: ProjectId) -> Result<&mut Project, PlatformError> {
         self.projects
             .get_mut(&id)
             .ok_or(PlatformError::UnknownProject(id))
@@ -351,7 +355,7 @@ impl Crowd4U {
             .collect();
         let mut new_tasks = Vec::new();
         for (pred, inputs, points) in requests {
-            if self.pool.find_micro(&pred, &inputs).is_none() {
+            if self.pool.find_micro(project, &pred, &inputs).is_none() {
                 let id = self.pool.register(
                     project,
                     TaskBody::Micro {
@@ -797,6 +801,73 @@ impl Crowd4U {
             .expect("static kind");
         self.counters.incr("events_journaled");
         Ok(dirty)
+    }
+
+    /// Projects whose fact base changed since their last sync, in id order.
+    /// A sharded runtime drains these per shard; a single platform drains
+    /// them through [`Crowd4U::drain_events`].
+    pub fn dirty_projects(&self) -> Vec<ProjectId> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Canonical, deterministic dump of the whole platform state: clock,
+    /// relations, every project engine (facts, pending questions, points),
+    /// every task, every monitor. Two platforms that went through equivalent
+    /// histories produce byte-identical dumps — this is the comparison
+    /// backbone of the replay and sharded-equivalence tests. Volatile
+    /// bookkeeping (counters, caches) is deliberately excluded.
+    pub fn state_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("crowd4u-state v1\n");
+        let _ = writeln!(out, "clock {}", self.now.ticks());
+        let _ = writeln!(
+            out,
+            "workers {} version {}",
+            self.workers.len(),
+            self.workers.version()
+        );
+        out.push_str("## relations\n");
+        out.push_str(&crowd4u_storage::snapshot::dump(self.relations.database()));
+        for (id, p) in &self.projects {
+            let _ = writeln!(out, "## project {id} {} epoch {}", p.name, p.epoch);
+            if let Some(s) = &p.suggestion {
+                let _ = writeln!(out, "suggestion {s}");
+            }
+            out.push_str(&crowd4u_storage::snapshot::dump(p.engine.database()));
+            for r in p.engine.pending_requests() {
+                let inputs: Vec<String> = r.inputs.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "pending {} points {} ({})",
+                    r.pred_name,
+                    r.points,
+                    inputs.join(", ")
+                );
+            }
+            for (w, pts) in p.engine.leaderboard() {
+                let _ = writeln!(out, "points w{w} {pts}");
+            }
+        }
+        out.push_str("## tasks\n");
+        for t in self.pool.iter() {
+            let _ = writeln!(
+                out,
+                "{t} created {} reassign {} {:?}",
+                t.created_at.ticks(),
+                t.reassignments,
+                t.state
+            );
+        }
+        out.push_str("## monitors\n");
+        for (t, m) in &self.monitors {
+            let _ = writeln!(
+                out,
+                "monitor {t} members {:?} verdict {:?}",
+                m.members(),
+                m.check(self.now)
+            );
+        }
+        out
     }
 
     /// Replay a journal into a fresh, default-configured platform.
@@ -1301,6 +1372,63 @@ published(S, T) :- sentence(S), translate(S, T).
         p.seed_fact(proj, "sentence", vec!["x".into()]).unwrap();
         p.eligible_set(proj).unwrap();
         assert_eq!(p.counters.get("eligibility_cache_misses"), misses + 1);
+    }
+
+    /// Compile-time shardability audit: every type a shard thread owns (or
+    /// a coordinator hands across threads) must be `Send`, and the shared
+    /// read-only views must be `Sync`. If a future change stores an `Rc`,
+    /// `RefCell` or non-`Send` trait object inside any of these, this test
+    /// stops compiling — the sharded runtime depends on it.
+    #[test]
+    fn platform_types_are_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Crowd4U>();
+        assert_sync::<Crowd4U>();
+        assert_send::<TaskPool>();
+        assert_sync::<TaskPool>();
+        assert_send::<WorkerManager>();
+        assert_sync::<WorkerManager>();
+        assert_send::<RelationStore>();
+        assert_sync::<RelationStore>();
+        assert_send::<AssignmentController>();
+        assert_sync::<AssignmentController>();
+        assert_send::<PlatformEvent>();
+        assert_send::<EventJournal>();
+        assert_sync::<EventJournal>();
+    }
+
+    #[test]
+    fn state_dump_is_deterministic_and_complete() {
+        let (live, proj, collab) = eventful_platform();
+        let dump = live.state_dump();
+        // Two dumps of the same platform are identical.
+        assert_eq!(dump, live.state_dump());
+        // A replayed platform dumps byte-identically.
+        let replayed = Crowd4U::replay(live.journal()).unwrap();
+        assert_eq!(replayed.state_dump(), dump);
+        // The dump mentions the structural pieces.
+        assert!(dump.contains(&format!("## project {proj}")));
+        assert!(dump.contains("## relations"));
+        assert!(dump.contains("## tasks"));
+        assert!(dump.contains(&format!("monitor {collab}")));
+        assert!(dump.contains("points w1"));
+        // Divergent histories dump differently.
+        let other = platform_with_workers(1);
+        assert_ne!(other.state_dump(), dump);
+    }
+
+    #[test]
+    fn dirty_projects_tracks_unsynced_changes() {
+        let mut p = platform_with_workers(1);
+        let proj = p
+            .register_project("demo", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        assert!(p.dirty_projects().is_empty());
+        p.seed_fact(proj, "sentence", vec!["a".into()]).unwrap();
+        assert_eq!(p.dirty_projects(), vec![proj]);
+        p.sync_tasks(proj).unwrap();
+        assert!(p.dirty_projects().is_empty());
     }
 
     #[test]

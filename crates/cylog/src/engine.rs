@@ -451,6 +451,22 @@ rel approved(s: str, t: str).
 approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
 ";
 
+    /// Compile-time check that an engine (and everything a shard must move
+    /// across threads with it) stays `Send + Sync`: the sharded runtime
+    /// owns one engine per project inside a shard thread. Adding interior
+    /// mutability or a non-`Send` trait object to the engine state breaks
+    /// this test at compile time, not in production.
+    #[test]
+    fn engine_state_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<CylogEngine>();
+        assert_sync::<CylogEngine>();
+        assert_send::<OpenRequest>();
+        assert_send::<AnswerRecord>();
+        assert_send::<BatchOutcome>();
+    }
+
     #[test]
     fn end_to_end_translation_flow() {
         let mut e = CylogEngine::from_source(TRANSLATE).unwrap();

@@ -1,0 +1,75 @@
+//! # crowd4u-runtime — the sharded parallel execution layer
+//!
+//! The platform core (`crowd4u-core`) executes on one thread. This crate
+//! scales it out: N **shards** (std threads), each owning an independent
+//! [`Crowd4U`](crowd4u_core::platform::Crowd4U) slice, fed by a
+//! [`router`](router::ShardedRuntime) that dispatches
+//! [`PlatformEvent`](crowd4u_core::events::PlatformEvent)s over mpsc
+//! channels. The partition axis is the **project** — collaborative
+//! crowdsourcing workloads decompose naturally by project/group, and since
+//! task ids are project-strided
+//! ([`TaskId::compose`](crowd4u_core::error::TaskId::compose)) every
+//! task-scoped event routes to its owner shard with pure bit arithmetic.
+//!
+//! ## Ownership convention (cross-shard state)
+//!
+//! * **Project-scoped events** (`seed`, `sync`, `collab`, `interest`,
+//!   `assign`, `undertake`, `answer`, `complete`, `activity`) are delivered
+//!   only to the owning shard — the shard whose slice holds the project's
+//!   CyLog engine, tasks, relations and points ledger.
+//! * **Worker-scoped and global events** (`worker`, `clock`) are
+//!   **broadcast**: every shard applies them to its own
+//!   [`WorkerManager`](crowd4u_core::workers::WorkerManager) replica in
+//!   global sequence order, so
+//!   [`WorkerManager::version`](crowd4u_core::workers::WorkerManager::version)
+//!   advances in lockstep on every shard and the per-project
+//!   epoch-cached eligibility sets stay correct without any locking —
+//!   a replicated-state-machine variant of the "coordinator broadcasts
+//!   read-only worker snapshots keyed by version" design.
+//! * **Project registrations** are also broadcast (so every shard allocates
+//!   the same [`ProjectId`](crowd4u_core::error::ProjectId) sequence), but
+//!   each project is *owned* by exactly one shard (round-robin by id); the
+//!   other shards keep an empty replica that never receives data events.
+//! * The **points ledger** lives inside each project's engine and is
+//!   therefore owned by the project's shard; global per-worker totals are
+//!   aggregations over shards.
+//!
+//! ## Determinism contract
+//!
+//! Each shard records the journal entry of every event it applied, tagged
+//! with the router's **global sequence number**; the per-shard streams are
+//! stitched back with
+//! [`EventJournal::merge_streams`](crowd4u_storage::journal::EventJournal::merge_streams).
+//! In coordinated-drain mode (`drain_every == 0`, drains only at
+//! [`ShardedRuntime::drain`](router::ShardedRuntime::drain) barriers) the
+//! merged journal is byte-identical to the journal a single-threaded
+//! platform produces for the same event sequence, and replaying it yields a
+//! byte-identical
+//! [`state_dump`](crowd4u_core::platform::Crowd4U::state_dump) — the PR 2
+//! batch-equivalence guarantee extended to parallel execution
+//! (`tests/shard_equivalence.rs` proves it property-style). In streaming
+//! mode (`drain_every > 0`) each shard additionally syncs its dirty
+//! projects after every K mailbox events, journaling per-project `sync`
+//! entries at the triggering sequence number, so the merged journal stays
+//! replayable; final state after a closing drain is identical either way.
+//!
+//! ## Scenario port
+//!
+//! [`scenario::run_scenarios`] dispatches the §2.5 demo workloads
+//! (journalism / surveillance / translation) onto shard threads: each job
+//! wraps the shard's resident platform in a
+//! [`Driver`](crowd4u_scenarios::Driver) (`Driver::on_platform`) and runs
+//! the scenario there, in parallel across shards.
+
+pub mod router;
+pub mod scenario;
+pub mod shard;
+
+pub use router::{RunReport, RuntimeConfig, ShardedRuntime};
+pub use shard::ShardStats;
+
+pub mod prelude {
+    pub use crate::router::{RunReport, RuntimeConfig, ShardedRuntime};
+    pub use crate::scenario::run_scenarios;
+    pub use crate::shard::ShardStats;
+}

@@ -1,0 +1,530 @@
+//! The router: owns the shard threads, stamps every event with a global
+//! sequence number, dispatches it by project, and stitches the per-shard
+//! journals back into one replayable log.
+
+use crate::shard::{shard_main, SeqKey, ShardReport, ShardStats, ToShard};
+use crowd4u_core::error::{PlatformError, ProjectId};
+use crowd4u_core::events::PlatformEvent;
+use crowd4u_core::platform::Crowd4U;
+use crowd4u_storage::journal::EventJournal;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of shard threads (≥ 1).
+    pub shards: usize,
+    /// Streaming-mode mailbox batching: after this many applied events a
+    /// shard syncs its dirty projects (`0` = coordinated mode, drains only
+    /// at explicit [`ShardedRuntime::drain`] barriers). Batching this way
+    /// rides the PR 2 fast path: answers accumulate without per-answer
+    /// fixpoints, and one sync amortises over the whole mailbox batch.
+    pub drain_every: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            shards: shards_from_env(4),
+            drain_every: 0,
+        }
+    }
+}
+
+/// Shard count from the `RUNTIME_SHARDS` environment variable, or
+/// `default`. CI runs the integration suite with `RUNTIME_SHARDS=4` to
+/// exercise the parallel path.
+pub fn shards_from_env(default: usize) -> usize {
+    std::env::var("RUNTIME_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Where one event must be delivered.
+enum Scope {
+    /// Every shard applies it (worker-scoped / global / registration).
+    Broadcast,
+    /// Only the owner of this project applies it.
+    Project(ProjectId),
+}
+
+fn scope_of(event: &PlatformEvent) -> Scope {
+    match event {
+        PlatformEvent::WorkerRegistered { .. }
+        | PlatformEvent::ClockAdvanced { .. }
+        | PlatformEvent::ProjectRegistered { .. } => Scope::Broadcast,
+        PlatformEvent::FactSeeded { project, .. }
+        | PlatformEvent::TasksSynced { project }
+        | PlatformEvent::CollabTaskCreated { project, .. } => Scope::Project(*project),
+        PlatformEvent::InterestExpressed { task, .. }
+        | PlatformEvent::AssignmentRun { task }
+        | PlatformEvent::Undertaken { task, .. }
+        | PlatformEvent::AnswerSubmitted { task, .. }
+        | PlatformEvent::TaskCompleted { task, .. }
+        | PlatformEvent::ActivityRecorded { task, .. } => Scope::Project(task.project()),
+    }
+}
+
+/// Everything a finished run hands back.
+pub struct RunReport {
+    /// The per-shard journals stitched by global sequence number. Replaying
+    /// this on a single-threaded platform reconstructs the equivalent
+    /// state (byte-identical in coordinated-drain mode).
+    pub journal: EventJournal,
+    /// Aggregated statistics across shards.
+    pub stats: ShardStats,
+    /// Per-shard statistics, by shard index.
+    pub per_shard: Vec<ShardStats>,
+    /// The shard platform slices, by shard index (for inspection and
+    /// aggregation queries after the run).
+    pub platforms: Vec<Crowd4U>,
+}
+
+/// The sharded runtime: N shard threads behind mpsc mailboxes, a global
+/// sequence counter, and round-robin project ownership. Shard 0 doubles as
+/// the **coordinator**: it records broadcast events and drain barriers in
+/// the merged journal (every shard *applies* broadcasts; exactly one
+/// records them).
+pub struct ShardedRuntime {
+    txs: Vec<Sender<ToShard>>,
+    handles: Vec<JoinHandle<()>>,
+    drain_every: usize,
+    next_seq: u64,
+}
+
+impl ShardedRuntime {
+    /// Spawn the runtime with default (fresh) platform slices.
+    pub fn new(config: RuntimeConfig) -> ShardedRuntime {
+        ShardedRuntime::new_with(config, |_| Crowd4U::new())
+    }
+
+    /// Spawn the runtime with configured platform slices. The builder runs
+    /// once per shard — use it to install a controller algorithm or retry
+    /// budget on every slice (configuration is not journaled, so replay
+    /// bases must be built the same way).
+    pub fn new_with(config: RuntimeConfig, base: impl Fn(usize) -> Crowd4U) -> ShardedRuntime {
+        let shards = config.shards.max(1);
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx): (Sender<ToShard>, Receiver<ToShard>) = channel();
+            let platform = base(i);
+            let drain_every = config.drain_every;
+            let handle = std::thread::Builder::new()
+                .name(format!("crowd4u-shard-{i}"))
+                .spawn(move || shard_main(rx, platform, drain_every))
+                .expect("spawn shard thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        ShardedRuntime {
+            txs,
+            handles,
+            drain_every: config.drain_every,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Streaming-mode mailbox batch size (0 in coordinated mode).
+    pub fn drain_every(&self) -> usize {
+        self.drain_every
+    }
+
+    /// The shard owning a project (round-robin over registration order).
+    pub fn owner_of(&self, project: ProjectId) -> usize {
+        if project.0 == 0 {
+            0
+        } else {
+            ((project.0 - 1) % self.txs.len() as u64) as usize
+        }
+    }
+
+    fn send(&self, shard: usize, msg: ToShard) {
+        self.txs[shard].send(msg).expect("shard thread alive");
+    }
+
+    /// Submit one event; returns its global sequence number. Broadcast
+    /// events fan out to every shard (coordinator records); project-scoped
+    /// events go to the owner only.
+    pub fn submit(&mut self, event: PlatformEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match scope_of(&event) {
+            Scope::Broadcast => {
+                let last = self.txs.len() - 1;
+                for i in 0..last {
+                    self.send(
+                        i,
+                        ToShard::Apply {
+                            seq,
+                            event: event.clone(),
+                            record: i == 0,
+                        },
+                    );
+                }
+                self.send(
+                    last,
+                    ToShard::Apply {
+                        seq,
+                        event,
+                        record: last == 0,
+                    },
+                );
+            }
+            Scope::Project(p) => {
+                let owner = self.owner_of(p);
+                self.send(
+                    owner,
+                    ToShard::Apply {
+                        seq,
+                        event,
+                        record: true,
+                    },
+                );
+            }
+        }
+        seq
+    }
+
+    /// Submit a batch of events in order.
+    pub fn submit_batch(&mut self, events: impl IntoIterator<Item = PlatformEvent>) {
+        for e in events {
+            self.submit(e);
+        }
+    }
+
+    /// Coordinated drain barrier: every shard syncs its dirty projects, the
+    /// coordinator records one `drain` entry — the sharded counterpart of
+    /// the drain closing [`Crowd4U::apply_batch`]. Returns the barrier's
+    /// sequence number.
+    pub fn drain(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for i in 0..self.txs.len() {
+            self.send(
+                i,
+                ToShard::Drain {
+                    seq,
+                    record: i == 0,
+                },
+            );
+        }
+        seq
+    }
+
+    /// Wait until every shard has processed its mailbox; returns per-shard
+    /// statistics snapshots.
+    pub fn barrier(&self) -> Vec<ShardStats> {
+        let replies: Vec<Receiver<ShardStats>> = self
+            .txs
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.send(ToShard::Flush(reply_tx))
+                    .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard thread alive"))
+            .collect()
+    }
+
+    /// Aggregated statistics across shards (barriers first).
+    pub fn stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for s in self.barrier() {
+            total.absorb(&s);
+        }
+        total
+    }
+
+    /// Ship a job to a shard and return a receiver for its result without
+    /// blocking — jobs on different shards run in parallel. The job sees
+    /// the shard's platform slice after every previously submitted event.
+    pub fn submit_job<R: Send + 'static>(
+        &self,
+        shard: usize,
+        job: impl FnOnce(&mut Crowd4U) -> R + Send + 'static,
+    ) -> Receiver<R> {
+        let (tx, rx) = channel();
+        self.send(
+            shard,
+            ToShard::Job(Box::new(move |platform: &mut Crowd4U| {
+                let _ = tx.send(job(platform));
+            })),
+        );
+        rx
+    }
+
+    /// Run a closure against the owner slice of a project and wait for the
+    /// result (a synchronous cross-shard query).
+    pub fn with_project<R: Send + 'static>(
+        &self,
+        project: ProjectId,
+        job: impl FnOnce(&mut Crowd4U) -> R + Send + 'static,
+    ) -> R {
+        self.submit_job(self.owner_of(project), job)
+            .recv()
+            .expect("shard thread alive")
+    }
+
+    /// Global per-worker points: the sum of the worker's points over every
+    /// shard slice (the ledger is project-owned, so totals are aggregates).
+    /// All shards are queried concurrently before any reply is awaited.
+    pub fn points_of(&self, worker: crowd4u_core::error::WorkerId) -> i64 {
+        let replies: Vec<Receiver<i64>> = (0..self.shards())
+            .map(|s| self.submit_job(s, move |p| p.points_of(worker)))
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard thread alive"))
+            .sum()
+    }
+
+    /// Stop the runtime: every shard hands back its statistics, its
+    /// seq-tagged journal stream and its platform slice; the streams are
+    /// stitched into the merged journal.
+    pub fn finish(mut self) -> Result<RunReport, PlatformError> {
+        let replies: Vec<Receiver<ShardReport>> = self
+            .txs
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.send(ToShard::Finish(reply_tx))
+                    .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        let mut per_shard = Vec::new();
+        let mut platforms = Vec::new();
+        let mut streams: Vec<Vec<(SeqKey, crowd4u_storage::journal::JournalEntry)>> = Vec::new();
+        let mut stats = ShardStats::default();
+        for rx in replies {
+            let report = rx.recv().expect("shard thread alive");
+            stats.absorb(&report.stats);
+            per_shard.push(report.stats);
+            streams.push(report.recorded);
+            platforms.push(report.platform);
+        }
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            h.join().expect("shard thread panicked");
+        }
+        let journal = EventJournal::merge_streams(streams)?;
+        Ok(RunReport {
+            journal,
+            stats,
+            per_shard,
+            platforms,
+        })
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        // Closing the mailboxes ends each shard loop; join to avoid leaks.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd4u_collab::Scheme;
+    use crowd4u_core::error::{TaskId, WorkerId};
+    use crowd4u_crowd::profile::WorkerProfile;
+    use crowd4u_forms::admin::DesiredFactors;
+
+    const SRC: &str = "\
+rel item(x: str).
+open label(x: str) -> (y: str) points 1.
+rel out(x: str, y: str).
+out(X, Y) :- item(X), label(X, Y).
+";
+
+    fn worker(i: u64) -> PlatformEvent {
+        PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(i), format!("w{i}")),
+        }
+    }
+
+    fn project(name: &str) -> PlatformEvent {
+        PlatformEvent::ProjectRegistered {
+            name: name.into(),
+            source: SRC.into(),
+            factors: DesiredFactors::default(),
+            scheme: Scheme::Sequential,
+        }
+    }
+
+    fn seed(p: u64, s: &str) -> PlatformEvent {
+        PlatformEvent::FactSeeded {
+            project: ProjectId(p),
+            pred: "item".into(),
+            values: vec![s.into()],
+        }
+    }
+
+    fn answer(p: u64, local: u64, w: u64, out: &str) -> PlatformEvent {
+        PlatformEvent::AnswerSubmitted {
+            worker: WorkerId(w),
+            task: TaskId::compose(ProjectId(p), local),
+            outputs: vec![out.into()],
+        }
+    }
+
+    #[test]
+    fn ownership_is_round_robin_and_stable() {
+        let rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 3,
+            drain_every: 0,
+        });
+        assert_eq!(rt.shards(), 3);
+        assert_eq!(rt.owner_of(ProjectId(1)), 0);
+        assert_eq!(rt.owner_of(ProjectId(2)), 1);
+        assert_eq!(rt.owner_of(ProjectId(3)), 2);
+        assert_eq!(rt.owner_of(ProjectId(4)), 0);
+        // Ids that never came from a pool land on the coordinator.
+        assert_eq!(rt.owner_of(ProjectId(0)), 0);
+    }
+
+    #[test]
+    fn routed_run_matches_serial_platform() {
+        // The same event sequence, applied serially and through 2 shards.
+        let mut events = vec![worker(1), worker(2), project("a"), project("b")];
+        for s in ["x", "y", "z"] {
+            events.push(seed(1, s));
+            events.push(seed(2, s));
+        }
+
+        let mut serial = Crowd4U::new();
+        let report = serial.apply_batch(events.clone()).unwrap();
+        assert!(report.errors.is_empty());
+
+        let mut rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 2,
+            drain_every: 0,
+        });
+        rt.submit_batch(events);
+        rt.drain();
+        let run = rt.finish().unwrap();
+        assert_eq!(run.stats.applied, 10);
+        assert_eq!(run.stats.dropped, 0);
+
+        // Merged journal is byte-identical to the serial journal, and
+        // replays to the serial platform's exact state.
+        assert_eq!(run.journal.dump(), serial.journal().dump());
+        let replayed = Crowd4U::replay(&run.journal).unwrap();
+        assert_eq!(replayed.state_dump(), serial.state_dump());
+
+        // Each project lives where ownership says; the other slice holds an
+        // empty replica.
+        let owner_a = &run.platforms[0];
+        assert_eq!(
+            owner_a
+                .project(ProjectId(1))
+                .unwrap()
+                .engine
+                .fact_count("item")
+                .unwrap(),
+            3
+        );
+        assert_eq!(
+            run.platforms[1]
+                .project(ProjectId(1))
+                .unwrap()
+                .engine
+                .fact_count("item")
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn invalid_events_are_dropped_and_counted() {
+        let mut rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 2,
+            drain_every: 0,
+        });
+        rt.submit_batch(vec![worker(1), project("a")]);
+        rt.submit(seed(9, "nope")); // unknown project → owner drops it
+        rt.submit(answer(1, 7, 1, "nope")); // unknown task → dropped
+        rt.drain();
+        let run = rt.finish().unwrap();
+        assert_eq!(run.stats.applied, 2);
+        assert_eq!(run.stats.dropped, 2);
+        // Dropped events never reach the journal; the run still replays.
+        let replayed = Crowd4U::replay(&run.journal).unwrap();
+        assert_eq!(replayed.project_ids(), vec![ProjectId(1)]);
+    }
+
+    #[test]
+    fn streaming_auto_drain_syncs_and_stays_replayable() {
+        let mut rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 2,
+            drain_every: 2,
+        });
+        rt.submit_batch(vec![worker(1), project("a"), project("b")]);
+        for s in ["x", "y", "z", "w"] {
+            rt.submit(seed(1, s));
+            rt.submit(seed(2, s));
+        }
+        rt.barrier();
+        // Auto-drains already surfaced micro tasks without an explicit
+        // drain: answer one through the routed path.
+        let open = rt.with_project(ProjectId(1), |p| {
+            p.pool.open_tasks(Some(ProjectId(1))).len()
+        });
+        assert!(open > 0, "auto-drain should have synced project 1");
+        rt.submit(answer(1, 1, 1, "lab"));
+        rt.drain();
+        let run = rt.finish().unwrap();
+        assert!(run.stats.auto_drains > 0);
+        // The merged journal (with per-project `sync` entries) replays to
+        // the exact live state of the shards.
+        let replayed = Crowd4U::replay(&run.journal).unwrap();
+        assert_eq!(
+            replayed
+                .project(ProjectId(1))
+                .unwrap()
+                .engine
+                .fact_count("out")
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn jobs_and_aggregation_queries() {
+        let mut rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 2,
+            drain_every: 0,
+        });
+        rt.submit_batch(vec![worker(1), project("a"), project("b")]);
+        rt.submit(seed(1, "x"));
+        rt.submit(seed(2, "y"));
+        rt.drain();
+        rt.submit(answer(1, 1, 1, "out-a"));
+        rt.submit(answer(2, 1, 1, "out-b"));
+        rt.drain();
+        // Worker 1 earned 1 point in each project, owned by different
+        // shards; the global total aggregates both.
+        assert_eq!(rt.points_of(WorkerId(1)), 2);
+        let n1 = rt.with_project(ProjectId(1), |p| p.workers.len());
+        assert_eq!(n1, 1); // the worker replica reached every shard
+        rt.finish().unwrap();
+    }
+}

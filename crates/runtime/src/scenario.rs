@@ -1,0 +1,120 @@
+//! The §2.5 demo scenarios on the sharded runtime.
+//!
+//! Each job wraps the target shard's resident platform slice in a
+//! [`Driver`] (`Driver::on_platform`), runs the scenario there, and puts
+//! the slice back — so journalism / surveillance / translation execute
+//! wherever their project lives, in parallel across shards. Scenario jobs
+//! are deterministic (seeded) and scenario-scoped in their accounting, so
+//! the reports are identical to single-threaded `run_scheme` runs.
+//!
+//! Scenario jobs register projects directly on their shard (not through the
+//! router), so don't mix them with routed `ProjectRegistered` events on the
+//! same runtime instance — the per-shard project-id sequences would
+//! diverge.
+
+use crate::router::ShardedRuntime;
+use crowd4u_collab::Scheme;
+use crowd4u_core::error::PlatformError;
+use crowd4u_scenarios::{run_scheme_on, Driver, ScenarioConfig, ScenarioReport};
+
+/// Dispatch one scenario run to a shard (round-robin by job index) and
+/// return a receiver for its report.
+fn dispatch(
+    rt: &ShardedRuntime,
+    shard: usize,
+    scheme: Scheme,
+    config: ScenarioConfig,
+) -> std::sync::mpsc::Receiver<Result<ScenarioReport, PlatformError>> {
+    rt.submit_job(shard, move |platform| {
+        let base = std::mem::take(platform);
+        let mut driver = Driver::on_platform(base, &config);
+        let report = run_scheme_on(&mut driver, scheme, &config);
+        *platform = driver.into_platform();
+        report
+    })
+}
+
+/// Run a batch of scenario jobs across the shards, round-robin; results
+/// come back in submission order. Jobs on different shards run in
+/// parallel, jobs on the same shard in sequence.
+pub fn run_scenarios(
+    rt: &ShardedRuntime,
+    jobs: &[(Scheme, ScenarioConfig)],
+) -> Result<Vec<ScenarioReport>, PlatformError> {
+    let receivers: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (scheme, config))| dispatch(rt, i % rt.shards(), *scheme, config.clone()))
+        .collect();
+    receivers
+        .into_iter()
+        .map(|rx| rx.recv().expect("shard thread alive"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RuntimeConfig;
+    use crowd4u_scenarios::run_scheme;
+
+    #[test]
+    fn sharded_scenario_reports_match_single_threaded_runs() {
+        let rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 3,
+            drain_every: 0,
+        });
+        let jobs: Vec<(Scheme, ScenarioConfig)> = Scheme::all()
+            .into_iter()
+            .map(|s| {
+                (
+                    s,
+                    ScenarioConfig::default()
+                        .with_crowd(30)
+                        .with_items(2)
+                        .with_seed(7),
+                )
+            })
+            .collect();
+        let sharded = run_scenarios(&rt, &jobs).unwrap();
+        for ((scheme, cfg), got) in jobs.iter().zip(&sharded) {
+            let want = run_scheme(*scheme, cfg).unwrap();
+            assert_eq!(got.scheme, want.scheme);
+            assert_eq!(got.items_completed, want.items_completed);
+            assert_eq!(got.answers, want.answers);
+            assert_eq!(got.teams_formed, want.teams_formed);
+            assert_eq!(got.reassignments, want.reassignments);
+            assert_eq!(got.points_awarded, want.points_awarded);
+            assert_eq!(got.makespan, want.makespan);
+            assert!((got.mean_quality - want.mean_quality).abs() < 1e-12);
+            assert!((got.mean_team_affinity - want.mean_team_affinity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn consecutive_jobs_on_one_shard_stay_isolated() {
+        // One shard runs all three scenarios back to back on the same
+        // resident platform; scenario-scoped accounting keeps each report
+        // identical to a fresh-platform run.
+        let rt = ShardedRuntime::new(RuntimeConfig {
+            shards: 1,
+            drain_every: 0,
+        });
+        let cfg = ScenarioConfig::default()
+            .with_crowd(30)
+            .with_items(2)
+            .with_seed(9);
+        let jobs: Vec<(Scheme, ScenarioConfig)> = Scheme::all()
+            .into_iter()
+            .map(|s| (s, cfg.clone()))
+            .collect();
+        let sharded = run_scenarios(&rt, &jobs).unwrap();
+        for ((scheme, cfg), got) in jobs.iter().zip(&sharded) {
+            let want = run_scheme(*scheme, cfg).unwrap();
+            assert_eq!(got.items_completed, want.items_completed, "{scheme}");
+            assert_eq!(got.answers, want.answers, "{scheme}");
+            assert_eq!(got.points_awarded, want.points_awarded, "{scheme}");
+            assert_eq!(got.teams_formed, want.teams_formed, "{scheme}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The shard worker: one thread owning one `Crowd4U` slice, applying
+//! routed events from its mailbox and recording seq-tagged journal entries
+//! for the router's merged journal.
+
+use crowd4u_core::events::PlatformEvent;
+use crowd4u_core::platform::Crowd4U;
+use crowd4u_storage::journal::JournalEntry;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Sort key of a recorded entry: (global sequence number, sub-position).
+/// Sub-position 0 is the event itself; auto-drain `sync` entries triggered
+/// by the event at `seq` record at sub-positions 1, 2, … so they replay
+/// immediately after their cause.
+pub type SeqKey = (u64, u32);
+
+/// Messages a shard consumes, in mailbox order.
+pub(crate) enum ToShard {
+    /// Apply one routed event. `record` is true on exactly one shard per
+    /// event (the owner; the coordinator for broadcasts), so the merged
+    /// journal and the applied/dropped statistics count each event once.
+    Apply {
+        seq: u64,
+        event: PlatformEvent,
+        record: bool,
+    },
+    /// Coordinated drain barrier: sync every dirty project. The coordinator
+    /// records the single `drain` entry at `seq`.
+    Drain { seq: u64, record: bool },
+    /// Run an arbitrary job against the shard's platform slice (queries,
+    /// scenario runs). Job effects are not part of the merged journal.
+    Job(Box<dyn FnOnce(&mut Crowd4U) + Send>),
+    /// Synchronisation point: reply with a statistics snapshot once every
+    /// prior message has been processed.
+    Flush(Sender<ShardStats>),
+    /// Hand everything back and stop.
+    Finish(Sender<ShardReport>),
+}
+
+/// Counters a shard maintains while applying events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events applied (and recorded) successfully.
+    pub applied: u64,
+    /// Events rejected by the platform — stale worker actions, unknown
+    /// ids — dropped and counted, never journaled.
+    pub dropped: u64,
+    /// Auto-drains triggered by the mailbox batching policy.
+    pub auto_drains: u64,
+}
+
+impl ShardStats {
+    pub(crate) fn absorb(&mut self, other: &ShardStats) {
+        self.applied += other.applied;
+        self.dropped += other.dropped;
+        self.auto_drains += other.auto_drains;
+    }
+}
+
+/// What a shard returns on [`ToShard::Finish`].
+pub(crate) struct ShardReport {
+    pub stats: ShardStats,
+    pub recorded: Vec<(SeqKey, JournalEntry)>,
+    pub platform: Crowd4U,
+}
+
+/// The shard thread body.
+pub(crate) fn shard_main(rx: Receiver<ToShard>, mut platform: Crowd4U, drain_every: usize) {
+    let mut stats = ShardStats::default();
+    let mut recorded: Vec<(SeqKey, JournalEntry)> = Vec::new();
+    let mut since_drain = 0usize;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Apply { seq, event, record } => {
+                let entry = record.then(|| event.encode());
+                match platform.apply_event(event) {
+                    Ok(()) => {
+                        if let Some(entry) = entry {
+                            recorded.push(((seq, 0), entry));
+                            stats.applied += 1;
+                        }
+                        since_drain += 1;
+                        if drain_every > 0 && since_drain >= drain_every {
+                            since_drain = 0;
+                            auto_drain(&mut platform, &mut recorded, seq, &mut stats);
+                        }
+                    }
+                    Err(_) => {
+                        // Per-event error tolerance, mirroring `apply_batch`
+                        // and the scenario driver: a stale or invalid worker
+                        // action is dropped and counted, not fatal.
+                        if record {
+                            stats.dropped += 1;
+                        }
+                    }
+                }
+            }
+            ToShard::Drain { seq, record } => {
+                since_drain = 0;
+                platform
+                    .drain_events()
+                    .expect("drain failed on shard — dirty project unsyncable");
+                if record {
+                    recorded.push((
+                        (seq, 0),
+                        JournalEntry::new(crowd4u_core::events::DRAIN_KIND, vec![]),
+                    ));
+                }
+            }
+            ToShard::Job(f) => f(&mut platform),
+            ToShard::Flush(reply) => {
+                let _ = reply.send(stats);
+            }
+            ToShard::Finish(reply) => {
+                let _ = reply.send(ShardReport {
+                    stats,
+                    recorded,
+                    platform,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Streaming-mode drain: sync each dirty project individually, journaling
+/// one `sync` entry per project at the triggering sequence number so the
+/// merged journal replays the sync at exactly this point — only for this
+/// shard's projects, unlike a global `drain` entry.
+fn auto_drain(
+    platform: &mut Crowd4U,
+    recorded: &mut Vec<(SeqKey, JournalEntry)>,
+    seq: u64,
+    stats: &mut ShardStats,
+) {
+    let dirty = platform.dirty_projects();
+    if dirty.is_empty() {
+        return;
+    }
+    stats.auto_drains += 1;
+    for (i, project) in dirty.into_iter().enumerate() {
+        platform
+            .sync_tasks(project)
+            .expect("auto-drain sync failed on shard");
+        let entry = PlatformEvent::TasksSynced { project }.encode();
+        recorded.push(((seq, 1 + i as u32), entry));
+    }
+}

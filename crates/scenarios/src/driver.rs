@@ -34,6 +34,16 @@ impl Driver {
     /// Build the world: a seeded crowd registered on a fresh platform, as
     /// one registration batch through the event-ingestion path.
     pub fn new(config: &ScenarioConfig) -> Driver {
+        Driver::on_platform(Crowd4U::new(), config)
+    }
+
+    /// Build the world on an **existing** platform — the sharded runtime
+    /// uses this to run a scenario against the `Crowd4U` slice a shard
+    /// already owns. The seeded crowd is registered through the same batch
+    /// ingestion path (re-registering a worker id updates its profile), the
+    /// configured algorithm is installed, and elapsed time is measured from
+    /// the platform's current clock.
+    pub fn on_platform(mut platform: Crowd4U, config: &ScenarioConfig) -> Driver {
         let mut rng = SimRng::seed_from(config.seed);
         let crowd = generate(
             &PopulationConfig {
@@ -42,7 +52,6 @@ impl Driver {
             },
             &mut rng,
         );
-        let mut platform = Crowd4U::new();
         platform.controller.algorithm = config.algorithm;
         let registrations: Vec<PlatformEvent> = crowd
             .agents
@@ -54,13 +63,20 @@ impl Driver {
         platform
             .apply_batch(registrations)
             .expect("worker registration cannot fail");
+        let start = platform.now();
         Driver {
             platform,
             crowd,
             rng,
             events: Simulation::new(),
-            start: SimTime::ZERO,
+            start,
         }
+    }
+
+    /// Hand the platform back (the sharded runtime restores the shard's
+    /// slice with this after a scenario job finishes).
+    pub fn into_platform(self) -> Crowd4U {
+        self.platform
     }
 
     /// Schedule a platform event for delivery at an absolute time.

@@ -24,9 +24,19 @@ report(T, H) :- topic(T, X), headline(T, X, H).
 
 const SECTIONS: [&str; 3] = ["what happened", "context", "witness voices"];
 
-/// Run the citizen-journalism scenario.
+/// Run the citizen-journalism scenario on a fresh platform.
 pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
     let mut d = Driver::new(config);
+    run_on(&mut d, config)
+}
+
+/// Run the citizen-journalism scenario on a prepared [`Driver`] — the
+/// entry point the sharded runtime uses against a shard's resident
+/// platform. Report accounting is scenario-scoped (counter deltas,
+/// per-project points).
+pub fn run_on(d: &mut Driver, config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
+    let teams_before = d.platform.counters.get("teams_suggested");
+    let misses_before = d.platform.counters.get("deadlines_missed");
     let proj = d.collab_project(
         "citizen journalism",
         CYLOG,
@@ -136,12 +146,14 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
     } else {
         affinities.iter().sum::<f64>() / affinities.len() as f64
     };
+    // Project-scoped points: only this scenario's project contributes.
     let points: i64 = d
         .platform
-        .workers
-        .ids()
+        .project(proj)?
+        .engine
+        .leaderboard()
         .iter()
-        .map(|w| d.platform.points_of(*w))
+        .map(|(_, pts)| pts)
         .sum();
     Ok(ScenarioReport {
         scheme: Scheme::Simultaneous,
@@ -150,8 +162,8 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         mean_quality,
         makespan: d.elapsed(),
         answers,
-        teams_formed: d.platform.counters.get("teams_suggested"),
-        reassignments: d.platform.counters.get("deadlines_missed"),
+        teams_formed: d.platform.counters.get("teams_suggested") - teams_before,
+        reassignments: d.platform.counters.get("deadlines_missed") - misses_before,
         mean_team_affinity: mean_aff,
         points_awarded: points,
     })

@@ -23,6 +23,7 @@ pub mod surveillance;
 pub mod translation;
 
 pub use config::{ScenarioConfig, ScenarioReport};
+pub use driver::Driver;
 
 use crowd4u_collab::Scheme;
 use crowd4u_core::prelude::PlatformError;
@@ -36,6 +37,22 @@ pub fn run_scheme(
         Scheme::Sequential => translation::run(config),
         Scheme::Simultaneous => journalism::run(config),
         Scheme::Hybrid => surveillance::run(config),
+    }
+}
+
+/// Run one scenario by scheme on a prepared [`Driver`] — the sharded
+/// runtime's entry point: the driver wraps a shard's resident platform
+/// ([`Driver::on_platform`]), so scenario workloads execute wherever their
+/// project lives.
+pub fn run_scheme_on(
+    d: &mut Driver,
+    scheme: Scheme,
+    config: &ScenarioConfig,
+) -> Result<ScenarioReport, PlatformError> {
+    match scheme {
+        Scheme::Sequential => translation::run_on(d, config),
+        Scheme::Simultaneous => journalism::run_on(d, config),
+        Scheme::Hybrid => surveillance::run_on(d, config),
     }
 }
 

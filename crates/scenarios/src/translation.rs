@@ -30,9 +30,19 @@ rel published(uid: id, translated: str).
 published(U, T) :- utterance(U, S), transcribe(U, S, SUB), translate(U, SUB, T), review(U, T, OK), OK = true.
 ";
 
-/// Run the translation scenario.
+/// Run the translation scenario on a fresh platform.
 pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
     let mut d = Driver::new(config);
+    run_on(&mut d, config)
+}
+
+/// Run the translation scenario on a prepared [`Driver`] — the entry point
+/// the sharded runtime uses against a shard's resident platform. All
+/// report accounting is scenario-scoped (counter deltas, per-project
+/// points), so earlier scenarios on the same platform don't leak in.
+pub fn run_on(d: &mut Driver, config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
+    let teams_before = d.platform.counters.get("teams_suggested");
+    let misses_before = d.platform.counters.get("deadlines_missed");
     let proj = d.collab_project(
         "video subtitle translation",
         CYLOG,
@@ -58,7 +68,7 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
     d.collect_interest(batch)?;
     let Some(team) = d.form_team(batch, 4)? else {
         // No team at all: report an empty run (requester must relax input).
-        return Ok(empty_report(&d, config));
+        return Ok(empty_report(d, config, misses_before));
     };
     let team_affinity = d.team_affinity(&team.members);
 
@@ -177,7 +187,10 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
     d.platform.complete_collab_task(batch, mean_quality)?;
 
     let published = d.platform.project(proj)?.engine.fact_count("published")?;
-    let points: i64 = team.members.iter().map(|m| d.platform.points_of(*m)).sum();
+    // Points are project-scoped so scenarios sharing a platform (one shard
+    // running several jobs) don't contaminate each other's reports.
+    let engine = &d.platform.project(proj)?.engine;
+    let points: i64 = team.members.iter().map(|m| engine.points_of(m.0)).sum();
     Ok(ScenarioReport {
         scheme: Scheme::Sequential,
         items_completed: published,
@@ -185,14 +198,14 @@ pub fn run(config: &ScenarioConfig) -> Result<ScenarioReport, PlatformError> {
         mean_quality,
         makespan: d.elapsed(),
         answers,
-        teams_formed: d.platform.counters.get("teams_suggested"),
-        reassignments: d.platform.counters.get("deadlines_missed"),
+        teams_formed: d.platform.counters.get("teams_suggested") - teams_before,
+        reassignments: d.platform.counters.get("deadlines_missed") - misses_before,
         mean_team_affinity: team_affinity,
         points_awarded: points,
     })
 }
 
-fn empty_report(d: &Driver, config: &ScenarioConfig) -> ScenarioReport {
+fn empty_report(d: &Driver, config: &ScenarioConfig, misses_before: u64) -> ScenarioReport {
     ScenarioReport {
         scheme: Scheme::Sequential,
         items_completed: 0,
@@ -201,7 +214,7 @@ fn empty_report(d: &Driver, config: &ScenarioConfig) -> ScenarioReport {
         makespan: d.elapsed(),
         answers: 0,
         teams_formed: 0,
-        reassignments: d.platform.counters.get("deadlines_missed"),
+        reassignments: d.platform.counters.get("deadlines_missed") - misses_before,
         mean_team_affinity: 0.0,
         points_awarded: 0,
     }

@@ -158,6 +158,30 @@ impl EventJournal {
         Ok(journal)
     }
 
+    /// Stitch several per-shard entry streams into one journal, ordered by
+    /// a caller-supplied sort key (e.g. the global sequence number a router
+    /// stamped on each event). All entries are sorted together by
+    /// (key, stream index, position in stream), so streams need no
+    /// pre-sorting, and on equal keys the earlier stream wins the tie — a
+    /// coordinator stream can safely share a key with follower streams.
+    /// The usual entry-kind validation applies.
+    pub fn merge_streams<K: Ord>(
+        streams: Vec<Vec<(K, JournalEntry)>>,
+    ) -> Result<EventJournal, StorageError> {
+        let mut tagged: Vec<(K, usize, usize, JournalEntry)> = Vec::new();
+        for (stream_idx, stream) in streams.into_iter().enumerate() {
+            for (pos, (key, entry)) in stream.into_iter().enumerate() {
+                tagged.push((key, stream_idx, pos, entry));
+            }
+        }
+        tagged.sort_by(|a, b| (&a.0, a.1, a.2).cmp(&(&b.0, b.1, b.2)));
+        let mut journal = EventJournal::new();
+        for (_, _, _, entry) in tagged {
+            journal.append(entry.kind, entry.args)?;
+        }
+        Ok(journal)
+    }
+
     /// Write the journal to a file.
     pub fn save_to_file(&self, path: impl AsRef<Path>) -> Result<(), StorageError> {
         use std::io::Write;
@@ -253,6 +277,30 @@ mod tests {
         // blank lines tolerated
         let ok = EventJournal::load("crowd4u-journal v1\n\nevent k i1\n").unwrap();
         assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn merge_streams_orders_by_key_then_stream() {
+        let e = |k: &str, n: i64| (n as u64, JournalEntry::new(k, vec![Value::Int(n)]));
+        // Shard 0 recorded seqs 0, 3 (and the drain at 3 shares the key);
+        // shard 1 recorded seqs 1, 2.
+        let s0 = vec![e("a", 0), e("drain", 3)];
+        let s1 = vec![e("b", 1), e("c", 2), (3, JournalEntry::new("d", vec![]))];
+        let merged = EventJournal::merge_streams(vec![s0, s1]).unwrap();
+        let kinds: Vec<&str> = merged.iter().map(|e| e.kind.as_str()).collect();
+        // Equal keys: the earlier stream (coordinator) wins the tie.
+        assert_eq!(kinds, vec!["a", "b", "c", "drain", "d"]);
+        // Canonical text round-trip still holds.
+        assert_eq!(EventJournal::load(&merged.dump()).unwrap(), merged);
+    }
+
+    #[test]
+    fn merge_streams_rejects_bad_kinds() {
+        let s = vec![(0u64, JournalEntry::new("two words", vec![]))];
+        assert!(EventJournal::merge_streams(vec![s]).is_err());
+        assert!(EventJournal::merge_streams::<u64>(vec![])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

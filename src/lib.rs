@@ -5,6 +5,7 @@ pub use crowd4u_core as core;
 pub use crowd4u_crowd as crowd;
 pub use crowd4u_cylog as cylog;
 pub use crowd4u_forms as forms;
+pub use crowd4u_runtime as runtime;
 pub use crowd4u_scenarios as scenarios;
 pub use crowd4u_sim as sim;
 pub use crowd4u_storage as storage;

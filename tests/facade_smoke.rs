@@ -11,6 +11,7 @@ use crowd4u::core::prelude::*;
 use crowd4u::crowd::prelude::*;
 use crowd4u::cylog::prelude::*;
 use crowd4u::forms::prelude::*;
+use crowd4u::runtime::prelude::*;
 use crowd4u::sim::prelude::*;
 use crowd4u::storage::prelude::*;
 
@@ -28,6 +29,10 @@ fn facade_reexports_resolve() {
     let _constraints = crowd4u::assign::prelude::TeamConstraints::sized(2, 4);
     let _engine = crowd4u::cylog::engine::CylogEngine::from_source("rel done(x: int).").unwrap();
     let _form = crowd4u::forms::admin::constraint_form(&["translation"], &["en"]);
+    let _rt_cfg = crowd4u::runtime::RuntimeConfig {
+        shards: 1,
+        drain_every: 0,
+    };
 }
 
 #[test]

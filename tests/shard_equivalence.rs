@@ -1,0 +1,173 @@
+//! Property: sharded execution is observationally identical to
+//! single-threaded execution. For any multi-project event stream — worker
+//! registrations, fact seeds, blind-guess answers/interest/assignment on
+//! predictable project-strided task ids, clock advances — a run through the
+//! `ShardedRuntime` at 1, 2 and 4 shards must:
+//!
+//! * drop exactly the events the single-threaded `apply_batch` path
+//!   rejects (stale/invalid worker actions), and count them identically;
+//! * produce a merged journal (per-shard streams stitched by global
+//!   sequence number) byte-identical to the serial platform's journal;
+//! * replay that journal to a byte-identical
+//!   [`Crowd4U::state_dump`](crowd4u::core::platform::Crowd4U::state_dump).
+//!
+//! This extends the PR 2 batch-equivalence guarantee to parallel
+//! execution. Set `RUNTIME_SHARDS` to test an extra shard count (CI runs
+//! with `RUNTIME_SHARDS=4`).
+
+use crowd4u::collab::Scheme;
+use crowd4u::core::error::{ProjectId, TaskId, WorkerId};
+use crowd4u::core::events::PlatformEvent;
+use crowd4u::core::platform::Crowd4U;
+use crowd4u::crowd::profile::WorkerProfile;
+use crowd4u::forms::admin::DesiredFactors;
+use crowd4u::runtime::prelude::*;
+use crowd4u::sim::time::SimTime;
+use crowd4u::storage::prelude::Value;
+use proptest::prelude::*;
+
+const SRC: &str = "\
+rel sentence(s: str).
+open translate(s: str) -> (t: str) points 2.
+open check(s: str, t: str) -> (ok: bool) points 1.
+rel approved(s: str, t: str).
+approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
+";
+
+/// One generated operation; ids are blind guesses into the predictable
+/// project-strided id space, so validity is decided identically by the
+/// serial platform and the owning shard — which is exactly the property
+/// under test.
+type RawOp = (u8, usize, usize, u64, String, bool);
+
+fn build_events(n_projects: usize, items: usize, ops: &[RawOp]) -> Vec<PlatformEvent> {
+    let mut events = Vec::new();
+    for w in 1..=4u64 {
+        events.push(PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(w), format!("w{w}")),
+        });
+    }
+    for p in 0..n_projects {
+        events.push(PlatformEvent::ProjectRegistered {
+            name: format!("proj-{p}"),
+            source: SRC.into(),
+            factors: DesiredFactors {
+                min_team: 1,
+                max_team: 3,
+                recruitment_secs: 600,
+                ..Default::default()
+            },
+            scheme: Scheme::Sequential,
+        });
+    }
+    // Interleave the seed facts across projects — the mixed multi-project
+    // shape a router has to unpick.
+    for i in 0..items {
+        for p in 0..n_projects {
+            events.push(PlatformEvent::FactSeeded {
+                project: ProjectId(p as u64 + 1),
+                pred: "sentence".into(),
+                values: vec![format!("s{i}").into()],
+            });
+        }
+    }
+    for (kind, p, i, w, s, b) in ops {
+        let project = ProjectId((*p % n_projects) as u64 + 1);
+        let task = TaskId::compose(project, *i as u64 + 1);
+        let worker = WorkerId(*w);
+        events.push(match kind % 8 {
+            // Translate-level answer guesses (valid while the task is open).
+            0 | 1 => PlatformEvent::AnswerSubmitted {
+                worker,
+                task,
+                outputs: vec![Value::Str(s.clone())],
+            },
+            // Check-level answer guesses (tasks appear after drains).
+            2 => PlatformEvent::AnswerSubmitted {
+                worker,
+                task: TaskId::compose(project, (items + i) as u64 + 1),
+                outputs: vec![Value::Bool(*b)],
+            },
+            3 => PlatformEvent::InterestExpressed { worker, task },
+            4 => PlatformEvent::ClockAdvanced {
+                to: SimTime(*i as u64 * 137),
+            },
+            5 => PlatformEvent::WorkerRegistered {
+                profile: WorkerProfile::new(WorkerId(10 + w), format!("late{w}")),
+            },
+            6 => PlatformEvent::CollabTaskCreated {
+                project,
+                description: format!("collab {s}"),
+            },
+            _ => PlatformEvent::AssignmentRun { task },
+        });
+    }
+    events
+}
+
+fn chunked(events: &[PlatformEvent], batch: usize) -> Vec<Vec<PlatformEvent>> {
+    events.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn sharded_runs_replay_byte_identical_to_serial(
+        n_projects in 2usize..4,
+        items in 2usize..5,
+        batch in 3usize..10,
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
+            0..40,
+        ),
+    ) {
+        let events = build_events(n_projects, items, &ops);
+        let batches = chunked(&events, batch);
+
+        // Single-threaded reference: one batch, one drain — repeatedly.
+        let mut serial = Crowd4U::new();
+        let mut serial_dropped = 0u64;
+        for b in &batches {
+            let report = serial.apply_batch(b.clone()).unwrap();
+            serial_dropped += report.errors.len() as u64;
+        }
+        let serial_journal = serial.journal().dump();
+        let serial_dump = serial.state_dump();
+
+        let mut shard_counts = vec![1usize, 2, 4];
+        let env_shards = crowd4u::runtime::router::shards_from_env(0);
+        if env_shards > 0 && !shard_counts.contains(&env_shards) {
+            shard_counts.push(env_shards);
+        }
+        for shards in shard_counts {
+            let mut rt = ShardedRuntime::new(RuntimeConfig { shards, drain_every: 0 });
+            for b in &batches {
+                rt.submit_batch(b.clone());
+                rt.drain();
+            }
+            let run = rt.finish().unwrap();
+
+            // Identical drop accounting (stale-event parity).
+            prop_assert_eq!(
+                run.stats.dropped, serial_dropped,
+                "dropped mismatch at {} shards", shards
+            );
+            prop_assert_eq!(
+                run.stats.applied + run.stats.dropped,
+                events.len() as u64,
+                "event accounting mismatch at {} shards", shards
+            );
+            // Merged journal byte-identical to the serial journal…
+            prop_assert_eq!(
+                run.journal.dump(), serial_journal.clone(),
+                "journal mismatch at {} shards", shards
+            );
+            // …and it replays to a byte-identical platform state.
+            let replayed = Crowd4U::replay(&run.journal).unwrap();
+            prop_assert_eq!(
+                replayed.state_dump(), serial_dump.clone(),
+                "state mismatch at {} shards", shards
+            );
+        }
+    }
+}

@@ -39,6 +39,15 @@ echo
 echo "==> bench smoke: e10_shard_scaling (CRITERION_BUDGET_MS=50)"
 CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
     cargo bench -p crowd4u-bench --bench e10_shard_scaling
+# Front-door smoke: the bench itself asserts that 4 clients through cloned
+# IngestGate handles out-admit the same clients funnelled through a
+# single-submitter front door by >=1.5x at 4 shards (full-size baseline in
+# BENCH_gate.json; regenerate with
+# `cargo run --release -p crowd4u-bench --bin report -- gate`).
+echo
+echo "==> bench smoke: e11_gate_throughput (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e11_gate_throughput
 # Exercise the parallel path on every CI run: the integration suite again,
 # with the runtime pinned to 4 shards (shard_equivalence picks the value
 # up via RUNTIME_SHARDS and adds it to its shard-count sweep).

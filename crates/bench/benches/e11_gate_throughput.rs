@@ -1,0 +1,72 @@
+//! E11: ingestion front-door throughput of the sharded runtime.
+//!
+//! Concurrent clients ingest the mixed multi-project answer stream while
+//! every shard is busy — the regime where front-door capacity decides
+//! whether clients stall. Two doors are compared at 4 shards:
+//!
+//! * **single-submitter** (the PR 3 shape): the runtime's submission API
+//!   allows one submitter, so clients stage events over a shared channel
+//!   to the one permitted thread — every event pays an extra queue hop
+//!   and the staging thread's wakeups;
+//! * **gate** (the PR 4 shape): every client owns a cloned `IngestGate`
+//!   handle and pushes straight into the owner shard's mailbox — one hop,
+//!   a lock-free sequence stamp, no staging thread.
+//!
+//! On multi-core hosts the gate additionally lets the submit work itself
+//! run in parallel; the ≥ 1.5× smoke gate below holds even on a
+//! single-core container, where the win is purely the removed hop.
+//!
+//! `ci.sh` runs this bench on a tiny budget; `report -- gate` records the
+//! full-size baseline to `BENCH_gate.json` with the same ≥ 1.5× gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_bench::{
+    best_gate_admission, run_gate_workload, FrontDoor, GateWorkload, ShardWorkload,
+};
+
+fn bench_gate(c: &mut Criterion) {
+    const SHARDS: usize = 4;
+    let workload = GateWorkload {
+        shape: ShardWorkload {
+            projects: 8,
+            items: 120,
+            workers: 8,
+            drain_every: 48,
+        },
+        submitters: 4,
+    };
+    let mut group = c.benchmark_group("e11_gate_throughput");
+    group.sample_size(10);
+    for door in [FrontDoor::SingleSubmitter, FrontDoor::Gate] {
+        group.throughput(criterion::Throughput::Elements(
+            (workload.shape.projects * workload.shape.items) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::new("door", door.name()), &door, |b, &door| {
+            b.iter(|| run_gate_workload(door, SHARDS, &workload))
+        });
+    }
+    group.finish();
+
+    // Smoke gate (runs under any CRITERION_BUDGET_MS): best-of-5 admission
+    // per door at the full E11 stream length (short streams are dominated
+    // by constants and under-resolve the door difference); the
+    // multi-submitter gate must out-admit the single-submitter front door
+    // by ≥ 1.5× even on one core.
+    let smoke = GateWorkload::default();
+    let (t_single, events, good_single) =
+        best_gate_admission(FrontDoor::SingleSubmitter, SHARDS, &smoke, 5);
+    let (t_gate, _, good_gate) = best_gate_admission(FrontDoor::Gate, SHARDS, &smoke, 5);
+    assert_eq!(good_single, good_gate, "doors must derive identical facts");
+    let speedup = t_single.as_secs_f64() / t_gate.as_secs_f64();
+    println!(
+        "e11 smoke: {events} events — single-submitter {t_single:.2?}, \
+         gate {t_gate:.2?} ({speedup:.2}x)"
+    );
+    assert!(
+        speedup >= 1.5,
+        "gate must out-admit the single-submitter front door by 1.5x (got {speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_gate);
+criterion_main!(benches);

@@ -66,6 +66,11 @@ fn main() {
     if args.iter().any(|a| a == "shard") {
         shard_baseline();
     }
+    // Explicit only: the ingestion front-door comparison (records
+    // BENCH_gate.json).
+    if args.iter().any(|a| a == "gate") {
+        gate_baseline();
+    }
 }
 
 /// E1 (Figure 1): deployment pipeline decomposition → assignment →
@@ -579,6 +584,82 @@ fn shard_baseline() {
     assert!(
         speedup_4 >= 2.0,
         "shard scaling regressed: 4 shards only {speedup_4:.2}x faster than 1"
+    );
+}
+
+/// E11 baseline: concurrent-client admission through the two front doors
+/// at 4 shards, with every shard busy (the regime where door capacity
+/// matters) — `submitters` client threads staging events over a channel
+/// to the one permitted submitter thread (the PR 3 shape) vs the same
+/// clients pushing through cloned `IngestGate` handles. Records the
+/// comparison to `BENCH_gate.json` and exits non-zero if the gate is less
+/// than 1.5× the single-submitter front door.
+fn gate_baseline() {
+    use crowd4u_bench::{best_gate_admission, FrontDoor, GateWorkload};
+    const SHARDS: usize = 4;
+    const REPS: usize = 5;
+    let w = GateWorkload::default();
+    println!(
+        "## E11 — ingestion front door: {} clients, {} projects x {} items, {} shards, best of {}\n",
+        w.submitters, w.shape.projects, w.shape.items, SHARDS, REPS
+    );
+    let mut t = TablePrinter::new(&["front door", "admission", "events/s", "speedup"]);
+    let mut rows = Vec::new();
+    let mut single_secs = 0.0f64;
+    let mut good_ref = None;
+    for door in [FrontDoor::SingleSubmitter, FrontDoor::Gate] {
+        let (elapsed, events, good) = best_gate_admission(door, SHARDS, &w, REPS);
+        match good_ref {
+            None => good_ref = Some(good),
+            Some(g) => assert_eq!(g, good, "front doors must derive identical facts"),
+        }
+        let secs = elapsed.as_secs_f64();
+        if door == FrontDoor::SingleSubmitter {
+            single_secs = secs;
+        }
+        let rate = events as f64 / secs;
+        let speedup = single_secs / secs;
+        t.row(vec![
+            door.name().into(),
+            format!("{elapsed:.2?}"),
+            format!("{rate:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push((door, secs * 1e3, rate, speedup));
+    }
+    println!("{}", t.render());
+
+    let speedup = rows
+        .iter()
+        .find(|(d, ..)| *d == FrontDoor::Gate)
+        .map(|(_, _, _, x)| *x)
+        .expect("gate row");
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|(d, ms, rate, x)| {
+            format!(
+                "    {{ \"front_door\": \"{}\", \"ms\": {ms:.3}, \"events_per_sec\": {rate:.0}, \
+                 \"speedup\": {x:.2} }}",
+                d.name()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e11_gate_throughput\",\n  \"shards\": {SHARDS},\n  \
+         \"submitters\": {},\n  \"projects\": {},\n  \"items\": {},\n  \"drain_every\": {},\n  \
+         \"good_facts\": {},\n  \"runs\": [\n{}\n  ],\n  \"gate_speedup\": {speedup:.2}\n}}\n",
+        w.submitters,
+        w.shape.projects,
+        w.shape.items,
+        w.shape.drain_every,
+        good_ref.unwrap_or(0),
+        runs.join(",\n"),
+    );
+    std::fs::write("BENCH_gate.json", &json).expect("write BENCH_gate.json");
+    println!("baseline recorded to BENCH_gate.json");
+    assert!(
+        speedup >= 1.5,
+        "gate front door regressed: only {speedup:.2}x the single-submitter front door"
     );
 }
 

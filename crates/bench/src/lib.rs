@@ -134,9 +134,10 @@ pub fn run_shard_workload(shards: usize, w: &ShardWorkload) -> (std::time::Durat
 
     let (setup, answers) = shard_workload_events(w);
     let total = (setup.len() + answers.len()) as u64;
-    let mut rt = ShardedRuntime::new(RuntimeConfig {
+    let rt = ShardedRuntime::new(RuntimeConfig {
         shards,
         drain_every: w.drain_every,
+        mailbox_capacity: 0, // unbounded: E10 measures shard scaling, not admission
     });
     let start = std::time::Instant::now();
     rt.submit_batch(setup);
@@ -164,6 +165,225 @@ pub fn run_shard_workload(shards: usize, w: &ShardWorkload) -> (std::time::Durat
             .expect("derived");
     }
     (elapsed, total, good)
+}
+
+/// How concurrent clients reach the sharded runtime in E11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontDoor {
+    /// The pre-gate (PR 3) shape: the runtime's submission API is
+    /// single-submitter, so concurrent clients must stage their events
+    /// over a shared channel to the one thread allowed to submit —
+    /// "every client serialises on one submitter thread". Each event pays
+    /// an extra queue hop (client → staging channel → submitter → shard
+    /// mailbox) plus the submitter's wakeups.
+    SingleSubmitter,
+    /// The gate (PR 4) shape: every client owns a cloned
+    /// [`IngestGate`](crowd4u_runtime::gate::IngestGate) handle and pushes
+    /// straight into the owner shard's mailbox — one hop, no staging
+    /// thread.
+    Gate,
+}
+
+impl FrontDoor {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrontDoor::SingleSubmitter => "single-submitter",
+            FrontDoor::Gate => "gate",
+        }
+    }
+}
+
+/// The E11 gate-throughput workload: the E10 mixed multi-project stream,
+/// with the answer phase driven by `submitters` concurrent client threads
+/// (each owning a disjoint set of projects — disjoint owner shards is the
+/// partitioning axis clients are expected to follow for peak ingest).
+#[derive(Debug, Clone, Copy)]
+pub struct GateWorkload {
+    /// The event-stream shape (projects, items, workers, drain batching).
+    pub shape: ShardWorkload,
+    /// Concurrent client threads submitting the answer stream.
+    pub submitters: usize,
+}
+
+impl Default for GateWorkload {
+    fn default() -> Self {
+        GateWorkload {
+            // More items than E10: the admission window must be long
+            // enough to time robustly (the answer stream is the timed
+            // part). A deep drain_every keeps the *untimed* apply phase
+            // cheap — E11 tunes for door measurement, not sync latency.
+            shape: ShardWorkload {
+                items: 2000,
+                drain_every: 512,
+                ..ShardWorkload::default()
+            },
+            submitters: 4,
+        }
+    }
+}
+
+/// Run the E11 workload at the given shard count through one of the two
+/// front doors; returns (admission elapsed, answer events ingested,
+/// derived `good` facts).
+///
+/// The timed region is **front-door admission**: how fast `submitters`
+/// concurrent clients can push the answer stream into the shard mailboxes
+/// while every shard is busy (stalled inside a job for the duration, the
+/// regime where door capacity matters — a saturated platform must still
+/// absorb client bursts without stalling them). Apply work is identical
+/// through either door and deliberately excluded from the timer; after
+/// admission the shards are released and the run completes normally. The
+/// `good` count is the correctness check — both doors must derive the
+/// same facts.
+pub fn run_gate_workload(
+    door: FrontDoor,
+    shards: usize,
+    w: &GateWorkload,
+) -> (std::time::Duration, u64, usize) {
+    use crowd4u_core::error::ProjectId;
+    use crowd4u_core::events::{EventScope, PlatformEvent};
+    use crowd4u_runtime::prelude::*;
+    use std::time::Instant;
+
+    let (setup, answers) = shard_workload_events(&w.shape);
+    let total = answers.len() as u64;
+    // Bounded mailboxes sized for the whole answer stream: the shards are
+    // stalled for the entire admission window, so in the worst case every
+    // answer queues on one shard. Deriving the bound from the workload
+    // (instead of a fixed constant) keeps backpressure from ever engaging
+    // — E11 measures the door, not shedding — for any workload size.
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: w.shape.drain_every,
+        mailbox_capacity: answers.len() + 1,
+    });
+    rt.submit_batch(setup);
+    rt.drain();
+    rt.barrier(); // every judge task exists before the answer fan-in starts
+
+    // Partition the answer stream by project over the client threads.
+    let submitters = w.submitters.max(1);
+    let mut parts: Vec<Vec<PlatformEvent>> = vec![Vec::new(); submitters];
+    for a in answers {
+        let EventScope::Project(p) = a.scope() else {
+            unreachable!("answer events are project-scoped");
+        };
+        parts[(p.0 as usize - 1) % submitters].push(a);
+    }
+
+    // Stall every shard: the admission window measures the front door,
+    // not the (door-independent) apply work behind it.
+    let stalls: Vec<_> = (0..shards)
+        .map(|s| {
+            let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+            let done = rt.submit_job(s, move |_| {
+                release_rx.recv().expect("released");
+            });
+            (release_tx, done)
+        })
+        .collect();
+
+    // Clients spawn before the timer and hold at a start barrier: thread
+    // creation cost is front-door-independent and excluded from the
+    // admission window.
+    let go = std::sync::Barrier::new(submitters + 1);
+    let elapsed = match door {
+        FrontDoor::SingleSubmitter => std::thread::scope(|scope| {
+            // The one thread allowed to touch the runtime's submission
+            // API, fed by a shared staging channel.
+            let (stage_tx, stage_rx) = std::sync::mpsc::channel::<PlatformEvent>();
+            let submitter = scope.spawn(|| {
+                for e in stage_rx {
+                    rt.submit(e);
+                }
+            });
+            for part in parts {
+                let stage_tx = stage_tx.clone();
+                let go = &go;
+                scope.spawn(move || {
+                    go.wait();
+                    for e in part {
+                        stage_tx.send(e).expect("submitter alive");
+                    }
+                });
+            }
+            drop(stage_tx);
+            let start = Instant::now();
+            go.wait();
+            submitter.join().expect("submitter thread");
+            start.elapsed()
+        }),
+        FrontDoor::Gate => std::thread::scope(|scope| {
+            let clients: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    let gate = rt.gate();
+                    let go = &go;
+                    scope.spawn(move || {
+                        go.wait();
+                        for e in part {
+                            gate.submit(e).expect("runtime alive");
+                        }
+                    })
+                })
+                .collect();
+            let start = Instant::now();
+            go.wait();
+            for c in clients {
+                c.join().expect("client thread");
+            }
+            start.elapsed()
+        }),
+    };
+
+    // Release the shards and let the run complete normally.
+    for (release_tx, done) in stalls {
+        release_tx.send(()).expect("shard alive");
+        done.recv().expect("stall job finished");
+    }
+    rt.drain();
+    rt.barrier();
+
+    let owners: Vec<usize> = (0..w.shape.projects)
+        .map(|p| rt.owner_of(ProjectId(p as u64 + 1)))
+        .collect();
+    let run = rt.finish().expect("runtime finish");
+    assert_eq!(run.stats.dropped, 0, "E11 workload must be fully valid");
+    let mut good = 0usize;
+    for (p, &owner) in owners.iter().enumerate() {
+        let project = ProjectId(p as u64 + 1);
+        good += run.platforms[owner]
+            .project(project)
+            .expect("registered")
+            .engine
+            .fact_count("good")
+            .expect("derived");
+    }
+    (elapsed, total, good)
+}
+
+/// Best-of-`reps` admission time for one front door (each repetition is a
+/// fresh runtime + full workload; the minimum filters scheduler noise the
+/// way Criterion's sampling does). Returns (best elapsed, events, good).
+pub fn best_gate_admission(
+    door: FrontDoor,
+    shards: usize,
+    w: &GateWorkload,
+    reps: usize,
+) -> (std::time::Duration, u64, usize) {
+    let mut best: Option<(std::time::Duration, u64, usize)> = None;
+    for _ in 0..reps.max(1) {
+        let (elapsed, events, good) = run_gate_workload(door, shards, w);
+        if let Some((b, be, bg)) = best {
+            assert_eq!((events, good), (be, bg), "repetitions must agree");
+            if elapsed < b {
+                best = Some((elapsed, events, good));
+            }
+        } else {
+            best = Some((elapsed, events, good));
+        }
+    }
+    best.expect("reps >= 1")
 }
 
 /// A random team-formation instance: `n` workers with uniform skills,

@@ -71,7 +71,50 @@ pub enum PlatformEvent {
 /// Journal-entry kind reserved for [`crate::platform::Crowd4U::drain_events`].
 pub const DRAIN_KIND: &str = "drain";
 
+/// Where an event must be delivered in a partitioned (sharded) runtime —
+/// the ordering metadata a router needs, kept next to the event vocabulary
+/// so adding a variant forces a routing decision.
+///
+/// The two scopes carry different ordering obligations:
+///
+/// * [`EventScope::Project`] events touch exactly one project's state
+///   (CyLog engine, tasks, relations, points ledger) and may be applied on
+///   the owning partition alone, concurrently with other projects' events.
+/// * [`EventScope::Global`] events mutate state every partition replicates
+///   (worker profiles, the clock, the project-id sequence) and must be
+///   applied by **every** partition **in the same relative order** — the
+///   broadcast-lockstep rule that keeps `WorkerManager::version()` and the
+///   project-id sequence identical across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventScope {
+    /// Replicated state: every partition must apply it, in sequence order.
+    Global,
+    /// Partitioned state: only the owner of this project applies it.
+    Project(ProjectId),
+}
+
 impl PlatformEvent {
+    /// The delivery scope of this event (see [`EventScope`]). Task-scoped
+    /// events resolve to their project via the project-strided task-id
+    /// encoding ([`TaskId::compose`](crate::error::TaskId::compose)), so
+    /// classification is pure bit arithmetic.
+    pub fn scope(&self) -> EventScope {
+        match self {
+            PlatformEvent::WorkerRegistered { .. }
+            | PlatformEvent::ClockAdvanced { .. }
+            | PlatformEvent::ProjectRegistered { .. } => EventScope::Global,
+            PlatformEvent::FactSeeded { project, .. }
+            | PlatformEvent::TasksSynced { project }
+            | PlatformEvent::CollabTaskCreated { project, .. } => EventScope::Project(*project),
+            PlatformEvent::InterestExpressed { task, .. }
+            | PlatformEvent::AssignmentRun { task }
+            | PlatformEvent::Undertaken { task, .. }
+            | PlatformEvent::AnswerSubmitted { task, .. }
+            | PlatformEvent::TaskCompleted { task, .. }
+            | PlatformEvent::ActivityRecorded { task, .. } => EventScope::Project(task.project()),
+        }
+    }
+
     /// The journal entry kind for this event.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -501,6 +544,34 @@ mod tests {
         kinds.dedup();
         assert_eq!(kinds.len(), 12);
         assert!(!kinds.contains(&DRAIN_KIND));
+    }
+
+    #[test]
+    fn scopes_partition_the_vocabulary() {
+        // Every variant classifies; task-scoped ones resolve the project
+        // out of the strided task id.
+        for e in all_events() {
+            match (e.kind(), e.scope()) {
+                ("worker" | "clock" | "project", EventScope::Global) => {}
+                ("seed" | "sync" | "collab", EventScope::Project(p)) => {
+                    assert_eq!(p, ProjectId(3));
+                }
+                (
+                    "interest" | "assign" | "undertake" | "answer" | "complete" | "activity",
+                    EventScope::Project(p),
+                ) => {
+                    // Raw TaskId(n) decodes as project 0 (the raw id space).
+                    assert_eq!(p, ProjectId(0));
+                }
+                (kind, scope) => panic!("unexpected scope {scope:?} for kind `{kind}`"),
+            }
+        }
+        let strided = PlatformEvent::AnswerSubmitted {
+            worker: WorkerId(1),
+            task: TaskId::compose(ProjectId(7), 4),
+            outputs: vec![],
+        };
+        assert_eq!(strided.scope(), EventScope::Project(ProjectId(7)));
     }
 
     #[test]

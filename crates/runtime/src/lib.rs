@@ -1,57 +1,103 @@
 //! # crowd4u-runtime — the sharded parallel execution layer
 //!
 //! The platform core (`crowd4u-core`) executes on one thread. This crate
-//! scales it out: N **shards** (std threads), each owning an independent
-//! [`Crowd4U`](crowd4u_core::platform::Crowd4U) slice, fed by a
-//! [`router`](router::ShardedRuntime) that dispatches
-//! [`PlatformEvent`](crowd4u_core::events::PlatformEvent)s over mpsc
-//! channels. The partition axis is the **project** — collaborative
-//! crowdsourcing workloads decompose naturally by project/group, and since
-//! task ids are project-strided
-//! ([`TaskId::compose`](crowd4u_core::error::TaskId::compose)) every
-//! task-scoped event routes to its owner shard with pure bit arithmetic.
+//! scales it out in two directions:
 //!
-//! ## Ownership convention (cross-shard state)
+//! * **across shards** — N shard threads, each owning an independent
+//!   [`Crowd4U`](crowd4u_core::platform::Crowd4U) slice, partitioned by
+//!   project ([`ShardedRuntime`]); and
+//! * **across clients** — any number of producer threads submitting
+//!   [`PlatformEvent`](crowd4u_core::events::PlatformEvent)s concurrently
+//!   through cloned [`IngestGate`] handles, with a lock-free global
+//!   sequence stamper and per-shard bounded mailboxes providing
+//!   backpressure (block or typed error).
 //!
-//! * **Project-scoped events** (`seed`, `sync`, `collab`, `interest`,
-//!   `assign`, `undertake`, `answer`, `complete`, `activity`) are delivered
-//!   only to the owning shard — the shard whose slice holds the project's
-//!   CyLog engine, tasks, relations and points ledger.
-//! * **Worker-scoped and global events** (`worker`, `clock`) are
-//!   **broadcast**: every shard applies them to its own
-//!   [`WorkerManager`](crowd4u_core::workers::WorkerManager) replica in
-//!   global sequence order, so
-//!   [`WorkerManager::version`](crowd4u_core::workers::WorkerManager::version)
-//!   advances in lockstep on every shard and the per-project
-//!   epoch-cached eligibility sets stay correct without any locking —
-//!   a replicated-state-machine variant of the "coordinator broadcasts
-//!   read-only worker snapshots keyed by version" design.
-//! * **Project registrations** are also broadcast (so every shard allocates
-//!   the same [`ProjectId`](crowd4u_core::error::ProjectId) sequence), but
-//!   each project is *owned* by exactly one shard (round-robin by id); the
-//!   other shards keep an empty replica that never receives data events.
-//! * The **points ledger** lives inside each project's engine and is
-//!   therefore owned by the project's shard; global per-worker totals are
-//!   aggregations over shards.
+//! The full design — layer map, event-sourcing rules, the determinism
+//! contract, and the gate's ordering guarantees — is written down in the
+//! repository's `ARCHITECTURE.md`; the module docs of [`gate`], [`router`]
+//! and [`shard`] cover the mechanics. The short version:
 //!
-//! ## Determinism contract
+//! * **Ownership**: project-scoped events go to the owner shard only
+//!   (round-robin by project id); worker/clock/registration events are
+//!   broadcast and applied by every shard in the same global sequence
+//!   order, so replicated state (worker manager, project-id sequence)
+//!   advances in lockstep.
+//! * **Determinism**: every event is stamped with a global sequence
+//!   number; each mailbox is delivered in sequence order; per-shard
+//!   journals are seq-tagged and stitched by
+//!   [`EventJournal::merge_streams`](crowd4u_storage::journal::EventJournal::merge_streams).
+//!   In coordinated-drain mode the merged journal is byte-identical to a
+//!   serial run over the same sequence — even when the events were fanned
+//!   in from many threads (`tests/shard_equivalence.rs` proptests both).
 //!
-//! Each shard records the journal entry of every event it applied, tagged
-//! with the router's **global sequence number**; the per-shard streams are
-//! stitched back with
-//! [`EventJournal::merge_streams`](crowd4u_storage::journal::EventJournal::merge_streams).
-//! In coordinated-drain mode (`drain_every == 0`, drains only at
-//! [`ShardedRuntime::drain`](router::ShardedRuntime::drain) barriers) the
-//! merged journal is byte-identical to the journal a single-threaded
-//! platform produces for the same event sequence, and replaying it yields a
-//! byte-identical
-//! [`state_dump`](crowd4u_core::platform::Crowd4U::state_dump) — the PR 2
-//! batch-equivalence guarantee extended to parallel execution
-//! (`tests/shard_equivalence.rs` proves it property-style). In streaming
-//! mode (`drain_every > 0`) each shard additionally syncs its dirty
-//! projects after every K mailbox events, journaling per-project `sync`
-//! entries at the triggering sequence number, so the merged journal stays
-//! replayable; final state after a closing drain is identical either way.
+//! ## A multi-submitter run
+//!
+//! Four client threads ingest answers for four projects concurrently; the
+//! merged journal still replays to the exact final state:
+//!
+//! ```
+//! use crowd4u_core::error::{ProjectId, TaskId, WorkerId};
+//! use crowd4u_core::events::PlatformEvent;
+//! use crowd4u_core::platform::Crowd4U;
+//! use crowd4u_crowd::profile::WorkerProfile;
+//! use crowd4u_forms::admin::DesiredFactors;
+//! use crowd4u_runtime::prelude::*;
+//!
+//! let rt = ShardedRuntime::new(RuntimeConfig {
+//!     shards: 2,
+//!     drain_every: 0,     // coordinated mode: drains only at barriers
+//!     mailbox_capacity: 64,
+//! });
+//!
+//! // Register a worker and four single-question projects (broadcasts),
+//! // then surface the micro-tasks with a drain barrier.
+//! rt.submit(PlatformEvent::WorkerRegistered {
+//!     profile: WorkerProfile::new(WorkerId(1), "ann"),
+//! });
+//! for p in 0..4 {
+//!     rt.submit(PlatformEvent::ProjectRegistered {
+//!         name: format!("proj-{p}"),
+//!         source: "rel item(i: id).\nopen judge(i: id) -> (ok: bool) points 1.\n\
+//!                  rel good(i: id).\ngood(I) :- item(I), judge(I, OK), OK = true.\n"
+//!             .into(),
+//!         factors: DesiredFactors::default(),
+//!         scheme: crowd4u_collab::Scheme::Sequential,
+//!     });
+//!     rt.submit(PlatformEvent::FactSeeded {
+//!         project: ProjectId(p + 1),
+//!         pred: "item".into(),
+//!         values: vec![1u64.into()],
+//!     });
+//! }
+//! rt.drain();
+//!
+//! // Fan in answers from four concurrent submitter threads, one per
+//! // project, each through its own cloned gate handle.
+//! let mut clients = Vec::new();
+//! for p in 1..=4u64 {
+//!     let gate = rt.gate();
+//!     clients.push(std::thread::spawn(move || {
+//!         gate.submit(PlatformEvent::AnswerSubmitted {
+//!             worker: WorkerId(1),
+//!             task: TaskId::compose(ProjectId(p), 1),
+//!             outputs: vec![true.into()],
+//!         })
+//!         .expect("runtime alive")
+//!     }));
+//! }
+//! for c in clients {
+//!     c.join().unwrap();
+//! }
+//!
+//! rt.drain();
+//! let run = rt.finish().unwrap();
+//! assert_eq!(run.stats.applied, 13); // 1 worker + 4×(project, seed, answer)
+//! assert_eq!(run.stats.dropped, 0);
+//!
+//! // The merged journal replays on one thread to the same state.
+//! let replayed = Crowd4U::replay(&run.journal).unwrap();
+//! assert_eq!(replayed.points_of(WorkerId(1)), 4);
+//! ```
 //!
 //! ## Scenario port
 //!
@@ -61,14 +107,17 @@
 //! [`Driver`](crowd4u_scenarios::Driver) (`Driver::on_platform`) and runs
 //! the scenario there, in parallel across shards.
 
+pub mod gate;
 pub mod router;
 pub mod scenario;
 pub mod shard;
 
+pub use gate::{GateError, IngestGate};
 pub use router::{RunReport, RuntimeConfig, ShardedRuntime};
 pub use shard::ShardStats;
 
 pub mod prelude {
+    pub use crate::gate::{GateError, IngestGate};
     pub use crate::router::{RunReport, RuntimeConfig, ShardedRuntime};
     pub use crate::scenario::run_scenarios;
     pub use crate::shard::ShardStats;

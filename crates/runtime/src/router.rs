@@ -1,13 +1,22 @@
-//! The router: owns the shard threads, stamps every event with a global
-//! sequence number, dispatches it by project, and stitches the per-shard
-//! journals back into one replayable log.
+//! The runtime orchestrator: spawns the shard threads, hands out
+//! [`IngestGate`] submission handles, and stitches the per-shard journals
+//! back into one replayable log when the run finishes.
+//!
+//! Since PR 4 the routing itself — sequence stamping, ownership/broadcast
+//! dispatch, backpressure — lives in the concurrent [`gate`](crate::gate):
+//! any number of client threads submit through cloned gate handles without
+//! serialising on one submitter. `ShardedRuntime`'s own submission methods
+//! delegate to an internal handle, so single-client code keeps working
+//! unchanged (and no longer needs `&mut`).
 
-use crate::shard::{shard_main, SeqKey, ShardReport, ShardStats, ToShard};
+use crate::gate::{GateCore, IngestGate};
+use crate::shard::{shard_main, SeqKey, ShardStats, ToShard};
 use crowd4u_core::error::{PlatformError, ProjectId};
 use crowd4u_core::events::PlatformEvent;
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_storage::journal::EventJournal;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Runtime tuning knobs.
@@ -21,6 +30,14 @@ pub struct RuntimeConfig {
     /// rides the PR 2 fast path: answers accumulate without per-answer
     /// fixpoints, and one sync amortises over the whole mailbox batch.
     pub drain_every: usize,
+    /// Per-shard mailbox capacity for data events — the backpressure
+    /// bound. A producer hitting a full mailbox blocks
+    /// ([`IngestGate::submit`]) or gets the event back
+    /// ([`IngestGate::try_submit`]). `0` disables the bound (unbounded
+    /// queues, no backpressure). Control messages (drain barriers, jobs,
+    /// flushes) are always exempt, so a full mailbox cannot wedge the
+    /// barrier that would drain it.
+    pub mailbox_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -28,6 +45,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             shards: shards_from_env(4),
             drain_every: 0,
+            mailbox_capacity: 1024,
         }
     }
 }
@@ -41,31 +59,6 @@ pub fn shards_from_env(default: usize) -> usize {
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(default)
-}
-
-/// Where one event must be delivered.
-enum Scope {
-    /// Every shard applies it (worker-scoped / global / registration).
-    Broadcast,
-    /// Only the owner of this project applies it.
-    Project(ProjectId),
-}
-
-fn scope_of(event: &PlatformEvent) -> Scope {
-    match event {
-        PlatformEvent::WorkerRegistered { .. }
-        | PlatformEvent::ClockAdvanced { .. }
-        | PlatformEvent::ProjectRegistered { .. } => Scope::Broadcast,
-        PlatformEvent::FactSeeded { project, .. }
-        | PlatformEvent::TasksSynced { project }
-        | PlatformEvent::CollabTaskCreated { project, .. } => Scope::Project(*project),
-        PlatformEvent::InterestExpressed { task, .. }
-        | PlatformEvent::AssignmentRun { task }
-        | PlatformEvent::Undertaken { task, .. }
-        | PlatformEvent::AnswerSubmitted { task, .. }
-        | PlatformEvent::TaskCompleted { task, .. }
-        | PlatformEvent::ActivityRecorded { task, .. } => Scope::Project(task.project()),
-    }
 }
 
 /// Everything a finished run hands back.
@@ -83,16 +76,23 @@ pub struct RunReport {
     pub platforms: Vec<Crowd4U>,
 }
 
-/// The sharded runtime: N shard threads behind mpsc mailboxes, a global
-/// sequence counter, and round-robin project ownership. Shard 0 doubles as
-/// the **coordinator**: it records broadcast events and drain barriers in
-/// the merged journal (every shard *applies* broadcasts; exactly one
-/// records them).
+/// The sharded runtime: N shard threads behind the [`IngestGate`]'s
+/// bounded mailboxes, a lock-free global sequence stamper, and round-robin
+/// project ownership. Shard 0 doubles as the **coordinator**: it records
+/// broadcast events and drain barriers in the merged journal (every shard
+/// *applies* broadcasts; exactly one records them).
+///
+/// Submission is concurrent: clone handles with
+/// [`gate()`](ShardedRuntime::gate) and submit from as many threads as you
+/// like; the convenience methods on the runtime itself
+/// ([`submit`](ShardedRuntime::submit),
+/// [`submit_batch`](ShardedRuntime::submit_batch),
+/// [`drain`](ShardedRuntime::drain)) delegate to an internal handle and
+/// only need `&self`.
 pub struct ShardedRuntime {
-    txs: Vec<Sender<ToShard>>,
+    gate: IngestGate,
     handles: Vec<JoinHandle<()>>,
     drain_every: usize,
-    next_seq: u64,
 }
 
 impl ShardedRuntime {
@@ -107,30 +107,38 @@ impl ShardedRuntime {
     /// bases must be built the same way).
     pub fn new_with(config: RuntimeConfig, base: impl Fn(usize) -> Crowd4U) -> ShardedRuntime {
         let shards = config.shards.max(1);
-        let mut txs = Vec::with_capacity(shards);
+        let core = Arc::new(GateCore::new(shards, config.mailbox_capacity));
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (tx, rx): (Sender<ToShard>, Receiver<ToShard>) = channel();
             let platform = base(i);
             let drain_every = config.drain_every;
+            let consumer = Arc::clone(&core);
             let handle = std::thread::Builder::new()
                 .name(format!("crowd4u-shard-{i}"))
-                .spawn(move || shard_main(rx, platform, drain_every))
+                .spawn(move || shard_main(consumer, i, platform, drain_every))
                 .expect("spawn shard thread");
-            txs.push(tx);
             handles.push(handle);
         }
         ShardedRuntime {
-            txs,
+            gate: IngestGate::new(core),
             handles,
             drain_every: config.drain_every,
-            next_seq: 0,
         }
+    }
+
+    /// A cloneable concurrent submission handle onto this runtime's shard
+    /// mailboxes. Hand one to each client thread; all handles share the
+    /// same global sequence stamper, so cross-handle submissions are
+    /// totally ordered. Handles outlive the runtime gracefully: after
+    /// [`finish`](ShardedRuntime::finish) (or drop) their submissions
+    /// return [`GateError::Closed`](crate::gate::GateError::Closed).
+    pub fn gate(&self) -> IngestGate {
+        self.gate.clone()
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.txs.len()
+        self.gate.shards()
     }
 
     /// Streaming-mode mailbox batch size (0 in coordinated mode).
@@ -140,62 +148,31 @@ impl ShardedRuntime {
 
     /// The shard owning a project (round-robin over registration order).
     pub fn owner_of(&self, project: ProjectId) -> usize {
-        if project.0 == 0 {
-            0
-        } else {
-            ((project.0 - 1) % self.txs.len() as u64) as usize
-        }
+        self.gate.owner_of(project)
     }
 
-    fn send(&self, shard: usize, msg: ToShard) {
-        self.txs[shard].send(msg).expect("shard thread alive");
+    /// Submit one event through the runtime's own gate handle; returns its
+    /// global sequence number. Broadcast events fan out to every shard
+    /// (coordinator records); project-scoped events go to the owner only.
+    /// Blocks while the destination mailbox is full — use
+    /// [`gate()`](ShardedRuntime::gate) +
+    /// [`try_submit`](IngestGate::try_submit) for the error policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate reports the runtime closed. While the runtime is
+    /// still borrowed that only happens when the destination shard thread
+    /// has died (its mailbox closes as the thread unwinds, so callers fail
+    /// fast instead of hanging); detached [`IngestGate`] handles get a
+    /// typed error instead.
+    pub fn submit(&self, event: PlatformEvent) -> u64 {
+        self.gate.submit(event).expect("runtime alive")
     }
 
-    /// Submit one event; returns its global sequence number. Broadcast
-    /// events fan out to every shard (coordinator records); project-scoped
-    /// events go to the owner only.
-    pub fn submit(&mut self, event: PlatformEvent) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        match scope_of(&event) {
-            Scope::Broadcast => {
-                let last = self.txs.len() - 1;
-                for i in 0..last {
-                    self.send(
-                        i,
-                        ToShard::Apply {
-                            seq,
-                            event: event.clone(),
-                            record: i == 0,
-                        },
-                    );
-                }
-                self.send(
-                    last,
-                    ToShard::Apply {
-                        seq,
-                        event,
-                        record: last == 0,
-                    },
-                );
-            }
-            Scope::Project(p) => {
-                let owner = self.owner_of(p);
-                self.send(
-                    owner,
-                    ToShard::Apply {
-                        seq,
-                        event,
-                        record: true,
-                    },
-                );
-            }
-        }
-        seq
-    }
-
-    /// Submit a batch of events in order.
-    pub fn submit_batch(&mut self, events: impl IntoIterator<Item = PlatformEvent>) {
+    /// Submit a batch of events in order (blocking policy). With
+    /// concurrent gate handles active, other submitters' events may
+    /// interleave between batch elements in the global order.
+    pub fn submit_batch(&self, events: impl IntoIterator<Item = PlatformEvent>) {
         for e in events {
             self.submit(e);
         }
@@ -203,33 +180,35 @@ impl ShardedRuntime {
 
     /// Coordinated drain barrier: every shard syncs its dirty projects, the
     /// coordinator records one `drain` entry — the sharded counterpart of
-    /// the drain closing [`Crowd4U::apply_batch`]. Returns the barrier's
-    /// sequence number.
-    pub fn drain(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        for i in 0..self.txs.len() {
-            self.send(
-                i,
-                ToShard::Drain {
-                    seq,
-                    record: i == 0,
-                },
-            );
-        }
-        seq
+    /// the drain closing [`Crowd4U::apply_batch`]. The barrier takes one
+    /// global sequence number under every shard lock, so it lands at the
+    /// same position in every mailbox even while gate handles are
+    /// submitting concurrently. Returns the barrier's sequence number.
+    pub fn drain(&self) -> u64 {
+        self.gate
+            .core()
+            .stamped_barrier(|shard, seq| ToShard::Drain {
+                seq,
+                record: shard == 0,
+            })
+            .expect("runtime alive")
+    }
+
+    fn push_control(&self, shard: usize, msg: ToShard) {
+        assert!(
+            self.gate.core().push_control(shard, msg),
+            "shard {shard} mailbox closed under a live ShardedRuntime (shard thread died?)"
+        );
     }
 
     /// Wait until every shard has processed its mailbox; returns per-shard
-    /// statistics snapshots.
+    /// statistics snapshots. This flushes events already enqueued, but
+    /// concurrent gate handles may enqueue more while the barrier settles.
     pub fn barrier(&self) -> Vec<ShardStats> {
-        let replies: Vec<Receiver<ShardStats>> = self
-            .txs
-            .iter()
-            .map(|tx| {
+        let replies: Vec<Receiver<ShardStats>> = (0..self.shards())
+            .map(|i| {
                 let (reply_tx, reply_rx) = channel();
-                tx.send(ToShard::Flush(reply_tx))
-                    .expect("shard thread alive");
+                self.push_control(i, ToShard::Flush(reply_tx));
                 reply_rx
             })
             .collect();
@@ -250,14 +229,14 @@ impl ShardedRuntime {
 
     /// Ship a job to a shard and return a receiver for its result without
     /// blocking — jobs on different shards run in parallel. The job sees
-    /// the shard's platform slice after every previously submitted event.
+    /// the shard's platform slice after every event enqueued before it.
     pub fn submit_job<R: Send + 'static>(
         &self,
         shard: usize,
         job: impl FnOnce(&mut Crowd4U) -> R + Send + 'static,
     ) -> Receiver<R> {
         let (tx, rx) = channel();
-        self.send(
+        self.push_control(
             shard,
             ToShard::Job(Box::new(move |platform: &mut Crowd4U| {
                 let _ = tx.send(job(platform));
@@ -291,32 +270,53 @@ impl ShardedRuntime {
             .sum()
     }
 
-    /// Stop the runtime: every shard hands back its statistics, its
+    /// Stop the runtime: the gate closes (later submissions through
+    /// detached handles get
+    /// [`GateError::Closed`](crate::gate::GateError::Closed)), every
+    /// shard applies what is already in its mailbox and hands back its
+    /// statistics, its
     /// seq-tagged journal stream and its platform slice; the streams are
     /// stitched into the merged journal.
     pub fn finish(mut self) -> Result<RunReport, PlatformError> {
-        let replies: Vec<Receiver<ShardReport>> = self
-            .txs
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = channel();
-                tx.send(ToShard::Finish(reply_tx))
-                    .expect("shard thread alive");
-                reply_rx
-            })
-            .collect();
+        let mut reply_txs = Vec::with_capacity(self.shards());
+        let mut reply_rxs = Vec::with_capacity(self.shards());
+        for _ in 0..self.shards() {
+            let (tx, rx) = channel();
+            reply_txs.push(tx);
+            reply_rxs.push(rx);
+        }
+        // Closing with the Finish message in the same critical section
+        // means no submission can slip in behind it.
+        self.gate
+            .core()
+            .close_each(|i| ToShard::Finish(reply_txs[i].clone()));
+        // The queued clones are now the only live senders: if a shard died
+        // (its mailbox guard drops everything queued), the matching `recv`
+        // below fails fast instead of waiting on a reply that cannot come.
+        drop(reply_txs);
         let mut per_shard = Vec::new();
         let mut platforms = Vec::new();
         let mut streams: Vec<Vec<(SeqKey, crowd4u_storage::journal::JournalEntry)>> = Vec::new();
         let mut stats = ShardStats::default();
-        for rx in replies {
-            let report = rx.recv().expect("shard thread alive");
+        for rx in reply_rxs {
+            let report = match rx.recv() {
+                Ok(report) => report,
+                // A shard died before reporting — join to surface its
+                // original panic rather than a bare channel error.
+                Err(_) => {
+                    for h in self.handles.drain(..) {
+                        if let Err(panic) = h.join() {
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                    panic!("shard reply channel closed but no shard thread panicked");
+                }
+            };
             stats.absorb(&report.stats);
             per_shard.push(report.stats);
             streams.push(report.recorded);
             platforms.push(report.platform);
         }
-        self.txs.clear();
         for h in self.handles.drain(..) {
             h.join().expect("shard thread panicked");
         }
@@ -332,8 +332,9 @@ impl ShardedRuntime {
 
 impl Drop for ShardedRuntime {
     fn drop(&mut self) {
-        // Closing the mailboxes ends each shard loop; join to avoid leaks.
-        self.txs.clear();
+        // Closing the gate ends each shard loop once its mailbox is
+        // drained; join to avoid leaks.
+        self.gate.core().close();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -354,6 +355,14 @@ open label(x: str) -> (y: str) points 1.
 rel out(x: str, y: str).
 out(X, Y) :- item(X), label(X, Y).
 ";
+
+    fn config(shards: usize, drain_every: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            shards,
+            drain_every,
+            mailbox_capacity: 1024,
+        }
+    }
 
     fn worker(i: u64) -> PlatformEvent {
         PlatformEvent::WorkerRegistered {
@@ -388,10 +397,7 @@ out(X, Y) :- item(X), label(X, Y).
 
     #[test]
     fn ownership_is_round_robin_and_stable() {
-        let rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 3,
-            drain_every: 0,
-        });
+        let rt = ShardedRuntime::new(config(3, 0));
         assert_eq!(rt.shards(), 3);
         assert_eq!(rt.owner_of(ProjectId(1)), 0);
         assert_eq!(rt.owner_of(ProjectId(2)), 1);
@@ -414,10 +420,7 @@ out(X, Y) :- item(X), label(X, Y).
         let report = serial.apply_batch(events.clone()).unwrap();
         assert!(report.errors.is_empty());
 
-        let mut rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 2,
-            drain_every: 0,
-        });
+        let rt = ShardedRuntime::new(config(2, 0));
         rt.submit_batch(events);
         rt.drain();
         let run = rt.finish().unwrap();
@@ -455,10 +458,7 @@ out(X, Y) :- item(X), label(X, Y).
 
     #[test]
     fn invalid_events_are_dropped_and_counted() {
-        let mut rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 2,
-            drain_every: 0,
-        });
+        let rt = ShardedRuntime::new(config(2, 0));
         rt.submit_batch(vec![worker(1), project("a")]);
         rt.submit(seed(9, "nope")); // unknown project → owner drops it
         rt.submit(answer(1, 7, 1, "nope")); // unknown task → dropped
@@ -473,10 +473,7 @@ out(X, Y) :- item(X), label(X, Y).
 
     #[test]
     fn streaming_auto_drain_syncs_and_stays_replayable() {
-        let mut rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 2,
-            drain_every: 2,
-        });
+        let rt = ShardedRuntime::new(config(2, 2));
         rt.submit_batch(vec![worker(1), project("a"), project("b")]);
         for s in ["x", "y", "z", "w"] {
             rt.submit(seed(1, s));
@@ -509,10 +506,7 @@ out(X, Y) :- item(X), label(X, Y).
 
     #[test]
     fn jobs_and_aggregation_queries() {
-        let mut rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 2,
-            drain_every: 0,
-        });
+        let rt = ShardedRuntime::new(config(2, 0));
         rt.submit_batch(vec![worker(1), project("a"), project("b")]);
         rt.submit(seed(1, "x"));
         rt.submit(seed(2, "y"));
@@ -526,5 +520,50 @@ out(X, Y) :- item(X), label(X, Y).
         let n1 = rt.with_project(ProjectId(1), |p| p.workers.len());
         assert_eq!(n1, 1); // the worker replica reached every shard
         rt.finish().unwrap();
+    }
+
+    #[test]
+    fn dead_shard_closes_its_mailbox_instead_of_hanging() {
+        let rt = ShardedRuntime::new(config(2, 0));
+        let gate = rt.gate();
+        rt.submit_batch(vec![project("a"), project("b")]);
+        let _ = rt.submit_job(1, |_| panic!("boom"));
+        // The mailbox guard closes shard 1's queue as the thread unwinds;
+        // until then submissions may still be accepted, so keep submitting
+        // until the close surfaces as a typed error (a hang here is the
+        // regression this test pins).
+        loop {
+            match gate.submit(seed(2, "x")) {
+                Ok(_) => std::thread::yield_now(),
+                Err(err) => {
+                    assert!(matches!(err, crate::gate::GateError::Closed(_)));
+                    break;
+                }
+            }
+        }
+        // Shard 0 is untouched and still serves queries.
+        assert!(rt.with_project(ProjectId(1), |p| p.project(ProjectId(1)).is_ok()));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn finish_surfaces_a_dead_shards_panic() {
+        let rt = ShardedRuntime::new(config(2, 0));
+        let _ = rt.submit_job(1, |_| panic!("boom"));
+        let _ = rt.finish();
+    }
+
+    #[test]
+    fn detached_gate_handles_survive_shutdown() {
+        let rt = ShardedRuntime::new(config(2, 0));
+        let gate = rt.gate();
+        rt.submit_batch(vec![worker(1), project("a")]);
+        gate.submit(seed(1, "via-gate")).unwrap();
+        rt.drain();
+        let run = rt.finish().unwrap();
+        assert_eq!(run.stats.applied, 3);
+        // The handle outlives the runtime; submissions now fail typed.
+        let err = gate.submit(seed(1, "late")).unwrap_err();
+        assert!(matches!(err, crate::gate::GateError::Closed(_)));
     }
 }

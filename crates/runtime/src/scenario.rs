@@ -63,6 +63,7 @@ mod tests {
         let rt = ShardedRuntime::new(RuntimeConfig {
             shards: 3,
             drain_every: 0,
+            mailbox_capacity: 1024,
         });
         let jobs: Vec<(Scheme, ScenarioConfig)> = Scheme::all()
             .into_iter()
@@ -99,6 +100,7 @@ mod tests {
         let rt = ShardedRuntime::new(RuntimeConfig {
             shards: 1,
             drain_every: 0,
+            mailbox_capacity: 1024,
         });
         let cfg = ScenarioConfig::default()
             .with_crowd(30)

@@ -1,11 +1,17 @@
 //! The shard worker: one thread owning one `Crowd4U` slice, applying
-//! routed events from its mailbox and recording seq-tagged journal entries
-//! for the router's merged journal.
+//! routed events from its gate mailbox and recording seq-tagged journal
+//! entries for the runtime's merged journal.
+//!
+//! A shard's mailbox is one of the [`IngestGate`](crate::gate::IngestGate)'s
+//! bounded per-shard queues; the gate guarantees the mailbox is already in
+//! global sequence order, so the shard just applies front to back.
 
+use crate::gate::GateCore;
 use crowd4u_core::events::PlatformEvent;
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_storage::journal::JournalEntry;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 /// Sort key of a recorded entry: (global sequence number, sub-position).
 /// Sub-position 0 is the event itself; auto-drain `sync` entries triggered
@@ -13,7 +19,9 @@ use std::sync::mpsc::{Receiver, Sender};
 /// immediately after their cause.
 pub type SeqKey = (u64, u32);
 
-/// Messages a shard consumes, in mailbox order.
+/// Messages a shard consumes, in mailbox order. Data events
+/// ([`ToShard::Apply`]) are subject to the gate's capacity bound; the
+/// other variants are runtime control messages and are capacity-exempt.
 pub(crate) enum ToShard {
     /// Apply one routed event. `record` is true on exactly one shard per
     /// event (the owner; the coordinator for broadcasts), so the merged
@@ -63,13 +71,37 @@ pub(crate) struct ShardReport {
     pub platform: Crowd4U,
 }
 
-/// The shard thread body.
-pub(crate) fn shard_main(rx: Receiver<ToShard>, mut platform: Crowd4U, drain_every: usize) {
+/// Abandons the shard's mailbox when the thread exits — crucially also by
+/// panic (a [`ToShard::Job`] closure or a drain `expect` unwinding).
+/// Without it a dead shard leaves its mailbox open: producers blocked on a
+/// full queue would park forever, and the reply channels behind
+/// `finish()`/`barrier()` would never close. On a normal exit the mailbox
+/// is already closed and drained, so abandoning it is a no-op.
+struct MailboxGuard<'a> {
+    gate: &'a GateCore,
+    shard: usize,
+}
+
+impl Drop for MailboxGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.abandon(self.shard);
+    }
+}
+
+/// The shard thread body: drain the gate mailbox until it closes (or a
+/// [`ToShard::Finish`] arrives).
+pub(crate) fn shard_main(
+    gate: Arc<GateCore>,
+    shard: usize,
+    mut platform: Crowd4U,
+    drain_every: usize,
+) {
+    let _guard = MailboxGuard { gate: &gate, shard };
     let mut stats = ShardStats::default();
     let mut recorded: Vec<(SeqKey, JournalEntry)> = Vec::new();
     let mut since_drain = 0usize;
 
-    while let Ok(msg) = rx.recv() {
+    while let Some(msg) = gate.recv(shard) {
         match msg {
             ToShard::Apply { seq, event, record } => {
                 let entry = record.then(|| event.encode());

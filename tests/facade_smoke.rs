@@ -32,7 +32,9 @@ fn facade_reexports_resolve() {
     let _rt_cfg = crowd4u::runtime::RuntimeConfig {
         shards: 1,
         drain_every: 0,
+        mailbox_capacity: 1024,
     };
+    let _gate_err: Option<crowd4u::runtime::GateError> = None;
 }
 
 #[test]

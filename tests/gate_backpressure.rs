@@ -1,0 +1,133 @@
+//! Backpressure contract of the ingestion gate: when a shard's bounded
+//! mailbox is full,
+//!
+//! * `try_submit` fails fast with a **typed error** ([`GateError::Full`])
+//!   that names the shard and hands the event back — nothing is silently
+//!   shed;
+//! * `submit` **blocks** until the consumer makes room, then completes;
+//! * and across both policies **no accepted event is dropped or
+//!   double-journaled** — the final journal carries exactly one entry per
+//!   accepted event and replays cleanly.
+
+use crowd4u::collab::Scheme;
+use crowd4u::core::error::{ProjectId, WorkerId};
+use crowd4u::core::events::PlatformEvent;
+use crowd4u::core::platform::Crowd4U;
+use crowd4u::crowd::profile::WorkerProfile;
+use crowd4u::forms::admin::DesiredFactors;
+use crowd4u::runtime::prelude::*;
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+const SRC: &str = "rel item(x: str).\n";
+const CAPACITY: usize = 4;
+
+fn seed(s: &str) -> PlatformEvent {
+    PlatformEvent::FactSeeded {
+        project: ProjectId(1),
+        pred: "item".into(),
+        values: vec![s.into()],
+    }
+}
+
+#[test]
+fn full_mailbox_gives_typed_error_then_blocks_and_loses_nothing() {
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards: 2,
+        drain_every: 0,
+        mailbox_capacity: CAPACITY,
+    });
+    rt.submit(PlatformEvent::WorkerRegistered {
+        profile: WorkerProfile::new(WorkerId(1), "ann"),
+    });
+    rt.submit(PlatformEvent::ProjectRegistered {
+        name: "p".into(),
+        source: SRC.into(),
+        factors: DesiredFactors::default(),
+        scheme: Scheme::Sequential,
+    });
+    rt.barrier(); // setup applied everywhere before we stall the shard
+
+    // Stall project 1's owner (shard 0) inside a job so its mailbox can
+    // only fill up. Control messages are capacity-exempt, so the stall
+    // itself always lands.
+    let owner = rt.owner_of(ProjectId(1));
+    assert_eq!(owner, 0);
+    let (release_tx, release_rx) = channel::<()>();
+    let stalled = rt.submit_job(owner, move |_| {
+        release_rx.recv().expect("released");
+    });
+
+    // Error policy: the mailbox takes exactly `CAPACITY` data events, then
+    // `try_submit` reports Full with the shard index and the event back.
+    let gate = rt.gate();
+    for i in 0..CAPACITY {
+        gate.try_submit(seed(&format!("fits-{i}"))).unwrap();
+    }
+    let err = gate.try_submit(seed("rejected")).unwrap_err();
+    let returned = match err {
+        GateError::Full { shard, event } => {
+            assert_eq!(shard, owner);
+            *event
+        }
+        other => panic!("expected GateError::Full, got {other:?}"),
+    };
+    assert_eq!(returned, seed("rejected"));
+    assert_eq!(gate.queued(owner), CAPACITY);
+
+    // Block policy: a submitter on the full mailbox waits…
+    let blocker = rt.gate();
+    let (done_tx, done_rx) = channel::<u64>();
+    std::thread::spawn(move || {
+        let seq = blocker.submit(seed("blocked")).expect("runtime alive");
+        done_tx.send(seq).unwrap();
+    });
+    assert!(
+        done_rx.recv_timeout(Duration::from_millis(150)).is_err(),
+        "submit must block while the mailbox is full"
+    );
+
+    // …and completes once the consumer makes room.
+    release_tx.send(()).unwrap();
+    stalled.recv().expect("stall job finished");
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("blocked submit must complete once the shard drains");
+
+    // The typed error handed the event back intact: resubmit it.
+    gate.submit(returned).unwrap();
+
+    rt.drain();
+    let run = rt.finish().unwrap();
+
+    // No accepted event was dropped…
+    let accepted = 2 + CAPACITY as u64 + 2; // setup + fits + blocked + resubmitted
+    assert_eq!(run.stats.applied, accepted);
+    assert_eq!(run.stats.dropped, 0);
+
+    // …and none was double-journaled: exactly one `seed` entry per
+    // accepted seed, each payload exactly once.
+    let seeds: Vec<String> = run
+        .journal
+        .iter()
+        .filter(|e| e.kind == "seed")
+        .map(|e| format!("{:?}", e.args))
+        .collect();
+    assert_eq!(seeds.len(), CAPACITY + 2);
+    let mut unique = seeds.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), seeds.len(), "double-journaled seed entry");
+
+    // The journal replays: every accepted fact is present exactly once.
+    let replayed = Crowd4U::replay(&run.journal).unwrap();
+    assert_eq!(
+        replayed
+            .project(ProjectId(1))
+            .unwrap()
+            .engine
+            .fact_count("item")
+            .unwrap(),
+        CAPACITY + 2
+    );
+}

@@ -12,8 +12,12 @@
 //!   [`Crowd4U::state_dump`](crowd4u::core::platform::Crowd4U::state_dump).
 //!
 //! This extends the PR 2 batch-equivalence guarantee to parallel
-//! execution. Set `RUNTIME_SHARDS` to test an extra shard count (CI runs
-//! with `RUNTIME_SHARDS=4`).
+//! execution. A second property extends it to **concurrent submission**:
+//! ops fanned in from 4 producer threads through cloned `IngestGate`
+//! handles (tiny mailboxes, blocking backpressure) must merge to a journal
+//! byte-identical to a serial run in the gate's global-sequence order.
+//! Set `RUNTIME_SHARDS` to test an extra shard count (CI runs with
+//! `RUNTIME_SHARDS=4`).
 
 use crowd4u::collab::Scheme;
 use crowd4u::core::error::{ProjectId, TaskId, WorkerId};
@@ -40,7 +44,9 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
 /// under test.
 type RawOp = (u8, usize, usize, u64, String, bool);
 
-fn build_events(n_projects: usize, items: usize, ops: &[RawOp]) -> Vec<PlatformEvent> {
+/// Worker registrations, project registrations and interleaved seed facts
+/// — the mixed multi-project shape a router has to unpick.
+fn setup_events(n_projects: usize, items: usize) -> Vec<PlatformEvent> {
     let mut events = Vec::new();
     for w in 1..=4u64 {
         events.push(PlatformEvent::WorkerRegistered {
@@ -60,8 +66,6 @@ fn build_events(n_projects: usize, items: usize, ops: &[RawOp]) -> Vec<PlatformE
             scheme: Scheme::Sequential,
         });
     }
-    // Interleave the seed facts across projects — the mixed multi-project
-    // shape a router has to unpick.
     for i in 0..items {
         for p in 0..n_projects {
             events.push(PlatformEvent::FactSeeded {
@@ -71,37 +75,46 @@ fn build_events(n_projects: usize, items: usize, ops: &[RawOp]) -> Vec<PlatformE
             });
         }
     }
-    for (kind, p, i, w, s, b) in ops {
-        let project = ProjectId((*p % n_projects) as u64 + 1);
-        let task = TaskId::compose(project, *i as u64 + 1);
-        let worker = WorkerId(*w);
-        events.push(match kind % 8 {
-            // Translate-level answer guesses (valid while the task is open).
-            0 | 1 => PlatformEvent::AnswerSubmitted {
-                worker,
-                task,
-                outputs: vec![Value::Str(s.clone())],
-            },
-            // Check-level answer guesses (tasks appear after drains).
-            2 => PlatformEvent::AnswerSubmitted {
-                worker,
-                task: TaskId::compose(project, (items + i) as u64 + 1),
-                outputs: vec![Value::Bool(*b)],
-            },
-            3 => PlatformEvent::InterestExpressed { worker, task },
-            4 => PlatformEvent::ClockAdvanced {
-                to: SimTime(*i as u64 * 137),
-            },
-            5 => PlatformEvent::WorkerRegistered {
-                profile: WorkerProfile::new(WorkerId(10 + w), format!("late{w}")),
-            },
-            6 => PlatformEvent::CollabTaskCreated {
-                project,
-                description: format!("collab {s}"),
-            },
-            _ => PlatformEvent::AssignmentRun { task },
-        });
+    events
+}
+
+/// Map one generated op onto a platform event.
+fn op_event(n_projects: usize, items: usize, op: &RawOp) -> PlatformEvent {
+    let (kind, p, i, w, s, b) = op;
+    let project = ProjectId((*p % n_projects) as u64 + 1);
+    let task = TaskId::compose(project, *i as u64 + 1);
+    let worker = WorkerId(*w);
+    match kind % 8 {
+        // Translate-level answer guesses (valid while the task is open).
+        0 | 1 => PlatformEvent::AnswerSubmitted {
+            worker,
+            task,
+            outputs: vec![Value::Str(s.clone())],
+        },
+        // Check-level answer guesses (tasks appear after drains).
+        2 => PlatformEvent::AnswerSubmitted {
+            worker,
+            task: TaskId::compose(project, (items + i) as u64 + 1),
+            outputs: vec![Value::Bool(*b)],
+        },
+        3 => PlatformEvent::InterestExpressed { worker, task },
+        4 => PlatformEvent::ClockAdvanced {
+            to: SimTime(*i as u64 * 137),
+        },
+        5 => PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(10 + w), format!("late{w}")),
+        },
+        6 => PlatformEvent::CollabTaskCreated {
+            project,
+            description: format!("collab {s}"),
+        },
+        _ => PlatformEvent::AssignmentRun { task },
     }
+}
+
+fn build_events(n_projects: usize, items: usize, ops: &[RawOp]) -> Vec<PlatformEvent> {
+    let mut events = setup_events(n_projects, items);
+    events.extend(ops.iter().map(|op| op_event(n_projects, items, op)));
     events
 }
 
@@ -140,7 +153,11 @@ proptest! {
             shard_counts.push(env_shards);
         }
         for shards in shard_counts {
-            let mut rt = ShardedRuntime::new(RuntimeConfig { shards, drain_every: 0 });
+            let rt = ShardedRuntime::new(RuntimeConfig {
+                shards,
+                drain_every: 0,
+                mailbox_capacity: 1024,
+            });
             for b in &batches {
                 rt.submit_batch(b.clone());
                 rt.drain();
@@ -166,6 +183,89 @@ proptest! {
             let replayed = Crowd4U::replay(&run.journal).unwrap();
             prop_assert_eq!(
                 replayed.state_dump(), serial_dump.clone(),
+                "state mismatch at {} shards", shards
+            );
+        }
+    }
+
+    /// The gate extension of the property: the same guarantees hold when
+    /// the ops are *fanned in from 4 concurrent submitter threads* through
+    /// cloned `IngestGate` handles, with a small mailbox capacity so the
+    /// blocking backpressure path is exercised. The serial reference
+    /// applies the events in the gate's global-sequence order (each
+    /// thread records the seq `submit` returned), so this also proves the
+    /// stamp-inside-the-shard-lock ordering rule: every mailbox is
+    /// delivered in seq order even under contention.
+    #[test]
+    fn concurrent_submitters_replay_byte_identical_to_seq_order_serial(
+        n_projects in 2usize..5,
+        items in 2usize..4,
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
+            4..48,
+        ),
+    ) {
+        const SUBMITTERS: usize = 4;
+        let setup = setup_events(n_projects, items);
+
+        for shards in [2usize, 4] {
+            let rt = ShardedRuntime::new(RuntimeConfig {
+                shards,
+                drain_every: 0,
+                mailbox_capacity: 8, // tiny: force blocking backpressure
+            });
+            rt.submit_batch(setup.clone());
+            rt.drain();
+
+            // Fan the ops in round-robin over 4 submitter threads; each
+            // thread keeps (seq, event) for the serial reference.
+            let mut streams: Vec<Vec<PlatformEvent>> = vec![Vec::new(); SUBMITTERS];
+            for (k, op) in ops.iter().enumerate() {
+                streams[k % SUBMITTERS].push(op_event(n_projects, items, op));
+            }
+            let handles: Vec<_> = streams
+                .into_iter()
+                .map(|stream| {
+                    let gate = rt.gate();
+                    std::thread::spawn(move || {
+                        stream
+                            .into_iter()
+                            .map(|e| (gate.submit(e.clone()).expect("runtime alive"), e))
+                            .collect::<Vec<(u64, PlatformEvent)>>()
+                    })
+                })
+                .collect();
+            let mut stamped: Vec<(u64, PlatformEvent)> = Vec::new();
+            for h in handles {
+                stamped.extend(h.join().expect("submitter thread"));
+            }
+            rt.drain();
+            let run = rt.finish().unwrap();
+
+            // Serial reference: the same events in global-sequence order.
+            stamped.sort_by_key(|(seq, _)| *seq);
+            let ordered: Vec<PlatformEvent> =
+                stamped.into_iter().map(|(_, e)| e).collect();
+            let mut serial = Crowd4U::new();
+            let mut dropped = serial.apply_batch(setup.clone()).unwrap().errors.len() as u64;
+            dropped += serial.apply_batch(ordered).unwrap().errors.len() as u64;
+
+            prop_assert_eq!(
+                run.stats.dropped, dropped,
+                "dropped mismatch at {} shards", shards
+            );
+            prop_assert_eq!(
+                run.stats.applied + run.stats.dropped,
+                (setup.len() + ops.len()) as u64,
+                "event accounting mismatch at {} shards", shards
+            );
+            prop_assert_eq!(
+                run.journal.dump(), serial.journal().dump(),
+                "journal mismatch at {} shards", shards
+            );
+            let replayed = Crowd4U::replay(&run.journal).unwrap();
+            prop_assert_eq!(
+                replayed.state_dump(), serial.state_dump(),
                 "state mismatch at {} shards", shards
             );
         }

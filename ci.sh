@@ -48,9 +48,20 @@ echo
 echo "==> bench smoke: e11_gate_throughput (CRITERION_BUDGET_MS=50)"
 CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
     cargo bench -p crowd4u-bench --bench e11_gate_throughput
+# Scenario-streaming smoke: the bench itself asserts byte-identical
+# journals (streamed == serial reference at 1 and 4 shards; shard-job
+# slices == their decision shadows) plus the throughput floors vs the
+# retired whole-driver shard-job model (full-size baseline in
+# BENCH_scenario.json; regenerate with
+# `cargo run --release -p crowd4u-bench --bin report -- scenario`).
+echo
+echo "==> bench smoke: e12_scenario_streaming (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e12_scenario_streaming
 # Exercise the parallel path on every CI run: the integration suite again,
-# with the runtime pinned to 4 shards (shard_equivalence picks the value
-# up via RUNTIME_SHARDS and adds it to its shard-count sweep).
+# with the runtime pinned to 4 shards (shard_equivalence and
+# scenario_streaming pick the value up via RUNTIME_SHARDS and add it to
+# their shard-count sweeps).
 echo
 echo "==> integration tests with RUNTIME_SHARDS=4"
 RUNTIME_SHARDS=4 cargo test -q -p crowd4u --tests

@@ -1,0 +1,104 @@
+//! E12: scenario streaming through the ingestion gate vs the retired
+//! whole-`Driver` shard-job execution model.
+//!
+//! Workload: multi-project scenarios — one seeded crowd driving all three
+//! §2.5 schemes on one `Driver`, three projects each. The retired model
+//! ships each scenario whole to a single shard (its projects are pinned
+//! together; other shards cannot help); the PR 5 streaming port records
+//! the scenario's decision stream once (untimed client-side work) and
+//! pushes it through `IngestGate` handles, so every project lands on its
+//! owner shard and concurrent scenarios interleave.
+//!
+//! What the numbers mean **on this single-core container**: both models
+//! execute the same platform operations serially, and the scenario's
+//! decision logic is only a few percent of a run, so matched shard counts
+//! measure at parity; at 4 shards the streamed path additionally pays the
+//! broadcast-replication cost (clocks and registrations apply on every
+//! shard) with no parallel payback. Multi-core hosts get that payback —
+//! a lone scenario's three projects genuinely apply in parallel, which
+//! the pinned model cannot do at any core count. The smoke gates below
+//! are therefore *parity/regression floors*, not a victory margin, plus
+//! the byte-level correctness checks that are the port's actual point:
+//! the streamed merged journal must equal the serial reference at every
+//! shard count, and the shard-job model's slice journals must equal the
+//! decision shadows'.
+//!
+//! `report -- scenario` records the full sweep to `BENCH_scenario.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_bench::{
+    best_multi_project_run, multi_project_configs, multi_project_serial_reference,
+    record_multi_project_trace, run_multi_project_shard_jobs, run_multi_project_streamed,
+    ScenarioStreamWorkload,
+};
+
+fn bench_scenario_streaming(c: &mut Criterion) {
+    let w = ScenarioStreamWorkload::default();
+    let configs = multi_project_configs(&w);
+    let recorded: Vec<_> = configs.iter().map(record_multi_project_trace).collect();
+    let traces: Vec<_> = recorded.iter().map(|(t, _)| t.clone()).collect();
+
+    let mut group = c.benchmark_group("e12_scenario_streaming");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("shard-jobs", shards),
+            &shards,
+            |b, &shards| b.iter(|| run_multi_project_shard_jobs(shards, &configs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streamed", shards),
+            &shards,
+            |b, &shards| b.iter(|| run_multi_project_streamed(shards, &traces)),
+        );
+    }
+    group.finish();
+
+    // Smoke gates (run under any CRITERION_BUDGET_MS).
+    // 1. Byte-level correctness: the streamed journal equals the serial
+    //    reference at 1 and 4 shards (shard-count invariance), and each
+    //    shard-job slice journal equals its decision shadow's.
+    let serial_ref = multi_project_serial_reference(&traces);
+    let (tb1, _) = best_multi_project_run(3, || run_multi_project_shard_jobs(1, &configs));
+    let (ts1, j1) = best_multi_project_run(3, || run_multi_project_streamed(1, &traces));
+    assert_eq!(
+        j1, serial_ref,
+        "streamed journal != serial reference at 1 shard"
+    );
+    let (tb4, base_journals) =
+        best_multi_project_run(3, || run_multi_project_shard_jobs(4, &configs));
+    // Valid only with one scenario per shard: on fewer shards the second
+    // job lands on the first's slice and its journal is appended there —
+    // the retired model's actual (and limiting) semantics.
+    for (journal, (_, shadow)) in base_journals.iter().zip(&recorded) {
+        assert_eq!(journal, shadow, "shard job diverged from the shadow run");
+    }
+    let (ts4, j4) = best_multi_project_run(3, || run_multi_project_streamed(4, &traces));
+    assert_eq!(
+        j4, serial_ref,
+        "streamed journal must be shard-count-invariant"
+    );
+
+    // 2. Throughput floors: parity at the matched single-shard
+    //    configuration, bounded broadcast-replication cost at 4 shards.
+    let r1 = tb1.as_secs_f64() / ts1.as_secs_f64();
+    let r4 = tb4.as_secs_f64() / ts4.as_secs_f64();
+    println!(
+        "e12 smoke: {} drivers x 3 projects — 1 shard: jobs {tb1:.2?} vs streamed {ts1:.2?} \
+         ({r1:.2}x); 4 shards: jobs {tb4:.2?} vs streamed {ts4:.2?} ({r4:.2}x)",
+        w.drivers
+    );
+    assert!(
+        r1 >= 0.8,
+        "streamed scenario ingestion regressed: {r1:.2}x the shard-job model at 1 shard \
+         (parity floor 0.8)"
+    );
+    assert!(
+        r4 >= 0.55,
+        "streamed scenario ingestion regressed: {r4:.2}x the shard-job model at 4 shards \
+         (replication floor 0.55)"
+    );
+}
+
+criterion_group!(benches, bench_scenario_streaming);
+criterion_main!(benches);

@@ -386,6 +386,188 @@ pub fn best_gate_admission(
     best.expect("reps >= 1")
 }
 
+/// The E12 scenario-streaming workload: `drivers` multi-project
+/// scenarios, each ONE seeded crowd running all three §2.5 schemes on one
+/// `Driver` — three projects per scenario. This is exactly the shape the
+/// retired PR 3 execution model could not exploit: a whole-`Driver` shard
+/// job pins all of a scenario's projects to one shard, while the PR 5
+/// streaming port routes each project to its owner and the scenario spans
+/// the runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioStreamWorkload {
+    /// Multi-project scenarios (keep ≤ the shard count: the baseline
+    /// round-robins one whole scenario per shard).
+    pub drivers: usize,
+    pub crowd: usize,
+    pub items: usize,
+    pub seed: u64,
+}
+
+impl Default for ScenarioStreamWorkload {
+    fn default() -> Self {
+        ScenarioStreamWorkload {
+            drivers: 2,
+            crowd: 40,
+            items: 4,
+            seed: 29,
+        }
+    }
+}
+
+/// Per-driver scenario configs (distinct seeds).
+pub fn multi_project_configs(w: &ScenarioStreamWorkload) -> Vec<crowd4u_scenarios::ScenarioConfig> {
+    (0..w.drivers)
+        .map(|i| {
+            crowd4u_scenarios::ScenarioConfig::default()
+                .with_crowd(w.crowd)
+                .with_items(w.items)
+                .with_seed(w.seed + i as u64 * 17)
+        })
+        .collect()
+}
+
+/// Drive one decision shadow through all three schemes back to back —
+/// one crowd, three projects — and record its stream. Returns the trace
+/// plus the shadow's journal dump (the byte-level correctness reference).
+/// The trace's `shadow`/`completion` report fields are not meaningful for
+/// a heterogeneous multi-project trace; E12 checks correctness by journal
+/// byte-equality instead of report assembly.
+pub fn record_multi_project_trace(
+    config: &crowd4u_scenarios::ScenarioConfig,
+) -> (crowd4u_scenarios::ScenarioTrace, String) {
+    use crowd4u_scenarios::{run_scheme_on, Driver};
+    let mut d = Driver::new(config);
+    let mut last = None;
+    for scheme in crowd4u_collab::Scheme::all() {
+        last = Some(run_scheme_on(&mut d, scheme, config).expect("scenario run"));
+    }
+    let trace = crowd4u_scenarios::ScenarioTrace {
+        scheme: crowd4u_collab::Scheme::Hybrid,
+        ops: d.ops_since(0).expect("decode own journal"),
+        crowd: config.crowd as u64,
+        projects: d.platform.project_ids(),
+        completion: crowd4u_scenarios::stream::Completion::CollabsCompleted,
+        shadow: last.expect("three schemes ran"),
+    };
+    (trace, d.platform.journal().dump())
+}
+
+/// The **retired** PR 3 scenario execution model, kept as the E12
+/// baseline: each multi-project scenario ships whole — crowd generation,
+/// decision logic and platform work — to one shard as a resident-slice
+/// job (`Driver::on_platform`), so its three projects are pinned together
+/// and other shards cannot help. Returns per-driver slice journal dumps
+/// for the correctness check (fresh slice ⇒ must equal the shadow's).
+pub fn run_multi_project_shard_jobs(
+    shards: usize,
+    configs: &[crowd4u_scenarios::ScenarioConfig],
+) -> (std::time::Duration, Vec<String>) {
+    use crowd4u_runtime::prelude::*;
+    use crowd4u_scenarios::{run_scheme_on, Driver};
+
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: 0,
+        mailbox_capacity: 0,
+    });
+    let start = std::time::Instant::now();
+    let receivers: Vec<_> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, config)| {
+            let config = config.clone();
+            rt.submit_job(i % rt.shards(), move |platform| {
+                let base = std::mem::take(platform);
+                let mut driver = Driver::on_platform(base, &config);
+                for scheme in crowd4u_collab::Scheme::all() {
+                    run_scheme_on(&mut driver, scheme, &config).expect("scenario run");
+                }
+                let journal = driver.platform.journal().dump();
+                *platform = driver.into_platform();
+                journal
+            })
+        })
+        .collect();
+    let journals: Vec<String> = receivers
+        .into_iter()
+        .map(|rx| rx.recv().expect("shard alive"))
+        .collect();
+    let elapsed = start.elapsed();
+    drop(rt);
+    (elapsed, journals)
+}
+
+/// The PR 5 streaming path: push the pre-recorded scenario streams
+/// through the ingestion gate — every project routed to its owner shard,
+/// scenarios interleaved by timestamp, drain markers as coordinated
+/// barriers. Timed region: submission and apply (the platform-side cost);
+/// recording is untimed client-side decision work, exactly like a
+/// production front-end deciding *before* it calls the ingestion API.
+/// Returns the merged journal dump (must equal the serial
+/// `apply_stream` reference byte for byte).
+pub fn run_multi_project_streamed(
+    shards: usize,
+    traces: &[crowd4u_scenarios::ScenarioTrace],
+) -> (std::time::Duration, String) {
+    use crowd4u_runtime::prelude::*;
+    use crowd4u_runtime::scenario::submit_retrying;
+    use crowd4u_scenarios::stream::StreamOp;
+
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: 0,
+        mailbox_capacity: 0,
+    });
+    let mut merged = crowd4u_scenarios::merge_traces(traces);
+    let gate = rt.gate();
+    let start = std::time::Instant::now();
+    for (_, op) in merged.ops.drain(..) {
+        match op {
+            StreamOp::Event(e) => {
+                submit_retrying(&gate, e).expect("runtime alive");
+            }
+            StreamOp::Drain => {
+                rt.drain();
+            }
+        }
+    }
+    rt.barrier();
+    let elapsed = start.elapsed();
+    let run = rt.finish().expect("finish");
+    (elapsed, run.journal.dump())
+}
+
+/// The untimed serial reference for the streamed run's correctness
+/// check: the same merged stream applied by one thread to one platform.
+pub fn multi_project_serial_reference(traces: &[crowd4u_scenarios::ScenarioTrace]) -> String {
+    let merged = crowd4u_scenarios::merge_traces(traces);
+    let mut platform = crowd4u_core::platform::Crowd4U::new();
+    crowd4u_scenarios::stream::apply_stream(&mut platform, &merged).expect("serial apply");
+    platform.journal().dump()
+}
+
+/// Best-of-`reps` timing for an E12 run; every repetition must reproduce
+/// the same journal dumps (byte-level correctness inside the bench).
+pub fn best_multi_project_run<T: PartialEq + std::fmt::Debug>(
+    reps: usize,
+    mut run: impl FnMut() -> (std::time::Duration, T),
+) -> (std::time::Duration, T) {
+    let mut best: Option<(std::time::Duration, T)> = None;
+    for _ in 0..reps.max(1) {
+        let (elapsed, out) = run();
+        match &mut best {
+            Some((b, prev)) => {
+                assert_eq!(prev, &out, "repetitions must agree byte for byte");
+                if elapsed < *b {
+                    *b = elapsed;
+                }
+            }
+            None => best = Some((elapsed, out)),
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 /// A random team-formation instance: `n` workers with uniform skills,
 /// costs in `[0, 3)` and uniform pairwise affinities.
 pub fn random_instance(n: usize, seed: u64) -> (Vec<Candidate>, AffinityMatrix) {

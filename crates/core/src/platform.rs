@@ -52,6 +52,11 @@ pub struct Project {
     /// Feedback to the requester when no feasible team exists (§2.2.1:
     /// "Crowd4U suggests to the requester to update her input").
     pub suggestion: Option<String>,
+    /// Whether the CyLog description derives `eligible(w: id)` — decided
+    /// once at registration (rules are fixed after compilation). Gates
+    /// how aggressively the eligible-set cache is reused: only a
+    /// declarative screen depends on the project's fact base.
+    declarative: bool,
     /// Bumped whenever the project's fact base changes through the platform
     /// (seeded facts, answers); part of the eligibility-cache key.
     epoch: u64,
@@ -144,6 +149,24 @@ impl Crowd4U {
         &self.journal
     }
 
+    /// Bump a **project-scoped** counter alongside its platform-global
+    /// twin. Scoped counters are what scenario-level accounting reads when
+    /// several workloads share one platform (or one shard slice): a global
+    /// delta cannot attribute `teams_suggested` to the scenario that
+    /// formed the team, a per-project count can. Like all counters they
+    /// are volatile bookkeeping — excluded from [`Crowd4U::state_dump`].
+    fn bump_project_counter(&mut self, project: ProjectId, name: &str) {
+        self.counters.incr(&format!("p{}.{name}", project.0));
+    }
+
+    /// A project-scoped counter (see the mirrored increments:
+    /// `teams_suggested`, `deadlines_missed`, `answers`,
+    /// `collab_completed`, `tasks_abandoned`). Zero for never-touched
+    /// projects.
+    pub fn project_counter(&self, project: ProjectId, name: &str) -> u64 {
+        self.counters.get(&format!("p{}.{name}", project.0))
+    }
+
     /// Move the platform clock forward, processing any expired recruitment
     /// deadlines (workflow step: "unless all suggested workers start … by
     /// the specified deadline, task assignment is re-executed").
@@ -162,13 +185,50 @@ impl Crowd4U {
             profile: profile.clone(),
         });
         self.counters.incr("workers_registered");
+        let worker = profile.id;
         self.workers.register(profile);
         // New workers become eligible for existing open tasks they qualify
-        // for; eligibility is computed once per project touching open tasks
-        // (the registration already invalidated the eligibility caches).
+        // for. Under the factor screen a registration can only change the
+        // registered worker's own rows, so the refresh is incremental —
+        // recomputing the full eligible set here made every registration
+        // burst O(population × open tasks). Declarative projects still
+        // recompute in full: a new worker fact may flip *other* workers'
+        // derived eligibility. (The registration already invalidated the
+        // epoch caches either way.)
         for project in self.pool.projects_with_open_tasks() {
-            let _ = self.refresh_project_eligibility(project);
+            let _ = self.refresh_registered_eligibility(worker, project);
         }
+    }
+
+    /// Post-registration eligibility repair for one project: mark the new
+    /// worker on the project's open tasks if the factor screen admits
+    /// them, or fall back to the full recompute for declaratively
+    /// screened projects.
+    fn refresh_registered_eligibility(
+        &mut self,
+        worker: WorkerId,
+        project: ProjectId,
+    ) -> Result<(), PlatformError> {
+        let proj = self
+            .projects
+            .get(&project)
+            .ok_or(PlatformError::UnknownProject(project))?;
+        if proj.declarative {
+            return self.refresh_project_eligibility(project);
+        }
+        if !eligibility::is_eligible(self.workers.get(worker)?, &proj.factors) {
+            return Ok(());
+        }
+        let tasks: Vec<TaskId> = self
+            .pool
+            .open_tasks(Some(project))
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        for task in tasks {
+            self.relations.mark_eligible(worker, task)?;
+        }
+        Ok(())
     }
 
     /// The workers eligible for a project's tasks. Projects whose CyLog
@@ -187,25 +247,36 @@ impl Crowd4U {
                 .get(&project)
                 .ok_or(PlatformError::UnknownProject(project))?;
             if let Some(cache) = &proj.eligible_cache {
-                if cache.worker_version == worker_version && cache.project_epoch == proj.epoch {
+                // The human-factor screen is a pure function of profiles ×
+                // requester factors, so its cached set survives fact-base
+                // changes; only a declarative screen (CyLog-derived
+                // `eligible`) must also match the project epoch.
+                if cache.worker_version == worker_version
+                    && (!proj.declarative || cache.project_epoch == proj.epoch)
+                {
                     self.counters.incr("eligibility_cache_hits");
                     return Ok(cache.workers.clone());
                 }
             }
         }
         self.counters.incr("eligibility_cache_misses");
-        let profiles: Vec<crowd4u_crowd::profile::WorkerProfile> =
-            self.workers.profiles().cloned().collect();
         let proj = self.projects.get_mut(&project).expect("checked above");
-        let workers = if crate::declarative::uses_declarative_eligibility(&proj.engine) {
+        let workers = if proj.declarative {
+            // The declarative path writes worker facts into the project
+            // engine while reading profiles, so it needs owned copies.
+            let profiles: Vec<crowd4u_crowd::profile::WorkerProfile> =
+                self.workers.profiles().cloned().collect();
             for p in &profiles {
                 crate::declarative::sync_worker_facts(&mut proj.engine, p)?;
             }
             proj.engine.run()?;
             crate::declarative::eligible_workers(&proj.engine)?
         } else {
-            profiles
-                .iter()
+            // The factor screen only reads: no reason to clone the whole
+            // population (this path runs on every cache miss, over every
+            // registered worker of the slice).
+            self.workers
+                .profiles()
                 .filter(|p| eligibility::is_eligible(p, &proj.factors))
                 .map(|p| p.id)
                 .collect()
@@ -247,6 +318,7 @@ impl Crowd4U {
         scheme: Scheme,
     ) -> Result<ProjectId, PlatformError> {
         let engine = CylogEngine::from_source(cylog_source)?;
+        let declarative = crate::declarative::uses_declarative_eligibility(&engine);
         let name = name.into();
         self.record(&PlatformEvent::ProjectRegistered {
             name: name.clone(),
@@ -265,6 +337,7 @@ impl Crowd4U {
                 factors,
                 scheme,
                 suggestion: None,
+                declarative,
                 epoch: 0,
                 eligible_cache: None,
             },
@@ -463,7 +536,14 @@ impl Crowd4U {
             .collect();
         let candidates = candidates_from_profiles(&profiles, skill.as_deref());
         let constraints = constraints_from_factors(&factors);
-        let affinity = self.workers.affinity().clone();
+        // The algorithms only ever look up affinities among the
+        // candidates, and pair affinity is a pure function of the two
+        // profiles — so build the candidate submatrix directly instead of
+        // materialising (or cloning) the full population matrix. This
+        // makes assignment cost independent of how many workers the
+        // platform hosts: O(candidates²), not O(population²).
+        let (wg, wl, ws) = self.workers.weights;
+        let affinity = crowd4u_crowd::affinity::affinity_from_profile_refs(&profiles, wg, wl, ws);
         let team = self
             .controller
             .suggest_team(&candidates, &affinity, &constraints);
@@ -479,6 +559,7 @@ impl Crowd4U {
                     },
                 )?;
                 self.counters.incr("teams_suggested");
+                self.bump_project_counter(project, "teams_suggested");
                 self.project_mut(project)?.suggestion = None;
                 Ok(team)
             }
@@ -579,6 +660,7 @@ impl Crowd4U {
                 self.relations.withdraw_interest(w, task)?;
             }
             self.counters.incr("deadlines_missed");
+            self.bump_project_counter(task.project(), "deadlines_missed");
             if self.pool.bump_reassignments(task)? > self.max_reassignments {
                 self.pool.set_state(
                     task,
@@ -588,6 +670,7 @@ impl Crowd4U {
                 )?;
                 self.relations.clear_task(task)?;
                 self.counters.incr("tasks_abandoned");
+                self.bump_project_counter(task.project(), "tasks_abandoned");
                 continue;
             }
             self.pool.set_state(task, TaskState::Open)?;
@@ -640,6 +723,7 @@ impl Crowd4U {
             .set_state(task, TaskState::Completed { team: vec![worker] })?;
         self.relations.clear_task(task)?;
         self.counters.incr("micro_tasks_completed");
+        self.bump_project_counter(project, "answers");
         self.touch_project(project);
         self.record(&PlatformEvent::AnswerSubmitted {
             worker,
@@ -673,6 +757,7 @@ impl Crowd4U {
         self.workers.record_outcome(members, quality);
         self.relations.clear_task(task)?;
         self.counters.incr("collab_tasks_completed");
+        self.bump_project_counter(task.project(), "collab_completed");
         if let Some(m) = self.monitors.get_mut(&task) {
             m.apply(MonitorEvent::Completed);
         }
@@ -1367,10 +1452,32 @@ published(S, T) :- sentence(S), translate(S, T).
         assert_eq!(p.eligible_set(proj).unwrap().len(), 4);
         assert!(p.counters.get("eligibility_cache_misses") > misses_after_first);
 
-        // New facts invalidate too (declarative rules may depend on them).
+        // The factor screen is a pure function of profiles × factors, so
+        // new facts do NOT invalidate it (the set is served from cache).
         let misses = p.counters.get("eligibility_cache_misses");
         p.seed_fact(proj, "sentence", vec!["x".into()]).unwrap();
         p.eligible_set(proj).unwrap();
+        assert_eq!(p.counters.get("eligibility_cache_misses"), misses);
+
+        // A declaratively screened project (CyLog-derived `eligible`)
+        // still invalidates on fact changes — its rules may read them.
+        const DECL: &str = "\
+rel worker(w: id).
+rel flag(w: id).
+rel eligible(w: id).
+eligible(W) :- flag(W).
+rel sentence(s: str).
+open translate(s: str) -> (t: str).
+rel published(s: str, t: str).
+published(S, T) :- sentence(S), translate(S, T).
+";
+        let decl = p
+            .register_project("decl", DECL, factors(), Scheme::Sequential)
+            .unwrap();
+        assert!(p.eligible_set(decl).unwrap().is_empty());
+        let misses = p.counters.get("eligibility_cache_misses");
+        p.seed_fact(decl, "flag", vec![Value::Id(1)]).unwrap();
+        assert_eq!(p.eligible_set(decl).unwrap(), vec![WorkerId(1)]);
         assert_eq!(p.counters.get("eligibility_cache_misses"), misses + 1);
     }
 
@@ -1416,6 +1523,40 @@ published(S, T) :- sentence(S), translate(S, T).
         // Divergent histories dump differently.
         let other = platform_with_workers(1);
         assert_ne!(other.state_dump(), dump);
+    }
+
+    #[test]
+    fn project_counters_attribute_per_project() {
+        let mut p = platform_with_workers(3);
+        let a = p
+            .register_project("a", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        let b = p
+            .register_project("b", SRC, factors(), Scheme::Sequential)
+            .unwrap();
+        // One answer in project a only.
+        p.seed_fact(a, "sentence", vec!["x".into()]).unwrap();
+        p.sync_tasks(a).unwrap();
+        let task = p.pool.open_tasks(Some(a))[0].id;
+        p.submit_micro_answer(WorkerId(1), task, vec!["y".into()])
+            .unwrap();
+        assert_eq!(p.project_counter(a, "answers"), 1);
+        assert_eq!(p.project_counter(b, "answers"), 0);
+        // A team + completion in project b only.
+        let collab = p.create_collab_task(b, "x").unwrap();
+        p.express_interest(WorkerId(1), collab).unwrap();
+        p.express_interest(WorkerId(2), collab).unwrap();
+        let team = p.run_assignment(collab).unwrap();
+        assert_eq!(p.project_counter(b, "teams_suggested"), 1);
+        assert_eq!(p.project_counter(a, "teams_suggested"), 0);
+        for &m in &team.members {
+            p.undertake(m, collab).unwrap();
+        }
+        p.complete_collab_task(collab, 0.9).unwrap();
+        assert_eq!(p.project_counter(b, "collab_completed"), 1);
+        assert_eq!(p.project_counter(a, "collab_completed"), 0);
+        // Scoped counters stay out of the canonical state dump.
+        assert!(!p.state_dump().contains("teams_suggested"));
     }
 
     #[test]

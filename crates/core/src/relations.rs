@@ -109,7 +109,7 @@ impl RelationStore {
         for rel in RELS {
             self.db
                 .relation_mut(rel)?
-                .delete_where(|row| row[0] == Value::Id(w.0) && row[1] == Value::Id(t.0));
+                .delete_matching(&[0, 1], &[Value::Id(w.0), Value::Id(t.0)]);
         }
         Ok(())
     }
@@ -137,7 +137,7 @@ impl RelationStore {
     pub fn withdraw_interest(&mut self, w: WorkerId, t: TaskId) -> Result<(), PlatformError> {
         self.db
             .relation_mut("interested_in")?
-            .delete_where(|row| row[0] == Value::Id(w.0) && row[1] == Value::Id(t.0));
+            .delete_matching(&[0, 1], &[Value::Id(w.0), Value::Id(t.0)]);
         Ok(())
     }
 
@@ -162,10 +162,13 @@ impl RelationStore {
 
     /// Remove every relationship of a finished/abandoned task.
     pub fn clear_task(&mut self, t: TaskId) -> Result<(), PlatformError> {
+        // Point deletion through the task index — a task's rows are a
+        // vanishing fraction of the store on a platform with many tasks
+        // and workers, and this runs on every answer and completion.
         for rel in RELS {
             self.db
                 .relation_mut(rel)?
-                .delete_where(|row| row[1] == Value::Id(t.0));
+                .delete_matching(&[1], &[Value::Id(t.0)]);
         }
         Ok(())
     }

@@ -149,29 +149,52 @@ pub fn affinity_from_profiles(
     w_lang: f64,
     w_skill: f64,
 ) -> AffinityMatrix {
+    let refs: Vec<&WorkerProfile> = workers.iter().collect();
+    affinity_from_profile_refs(&refs, w_geo, w_lang, w_skill)
+}
+
+/// [`affinity_from_profiles`] over borrowed profiles — the entry point
+/// for computing a *submatrix* (e.g. an assignment's candidate set)
+/// without cloning profiles or touching the rest of the population. Pair
+/// affinity is a pure function of the two profiles and the weights, so a
+/// submatrix entry is bit-identical to the full matrix's.
+pub fn affinity_from_profile_refs(
+    workers: &[&WorkerProfile],
+    w_geo: f64,
+    w_lang: f64,
+    w_skill: f64,
+) -> AffinityMatrix {
     let total = (w_geo + w_lang + w_skill).max(f64::MIN_POSITIVE);
     let (wg, wl, ws) = (w_geo / total, w_lang / total, w_skill / total);
     let mut m = AffinityMatrix::new(workers.iter().map(|w| w.id).collect());
+    // The pair loop is O(n²) and runs over the full registered population
+    // of a platform slice — hoist every per-worker feature (fluent
+    // languages, skill names) out of it so the inner body allocates only
+    // one reusable scratch buffer. Same arithmetic, same iteration
+    // orders, bit-identical affinities.
+    let fluent: Vec<Vec<&str>> = workers
+        .iter()
+        .map(|w| {
+            w.factors
+                .fluency
+                .iter()
+                .filter(|(_, &f)| f >= 0.5)
+                .map(|(l, _)| l.code())
+                .collect()
+        })
+        .collect();
+    let skill_names: Vec<Vec<&str>> = workers
+        .iter()
+        .map(|w| w.factors.skills.keys().map(String::as_str).collect())
+        .collect();
+    let mut names: Vec<&str> = Vec::new();
     for (i, a) in workers.iter().enumerate() {
-        for b in workers.iter().skip(i + 1) {
+        for (j, b) in workers.iter().enumerate().skip(i + 1) {
             // Geography: map distance in [0, sqrt(2)] to closeness in [0,1].
             let d = a.factors.region.distance(&b.factors.region);
             let geo = (1.0 - d / std::f64::consts::SQRT_2).clamp(0.0, 1.0);
             // Language: Jaccard over languages with fluency ≥ 0.5.
-            let la: Vec<&str> = a
-                .factors
-                .fluency
-                .iter()
-                .filter(|(_, &f)| f >= 0.5)
-                .map(|(l, _)| l.code())
-                .collect();
-            let lb: Vec<&str> = b
-                .factors
-                .fluency
-                .iter()
-                .filter(|(_, &f)| f >= 0.5)
-                .map(|(l, _)| l.code())
-                .collect();
+            let (la, lb) = (&fluent[i], &fluent[j]);
             let inter = la.iter().filter(|l| lb.contains(l)).count();
             let union = la.len() + lb.len() - inter;
             let lang = if union == 0 {
@@ -180,9 +203,10 @@ pub fn affinity_from_profiles(
                 inter as f64 / union as f64
             };
             // Skills: 1 - mean |Δ| over the union of named skills.
-            let mut names: Vec<&str> = a.factors.skills.keys().map(String::as_str).collect();
-            for k in b.factors.skills.keys() {
-                if !names.contains(&k.as_str()) {
+            names.clear();
+            names.extend_from_slice(&skill_names[i]);
+            for k in &skill_names[j] {
+                if !names.contains(k) {
                     names.push(k);
                 }
             }
@@ -196,7 +220,10 @@ pub fn affinity_from_profiles(
                     / names.len() as f64;
                 1.0 - diff
             };
-            m.set(a.id, b.id, wg * geo + wl * lang + ws * skill);
+            // Write the lower-triangle slot directly — ids arrived in
+            // matrix order, so the position is arithmetic, not a hash
+            // lookup per pair.
+            m.tri[j * (j - 1) / 2 + i] = wg * geo + wl * lang + ws * skill;
         }
     }
     m

@@ -99,13 +99,17 @@
 //! assert_eq!(replayed.points_of(WorkerId(1)), 4);
 //! ```
 //!
-//! ## Scenario port
+//! ## Scenario streaming
 //!
-//! [`scenario::run_scenarios`] dispatches the §2.5 demo workloads
-//! (journalism / surveillance / translation) onto shard threads: each job
-//! wraps the shard's resident platform in a
-//! [`Driver`](crowd4u_scenarios::Driver) (`Driver::on_platform`) and runs
-//! the scenario there, in parallel across shards.
+//! [`scenario::run_scenarios`] runs the §2.5 demo workloads **through the
+//! gate**: each scenario's decision logic executes once on its own
+//! shadow [`Driver`](crowd4u_scenarios::Driver) (recording is parallel
+//! across jobs), and the recorded, timestamp-interleaved event streams
+//! are pushed through cloned [`IngestGate`] handles — so one scenario's
+//! projects span shards, several scenarios share one runtime, and the
+//! merged journal stays byte-identical to a serial run. See the
+//! [`scenario`] module docs and `docs/SCENARIOS.md` for the authoring
+//! guide.
 
 pub mod gate;
 pub mod router;
@@ -119,6 +123,6 @@ pub use shard::ShardStats;
 pub mod prelude {
     pub use crate::gate::{GateError, IngestGate};
     pub use crate::router::{RunReport, RuntimeConfig, ShardedRuntime};
-    pub use crate::scenario::run_scenarios;
+    pub use crate::scenario::{run_mixed, run_scenarios, stream_traces};
     pub use crate::shard::ShardStats;
 }

@@ -1,70 +1,248 @@
-//! The §2.5 demo scenarios on the sharded runtime.
+//! The §2.5 demo scenarios **streamed through the ingestion gate** — the
+//! scenario front-end of the sharded runtime.
 //!
-//! Each job wraps the target shard's resident platform slice in a
-//! [`Driver`] (`Driver::on_platform`), runs the scenario there, and puts
-//! the slice back — so journalism / surveillance / translation execute
-//! wherever their project lives, in parallel across shards. Scenario jobs
-//! are deterministic (seeded) and scenario-scoped in their accounting, so
-//! the reports are identical to single-threaded `run_scheme` runs.
+//! Until PR 5 a scenario executed as a whole-`Driver` job pinned to one
+//! shard's resident platform slice, which structurally excluded the
+//! cross-project, cross-application workloads the paper is about: a
+//! scenario could never span shards, and scenario jobs could not coexist
+//! with routed `ProjectRegistered` events. That execution model is
+//! retired. A scenario now runs in two halves:
 //!
-//! Scenario jobs register projects directly on their shard (not through the
-//! router), so don't mix them with routed `ProjectRegistered` events on the
-//! same runtime instance — the per-shard project-id sequences would
-//! diverge.
+//! 1. **Record** — the scenario logic runs on its own *decision shadow*
+//!    (a [`Driver`](crowd4u_scenarios::Driver) over a private slice,
+//!    [`record_scheme`]); every
+//!    state change it makes is yielded as a timed op
+//!    ([`Driver::drain_due`](crowd4u_scenarios::Driver::drain_due) /
+//!    [`Driver::ops_since`](crowd4u_scenarios::Driver::ops_since)).
+//!    Recording different scenarios is embarrassingly parallel.
+//! 2. **Stream** — [`stream_traces`] interleaves the recorded streams by
+//!    `SimTime` (deterministically, with per-scenario worker/project id
+//!    remapping — see [`crowd4u_scenarios::stream::merge_traces`]) and
+//!    pushes every op through an [`IngestGate`] handle: project
+//!    registrations broadcast like any other global event, project-scoped
+//!    ops land on their owner shard, and
+//!    [`StreamOp::Drain`](crowd4u_scenarios::stream::StreamOp) markers
+//!    become coordinated drain barriers. One scenario's projects span
+//!    shards; many scenarios interleave through the same gate.
+//!
+//! Submission uses [`IngestGate::try_submit`] with a resubmit-same-event
+//! retry: a [`GateError::Full`] hands the event back and it is retried
+//! until admitted, so backpressure can delay the stream but **never
+//! reorder it** — the determinism contract (ARCHITECTURE.md §5) depends
+//! on stream order surviving full mailboxes.
+//!
+//! Reports are scenario-scoped without resident-slice counter deltas:
+//! platform observables (items completed, teams suggested, reassignments,
+//! points) are recomputed from the owner shards via per-project counters
+//! and project-ledger aggregation, crowd-simulation observables (answers,
+//! quality, makespan, affinity) come from the decision shadow. For a lone
+//! scenario the streamed report equals a single-threaded run exactly:
+//!
+//! ```
+//! use crowd4u_runtime::prelude::*;
+//! use crowd4u_runtime::scenario::run_scenarios;
+//! use crowd4u_scenarios::{run_scheme, ScenarioConfig};
+//! use crowd4u_collab::Scheme;
+//!
+//! let cfg = ScenarioConfig::default().with_crowd(16).with_items(1).with_seed(3);
+//! let rt = ShardedRuntime::new(RuntimeConfig {
+//!     shards: 2,
+//!     drain_every: 0,
+//!     mailbox_capacity: 64,
+//! });
+//! let streamed = run_scenarios(&rt, &[(Scheme::Sequential, cfg.clone())]).unwrap();
+//! let serial = run_scheme(Scheme::Sequential, &cfg).unwrap();
+//! assert_eq!(streamed[0].items_completed, serial.items_completed);
+//! assert_eq!(streamed[0].answers, serial.answers);
+//! assert_eq!(streamed[0].teams_formed, serial.teams_formed);
+//! assert_eq!(streamed[0].points_awarded, serial.points_awarded);
+//! assert_eq!(streamed[0].makespan, serial.makespan);
+//! rt.finish().unwrap();
+//! ```
 
+use crate::gate::{GateError, IngestGate};
 use crate::router::ShardedRuntime;
 use crowd4u_collab::Scheme;
 use crowd4u_core::error::PlatformError;
-use crowd4u_scenarios::{run_scheme_on, Driver, ScenarioConfig, ScenarioReport};
+use crowd4u_core::events::PlatformEvent;
+use crowd4u_scenarios::mixed::{reports_from, MixedReport};
+use crowd4u_scenarios::stream::{
+    merge_traces, platform_side, record_scheme, ScenarioTrace, StreamOp,
+};
+use crowd4u_scenarios::{ScenarioConfig, ScenarioReport};
 
-/// Dispatch one scenario run to a shard (round-robin by job index) and
-/// return a receiver for its report.
-fn dispatch(
+/// Submit one event through the gate, resubmitting the **same** event
+/// when its destination mailbox is full. `GateError::Full` hands the
+/// event back, and the retry goes through the *blocking* `submit` — the
+/// producer parks on the mailbox's condvar instead of spinning — so
+/// backpressure costs no CPU and, crucially, the stream cannot reorder
+/// around it: no later op is submitted until this one is admitted.
+/// Returns the event's global sequence number.
+pub fn submit_retrying(gate: &IngestGate, event: PlatformEvent) -> Result<u64, PlatformError> {
+    let closed =
+        |_| PlatformError::BadEvent("runtime closed while a scenario stream was in flight".into());
+    match gate.try_submit(event) {
+        Ok(seq) => Ok(seq),
+        Err(GateError::Full { event, .. }) => gate.submit(*event).map_err(closed),
+        Err(e @ GateError::Closed(_)) => Err(closed(e)),
+    }
+}
+
+/// Stream recorded scenario traces through the runtime's ingestion gate
+/// and rebuild each scenario's report from the shards.
+///
+/// The traces are interleaved by timestamp into one deterministic stream
+/// (worker/project ids remapped per trace so the scenarios stay
+/// disjoint), then pushed through a gate handle in stream order —
+/// project-scoped ops to their owner shard, registrations and clocks
+/// broadcast, drain markers as coordinated barriers. The submission
+/// order is independent of the shard count, so the merged journal is
+/// byte-identical at 1, 2 or 4 shards — and equal to
+/// [`apply_stream`](crowd4u_scenarios::stream::apply_stream)'s serial
+/// reference (proptested in `tests/scenario_streaming.rs`).
+///
+/// Reports come back in trace order. The runtime must be **fresh** (no
+/// events submitted yet — the remap predicts the platform's registration
+/// sequence from zero; a reused runtime is rejected with a typed error)
+/// and in coordinated drain mode (`drain_every: 0`) for byte-identical
+/// journals; streaming mode works too but inserts per-shard `sync`
+/// entries.
+pub fn stream_traces(
     rt: &ShardedRuntime,
-    shard: usize,
-    scheme: Scheme,
-    config: ScenarioConfig,
-) -> std::sync::mpsc::Receiver<Result<ScenarioReport, PlatformError>> {
-    rt.submit_job(shard, move |platform| {
-        let base = std::mem::take(platform);
-        let mut driver = Driver::on_platform(base, &config);
-        let report = run_scheme_on(&mut driver, scheme, &config);
-        *platform = driver.into_platform();
-        report
+    traces: &[ScenarioTrace],
+) -> Result<Vec<ScenarioReport>, PlatformError> {
+    // The merge *predicts* the ids the runtime will assign (projects
+    // from 1 in registration order, workers from each trace's own id
+    // space), so the runtime must not have registered anything yet — on
+    // a reused runtime every remapped event would silently land on the
+    // wrong project or overwrite foreign worker profiles. Broadcasts
+    // reach every slice, so the coordinator's journal being empty is
+    // equivalent to "nothing was ever registered or clocked".
+    let fresh = rt.with_project(crowd4u_core::error::ProjectId(0), |p| {
+        p.journal().is_empty()
+    });
+    if !fresh {
+        return Err(PlatformError::BadEvent(
+            "scenario streams must start on a fresh runtime: the id remap predicts the \
+             platform's registration sequence, which prior events have already advanced"
+                .into(),
+        ));
+    }
+    let mut merged = merge_traces(traces);
+    let gate = rt.gate();
+    // Consume the merged ops by value: the gate takes ownership of each
+    // event (and hands it back on backpressure), so the submit loop never
+    // clones the payload.
+    for (_, op) in merged.ops.drain(..) {
+        match op {
+            StreamOp::Event(e) => {
+                submit_retrying(&gate, e)?;
+            }
+            StreamOp::Drain => {
+                rt.drain();
+            }
+        }
+    }
+    // Platform-side accounting from the owner shards. `with_project`
+    // queries ride the same mailboxes as the events, so each owner has
+    // applied the full stream before it answers.
+    reports_from(traces, &merged, |project, completion| {
+        let completion = completion.clone();
+        rt.with_project(project, move |p| platform_side(p, project, &completion))
     })
 }
 
-/// Run a batch of scenario jobs across the shards, round-robin; results
-/// come back in submission order. Jobs on different shards run in
-/// parallel, jobs on the same shard in sequence.
+/// Record each job's scenario on its own decision shadow (in parallel —
+/// recording is independent per job) and stream the results through the
+/// gate. Reports come back in job order and match single-threaded
+/// `run_scheme` runs exactly.
+///
+/// The controller algorithm is platform-global, so every job must agree
+/// on it; it is installed on every shard slice before the stream starts
+/// (configuration is not journaled — a replay base needs the same
+/// algorithm, see ARCHITECTURE.md §2).
 pub fn run_scenarios(
     rt: &ShardedRuntime,
     jobs: &[(Scheme, ScenarioConfig)],
 ) -> Result<Vec<ScenarioReport>, PlatformError> {
-    let receivers: Vec<_> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, (scheme, config))| dispatch(rt, i % rt.shards(), *scheme, config.clone()))
-        .collect();
-    receivers
+    let Some(algorithm) = jobs.first().map(|(_, c)| c.algorithm) else {
+        return Ok(Vec::new());
+    };
+    if jobs.iter().any(|(_, c)| c.algorithm != algorithm) {
+        return Err(PlatformError::BadEvent(
+            "streamed scenarios share one runtime: every job must use the same \
+             controller algorithm"
+                .into(),
+        ));
+    }
+    for shard in 0..rt.shards() {
+        rt.submit_job(shard, move |p| p.controller.algorithm = algorithm);
+    }
+    let traces: Vec<ScenarioTrace> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(scheme, config)| scope.spawn(move || record_scheme(*scheme, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recording thread"))
+            .collect::<Result<Vec<_>, PlatformError>>()
+    })?;
+    stream_traces(rt, &traces)
+}
+
+/// The mixed workload (scenario 4, `crowd4u_scenarios::mixed`) on the
+/// sharded runtime: all three schemes recorded under one config and
+/// streamed concurrently through the gate — the first genuinely
+/// cross-shard workload (three projects, round-robin ownership).
+pub fn run_mixed(
+    rt: &ShardedRuntime,
+    config: &ScenarioConfig,
+) -> Result<MixedReport, PlatformError> {
+    let jobs: Vec<(Scheme, ScenarioConfig)> = Scheme::all()
         .into_iter()
-        .map(|rx| rx.recv().expect("shard thread alive"))
-        .collect()
+        .map(|s| (s, config.clone()))
+        .collect();
+    Ok(MixedReport::combine(run_scenarios(rt, &jobs)?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::router::RuntimeConfig;
+    use crowd4u_core::error::ProjectId;
     use crowd4u_scenarios::run_scheme;
 
-    #[test]
-    fn sharded_scenario_reports_match_single_threaded_runs() {
-        let rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 3,
+    fn config(shards: usize, mailbox_capacity: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            shards,
             drain_every: 0,
-            mailbox_capacity: 1024,
-        });
+            mailbox_capacity,
+        }
+    }
+
+    fn assert_reports_equal(got: &ScenarioReport, want: &ScenarioReport, label: &str) {
+        assert_eq!(got.scheme, want.scheme, "{label}");
+        assert_eq!(got.items_completed, want.items_completed, "{label}");
+        assert_eq!(got.items_total, want.items_total, "{label}");
+        assert_eq!(got.answers, want.answers, "{label}");
+        assert_eq!(got.teams_formed, want.teams_formed, "{label}");
+        assert_eq!(got.reassignments, want.reassignments, "{label}");
+        assert_eq!(got.points_awarded, want.points_awarded, "{label}");
+        assert_eq!(got.makespan, want.makespan, "{label}");
+        assert!(
+            (got.mean_quality - want.mean_quality).abs() < 1e-12,
+            "{label}"
+        );
+        assert!(
+            (got.mean_team_affinity - want.mean_team_affinity).abs() < 1e-12,
+            "{label}"
+        );
+    }
+
+    #[test]
+    fn streamed_scenario_reports_match_single_threaded_runs() {
+        let rt = ShardedRuntime::new(config(3, 1024));
         let jobs: Vec<(Scheme, ScenarioConfig)> = Scheme::all()
             .into_iter()
             .map(|s| {
@@ -77,31 +255,29 @@ mod tests {
                 )
             })
             .collect();
-        let sharded = run_scenarios(&rt, &jobs).unwrap();
-        for ((scheme, cfg), got) in jobs.iter().zip(&sharded) {
+        let streamed = run_scenarios(&rt, &jobs).unwrap();
+        for ((scheme, cfg), got) in jobs.iter().zip(&streamed) {
             let want = run_scheme(*scheme, cfg).unwrap();
-            assert_eq!(got.scheme, want.scheme);
-            assert_eq!(got.items_completed, want.items_completed);
-            assert_eq!(got.answers, want.answers);
-            assert_eq!(got.teams_formed, want.teams_formed);
-            assert_eq!(got.reassignments, want.reassignments);
-            assert_eq!(got.points_awarded, want.points_awarded);
-            assert_eq!(got.makespan, want.makespan);
-            assert!((got.mean_quality - want.mean_quality).abs() < 1e-12);
-            assert!((got.mean_team_affinity - want.mean_team_affinity).abs() < 1e-12);
+            assert_reports_equal(got, &want, scheme.name());
         }
+        // The workload genuinely crossed shards: three projects,
+        // round-robin ownership over three shards.
+        let run = rt.finish().unwrap();
+        let populated = run
+            .platforms
+            .iter()
+            .filter(|p| !p.project_ids().is_empty())
+            .count();
+        assert_eq!(populated, 3, "each shard should own one project");
+        assert_eq!(run.stats.dropped, 0);
     }
 
     #[test]
-    fn consecutive_jobs_on_one_shard_stay_isolated() {
-        // One shard runs all three scenarios back to back on the same
-        // resident platform; scenario-scoped accounting keeps each report
-        // identical to a fresh-platform run.
-        let rt = ShardedRuntime::new(RuntimeConfig {
-            shards: 1,
-            drain_every: 0,
-            mailbox_capacity: 1024,
-        });
+    fn interleaved_same_config_scenarios_stay_isolated() {
+        // All three schemes with the *same* seed interleave through one
+        // gate on one shard; id remapping keeps their crowds and projects
+        // disjoint, so every report still equals a fresh standalone run.
+        let rt = ShardedRuntime::new(config(1, 1024));
         let cfg = ScenarioConfig::default()
             .with_crowd(30)
             .with_items(2)
@@ -110,13 +286,114 @@ mod tests {
             .into_iter()
             .map(|s| (s, cfg.clone()))
             .collect();
-        let sharded = run_scenarios(&rt, &jobs).unwrap();
-        for ((scheme, cfg), got) in jobs.iter().zip(&sharded) {
+        let streamed = run_scenarios(&rt, &jobs).unwrap();
+        for ((scheme, cfg), got) in jobs.iter().zip(&streamed) {
             let want = run_scheme(*scheme, cfg).unwrap();
-            assert_eq!(got.items_completed, want.items_completed, "{scheme}");
-            assert_eq!(got.answers, want.answers, "{scheme}");
-            assert_eq!(got.points_awarded, want.points_awarded, "{scheme}");
-            assert_eq!(got.teams_formed, want.teams_formed, "{scheme}");
+            assert_reports_equal(got, &want, scheme.name());
         }
+        rt.finish().unwrap();
+    }
+
+    #[test]
+    fn run_mixed_aggregates_the_three_schemes() {
+        let cfg = ScenarioConfig::default()
+            .with_crowd(24)
+            .with_items(1)
+            .with_seed(13);
+        let rt = ShardedRuntime::new(config(2, 512));
+        let streamed = run_mixed(&rt, &cfg).unwrap();
+        rt.finish().unwrap();
+        let serial = crowd4u_scenarios::mixed::run(&cfg).unwrap();
+        assert_eq!(streamed.items_completed, serial.items_completed);
+        assert_eq!(streamed.answers, serial.answers);
+        assert_eq!(streamed.points_awarded, serial.points_awarded);
+        assert_eq!(streamed.makespan, serial.makespan);
+    }
+
+    #[test]
+    fn reused_runtimes_are_rejected() {
+        use crowd4u_core::error::WorkerId;
+        use crowd4u_crowd::profile::WorkerProfile;
+        // Any prior event advances the platform's id/clock sequences, so
+        // the remap's predictions would silently mis-route the stream —
+        // the scheduler must refuse instead.
+        let rt = ShardedRuntime::new(config(2, 64));
+        rt.submit(PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(1), "prior"),
+        });
+        rt.barrier();
+        let cfg = ScenarioConfig::default().with_crowd(8).with_items(1);
+        let err = run_scenarios(&rt, &[(Scheme::Sequential, cfg)]).unwrap_err();
+        assert!(err.to_string().contains("fresh runtime"), "{err}");
+        rt.finish().unwrap();
+    }
+
+    #[test]
+    fn mismatched_algorithms_are_rejected() {
+        use crowd4u_core::controller::AlgorithmChoice;
+        let rt = ShardedRuntime::new(config(2, 64));
+        let jobs = vec![
+            (Scheme::Sequential, ScenarioConfig::default()),
+            (
+                Scheme::Hybrid,
+                ScenarioConfig::default().with_algorithm(AlgorithmChoice::Greedy),
+            ),
+        ];
+        assert!(run_scenarios(&rt, &jobs).is_err());
+        rt.finish().unwrap();
+    }
+
+    /// Satellite pin: a `GateError::Full` handback must not reorder the
+    /// stream. With a capacity-1 mailbox and the owner shard stalled in a
+    /// job, the second submission is rejected and handed back; resubmitting
+    /// it before anything later keeps the journal in stream order.
+    #[test]
+    fn full_mailbox_handback_preserves_stream_order() {
+        use crowd4u_core::error::WorkerId;
+        use crowd4u_crowd::profile::WorkerProfile;
+        use crowd4u_storage::prelude::Value;
+
+        let rt = ShardedRuntime::new(config(1, 1));
+        let gate = rt.gate();
+        rt.submit(PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(1), "w1"),
+        });
+        rt.submit(PlatformEvent::ProjectRegistered {
+            name: "p".into(),
+            source: "rel item(x: str).\n".into(),
+            factors: Default::default(),
+            scheme: Scheme::Sequential,
+        });
+        rt.barrier();
+        let seed = |s: &str| PlatformEvent::FactSeeded {
+            project: ProjectId(1),
+            pred: "item".into(),
+            values: vec![Value::Str(s.into())],
+        };
+        // Stall the only shard so the mailbox stays full.
+        let release = rt.submit_job(0, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(50))
+        });
+        gate.submit(seed("first")).unwrap(); // fills the capacity-1 mailbox
+        let err = gate.try_submit(seed("second")).unwrap_err();
+        let GateError::Full { shard, event } = err else {
+            panic!("expected Full, got Closed");
+        };
+        assert_eq!(shard, 0);
+        assert_eq!(*event, seed("second")); // the event comes back intact
+                                            // The streaming scheduler's policy: retry the handed-back event
+                                            // before anything later due.
+        submit_retrying(&gate, *event).unwrap();
+        submit_retrying(&gate, seed("third")).unwrap();
+        release.recv().unwrap();
+        rt.drain();
+        let run = rt.finish().unwrap();
+        let seeds: Vec<String> = run
+            .journal
+            .iter()
+            .filter(|e| e.kind == "seed")
+            .map(|e| e.args.last().unwrap().to_string())
+            .collect();
+        assert_eq!(seeds, vec!["first", "second", "third"]);
     }
 }

@@ -8,7 +8,12 @@
 //! * [`journalism`] — citizen journalism (**simultaneous** collaboration:
 //!   SNS-id protocol + shared workspace, one submitter per team);
 //! * [`surveillance`] — geographic surveillance (**hybrid**: sequential
-//!   observation/correction + simultaneous testimonials).
+//!   observation/correction + simultaneous testimonials);
+//! * [`mixed`] — all three applications interleaved by timestamp on one
+//!   platform (the paper's "many heterogeneous applications, one
+//!   declarative platform" shape), built on the [`stream`] layer that
+//!   records a scenario's event stream for replay through a sharded
+//!   runtime's ingestion gate (see `docs/SCENARIOS.md`).
 //!
 //! Each scenario takes a [`config::ScenarioConfig`] and returns a
 //! [`config::ScenarioReport`] with completion counts, quality, makespan,
@@ -19,11 +24,15 @@
 pub mod config;
 pub mod driver;
 pub mod journalism;
+pub mod mixed;
+pub mod stream;
 pub mod surveillance;
 pub mod translation;
 
 pub use config::{ScenarioConfig, ScenarioReport};
 pub use driver::Driver;
+pub use mixed::MixedReport;
+pub use stream::{merge_traces, record_scheme, ScenarioTrace};
 
 use crowd4u_collab::Scheme;
 use crowd4u_core::prelude::PlatformError;

@@ -68,7 +68,7 @@ pub fn run_on(d: &mut Driver, config: &ScenarioConfig) -> Result<ScenarioReport,
     d.collect_interest(batch)?;
     let Some(team) = d.form_team(batch, 4)? else {
         // No team at all: report an empty run (requester must relax input).
-        return Ok(empty_report(d, config, misses_before));
+        return Ok(empty_report(d, config, teams_before, misses_before));
     };
     let team_affinity = d.team_affinity(&team.members);
 
@@ -205,7 +205,12 @@ pub fn run_on(d: &mut Driver, config: &ScenarioConfig) -> Result<ScenarioReport,
     })
 }
 
-fn empty_report(d: &Driver, config: &ScenarioConfig, misses_before: u64) -> ScenarioReport {
+fn empty_report(
+    d: &Driver,
+    config: &ScenarioConfig,
+    teams_before: u64,
+    misses_before: u64,
+) -> ScenarioReport {
     ScenarioReport {
         scheme: Scheme::Sequential,
         items_completed: 0,
@@ -213,7 +218,11 @@ fn empty_report(d: &Driver, config: &ScenarioConfig, misses_before: u64) -> Scen
         mean_quality: 0.0,
         makespan: d.elapsed(),
         answers: 0,
-        teams_formed: 0,
+        // Teams may have been suggested and still never fully undertaken;
+        // count them like the successful path does (and like the
+        // platform's own per-project accounting does) instead of
+        // hard-coding zero.
+        teams_formed: d.platform.counters.get("teams_suggested") - teams_before,
         reassignments: d.platform.counters.get("deadlines_missed") - misses_before,
         mean_team_affinity: 0.0,
         points_awarded: 0,

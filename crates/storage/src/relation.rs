@@ -263,6 +263,17 @@ impl Relation {
     /// post-filters the remaining columns; falls back to a scan when no
     /// index applies.
     pub fn lookup(&self, cols: &[usize], key: &[Value]) -> Vec<&Tuple> {
+        self.lookup_ids(cols, key)
+            .into_iter()
+            .map(|rid| self.slots[rid as usize].as_ref().expect("live row"))
+            .collect()
+    }
+
+    /// [`lookup`](Self::lookup) returning row ids instead of tuples — the
+    /// building block for indexed deletion
+    /// ([`delete_matching`](Self::delete_matching)) and for callers that
+    /// mutate matches.
+    pub fn lookup_ids(&self, cols: &[usize], key: &[Value]) -> Vec<RowId> {
         // Pick the most selective applicable index.
         let mut best: Option<&HashIndex> = None;
         for ix in &self.indexes {
@@ -273,6 +284,7 @@ impl Relation {
                 best = Some(ix);
             }
         }
+        let matches = |t: &Tuple| cols.iter().zip(key).all(|(&c, k)| &t[c] == k);
         if let Some(ix) = best {
             let subkey: Vec<Value> = ix
                 .cols
@@ -287,13 +299,57 @@ impl Relation {
             };
             return ids
                 .iter()
-                .filter_map(|&rid| self.slots[rid as usize].as_ref())
-                .filter(|t| cols.iter().zip(key).all(|(&c, k)| &t[c] == k))
+                .copied()
+                .filter(|&rid| self.slots[rid as usize].as_ref().is_some_and(&matches))
                 .collect();
         }
-        self.iter()
-            .filter(|t| cols.iter().zip(key).all(|(&c, k)| &t[c] == k))
+        self.iter_ids()
+            .filter(|(_, t)| matches(t))
+            .map(|(rid, _)| rid)
             .collect()
+    }
+
+    /// Delete every row matching `key` on `cols`, resolved through the
+    /// best applicable index like [`lookup`](Self::lookup) — the indexed
+    /// counterpart of [`delete_where`](Self::delete_where), which always
+    /// scans every slot. Point deletions on indexed columns (clearing a
+    /// task's relationship rows, revoking one worker's row) go from
+    /// O(table) to O(matches). Returns how many rows were removed.
+    pub fn delete_matching(&mut self, cols: &[usize], key: &[Value]) -> usize {
+        let victims = self.lookup_ids(cols, key);
+        if victims.is_empty() {
+            return 0;
+        }
+        // Bulk form of [`delete`](Self::delete): removing n rows one by
+        // one costs one index-vector `retain` per row — O(n²) when the
+        // victims share an index key (exactly the clear-a-task case).
+        // Take every victim out of its slot first, then repair each
+        // affected (index, key) vector with a single `retain` pass.
+        // Bookkeeping (free-list order, live count) matches n sequential
+        // `delete` calls exactly.
+        let victim_set: std::collections::HashSet<RowId> = victims.iter().copied().collect();
+        let mut removed: Vec<Tuple> = Vec::with_capacity(victims.len());
+        for &rid in &victims {
+            let t = self.slots[rid as usize].take().expect("looked-up row");
+            removed.push(t);
+            self.free.push(rid);
+            self.live -= 1;
+        }
+        for ix in &mut self.indexes {
+            let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+            for t in &removed {
+                let k = t.key(&ix.cols);
+                if seen.insert(k.clone()) {
+                    if let Entry::Occupied(mut e) = ix.map.entry(k) {
+                        e.get_mut().retain(|r| !victim_set.contains(r));
+                        if e.get().is_empty() {
+                            e.remove();
+                        }
+                    }
+                }
+            }
+        }
+        victims.len()
     }
 
     /// Like [`lookup`](Self::lookup) but resolving column names first.

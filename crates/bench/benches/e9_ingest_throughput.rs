@@ -1,4 +1,4 @@
-//! E9-ingest: batched vs per-answer ingestion throughput.
+//! E9-ingest: batched vs per-answer vs cross-batch-incremental ingestion.
 //!
 //! The motivation for the event-driven execution core: ingesting each
 //! worker answer with its own fixpoint run (`answer` + `run`, the
@@ -7,11 +7,33 @@
 //! answers the batched path must be ≥5× faster (in practice it is orders
 //! of magnitude faster); `ci.sh` runs this bench as a smoke test and the
 //! `report` binary records the `BENCH_ingest.json` baseline.
+//!
+//! The `*_waves` cases measure the *many-small-batches* regime a live
+//! platform actually runs in: items arrive in 100-element waves, each wave
+//! is fixpointed and answered before the next. There the win comes from
+//! cross-batch incremental evaluation (`EvalMode::Incremental`, the
+//! default) versus clear-and-rerun (`EvalMode::SemiNaive`) — both modes
+//! are asserted byte-identical on the final state before measuring.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use crowd4u_bench::ingest_workload;
+use crowd4u_bench::{incremental_stream_workload, ingest_workload};
+use crowd4u_cylog::eval::EvalMode;
+use crowd4u_storage::snapshot;
 
 fn bench_ingest(c: &mut Criterion) {
+    // Equivalence gate for the waves comparison: the two modes must reach
+    // byte-identical engines (canonical dump, ledger, pending queue), or
+    // the timing below compares different computations.
+    let inc = incremental_stream_workload(2_000, 50, EvalMode::Incremental);
+    let rerun = incremental_stream_workload(2_000, 50, EvalMode::SemiNaive);
+    assert_eq!(
+        snapshot::dump(inc.database()),
+        snapshot::dump(rerun.database()),
+        "incremental and clear-and-rerun final state diverged"
+    );
+    assert_eq!(inc.leaderboard(), rerun.leaderboard());
+    assert_eq!(inc.pending_requests(), rerun.pending_requests());
+
     let mut group = c.benchmark_group("e9_ingest_throughput");
     group.sample_size(10);
     for &n in &[1_000u64, 10_000] {
@@ -46,6 +68,29 @@ fn bench_ingest(c: &mut Criterion) {
                 },
                 BatchSize::LargeInput,
             )
+        });
+    }
+    // The many-small-batches regime: 100-item waves, each fixpointed and
+    // answered before the next arrives. Incremental advances from deltas;
+    // clear-and-rerun pays the whole database twice per wave.
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(criterion::Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("incremental_waves", n), &n, |b, &n| {
+            b.iter(|| {
+                incremental_stream_workload(n, 100, EvalMode::Incremental)
+                    .fact_count("good")
+                    .unwrap()
+            })
+        });
+    }
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(criterion::Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("clear_rerun_waves", n), &n, |b, &n| {
+            b.iter(|| {
+                incremental_stream_workload(n, 100, EvalMode::SemiNaive)
+                    .fact_count("good")
+                    .unwrap()
+            })
         });
     }
     group.finish();

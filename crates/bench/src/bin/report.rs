@@ -566,9 +566,13 @@ fn e8_scale(full: bool) {
 }
 
 /// Ingest baseline: batched (`answer_batch`, one fixpoint) vs per-answer
-/// (`answer` + `run` each) ingestion of 10k answers. Records the result to
-/// `BENCH_ingest.json` so CI and future sessions can compare against it,
-/// and exits non-zero if the batched path is less than 5× faster.
+/// (`answer` + `run` each) ingestion of 10k answers, plus the
+/// many-small-batches regime (100-item waves) where cross-batch
+/// incremental evaluation is compared against clear-and-rerun on a
+/// byte-identical final state. Records all figures to `BENCH_ingest.json`
+/// so CI and future sessions can compare against them, and exits non-zero
+/// if the batched path or the incremental path is less than 5× faster
+/// than its baseline.
 fn ingest_baseline() {
     const N: u64 = 10_000;
     println!("## Ingest baseline — batched vs per-answer at {N} answers\n");
@@ -607,19 +611,72 @@ fn ingest_baseline() {
     println!("{}", t.render());
     println!("speedup: {speedup:.1}×\n");
 
+    // Many-small-batches regime: the same items and answers arriving in
+    // `WAVE`-sized waves, each fixpointed and answered before the next.
+    // Cross-batch incremental evaluation (the default mode) must beat
+    // clear-and-rerun by ≥5× *and* land on byte-identical state.
+    use crowd4u_cylog::eval::EvalMode;
+    const WAVE: u64 = 100;
+    println!(
+        "## Ingest baseline — incremental vs clear-and-rerun at {N} items in {WAVE}-item waves\n"
+    );
+
+    let start = Instant::now();
+    let inc = crowd4u_bench::incremental_stream_workload(N, WAVE, EvalMode::Incremental);
+    let t_inc = start.elapsed();
+    let start = Instant::now();
+    let rerun = crowd4u_bench::incremental_stream_workload(N, WAVE, EvalMode::SemiNaive);
+    let t_rerun = start.elapsed();
+    assert_eq!(
+        crowd4u_storage::snapshot::dump(inc.database()),
+        crowd4u_storage::snapshot::dump(rerun.database()),
+        "incremental and clear-and-rerun must reach byte-identical state"
+    );
+    assert_eq!(inc.leaderboard(), rerun.leaderboard());
+    assert_eq!(inc.pending_requests(), rerun.pending_requests());
+    assert_eq!(inc.fact_count("good").unwrap(), good_batched);
+
+    let inc_speedup = t_rerun.as_secs_f64() / t_inc.as_secs_f64();
+    let waves = N.div_ceil(WAVE);
+    let mut t = TablePrinter::new(&["mode", "waves", "time", "items/s"]);
+    t.row(vec![
+        "incremental (default)".into(),
+        waves.to_string(),
+        format!("{t_inc:.2?}"),
+        format!("{:.0}", N as f64 / t_inc.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "clear-and-rerun (SemiNaive)".into(),
+        waves.to_string(),
+        format!("{t_rerun:.2?}"),
+        format!("{:.0}", N as f64 / t_rerun.as_secs_f64()),
+    ]);
+    println!("{}", t.render());
+    println!("incremental speedup: {inc_speedup:.1}×\n");
+
     let json = format!(
         "{{\n  \"experiment\": \"e9_ingest_throughput\",\n  \"answers\": {N},\n  \
          \"batched_ms\": {:.3},\n  \"per_answer_ms\": {:.3},\n  \"speedup\": {:.1},\n  \
+         \"wave_items\": {WAVE},\n  \"incremental_ms\": {:.3},\n  \
+         \"clear_rerun_ms\": {:.3},\n  \"incremental_speedup\": {:.1},\n  \
          \"good_facts\": {good_batched}\n}}\n",
         t_batched.as_secs_f64() * 1e3,
         t_per_answer.as_secs_f64() * 1e3,
         speedup,
+        t_inc.as_secs_f64() * 1e3,
+        t_rerun.as_secs_f64() * 1e3,
+        inc_speedup,
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     println!("baseline recorded to BENCH_ingest.json");
     assert!(
         speedup >= 5.0,
         "batched ingestion regressed: only {speedup:.1}× faster than per-answer"
+    );
+    assert!(
+        inc_speedup >= 5.0,
+        "cross-batch incremental evaluation regressed: only {inc_speedup:.1}× \
+         faster than clear-and-rerun"
     );
 }
 

@@ -49,6 +49,48 @@ pub fn ingest_workload(n: u64) -> (CylogEngine, Vec<AnswerRecord>) {
     (engine, answers)
 }
 
+/// The cross-batch incremental workload: the E9 program fed by many
+/// *small* waves — `batch` items seeded, the fixpoint run (generating that
+/// wave's questions), the wave's questions answered in one batch — until
+/// `n` items have flowed through. This is the steady-state shape of a
+/// live platform, and the case cross-batch incremental evaluation exists
+/// for: in `EvalMode::Incremental` each wave advances the fixpoint from
+/// its delta, while `EvalMode::SemiNaive` clears and re-derives the whole
+/// database twice per wave. Answers and workers are a pure function of
+/// the item id, so any two modes must land on byte-identical state.
+pub fn incremental_stream_workload(
+    n: u64,
+    batch: u64,
+    mode: crowd4u_cylog::eval::EvalMode,
+) -> CylogEngine {
+    let mut engine = CylogEngine::from_source(INGEST_SRC).expect("static program");
+    engine.set_mode(mode);
+    let mut next = 1u64;
+    while next <= n {
+        let hi = (next + batch - 1).min(n);
+        for i in next..=hi {
+            engine.add_fact("item", vec![i.into()]).expect("typed fact");
+        }
+        engine.run().expect("stratified program");
+        let answers: Vec<AnswerRecord> = engine
+            .pending_requests()
+            .iter()
+            .map(|req| {
+                let id = req.inputs[0].as_id().expect("item ids");
+                AnswerRecord {
+                    pred: req.pred_name.clone(),
+                    inputs: req.inputs.clone(),
+                    outputs: vec![(id % 10 != 0).into()],
+                    worker: Some(1 + (id % 100)),
+                }
+            })
+            .collect();
+        engine.answer_batch(&answers).expect("valid answers");
+        next = hi + 1;
+    }
+    engine
+}
+
 /// The E10 shard-scaling workload shape: a mixed multi-project stream —
 /// `projects` CyLog projects, `items` judged items each, answers arriving
 /// round-robin across projects (the interleaving a router has to unpick).

@@ -10,7 +10,7 @@
 use crate::ast::*;
 use crate::error::CylogError;
 use crowd4u_storage::prelude::{Value, ValueType};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 pub type PredId = usize;
 
@@ -121,6 +121,22 @@ pub struct CRule {
     pub display: String,
 }
 
+/// Read/write footprint of one stratum, used by incremental evaluation to
+/// decide whether a stratum can be skipped, delta-seeded, or must be
+/// rebuilt when the predicates it reads change between fixpoints.
+#[derive(Debug, Clone, Default)]
+pub struct StratumInfo {
+    /// Predicates derived by rules in this stratum.
+    pub heads: BTreeSet<PredId>,
+    /// Predicates read through positive atoms of non-aggregate rules —
+    /// growth in these can be handled by delta joins.
+    pub pos_reads: BTreeSet<PredId>,
+    /// Predicates whose changes delta joins cannot absorb: negated atoms
+    /// (monotonicity breaks), and every positive atom of an aggregate rule
+    /// (a fold must see its whole group, not just the new rows).
+    pub unsafe_reads: BTreeSet<PredId>,
+}
+
 /// A fully analysed program ready for evaluation.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -131,6 +147,8 @@ pub struct CompiledProgram {
     pub facts: Vec<(PredId, Vec<Value>)>,
     /// Rule indices grouped by stratum, in evaluation order.
     pub strata: Vec<Vec<usize>>,
+    /// Per-stratum read/write footprint, parallel to `strata`.
+    pub stratum_info: Vec<StratumInfo>,
 }
 
 impl CompiledProgram {
@@ -315,6 +333,31 @@ pub fn compile(program: &Program) -> Result<CompiledProgram, CylogError> {
     for (ri, r) in rules.iter().enumerate() {
         strata[strata_of[r.head_pred]].push(ri);
     }
+    let stratum_info: Vec<StratumInfo> = strata
+        .iter()
+        .map(|rule_idx| {
+            let mut info = StratumInfo::default();
+            for &ri in rule_idx {
+                let r = &rules[ri];
+                info.heads.insert(r.head_pred);
+                for lit in &r.body {
+                    match lit {
+                        CLit::Pos(a) if r.is_agg => {
+                            info.unsafe_reads.insert(a.pred);
+                        }
+                        CLit::Pos(a) => {
+                            info.pos_reads.insert(a.pred);
+                        }
+                        CLit::Neg(a) => {
+                            info.unsafe_reads.insert(a.pred);
+                        }
+                        CLit::Cmp(..) | CLit::Let(..) => {}
+                    }
+                }
+            }
+            info
+        })
+        .collect();
 
     Ok(CompiledProgram {
         preds,
@@ -322,6 +365,7 @@ pub fn compile(program: &Program) -> Result<CompiledProgram, CylogError> {
         rules,
         facts,
         strata,
+        stratum_info,
     })
 }
 

@@ -9,7 +9,10 @@
 use crate::analysis::{compile, CompiledProgram, PredId, PredKind};
 use crate::ast::Program;
 use crate::error::CylogError;
-use crate::eval::{compute_demands, eval_program, EvalMode, EvalStats};
+use crate::eval::{
+    compute_demands, compute_demands_delta, eval_program, eval_program_incremental, EvalMode,
+    EvalStats,
+};
 use crate::parser::parse;
 use crowd4u_storage::prelude::*;
 use std::collections::{BTreeMap, HashSet};
@@ -66,6 +69,15 @@ pub struct CylogEngine {
     points: BTreeMap<u64, i64>,
     /// Cumulative evaluation statistics.
     stats: EvalStats,
+    /// Facts inserted since the last completed fixpoint, per predicate —
+    /// the cross-batch delta seed for incremental runs.
+    delta_log: BTreeMap<PredId, Vec<Tuple>>,
+    /// When set, the next `run` recomputes derived relations from scratch
+    /// (startup, retraction, mode switch, or a failed pass).
+    needs_full: bool,
+    /// Per-predicate input-column indices (`0..n_inputs`), precomputed so
+    /// `has_answer` does not rebuild the vector on every pending check.
+    input_cols: Vec<Vec<usize>>,
 }
 
 impl CylogEngine {
@@ -99,10 +111,15 @@ impl CylogEngine {
                 }
             }
         }
+        let input_cols = program
+            .preds
+            .iter()
+            .map(|info| (0..info.open_inputs()).collect())
+            .collect();
         let mut engine = CylogEngine {
             program,
             db,
-            mode: EvalMode::SemiNaive,
+            mode: EvalMode::default(),
             asked: HashSet::new(),
             pending: Vec::new(),
             pending_set: HashSet::new(),
@@ -110,6 +127,9 @@ impl CylogEngine {
             compactions: 0,
             points: BTreeMap::new(),
             stats: EvalStats::default(),
+            delta_log: BTreeMap::new(),
+            needs_full: true,
+            input_cols,
         };
         engine.reset_facts()?;
         Ok(engine)
@@ -120,9 +140,12 @@ impl CylogEngine {
         Self::from_program(&parse(src)?)
     }
 
-    /// Switch between naive and semi-naive evaluation (default: semi-naive).
+    /// Switch between naive, semi-naive and incremental evaluation
+    /// (default: incremental). Any switch forces the next `run` to
+    /// recompute from scratch so the modes stay byte-equivalent.
     pub fn set_mode(&mut self, mode: EvalMode) {
         self.mode = mode;
+        self.needs_full = true;
     }
 
     pub fn mode(&self) -> EvalMode {
@@ -188,32 +211,91 @@ impl CylogEngine {
             })
             .collect();
         let name = self.program.preds[pid].name.clone();
-        let (_, fresh) = self
-            .db
-            .relation_mut(&name)?
-            .insert_distinct(Tuple::new(widened))?;
+        let t = Tuple::new(widened);
+        let (_, fresh) = self.db.relation_mut(&name)?.insert_distinct(t.clone())?;
+        if fresh {
+            self.delta_log.entry(pid).or_default().push(t);
+        }
         Ok(fresh)
     }
 
     /// Run rules to fixpoint, then refresh the open-task queue with any new
-    /// demands. Derived relations are recomputed from scratch (open/EDB facts
-    /// persist), so retractions of base facts are honoured.
+    /// demands. In the default incremental mode, derived relations persist
+    /// between calls and the fixpoint restarts from the facts inserted since
+    /// the previous one; retractions (and mode switches, startup, or an
+    /// error mid-pass) automatically fall back to a full recompute. In naive
+    /// and semi-naive modes every call recomputes from scratch. All modes
+    /// produce byte-identical state — see ARCHITECTURE.md, "Incremental
+    /// evaluation contract".
     pub fn run(&mut self) -> Result<EvalStats, CylogError> {
-        // Clear derived relations and re-seed program facts.
+        if self.mode == EvalMode::Incremental && !self.needs_full {
+            self.run_incremental()
+        } else {
+            self.run_full()
+        }
+    }
+
+    /// Clear derived relations, re-seed program facts and recompute the
+    /// whole fixpoint — honours retractions of base facts.
+    fn run_full(&mut self) -> Result<EvalStats, CylogError> {
         for info in &self.program.preds {
             if info.derived {
                 self.db.relation_mut(&info.name)?.clear();
             }
         }
         self.reset_facts()?;
-        let stats = eval_program(&self.program, &mut self.db, self.mode)?;
+        let mut stats = eval_program(&self.program, &mut self.db, self.mode)?;
+        stats.recomputes += 1;
         self.stats.absorb(stats);
+        // Everything inserted up to here is part of the fixpoint just
+        // computed; the next incremental pass starts from a clean slate.
+        self.delta_log.clear();
+        self.needs_full = false;
 
         // Compact pending entries answered since the last run.
         self.compact_pending();
-
-        // New demands become pending questions (asked at most once).
         let demands = compute_demands(&self.program, &self.db)?;
+        self.push_new_demands(demands)?;
+        Ok(stats)
+    }
+
+    /// Advance the persisted fixpoint by the facts logged since the last
+    /// one. Any error marks the engine for a full recompute, since a failed
+    /// pass may leave strata half-updated.
+    fn run_incremental(&mut self) -> Result<EvalStats, CylogError> {
+        let seed = std::mem::take(&mut self.delta_log);
+        let result = self.run_incremental_inner(&seed);
+        if result.is_err() {
+            self.needs_full = true;
+        }
+        result
+    }
+
+    fn run_incremental_inner(
+        &mut self,
+        seed: &BTreeMap<PredId, Vec<Tuple>>,
+    ) -> Result<EvalStats, CylogError> {
+        let outcome = eval_program_incremental(&self.program, &mut self.db, seed)?;
+        self.stats.absorb(outcome.stats);
+        self.compact_pending();
+        // A rebuilt stratum may have shrunk, so deltas alone cannot prove a
+        // demand new — recompute the full demand set in that case (the
+        // `asked` ledger still dedups).
+        let demands = if outcome.any_rebuild {
+            compute_demands(&self.program, &self.db)?
+        } else {
+            compute_demands_delta(&self.program, &self.db, &outcome.changed)?
+        };
+        self.push_new_demands(demands)?;
+        Ok(outcome.stats)
+    }
+
+    /// Filter answered and already-asked demands, then append the rest to
+    /// the pending queue in canonical `(predicate, inputs)` order, so every
+    /// evaluation mode enqueues identically regardless of the order the
+    /// demand computation discovered them in.
+    fn push_new_demands(&mut self, demands: Vec<(PredId, Vec<Value>)>) -> Result<(), CylogError> {
+        let mut fresh: Vec<(PredId, Vec<Value>)> = Vec::new();
         for (pid, inputs) in demands {
             // A question is only pending while unanswered: if the open
             // relation already has a fact with these inputs, skip.
@@ -221,29 +303,30 @@ impl CylogEngine {
                 continue;
             }
             if self.asked.insert((pid, inputs.clone())) {
-                let info = &self.program.preds[pid];
-                let points = match info.kind {
-                    PredKind::Open { points, .. } => points,
-                    PredKind::Closed => 0,
-                };
-                self.pending_set.insert((pid, inputs.clone()));
-                self.pending.push(OpenRequest {
-                    pred: pid,
-                    pred_name: info.name.clone(),
-                    inputs,
-                    points,
-                });
+                fresh.push((pid, inputs));
             }
         }
-        Ok(stats)
+        fresh.sort();
+        for (pid, inputs) in fresh {
+            let info = &self.program.preds[pid];
+            let points = match info.kind {
+                PredKind::Open { points, .. } => points,
+                PredKind::Closed => 0,
+            };
+            self.pending_set.insert((pid, inputs.clone()));
+            self.pending.push(OpenRequest {
+                pred: pid,
+                pred_name: info.name.clone(),
+                inputs,
+                points,
+            });
+        }
+        Ok(())
     }
 
     fn has_answer(&self, pid: PredId, inputs: &[Value]) -> Result<bool, CylogError> {
-        let info = &self.program.preds[pid];
-        let n = info.open_inputs();
-        let rel = self.db.relation(&info.name)?;
-        let cols: Vec<usize> = (0..n).collect();
-        Ok(!rel.lookup(&cols, inputs).is_empty())
+        let rel = self.db.relation(&self.program.preds[pid].name)?;
+        Ok(!rel.lookup(&self.input_cols[pid], inputs).is_empty())
     }
 
     /// Questions awaiting a crowd answer.
@@ -302,10 +385,11 @@ impl CylogEngine {
         let mut values = inputs.clone();
         values.extend(outputs);
         let name = self.program.preds[pid].name.clone();
-        let (_, fresh) = self
-            .db
-            .relation_mut(&name)?
-            .insert_distinct(Tuple::new(values))?;
+        let t = Tuple::new(values);
+        let (_, fresh) = self.db.relation_mut(&name)?.insert_distinct(t.clone())?;
+        if fresh {
+            self.delta_log.entry(pid).or_default().push(t);
+        }
         // Remove from pending (it may have been unsolicited — that's fine).
         if self.pending_set.remove(&(pid, inputs.clone())) {
             self.pending_dirty = true;
@@ -400,7 +484,9 @@ impl CylogEngine {
         Ok(self.db.relation(&self.program.preds[pid].name)?.len())
     }
 
-    /// Remove base facts matching a predicate name and filter.
+    /// Remove base facts matching a predicate name and filter. Any actual
+    /// deletion forces the next `run` to recompute derived relations from
+    /// scratch — deltas only describe growth, never removal.
     pub fn retract_where(
         &mut self,
         pred: &str,
@@ -413,7 +499,11 @@ impl CylogEngine {
             )));
         }
         let name = self.program.preds[pid].name.clone();
-        Ok(self.db.relation_mut(&name)?.delete_where(filter))
+        let n = self.db.relation_mut(&name)?.delete_where(filter);
+        if n > 0 {
+            self.needs_full = true;
+        }
+        Ok(n)
     }
 
     /// Game-aspect points for one worker.
@@ -639,6 +729,104 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
         assert_eq!(e.fact_count("b").unwrap(), 1);
         // cannot retract from derived
         assert!(e.retract_where("b", |_| true).is_err());
+    }
+
+    /// The incremental default stays on the delta path across growth-only
+    /// batches, and a mid-stream retraction (the documented reason for the
+    /// old clear-and-rerun design) automatically falls back to exactly one
+    /// full recompute — visible in `EvalStats::recomputes` — after which
+    /// derived facts have disappeared and the delta path resumes.
+    #[test]
+    fn retraction_falls_back_to_full_recompute_then_resumes_deltas() {
+        let mut e =
+            CylogEngine::from_source("rel a(x: int).\nrel b(x: int).\nb(X) :- a(X).\n").unwrap();
+        assert_eq!(e.mode(), EvalMode::Incremental);
+        e.add_fact("a", vec![Value::Int(1)]).unwrap();
+        e.run().unwrap(); // first run is always a full recompute
+        assert_eq!(e.cumulative_stats().recomputes, 1);
+        e.add_fact("a", vec![Value::Int(2)]).unwrap();
+        let stats = e.run().unwrap(); // growth stays incremental
+        assert_eq!(stats.recomputes, 0);
+        assert_eq!(stats.delta_seeded, 1);
+        assert_eq!(e.cumulative_stats().recomputes, 1);
+        assert_eq!(e.fact_count("b").unwrap(), 2);
+
+        e.retract_where("a", |t| t[0] == Value::Int(1)).unwrap();
+        let stats = e.run().unwrap(); // retraction forces the fallback
+        assert_eq!(stats.recomputes, 1);
+        assert_eq!(e.cumulative_stats().recomputes, 2);
+        assert_eq!(e.fact_count("b").unwrap(), 1); // derived fact is gone
+
+        e.add_fact("a", vec![Value::Int(3)]).unwrap();
+        let stats = e.run().unwrap(); // and the delta path resumes
+        assert_eq!(stats.recomputes, 0);
+        assert_eq!(e.fact_count("b").unwrap(), 2);
+    }
+
+    /// A retraction that deletes nothing must not trigger the fallback —
+    /// the platform's declarative sync retracts zero rows on first contact.
+    #[test]
+    fn empty_retraction_stays_on_delta_path() {
+        let mut e =
+            CylogEngine::from_source("rel a(x: int).\nrel b(x: int).\nb(X) :- a(X).\n").unwrap();
+        e.add_fact("a", vec![Value::Int(1)]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.retract_where("a", |t| t[0] == Value::Int(99)).unwrap(), 0);
+        e.add_fact("a", vec![Value::Int(2)]).unwrap();
+        let stats = e.run().unwrap();
+        assert_eq!(stats.recomputes, 0);
+        assert_eq!(e.fact_count("b").unwrap(), 2);
+    }
+
+    /// Switching evaluation modes resynchronises with a full recompute.
+    #[test]
+    fn mode_switch_forces_full_recompute() {
+        let mut e =
+            CylogEngine::from_source("rel a(x: int).\nrel b(x: int).\nb(X) :- a(X).\n").unwrap();
+        e.add_fact("a", vec![Value::Int(1)]).unwrap();
+        e.run().unwrap();
+        e.set_mode(EvalMode::Incremental); // same mode, still a resync
+        let stats = e.run().unwrap();
+        assert_eq!(stats.recomputes, 1);
+        assert_eq!(e.fact_count("b").unwrap(), 1);
+    }
+
+    /// Pin the two demand-dedup gates: a demand whose answer already exists
+    /// is skipped (without being re-asked later), and a demand in the
+    /// `asked` ledger is never pushed twice — even after its answer is
+    /// retracted again.
+    #[test]
+    fn demand_dedup_via_asked_ledger_and_existing_answers() {
+        const JUDGE: &str = "rel item(x: int).\n\
+             open judge(x: int) -> (ok: bool) points 1.\n\
+             rel good(x: int).\ngood(X) :- item(X), judge(X, OK), OK = true.\n";
+        let mut e = CylogEngine::from_source(JUDGE).unwrap();
+        // Unsolicited answer arrives before its question could be posed.
+        e.answer("judge", vec![Value::Int(1)], vec![true.into()], None)
+            .unwrap();
+        e.add_fact("item", vec![Value::Int(1)]).unwrap();
+        e.add_fact("item", vec![Value::Int(2)]).unwrap();
+        e.run().unwrap();
+        // Only the unanswered item pends; judge(1) was skipped.
+        let inputs: Vec<i64> = e
+            .pending_requests()
+            .iter()
+            .map(|r| r.inputs[0].as_int().unwrap())
+            .collect();
+        assert_eq!(inputs, vec![2]);
+        // Re-running (incremental no-op run) does not duplicate the entry.
+        e.run().unwrap();
+        assert_eq!(e.pending_requests().len(), 1);
+        // Retracting the answer does not resurrect the question: answering
+        // put judge(1) in the asked ledger.
+        e.retract_where("judge", |t| t[0] == Value::Int(1)).unwrap();
+        e.run().unwrap();
+        let inputs: Vec<i64> = e
+            .pending_requests()
+            .iter()
+            .map(|r| r.inputs[0].as_int().unwrap())
+            .collect();
+        assert_eq!(inputs, vec![2]);
     }
 
     #[test]

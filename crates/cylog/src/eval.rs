@@ -1,23 +1,32 @@
 //! Bottom-up evaluation of compiled CyLog programs: stratified, with a
-//! naive mode and the default semi-naive mode (delta-driven re-derivation).
+//! naive mode, a semi-naive mode (delta-driven re-derivation within one
+//! fixpoint) and the default incremental mode (cross-batch deltas seeded by
+//! the engine from facts inserted since the previous fixpoint).
 //!
 //! The evaluator reads relations from a [`Database`] whose relation names
-//! equal predicate names, and produces derived tuples. It never mutates the
-//! database itself — the engine layer owns insertion — which keeps borrow
-//! scopes simple and makes the evaluator easy to test in isolation.
+//! equal predicate names, and produces derived tuples. Within-run it never
+//! mutates relations other than through `insert_all`-style distinct
+//! insertion (the incremental driver additionally clears strata it decides
+//! to rebuild), which keeps borrow scopes simple and makes the evaluator
+//! easy to test in isolation.
 
 use crate::analysis::{CAtom, CExpr, CHeadTerm, CLit, CRule, CompiledProgram, PredId};
 use crate::ast::{AggFunc, ArithOp, CmpOp};
 use crate::error::CylogError;
 use crowd4u_storage::prelude::{Database, Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Evaluation strategy; see DESIGN.md §5 ablation 1.
+/// Evaluation strategy; see DESIGN.md §5 ablation 1 and ARCHITECTURE.md's
+/// "Incremental evaluation contract". `Incremental` behaves like
+/// `SemiNaive` within a single from-scratch fixpoint; the difference lives
+/// in the engine, which persists derived relations across `run()` calls and
+/// seeds the next fixpoint from the facts inserted since the last one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalMode {
     Naive,
-    #[default]
     SemiNaive,
+    #[default]
+    Incremental,
 }
 
 /// Counters describing one evaluation run.
@@ -29,8 +38,18 @@ pub struct EvalStats {
     pub derived: u64,
     /// Rule firings that produced an already-known fact.
     pub duplicates: u64,
-    /// Total rule body match attempts (joins explored).
+    /// Candidate rows enumerated at positive body literals (join work
+    /// explored, whether or not the row unified).
     pub firings: u64,
+    /// Tuples used to seed cross-batch incremental deltas.
+    pub delta_seeded: u64,
+    /// Strata skipped because nothing they read changed.
+    pub strata_skipped: u64,
+    /// Strata rebuilt from scratch during an incremental pass (a changed
+    /// predicate reached them through negation or an aggregate).
+    pub strata_recomputed: u64,
+    /// Full from-scratch recomputations (startup, retraction, mode switch).
+    pub recomputes: u64,
 }
 
 impl EvalStats {
@@ -39,6 +58,10 @@ impl EvalStats {
         self.derived += other.derived;
         self.duplicates += other.duplicates;
         self.firings += other.firings;
+        self.delta_seeded += other.delta_seeded;
+        self.strata_skipped += other.strata_skipped;
+        self.strata_recomputed += other.strata_recomputed;
+        self.recomputes += other.recomputes;
     }
 }
 
@@ -190,11 +213,11 @@ fn eval_body(
     }
     match &body[idx] {
         CLit::Pos(atom) => {
-            stats.firings += 1;
             let use_delta = delta_at == Some(idx);
             if use_delta {
                 let rows = delta.expect("delta provided");
                 for row in rows {
+                    stats.firings += 1;
                     if let Some(newly) = unify_atom(atom, row, bind) {
                         eval_body(
                             program,
@@ -234,6 +257,7 @@ fn eval_body(
                 }
                 let rows = rel.lookup(&cols, &key);
                 for row in rows {
+                    stats.firings += 1;
                     if let Some(newly) = unify_atom(atom, row, bind) {
                         eval_body(
                             program,
@@ -318,6 +342,79 @@ fn head_tuple(rule: &CRule, bind: &[Option<Value>]) -> Vec<Value> {
         .collect()
 }
 
+/// Evaluate a body restricted to a delta at `pos`, hoisting the delta atom
+/// to the front when that is safe. Enumerating the (small) delta first
+/// binds its variables before any other atom is touched, so every later
+/// positive atom gets a bound-column index lookup instead of a scan — the
+/// difference between O(Δ) and O(|relation|·Δ) per delta join. The hoist
+/// preserves safety-ordered semantics: every other literal keeps its
+/// relative order and only *gains* bindings. The one exception is a `let`
+/// assigning a variable the delta atom binds (the assignment would clobber
+/// the join binding), so such bodies — and `pos == 0`, where the hoist is
+/// a no-op — evaluate in declared order.
+#[allow(clippy::too_many_arguments)]
+fn eval_body_delta_hoisted(
+    program: &CompiledProgram,
+    db: &Database,
+    body: &[CLit],
+    bind: &mut Vec<Option<Value>>,
+    pos: usize,
+    delta: &[Tuple],
+    stats: &mut EvalStats,
+    emit: &mut EmitFn<'_>,
+) -> Result<(), CylogError> {
+    let hoistable = pos > 0
+        && match &body[pos] {
+            CLit::Pos(atom) => {
+                let dvars: Vec<u32> = atom
+                    .terms
+                    .iter()
+                    .filter_map(|t| match t {
+                        crate::analysis::CTerm::Var(v) => Some(*v),
+                        crate::analysis::CTerm::Const(_) => None,
+                    })
+                    .collect();
+                body.iter().all(|l| match l {
+                    CLit::Let(v, _) => !dvars.contains(v),
+                    _ => true,
+                })
+            }
+            _ => false,
+        };
+    if !hoistable {
+        return eval_body(
+            program,
+            db,
+            body,
+            0,
+            bind,
+            Some(pos),
+            Some(delta),
+            stats,
+            emit,
+        );
+    }
+    let mut reordered: Vec<CLit> = Vec::with_capacity(body.len());
+    reordered.push(body[pos].clone());
+    reordered.extend(
+        body.iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, l)| l.clone()),
+    );
+    eval_body(
+        program,
+        db,
+        &reordered,
+        0,
+        bind,
+        Some(0),
+        Some(delta),
+        stats,
+        emit,
+    )
+}
+
 /// Evaluate a non-aggregate rule, returning derived tuples (possibly with
 /// duplicates; the caller dedups on insert).
 pub fn eval_rule(
@@ -330,20 +427,18 @@ pub fn eval_rule(
 ) -> Result<Vec<Vec<Value>>, CylogError> {
     let mut out = Vec::new();
     let mut bind: Vec<Option<Value>> = vec![None; rule.num_vars];
-    eval_body(
-        program,
-        db,
-        &rule.body,
-        0,
-        &mut bind,
-        delta_at,
-        delta,
-        stats,
-        &mut |b| {
-            out.push(head_tuple(rule, b));
-            Ok(())
-        },
-    )?;
+    let mut emit = |b: &[Option<Value>]| -> Result<(), CylogError> {
+        out.push(head_tuple(rule, b));
+        Ok(())
+    };
+    match (delta_at, delta) {
+        (Some(pos), Some(d)) => {
+            eval_body_delta_hoisted(program, db, &rule.body, &mut bind, pos, d, stats, &mut emit)?
+        }
+        _ => eval_body(
+            program, db, &rule.body, 0, &mut bind, None, None, stats, &mut emit,
+        )?,
+    }
     Ok(out)
 }
 
@@ -554,7 +649,7 @@ pub fn eval_stratum(
                     insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
                     next_delta.entry(rule.head_pred).or_default().extend(fresh);
                 }
-                EvalMode::SemiNaive => {
+                EvalMode::SemiNaive | EvalMode::Incremental => {
                     for (pos, pred) in &positions {
                         let Some(d) = delta.get(pred) else { continue };
                         if d.is_empty() {
@@ -608,6 +703,180 @@ pub fn eval_program(
     Ok(stats)
 }
 
+/// Run one stratum starting from an externally seeded delta instead of a
+/// full round-0 evaluation: each rule is joined once per body position whose
+/// predicate appears in `seed` (the other positions see full relations, so
+/// every derivation using at least one seeded tuple is found; derivations
+/// using none were already present at the previous fixpoint). Aggregate
+/// rules are skipped — the caller guarantees their inputs are unchanged by
+/// rebuilding the stratum instead when they are not.
+///
+/// Returns the stats and the distinct new tuples per head predicate.
+pub fn eval_stratum_seeded(
+    program: &CompiledProgram,
+    db: &mut Database,
+    rule_indices: &[usize],
+    seed: &HashMap<PredId, Vec<Tuple>>,
+) -> Result<(EvalStats, HashMap<PredId, Vec<Tuple>>), CylogError> {
+    let mut stats = EvalStats::default();
+    let mut changed_out: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+
+    let regular: Vec<usize> = rule_indices
+        .iter()
+        .copied()
+        .filter(|&ri| !program.rules[ri].is_agg)
+        .collect();
+    if regular.is_empty() {
+        return Ok((stats, changed_out));
+    }
+    let stratum_preds: HashSet<PredId> = regular
+        .iter()
+        .map(|&ri| program.rules[ri].head_pred)
+        .collect();
+
+    // Round 0: join each seeded delta against full relations, one body
+    // position at a time (distinct insertion dedups derivations that use
+    // more than one seeded tuple).
+    let mut delta: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+    stats.rounds += 1;
+    for &ri in &regular {
+        let rule = &program.rules[ri];
+        for (pos, lit) in rule.body.iter().enumerate() {
+            let CLit::Pos(atom) = lit else { continue };
+            let Some(d) = seed.get(&atom.pred) else {
+                continue;
+            };
+            if d.is_empty() {
+                continue;
+            }
+            let rows = eval_rule(program, db, rule, Some(pos), Some(d), &mut stats)?;
+            let mut fresh = Vec::new();
+            insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
+            delta.entry(rule.head_pred).or_default().extend(fresh);
+        }
+    }
+
+    // Iterate within the stratum exactly as semi-naive does.
+    loop {
+        for (&p, d) in &delta {
+            if !d.is_empty() {
+                changed_out.entry(p).or_default().extend(d.iter().cloned());
+            }
+        }
+        if delta.values().all(|v| v.is_empty()) {
+            return Ok((stats, changed_out));
+        }
+        stats.rounds += 1;
+        let mut next_delta: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+        for &ri in &regular {
+            let rule = &program.rules[ri];
+            for (pos, lit) in rule.body.iter().enumerate() {
+                let CLit::Pos(atom) = lit else { continue };
+                if !stratum_preds.contains(&atom.pred) {
+                    continue;
+                }
+                let Some(d) = delta.get(&atom.pred) else {
+                    continue;
+                };
+                if d.is_empty() {
+                    continue;
+                }
+                let rows = eval_rule(program, db, rule, Some(pos), Some(d), &mut stats)?;
+                let mut fresh = Vec::new();
+                insert_all(program, db, rule.head_pred, rows, &mut stats, &mut fresh)?;
+                next_delta.entry(rule.head_pred).or_default().extend(fresh);
+            }
+        }
+        delta = next_delta;
+    }
+}
+
+/// What one cross-batch incremental pass did.
+#[derive(Debug, Default)]
+pub struct IncrementalOutcome {
+    pub stats: EvalStats,
+    /// Every tuple that is new since the previous fixpoint, per predicate:
+    /// the seed itself plus everything derived from it. For rebuilt strata
+    /// the head's full relation stands in for its (unknown) delta.
+    pub changed: HashMap<PredId, Vec<Tuple>>,
+    /// True when any stratum was rebuilt — derived relations may have
+    /// *shrunk*, so demand computation must not rely on deltas alone.
+    pub any_rebuild: bool,
+}
+
+/// Advance an already-at-fixpoint database to the next fixpoint given the
+/// base facts inserted since (`seed`). Strata that cannot see a changed
+/// predicate are skipped; strata reached only through positive non-aggregate
+/// atoms are delta-joined; strata reached through negation or aggregates —
+/// where new input can *remove* conclusions — are cleared and rebuilt, as is
+/// any stratum positively reading a rebuilt (hence possibly shrunken) head.
+pub fn eval_program_incremental(
+    program: &CompiledProgram,
+    db: &mut Database,
+    seed: &BTreeMap<PredId, Vec<Tuple>>,
+) -> Result<IncrementalOutcome, CylogError> {
+    let mut out = IncrementalOutcome::default();
+    let mut rebuilt: HashSet<PredId> = HashSet::new();
+    for (&p, rows) in seed {
+        out.stats.delta_seeded += rows.len() as u64;
+        if !rows.is_empty() {
+            out.changed
+                .entry(p)
+                .or_default()
+                .extend(rows.iter().cloned());
+        }
+    }
+    for (si, rule_idx) in program.strata.iter().enumerate() {
+        let info = &program.stratum_info[si];
+        let dirty =
+            |p: &PredId| rebuilt.contains(p) || out.changed.get(p).is_some_and(|v| !v.is_empty());
+        let dirty_pos = info.pos_reads.iter().any(&dirty);
+        let dirty_unsafe = info.unsafe_reads.iter().any(&dirty);
+        let rebuilt_pos = info.pos_reads.iter().any(|p| rebuilt.contains(p));
+        if !dirty_pos && !dirty_unsafe {
+            out.stats.strata_skipped += 1;
+            continue;
+        }
+        if dirty_unsafe || rebuilt_pos {
+            // Rebuild: clear the stratum's heads, restore their program
+            // facts, and run the ordinary from-scratch fixpoint for it.
+            for &hp in &info.heads {
+                db.relation_mut(&program.preds[hp].name)?.clear();
+            }
+            for (pid, vals) in &program.facts {
+                if info.heads.contains(pid) {
+                    db.relation_mut(&program.preds[*pid].name)?
+                        .insert_distinct(Tuple::new(vals.clone()))?;
+                }
+            }
+            out.stats
+                .absorb(eval_stratum(program, db, rule_idx, EvalMode::SemiNaive)?);
+            out.stats.strata_recomputed += 1;
+            out.any_rebuild = true;
+            for &hp in &info.heads {
+                rebuilt.insert(hp);
+                out.changed
+                    .insert(hp, db.relation(&program.preds[hp].name)?.to_rows());
+            }
+        } else {
+            let mut stratum_seed: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+            for p in &info.pos_reads {
+                if let Some(rows) = out.changed.get(p) {
+                    if !rows.is_empty() {
+                        stratum_seed.insert(*p, rows.clone());
+                    }
+                }
+            }
+            let (s, fresh) = eval_stratum_seeded(program, db, rule_idx, &stratum_seed)?;
+            out.stats.absorb(s);
+            for (p, rows) in fresh {
+                out.changed.entry(p).or_default().extend(rows);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Compute open-predicate demands: the distinct input bindings each rule
 /// requests from the crowd, given the current database.
 pub fn compute_demands(
@@ -648,6 +917,64 @@ pub fn compute_demands(
                 &mut stats,
                 &mut emit,
             )?;
+        }
+    }
+    Ok(out)
+}
+
+/// Compute only the demands reachable from `changed` predicates: each demand
+/// sub-body is evaluated once per positive position whose predicate changed,
+/// restricted to that predicate's delta. Sound as long as no relation shrank
+/// since the previous fixpoint — a demand derivable without any new tuple
+/// was already derivable then and has already been posed (or answered). The
+/// engine falls back to [`compute_demands`] whenever a stratum was rebuilt.
+pub fn compute_demands_delta(
+    program: &CompiledProgram,
+    db: &Database,
+    changed: &HashMap<PredId, Vec<Tuple>>,
+) -> Result<Vec<(PredId, Vec<Value>)>, CylogError> {
+    let mut out: Vec<(PredId, Vec<Value>)> = Vec::new();
+    let mut seen: HashSet<(PredId, Vec<Value>)> = HashSet::new();
+    let mut stats = EvalStats::default();
+    for rule in &program.rules {
+        for demand in &rule.demands {
+            for (pos, lit) in demand.sub_body.iter().enumerate() {
+                let CLit::Pos(atom) = lit else { continue };
+                let Some(d) = changed.get(&atom.pred) else {
+                    continue;
+                };
+                if d.is_empty() {
+                    continue;
+                }
+                let mut bind: Vec<Option<Value>> = vec![None; demand.num_vars];
+                let input_terms = &demand.input_terms;
+                let open_pred = demand.open_pred;
+                let mut emit = |b: &[Option<Value>]| -> Result<(), CylogError> {
+                    let key: Vec<Value> = input_terms
+                        .iter()
+                        .map(|t| match t {
+                            crate::analysis::CTerm::Const(c) => c.clone(),
+                            crate::analysis::CTerm::Var(v) => {
+                                b[*v as usize].clone().expect("demand inputs bound")
+                            }
+                        })
+                        .collect();
+                    if seen.insert((open_pred, key.clone())) {
+                        out.push((open_pred, key));
+                    }
+                    Ok(())
+                };
+                eval_body_delta_hoisted(
+                    program,
+                    db,
+                    &demand.sub_body,
+                    &mut bind,
+                    pos,
+                    d,
+                    &mut stats,
+                    &mut emit,
+                )?;
+            }
         }
     }
     Ok(out)
@@ -879,16 +1206,169 @@ mod tests {
             derived: 2,
             duplicates: 3,
             firings: 4,
+            delta_seeded: 5,
+            strata_skipped: 6,
+            strata_recomputed: 7,
+            recomputes: 8,
         };
         a.absorb(EvalStats {
             rounds: 10,
             derived: 20,
             duplicates: 30,
             firings: 40,
+            delta_seeded: 50,
+            strata_skipped: 60,
+            strata_recomputed: 70,
+            recomputes: 80,
         });
         assert_eq!(a.rounds, 11);
         assert_eq!(a.derived, 22);
         assert_eq!(a.duplicates, 33);
         assert_eq!(a.firings, 44);
+        assert_eq!(a.delta_seeded, 55);
+        assert_eq!(a.strata_skipped, 66);
+        assert_eq!(a.strata_recomputed, 77);
+        assert_eq!(a.recomputes, 88);
+    }
+
+    /// Cross-batch delta pass on a recursive program: after the initial
+    /// fixpoint, seeding one new edge must derive exactly the paths that
+    /// use it, without touching anything else.
+    #[test]
+    fn incremental_pass_extends_closure() {
+        let (p, mut db) = setup(
+            "rel edge(a: int, b: int).\nrel path(a: int, b: int).\n\
+             edge(1, 2). edge(2, 3).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "path").len(), 3);
+        // New base fact arrives: edge(3, 4).
+        let new = tuple![3i64, 4i64];
+        db.relation_mut("edge")
+            .unwrap()
+            .insert_distinct(new.clone())
+            .unwrap();
+        let edge = p.pred("edge").unwrap();
+        let mut seed = BTreeMap::new();
+        seed.insert(edge, vec![new]);
+        let outcome = eval_program_incremental(&p, &mut db, &seed).unwrap();
+        assert!(!outcome.any_rebuild);
+        assert_eq!(outcome.stats.delta_seeded, 1);
+        // 1-4, 2-4, 3-4 are new.
+        assert_eq!(outcome.stats.derived, 3);
+        assert_eq!(rows(&db, "path").len(), 6);
+        let path = p.pred("path").unwrap();
+        let mut changed = outcome.changed.get(&path).cloned().unwrap();
+        changed.sort();
+        assert_eq!(
+            changed,
+            vec![tuple![1i64, 4i64], tuple![2i64, 4i64], tuple![3i64, 4i64]]
+        );
+    }
+
+    /// An empty seed leaves the database untouched and skips every stratum.
+    #[test]
+    fn incremental_pass_with_empty_seed_skips_everything() {
+        let (p, mut db) = setup(
+            "rel edge(a: int, b: int).\nrel path(a: int, b: int).\n\
+             edge(1, 2).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        let before = rows(&db, "path");
+        let outcome = eval_program_incremental(&p, &mut db, &BTreeMap::new()).unwrap();
+        assert_eq!(outcome.stats.strata_skipped as usize, p.strata.len());
+        assert_eq!(outcome.stats.derived, 0);
+        assert_eq!(rows(&db, "path"), before);
+    }
+
+    /// A changed predicate reaching a stratum through negation forces that
+    /// stratum to be rebuilt — and the rebuild may *shrink* its head.
+    #[test]
+    fn incremental_pass_rebuilds_negation_stratum() {
+        let (p, mut db) = setup(
+            "rel node(x: int).\nrel edge(a: int, b: int).\n\
+             rel reachable(x: int).\nrel isolated(x: int).\n\
+             node(1). node(2). node(3).\n\
+             edge(1, 2).\n\
+             reachable(X) :- edge(_, X).\n\
+             reachable(X) :- edge(X, _).\n\
+             isolated(X) :- node(X), not reachable(X).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "isolated"), vec![tuple![3i64]]);
+        // edge(2, 3) makes node 3 reachable: isolated must shrink to empty.
+        let new = tuple![2i64, 3i64];
+        db.relation_mut("edge")
+            .unwrap()
+            .insert_distinct(new.clone())
+            .unwrap();
+        let mut seed = BTreeMap::new();
+        seed.insert(p.pred("edge").unwrap(), vec![new]);
+        let outcome = eval_program_incremental(&p, &mut db, &seed).unwrap();
+        assert!(outcome.any_rebuild);
+        assert!(outcome.stats.strata_recomputed >= 1);
+        assert!(rows(&db, "isolated").is_empty());
+    }
+
+    /// Aggregate strata are rebuilt, not delta-joined: a new input row must
+    /// replace the old group row rather than coexist with it.
+    #[test]
+    fn incremental_pass_rebuilds_aggregate_stratum() {
+        let (p, mut db) = setup(
+            "rel w(team: str, score: float).\n\
+             rel n(team: str, c: int).\n\
+             w(\"a\", 0.5).\n\
+             n(T, count<S>) :- w(T, S).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        assert_eq!(rows(&db, "n"), vec![tuple!["a", 1i64]]);
+        let new = tuple!["a", 0.7f64];
+        db.relation_mut("w")
+            .unwrap()
+            .insert_distinct(new.clone())
+            .unwrap();
+        let mut seed = BTreeMap::new();
+        seed.insert(p.pred("w").unwrap(), vec![new]);
+        let outcome = eval_program_incremental(&p, &mut db, &seed).unwrap();
+        assert!(outcome.any_rebuild);
+        assert_eq!(rows(&db, "n"), vec![tuple!["a", 2i64]]);
+    }
+
+    /// Delta demand computation finds exactly the demands that need a new
+    /// tuple, and none that were already derivable.
+    #[test]
+    fn delta_demands_match_full_recomputation_on_growth() {
+        let (p, mut db) = setup(
+            "rel sentence(s: str).\n\
+             open translate(s: str) -> (t: str).\n\
+             rel out(s: str, t: str).\n\
+             sentence(\"hello\").\n\
+             out(S, T) :- sentence(S), translate(S, T).\n",
+        );
+        eval_program(&p, &mut db, EvalMode::SemiNaive).unwrap();
+        let new = tuple!["bye"];
+        db.relation_mut("sentence")
+            .unwrap()
+            .insert_distinct(new.clone())
+            .unwrap();
+        let sentence = p.pred("sentence").unwrap();
+        let mut seed = BTreeMap::new();
+        seed.insert(sentence, vec![new]);
+        let outcome = eval_program_incremental(&p, &mut db, &seed).unwrap();
+        let delta = compute_demands_delta(&p, &db, &outcome.changed).unwrap();
+        assert_eq!(
+            delta,
+            vec![(p.pred("translate").unwrap(), vec!["bye".into()])]
+        );
+        // The full set contains the delta set plus the already-known demand.
+        let full = compute_demands(&p, &db).unwrap();
+        assert_eq!(full.len(), 2);
+        for d in &delta {
+            assert!(full.contains(d));
+        }
     }
 }

@@ -122,6 +122,12 @@ pub(crate) fn decode_value(cell: &str) -> Result<Value, String> {
 /// Serialise the database (schemas + rows + id counter) to text.
 /// Index definitions are *not* part of snapshots; callers re-create them
 /// (the platform layer does this on load).
+///
+/// Rows are emitted in sorted order, not storage order, so the dump is a
+/// *canonical* form: two databases holding the same row sets serialise
+/// identically even when their insertion histories differ (e.g. a derived
+/// relation grown incrementally vs recomputed from scratch, or a slab
+/// whose free list was exercised by deletions).
 pub fn dump(db: &Database) -> String {
     let mut out = String::new();
     out.push_str(MAGIC);
@@ -132,7 +138,9 @@ pub fn dump(db: &Database) -> String {
         for c in rel.schema().columns() {
             let _ = writeln!(out, "col {} {} {}", c.name, c.ty, c.nullable);
         }
-        for row in rel.iter() {
+        let mut rows: Vec<_> = rel.iter().collect();
+        rows.sort();
+        for row in rows {
             out.push_str("row ");
             for (i, v) in row.values().iter().enumerate() {
                 if i > 0 {
@@ -312,10 +320,12 @@ mod tests {
             r.insert(tuple![v]).unwrap();
         }
         let back = load(&dump(&db)).unwrap();
-        assert_eq!(
-            back.relation("f").unwrap().to_rows(),
-            db.relation("f").unwrap().to_rows()
-        );
+        // The dump is canonical (sorted), so compare as row sets.
+        let mut orig = db.relation("f").unwrap().to_rows();
+        let mut got = back.relation("f").unwrap().to_rows();
+        orig.sort();
+        got.sort();
+        assert_eq!(got, orig);
     }
 
     #[test]

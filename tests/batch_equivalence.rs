@@ -4,9 +4,12 @@
 //! `answer` + `run` path (N answers, N fixpoints) must reach the same
 //! database (byte-identical snapshot), the same points ledger, and the
 //! same pending-question set — this is what makes the platform's batch
-//! path a pure optimisation.
+//! path a pure optimisation. Both paths run in the default incremental
+//! mode; a third engine pinned to clear-and-rerun (`SemiNaive`) must match
+//! them too, so batching and cross-batch deltas compose.
 
 use crowd4u::cylog::engine::{AnswerRecord, CylogEngine};
+use crowd4u::cylog::eval::EvalMode;
 use crowd4u::storage::snapshot;
 use proptest::prelude::*;
 
@@ -63,6 +66,14 @@ proptest! {
 
         let mut batched = engine_with(&items);
         let mut serial = engine_with(&items);
+        // Reference engine on the clear-and-rerun path: every `run` drops
+        // derived relations and recomputes from scratch.
+        let mut rerun = CylogEngine::from_source(SRC).unwrap();
+        rerun.set_mode(EvalMode::SemiNaive);
+        for s in &items {
+            rerun.add_fact("sentence", vec![s.clone().into()]).unwrap();
+        }
+        rerun.run().unwrap();
 
         let outcome = batched.answer_batch(&answers).unwrap();
         prop_assert_eq!(outcome.fresh + outcome.duplicates, answers.len());
@@ -73,15 +84,22 @@ proptest! {
                 .unwrap();
             serial.run().unwrap();
         }
+        rerun.answer_batch(&answers).unwrap();
 
         // Identical databases (facts + derived), byte for byte.
         prop_assert_eq!(
             snapshot::dump(batched.database()),
             snapshot::dump(serial.database())
         );
+        prop_assert_eq!(
+            snapshot::dump(batched.database()),
+            snapshot::dump(rerun.database())
+        );
         // Identical points ledgers.
         prop_assert_eq!(batched.leaderboard(), serial.leaderboard());
+        prop_assert_eq!(batched.leaderboard(), rerun.leaderboard());
         // Identical pending sets (order included).
         prop_assert_eq!(batched.pending_requests(), serial.pending_requests());
+        prop_assert_eq!(batched.pending_requests(), rerun.pending_requests());
     }
 }

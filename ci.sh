@@ -58,8 +58,20 @@ echo
 echo "==> bench smoke: e12_scenario_streaming (CRITERION_BUDGET_MS=50)"
 CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
     cargo bench -p crowd4u-bench --bench e12_scenario_streaming
+# Worker-scale smoke: 10^5 workers + churn through the lazy affinity
+# provider and the coordinator-owned worker service. The bench itself
+# gates O(1) amortised registration, the 2*top_k*n affinity-state bound,
+# population-independent p99 assignment latency, worker-version lockstep
+# across 4 shards, and peak RSS far below the dense-matrix footprint
+# (full-size 10^6 baseline in BENCH_workers.json; regenerate with
+# `cargo run --release -p crowd4u-bench --bin report -- workers`).
+echo
+echo "==> bench smoke: e13_worker_scale (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e13_worker_scale
 # Exercise the parallel path on every CI run: the integration suite again,
-# with the runtime pinned to 4 shards (shard_equivalence and
+# with the runtime pinned to 4 shards (shard_equivalence,
+# affinity_provider — the provider-parity proptest — and
 # scenario_streaming pick the value up via RUNTIME_SHARDS and add it to
 # their shard-count sweeps).
 echo

@@ -38,19 +38,41 @@ fn bench_worker_factors(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
-    // Affinity matrix rebuild after registrations (cached thereafter).
+    // Candidate-set affinity submatrix from the lazy provider (the dense
+    // full-population matrix no longer exists anywhere).
     for &n in &[50u64, 200] {
-        group.bench_with_input(BenchmarkId::new("affinity_rebuild", n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("candidate_affinity", n), &n, |b, &n| {
             b.iter_batched(
-                || manager(n),
-                |mut m| {
-                    let a = m.affinity();
+                || {
+                    let m = manager(n);
+                    let ids = m.ids();
+                    (m, ids)
+                },
+                |(m, ids)| {
+                    let a = m.candidate_affinity(&ids);
                     std::hint::black_box(a.len())
                 },
                 criterion::BatchSize::SmallInput,
             )
         });
     }
+    // Single-pair lazy queries against a large population: O(1) per probe,
+    // cache warm after the first pass.
+    group.bench_function("pair_probe_10k", |b| {
+        b.iter_batched(
+            || manager(5_000),
+            |mut m| {
+                let mut acc = 0.0;
+                for k in 0..10_000u64 {
+                    let a = WorkerId(1 + (k % 5_000));
+                    let bw = WorkerId(1 + ((k * 7 + 3) % 5_000));
+                    acc += m.pair_affinity(a, bw);
+                }
+                std::hint::black_box(acc)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
     // System-computed skills (paper [10]) from team history.
     for &obs_count in &[100usize, 1000] {
         group.bench_with_input(

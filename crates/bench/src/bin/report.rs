@@ -76,6 +76,145 @@ fn main() {
     if args.iter().any(|a| a == "scenario") {
         scenario_baseline();
     }
+    // Explicit only: the million-worker crowd baseline (records
+    // BENCH_workers.json; ~minutes at the default 10⁶ population —
+    // override with E13_WORKERS).
+    if args.iter().any(|a| a == "workers") {
+        workers_baseline();
+    }
+}
+
+/// E13 baseline: a million-worker crowd with churn through the lazy
+/// affinity provider and the coordinator-owned worker service. Records
+/// `BENCH_workers.json` and exits non-zero if registration stops being
+/// O(1) amortised, the provider's resident affinity state outgrows its
+/// `2·top_k·n` bound, p99 assignment latency scales with the population,
+/// or the 4-shard runtime drops worker-version lockstep.
+fn workers_baseline() {
+    use crowd4u_bench::{
+        assignment_p99, peak_rss_bytes, registration_deciles, run_worker_scale_runtime,
+        worker_scale_project, WorkerScaleWorkload,
+    };
+    let mut w = WorkerScaleWorkload {
+        workers: 1_000_000,
+        ..WorkerScaleWorkload::default()
+    };
+    if let Some(n) = std::env::var("E13_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        w.workers = n;
+    }
+    let n = w.workers;
+    println!(
+        "## E13 — worker scale: {n} workers + {}% churn, {} eligible, top_k {}\n",
+        w.churn_percent, w.eligible, w.top_k
+    );
+
+    let (first, last, events, mut platform) = registration_deciles(&w);
+    let ratio = last.as_secs_f64() / first.as_secs_f64().max(1e-9);
+
+    platform.workers.set_affinity_cache(0.0, w.top_k);
+    let sample = (4 * n).min(200_000) as u64;
+    for k in 0..sample {
+        let a = 1 + k % n as u64;
+        let b = 1 + (k * 7 + 13) % n as u64;
+        platform.workers.pair_affinity(WorkerId(a), WorkerId(b));
+    }
+    let entries = platform.workers.cached_affinity_entries();
+    let entry_bound = 2 * w.top_k * n;
+
+    let small = WorkerScaleWorkload {
+        workers: (n / 25).max(w.eligible * 2),
+        ..w
+    };
+    let (_, _, _, mut small_platform) = registration_deciles(&small);
+    let sp = worker_scale_project(&mut small_platform);
+    let p99_small = assignment_p99(&mut small_platform, sp, w.eligible, 100);
+    let lp = worker_scale_project(&mut platform);
+    let p99_large = assignment_p99(&mut platform, lp, w.eligible, 100);
+    drop(platform);
+    drop(small_platform);
+
+    let (elapsed, applied, per_shard) = run_worker_scale_runtime(4, &w);
+    let churn = n * w.churn_percent / 100;
+    let lockstep = per_shard
+        .iter()
+        .all(|(len, v)| *len == n && *v == (n + churn) as u64);
+    let peak_mib = peak_rss_bytes().map(|b| b >> 20).unwrap_or(0);
+    let dense_mib = ((n as u64) * (n as u64 - 1) / 2 * 8) >> 20;
+
+    let mut t = TablePrinter::new(&["measure", "value"]);
+    t.row(vec![
+        "registrations (incl. churn)".into(),
+        events.to_string(),
+    ]);
+    t.row(vec!["first decile".into(), format!("{:.1?}", first)]);
+    t.row(vec![
+        "last decile".into(),
+        format!("{:.1?} ({ratio:.2}x)", last),
+    ]);
+    t.row(vec![
+        "cached affinity entries".into(),
+        format!("{entries} (bound {entry_bound})"),
+    ]);
+    t.row(vec![
+        format!("p99 assignment, {} workers", small.workers),
+        format!("{p99_small:.1?}"),
+    ]);
+    t.row(vec![
+        format!("p99 assignment, {n} workers"),
+        format!("{p99_large:.1?}"),
+    ]);
+    t.row(vec![
+        "4-shard runtime (workers first)".into(),
+        format!("{elapsed:.2?} / {applied} applied"),
+    ]);
+    t.row(vec![
+        "worker lockstep across shards".into(),
+        lockstep.to_string(),
+    ]);
+    t.row(vec![
+        "peak RSS".into(),
+        format!("{peak_mib} MiB (dense matrix: {dense_mib} MiB)"),
+    ]);
+    println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_worker_scale\",\n  \"workers\": {n},\n  \
+         \"churn_percent\": {},\n  \"eligible\": {},\n  \"top_k\": {},\n  \
+         \"registrations\": {events},\n  \"first_decile_ms\": {:.3},\n  \
+         \"last_decile_ms\": {:.3},\n  \"decile_ratio\": {ratio:.2},\n  \
+         \"cached_affinity_entries\": {entries},\n  \"entry_bound\": {entry_bound},\n  \
+         \"p99_small_us\": {:.1},\n  \"p99_large_us\": {:.1},\n  \
+         \"runtime_4_shards_ms\": {:.1},\n  \"runtime_applied\": {applied},\n  \
+         \"worker_lockstep\": {lockstep},\n  \"peak_rss_mib\": {peak_mib},\n  \
+         \"dense_matrix_mib\": {dense_mib}\n}}\n",
+        w.churn_percent,
+        w.eligible,
+        w.top_k,
+        first.as_secs_f64() * 1e3,
+        last.as_secs_f64() * 1e3,
+        p99_small.as_secs_f64() * 1e6,
+        p99_large.as_secs_f64() * 1e6,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    std::fs::write("BENCH_workers.json", &json).expect("write BENCH_workers.json");
+    println!("baseline recorded to BENCH_workers.json");
+
+    assert!(
+        ratio < 8.0,
+        "registration is not O(1) amortised: last decile {ratio:.2}x the first"
+    );
+    assert!(
+        entries <= entry_bound,
+        "affinity cache exceeded its 2·top_k·n bound: {entries}"
+    );
+    assert!(
+        p99_large.as_secs_f64() < 5.0 * p99_small.as_secs_f64() + 2e-3,
+        "p99 assignment latency scales with population: {p99_small:.2?} → {p99_large:.2?}"
+    );
+    assert!(lockstep, "worker registry out of lockstep: {per_shard:?}");
 }
 
 /// E12 baseline: multi-project scenarios (one crowd driving all three

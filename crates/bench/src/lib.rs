@@ -14,7 +14,7 @@
 
 use crowd4u_assign::prelude::*;
 use crowd4u_crowd::affinity::AffinityMatrix;
-use crowd4u_crowd::profile::WorkerId;
+use crowd4u_crowd::profile::{Region, WorkerId, WorkerProfile};
 use crowd4u_cylog::engine::{AnswerRecord, CylogEngine};
 use crowd4u_sim::rng::SimRng;
 
@@ -711,6 +711,243 @@ impl TablePrinter {
         }
         out
     }
+}
+
+// ---- E13: worker scale (lazy affinity + coordinator-owned service) ----
+
+/// The E13 worker-scale workload shape: a large synthetic crowd with a
+/// small slice speaking the project's rare required language (so the
+/// assignment candidate set stays fixed while the population grows), plus
+/// re-registration churn.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerScaleWorkload {
+    /// Population size (10⁵ in the CI smoke, 10⁶ in the recorded baseline).
+    pub workers: usize,
+    /// Extra re-registrations, as a percentage of `workers`.
+    pub churn_percent: usize,
+    /// Crowd slice fluent in the rare project language — the assignment
+    /// candidate pool, deliberately independent of `workers`.
+    pub eligible: usize,
+    /// Provider cache policy probed by the memory gate (top-k per worker).
+    pub top_k: usize,
+}
+
+impl Default for WorkerScaleWorkload {
+    fn default() -> Self {
+        WorkerScaleWorkload {
+            workers: 100_000,
+            churn_percent: 10,
+            eligible: 16,
+            top_k: 8,
+        }
+    }
+}
+
+/// CyLog program of the E13 collaborative project (the declarative part is
+/// irrelevant to the experiment; eligibility is the human-factor screen).
+pub const WORKER_SCALE_SRC: &str = "rel doc(d: id).\n\
+     open draft(d: id) -> (t: str) points 2.\nrel drafted(d: id, t: str).\n\
+     drafted(D, T) :- doc(D), draft(D, T).\n";
+
+/// Deterministic synthetic profile for worker `i` (1-based id): spread over
+/// the unit square with a few languages and skills. Workers `i <= eligible`
+/// are fluent in the rare language `"xh"` the E13 project requires.
+pub fn scale_profile(i: u64, eligible: usize) -> WorkerProfile {
+    // Cheap splitmix-style hash: profile features must be a pure function
+    // of the id so churn re-registrations are reproducible.
+    let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 31;
+    let x = (h & 0xFFFF) as f64 / 65536.0;
+    let y = ((h >> 16) & 0xFFFF) as f64 / 65536.0;
+    let langs = ["en", "ja", "fr", "pt"];
+    let mut p = WorkerProfile::new(WorkerId(i), format!("w{i}"))
+        .with_region(Region::new(format!("r{}", h % 7), x, y))
+        .with_native_lang(langs[(h % 4) as usize])
+        .with_skill("survey", ((h >> 32) & 0xFF) as f64 / 255.0);
+    if i as usize <= eligible {
+        p = p.with_fluency("xh", 1.0).with_skill("drafting", 0.9);
+    }
+    p
+}
+
+/// The E13 event stream: `workers` registrations followed by churn
+/// re-registrations (every `100 / churn_percent`-th worker comes back with
+/// a bumped skill). Workers come **first** — the bulk-onboarding phase the
+/// worker service's snapshot fast-forward exists for.
+pub fn worker_scale_events(w: &WorkerScaleWorkload) -> Vec<crowd4u_core::events::PlatformEvent> {
+    use crowd4u_core::events::PlatformEvent;
+    let churn = w.workers * w.churn_percent / 100;
+    let mut events = Vec::with_capacity(w.workers + churn);
+    for i in 1..=w.workers as u64 {
+        events.push(PlatformEvent::WorkerRegistered {
+            profile: scale_profile(i, w.eligible),
+        });
+    }
+    let stride = (w.workers / churn.max(1)).max(1) as u64;
+    for k in 0..churn as u64 {
+        let i = 1 + (k * stride) % w.workers as u64;
+        events.push(PlatformEvent::WorkerRegistered {
+            profile: scale_profile(i, w.eligible).with_skill("survey", 0.99),
+        });
+    }
+    events
+}
+
+/// Register the E13 crowd (with churn) on one platform, timing the first
+/// and last decile of registrations. With the lazy provider both deciles
+/// cost the same per event — there is no per-registration dense-state
+/// invalidation, and nothing downstream rebuilds an O(n²) matrix.
+/// Returns `(first_decile, last_decile, events, platform)`.
+pub fn registration_deciles(
+    w: &WorkerScaleWorkload,
+) -> (
+    std::time::Duration,
+    std::time::Duration,
+    usize,
+    crowd4u_core::platform::Crowd4U,
+) {
+    let mut events = worker_scale_events(w);
+    let decile = (events.len() / 10).max(1);
+    events.truncate(decile * 10); // equal-length deciles
+    let n = events.len();
+    let mut platform = crowd4u_core::platform::Crowd4U::new();
+    let mut first = std::time::Duration::ZERO;
+    let mut last = std::time::Duration::ZERO;
+    for (k, chunk) in events.chunks(decile).enumerate() {
+        let t = std::time::Instant::now();
+        for e in chunk {
+            platform.apply_event(e.clone()).expect("registration");
+        }
+        let dt = t.elapsed();
+        if k == 0 {
+            first = dt;
+        }
+        last = dt;
+    }
+    (first, last, n, platform)
+}
+
+/// Set up the E13 collaborative project on a populated platform and return
+/// its id. The project requires the rare language, so its candidate pool
+/// is the `eligible` slice regardless of population size.
+pub fn worker_scale_project(
+    platform: &mut crowd4u_core::platform::Crowd4U,
+) -> crowd4u_core::error::ProjectId {
+    use crowd4u_forms::admin::DesiredFactors;
+    platform
+        .register_project(
+            "e13-drafting",
+            WORKER_SCALE_SRC,
+            DesiredFactors {
+                required_language: Some("xh".into()),
+                skill_name: Some("drafting".into()),
+                min_quality: 0.6,
+                min_team: 2,
+                max_team: 4,
+                recruitment_secs: 600,
+                ..Default::default()
+            },
+            crowd4u_collab::Scheme::Sequential,
+        )
+        .expect("e13 project")
+}
+
+/// p99 latency of `run_assignment` over `iters` fresh collaborative tasks
+/// (each with the eligible slice's interest expressed). The candidate set
+/// is the fixed eligible slice, so this latency must not scale with the
+/// total population — the relative gate the E13 bench asserts.
+pub fn assignment_p99(
+    platform: &mut crowd4u_core::platform::Crowd4U,
+    project: crowd4u_core::error::ProjectId,
+    eligible: usize,
+    iters: usize,
+) -> std::time::Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for k in 0..iters {
+        let task = platform
+            .create_collab_task(project, format!("draft {k}"))
+            .expect("collab task");
+        for i in 1..=eligible as u64 {
+            platform
+                .express_interest(WorkerId(i), task)
+                .expect("eligible interest");
+        }
+        let t = std::time::Instant::now();
+        let team = platform.run_assignment(task);
+        samples.push(t.elapsed());
+        team.expect("feasible team from the eligible slice");
+    }
+    samples.sort();
+    samples[(samples.len() * 99 / 100).min(samples.len() - 1)]
+}
+
+/// Peak resident set size of this process (Linux `VmHWM`), if readable.
+/// The E13 memory gate bounds it far below the dense-matrix footprint.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The E13 runtime leg: the registration + churn stream through the
+/// sharded runtime (workers first — the snapshot fast-forward phase), then
+/// the project, a collaborative assignment, and `finish`. Returns the wall
+/// time, total applied events, and each shard's `(workers, version)` —
+/// which must agree across shards and with a serial register.
+pub fn run_worker_scale_runtime(
+    shards: usize,
+    w: &WorkerScaleWorkload,
+) -> (std::time::Duration, u64, Vec<(usize, u64)>) {
+    use crowd4u_core::events::PlatformEvent;
+    use crowd4u_runtime::prelude::*;
+    let events = worker_scale_events(w);
+    let start = std::time::Instant::now();
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: 0,
+        mailbox_capacity: 4096,
+    });
+    rt.submit_batch(events);
+    // Mailbox order makes the sequencing safe: the project broadcast lands
+    // behind every registration, and the collab/interest/assignment events
+    // land behind the project on its owning shard.
+    rt.submit(PlatformEvent::ProjectRegistered {
+        name: "e13-drafting".into(),
+        source: WORKER_SCALE_SRC.into(),
+        factors: crowd4u_forms::admin::DesiredFactors {
+            required_language: Some("xh".into()),
+            skill_name: Some("drafting".into()),
+            min_quality: 0.6,
+            min_team: 2,
+            max_team: 4,
+            recruitment_secs: 600,
+            ..Default::default()
+        },
+        scheme: crowd4u_collab::Scheme::Sequential,
+    });
+    let project = crowd4u_core::error::ProjectId(1);
+    rt.submit(PlatformEvent::CollabTaskCreated {
+        project,
+        description: "draft 0".into(),
+    });
+    let task = crowd4u_core::error::TaskId::compose(project, 1);
+    for i in 1..=w.eligible as u64 {
+        rt.submit(PlatformEvent::InterestExpressed {
+            worker: WorkerId(i),
+            task,
+        });
+    }
+    rt.submit(PlatformEvent::AssignmentRun { task });
+    rt.drain();
+    let run = rt.finish().expect("clean finish");
+    let elapsed = start.elapsed();
+    let per_shard = run
+        .platforms
+        .iter()
+        .map(|p| (p.workers.len(), p.workers.version()))
+        .collect();
+    (elapsed, run.stats.applied, per_shard)
 }
 
 #[cfg(test)]

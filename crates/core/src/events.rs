@@ -75,20 +75,29 @@ pub const DRAIN_KIND: &str = "drain";
 /// the ordering metadata a router needs, kept next to the event vocabulary
 /// so adding a variant forces a routing decision.
 ///
-/// The two scopes carry different ordering obligations:
+/// The scopes carry different ordering obligations:
 ///
 /// * [`EventScope::Project`] events touch exactly one project's state
 ///   (CyLog engine, tasks, relations, points ledger) and may be applied on
 ///   the owning partition alone, concurrently with other projects' events.
 /// * [`EventScope::Global`] events mutate state every partition replicates
-///   (worker profiles, the clock, the project-id sequence) and must be
-///   applied by **every** partition **in the same relative order** — the
-///   broadcast-lockstep rule that keeps `WorkerManager::version()` and the
-///   project-id sequence identical across replicas.
+///   (the clock, the project-id sequence) and must be applied by **every**
+///   partition **in the same relative order** — the broadcast-lockstep
+///   rule that keeps the project-id sequence identical across replicas.
+/// * [`EventScope::Worker`] events mutate the worker registry. They are
+///   delivered to the **coordinator partition only** (which journals
+///   them); other partitions replicate the effect by pulling seq-keyed
+///   deltas from the coordinator's worker service *before* applying any
+///   later-stamped event, which preserves the same relative order the old
+///   broadcast gave while making worker churn O(1) platform-wide instead
+///   of O(partitions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventScope {
     /// Replicated state: every partition must apply it, in sequence order.
     Global,
+    /// Worker-registry state: applied by the coordinator partition;
+    /// replicas sync it on demand from the worker service.
+    Worker,
     /// Partitioned state: only the owner of this project applies it.
     Project(ProjectId),
 }
@@ -100,9 +109,10 @@ impl PlatformEvent {
     /// classification is pure bit arithmetic.
     pub fn scope(&self) -> EventScope {
         match self {
-            PlatformEvent::WorkerRegistered { .. }
-            | PlatformEvent::ClockAdvanced { .. }
-            | PlatformEvent::ProjectRegistered { .. } => EventScope::Global,
+            PlatformEvent::WorkerRegistered { .. } => EventScope::Worker,
+            PlatformEvent::ClockAdvanced { .. } | PlatformEvent::ProjectRegistered { .. } => {
+                EventScope::Global
+            }
             PlatformEvent::FactSeeded { project, .. }
             | PlatformEvent::TasksSynced { project }
             | PlatformEvent::CollabTaskCreated { project, .. } => EventScope::Project(*project),
@@ -552,7 +562,8 @@ mod tests {
         // out of the strided task id.
         for e in all_events() {
             match (e.kind(), e.scope()) {
-                ("worker" | "clock" | "project", EventScope::Global) => {}
+                ("worker", EventScope::Worker) => {}
+                ("clock" | "project", EventScope::Global) => {}
                 ("seed" | "sync" | "collab", EventScope::Project(p)) => {
                     assert_eq!(p, ProjectId(3));
                 }

@@ -18,7 +18,7 @@
 //! 1. register a project (admin page available) — [`platform::Crowd4U::register_project`];
 //! 2. desired factors reach the controller — carried in [`platform::Project`];
 //! 3. workers see eligible tasks, declare interest — [`platform::Crowd4U::express_interest`];
-//! 4. worker manager supplies factors + affinity — [`workers::WorkerManager::affinity`];
+//! 4. worker manager supplies factors + affinity — [`workers::WorkerManager::pair_affinity`];
 //! 5. controller suggests a team — [`platform::Crowd4U::run_assignment`];
 //!    deadline misses re-execute assignment ([`platform::Crowd4U::process_deadlines`]),
 //!    and infeasibility produces a requester suggestion.

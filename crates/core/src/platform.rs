@@ -185,6 +185,18 @@ impl Crowd4U {
             profile: profile.clone(),
         });
         self.counters.incr("workers_registered");
+        self.install_worker_delta(profile);
+    }
+
+    /// The state effects of a worker registration, without the journal
+    /// entry or the platform counter. This is the runtime's replica path:
+    /// the coordinator shard journals [`PlatformEvent::WorkerRegistered`]
+    /// via [`register_worker`](Crowd4U::register_worker); other shards
+    /// mirror its effects by installing the same profile deltas, in the
+    /// same seq order, through this method — keeping
+    /// `WorkerManager::version()` in lockstep without the event ever being
+    /// broadcast.
+    pub fn install_worker_delta(&mut self, profile: crowd4u_crowd::profile::WorkerProfile) {
         let worker = profile.id;
         self.workers.register(profile);
         // New workers become eligible for existing open tasks they qualify
@@ -198,6 +210,29 @@ impl Crowd4U {
         for project in self.pool.projects_with_open_tasks() {
             let _ = self.refresh_registered_eligibility(worker, project);
         }
+    }
+
+    /// Bulk-install a compacted worker snapshot on a **completely fresh**
+    /// replica (no workers, no projects) — the fast-forward path a shard
+    /// takes instead of replaying every registration delta one by one.
+    /// `events_covered` is the number of registration events the snapshot
+    /// compacts; it keeps the worker version in lockstep with a replica
+    /// that installed each delta individually. With no projects there is
+    /// no eligibility state to repair, which is exactly why the
+    /// freshness precondition exists.
+    ///
+    /// # Panics
+    /// If the platform already has workers or projects.
+    pub fn install_worker_snapshot(
+        &mut self,
+        profiles: impl IntoIterator<Item = crowd4u_crowd::profile::WorkerProfile>,
+        events_covered: u64,
+    ) {
+        assert!(
+            self.workers.is_empty() && self.projects.is_empty(),
+            "worker snapshots may only fast-forward a fresh replica"
+        );
+        self.workers.install_snapshot(profiles, events_covered);
     }
 
     /// Post-registration eligibility repair for one project: mark the new
@@ -538,12 +573,12 @@ impl Crowd4U {
         let constraints = constraints_from_factors(&factors);
         // The algorithms only ever look up affinities among the
         // candidates, and pair affinity is a pure function of the two
-        // profiles — so build the candidate submatrix directly instead of
-        // materialising (or cloning) the full population matrix. This
-        // makes assignment cost independent of how many workers the
-        // platform hosts: O(candidates²), not O(population²).
-        let (wg, wl, ws) = self.workers.weights;
-        let affinity = crowd4u_crowd::affinity::affinity_from_profile_refs(&profiles, wg, wl, ws);
+        // profiles — so ask the worker manager's lazy provider for the
+        // candidate submatrix instead of materialising (or cloning) a full
+        // population matrix (which no longer exists anywhere). This makes
+        // assignment cost independent of how many workers the platform
+        // hosts: O(candidates²), not O(population²).
+        let affinity = self.workers.submatrix_of(&profiles);
         let team = self
             .controller
             .suggest_team(&candidates, &affinity, &constraints);

@@ -1,18 +1,27 @@
 //! The worker manager (paper Figure 2): user properties (human factors),
-//! the affinity matrix, and system-computed skill refreshes from task
+//! lazy pair affinity, and system-computed skill refreshes from task
 //! history.
+//!
+//! Affinity is never materialised for the whole population. The manager
+//! owns an [`AffinityProvider`] that computes pair values from profiles on
+//! demand (with a small above-floor / top-k cache) and builds dense
+//! candidate-set submatrices for assignment — so registering worker N is
+//! O(1) in the population size instead of an O(n²) cache invalidation.
 
 use crate::error::{PlatformError, WorkerId};
-use crowd4u_crowd::affinity::{affinity_from_profiles, AffinityLookup, AffinityMatrix};
+use crowd4u_crowd::affinity::{group_affinity, AffinityMatrix, AffinityProvider};
 use crowd4u_crowd::estimate::{estimate_skills, EstimatorConfig, TeamObservation};
 use crowd4u_crowd::profile::WorkerProfile;
 use std::collections::BTreeMap;
 
-/// Registry of worker profiles + affinity matrix + team-task history.
+/// Registry of worker profiles + lazy affinity provider + team-task history.
 pub struct WorkerManager {
     profiles: BTreeMap<WorkerId, WorkerProfile>,
-    /// Cached affinity matrix; rebuilt on demand after registration changes.
-    affinity: Option<AffinityMatrix>,
+    /// Lazy pair-affinity source; its small cache is dropped (not rebuilt)
+    /// whenever profiles change, keyed off `version`.
+    provider: AffinityProvider,
+    /// The `version` the provider's cache was filled under.
+    provider_version: u64,
     /// Observed team outcomes, for skill estimation ([10]).
     history: Vec<TeamObservation>,
     /// Affinity synthesis weights (geo, language, skill).
@@ -25,11 +34,13 @@ pub struct WorkerManager {
 
 impl Default for WorkerManager {
     fn default() -> Self {
+        let weights = (1.0, 1.0, 0.5);
         WorkerManager {
             profiles: BTreeMap::new(),
-            affinity: None,
+            provider: AffinityProvider::new(weights.0, weights.1, weights.2),
+            provider_version: 0,
             history: Vec::new(),
-            weights: (1.0, 1.0, 0.5),
+            weights,
             version: 0,
         }
     }
@@ -40,10 +51,28 @@ impl WorkerManager {
         WorkerManager::default()
     }
 
+    /// Register (or re-register) a worker. O(log n): one map insert and a
+    /// version bump — no affinity state exists to invalidate eagerly; the
+    /// provider's cache is dropped lazily on the next affinity query.
     pub fn register(&mut self, profile: WorkerProfile) {
         self.profiles.insert(profile.id, profile);
-        self.affinity = None; // invalidate cache
         self.version += 1;
+    }
+
+    /// Bulk-install a compacted profile snapshot shipped by the runtime's
+    /// worker service. `events_covered` is how many registration events
+    /// the snapshot compacts; adding it keeps `version()` in lockstep with
+    /// a replica that applied every event individually — the invariant the
+    /// eligibility epoch cache and the shard determinism contract key on.
+    pub fn install_snapshot(
+        &mut self,
+        profiles: impl IntoIterator<Item = WorkerProfile>,
+        events_covered: u64,
+    ) {
+        for p in profiles {
+            self.profiles.insert(p.id, p);
+        }
+        self.version += events_covered;
     }
 
     /// Profile-set version; changes whenever any profile may have changed.
@@ -76,27 +105,78 @@ impl WorkerManager {
         self.profiles.is_empty()
     }
 
+    /// All worker ids, ascending, as a fresh `Vec`. Prefer [`iter_ids`]
+    /// (no allocation) when you only iterate.
+    ///
+    /// [`iter_ids`]: WorkerManager::iter_ids
     pub fn ids(&self) -> Vec<WorkerId> {
         self.profiles.keys().copied().collect()
+    }
+
+    /// All worker ids, ascending, without allocating.
+    pub fn iter_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.profiles.keys().copied()
     }
 
     pub fn profiles(&self) -> impl Iterator<Item = &WorkerProfile> {
         self.profiles.values()
     }
 
-    /// The affinity matrix over all registered workers (cached).
-    pub fn affinity(&mut self) -> &AffinityMatrix {
-        if self.affinity.is_none() {
-            let profiles: Vec<WorkerProfile> = self.profiles.values().cloned().collect();
-            let (wg, wl, ws) = self.weights;
-            self.affinity = Some(affinity_from_profiles(&profiles, wg, wl, ws));
+    /// Pairwise affinity, computed lazily from the two profiles (cached
+    /// per the provider's floor / top-k policy). Unknown workers and
+    /// self-pairs are 0, matching the dense matrix's convention.
+    pub fn pair_affinity(&mut self, a: WorkerId, b: WorkerId) -> f64 {
+        self.ensure_provider_fresh();
+        match (self.profiles.get(&a), self.profiles.get(&b)) {
+            (Some(pa), Some(pb)) => self.provider.pair(pa, pb),
+            _ => 0.0,
         }
-        self.affinity.as_ref().expect("just built")
     }
 
-    /// Pairwise affinity (builds the matrix if needed).
-    pub fn pair_affinity(&mut self, a: WorkerId, b: WorkerId) -> f64 {
-        self.affinity().affinity(a, b)
+    /// Dense affinity submatrix over borrowed candidate profiles — the
+    /// assignment-time path. O(k²) in the candidate count, independent of
+    /// the population size; entries are bit-identical to what a full
+    /// population matrix would hold.
+    pub fn submatrix_of(&self, profiles: &[&WorkerProfile]) -> AffinityMatrix {
+        let (wg, wl, ws) = self.weights;
+        crowd4u_crowd::affinity::affinity_from_profile_refs(profiles, wg, wl, ws)
+    }
+
+    /// Dense affinity submatrix over a candidate id set (unknown ids are
+    /// skipped, so they read as affinity 0 — the dense matrix convention).
+    pub fn candidate_affinity(&self, ids: &[WorkerId]) -> AffinityMatrix {
+        let profiles: Vec<&WorkerProfile> =
+            ids.iter().filter_map(|w| self.profiles.get(w)).collect();
+        self.submatrix_of(&profiles)
+    }
+
+    /// Mean pairwise affinity of a team, via a candidate submatrix —
+    /// O(k²) instead of the O(n²) full-matrix build this used to force.
+    pub fn team_affinity(&self, members: &[WorkerId]) -> f64 {
+        group_affinity(&self.candidate_affinity(members), members)
+    }
+
+    /// Configure the provider's pair cache (floor + per-worker top-k).
+    pub fn set_affinity_cache(&mut self, floor: f64, top_k: usize) {
+        self.provider.set_cache_policy(floor, top_k);
+    }
+
+    /// Resident affinity cache entries — the manager's entire affinity
+    /// footprint (there is no dense matrix).
+    pub fn cached_affinity_entries(&self) -> usize {
+        self.provider.cached_entries()
+    }
+
+    /// Drop the provider's cache when profiles or weights changed since it
+    /// was filled. O(1) when nothing changed; clearing is O(cache), never
+    /// O(population²).
+    fn ensure_provider_fresh(&mut self) {
+        if self.provider_version != self.version {
+            self.provider.clear();
+            self.provider_version = self.version;
+        }
+        let (wg, wl, ws) = self.weights;
+        self.provider.set_weights(wg, wl, ws); // no-op unless changed
     }
 
     /// Record an observed team outcome (drives skill estimation).
@@ -124,7 +204,8 @@ impl WorkerManager {
             }
         }
         if updated > 0 {
-            self.affinity = None; // skills feed the affinity matrix
+            // Skills feed pair affinity; the version bump drops the
+            // provider's cache on the next query.
             self.version += 1;
         }
         updated
@@ -166,18 +247,66 @@ mod tests {
         m.get_mut(WorkerId(1)).unwrap().factors.logged_in = false;
         assert!(!m.get(WorkerId(1)).unwrap().factors.logged_in);
         assert_eq!(m.ids(), vec![WorkerId(1), WorkerId(2), WorkerId(3)]);
+        assert_eq!(m.iter_ids().collect::<Vec<_>>(), m.ids());
         assert_eq!(m.profiles().count(), 3);
     }
 
     #[test]
-    fn affinity_cached_and_invalidated() {
+    fn affinity_is_lazy_and_tracks_registration() {
         let mut m = manager();
         let near = m.pair_affinity(WorkerId(1), WorkerId(2));
         let far = m.pair_affinity(WorkerId(1), WorkerId(3));
         assert!(near > far);
-        // registration invalidates the cache and the new worker appears
+        assert!(m.cached_affinity_entries() > 0, "queried pairs are cached");
+        // Registration is O(1): no dense state to rebuild. The stale cache
+        // is dropped on the next query and the new worker is visible.
         m.register(WorkerProfile::new(WorkerId(4), "dan").with_native_lang("en"));
-        assert_eq!(m.affinity().len(), 4);
+        assert!(m.pair_affinity(WorkerId(2), WorkerId(4)) > 0.0);
+        assert_eq!(m.pair_affinity(WorkerId(9), WorkerId(1)), 0.0, "unknown id");
+        assert_eq!(m.candidate_affinity(&m.ids()).len(), 4);
+    }
+
+    #[test]
+    fn team_affinity_uses_candidate_submatrix() {
+        let m = manager();
+        let team = [WorkerId(1), WorkerId(2), WorkerId(3)];
+        let sub = m.candidate_affinity(&team);
+        let expect = crowd4u_crowd::affinity::group_affinity(&sub, &team);
+        assert_eq!(m.team_affinity(&team).to_bits(), expect.to_bits());
+        // Unknown members contribute 0 pairs but still count in the mean,
+        // exactly as a full-population matrix lookup would score them.
+        assert!(m.team_affinity(&[WorkerId(1), WorkerId(99)]) == 0.0);
+        assert_eq!(m.team_affinity(&[WorkerId(1)]), 0.0);
+    }
+
+    #[test]
+    fn affinity_cache_policy_bounds_entries() {
+        let mut m = manager();
+        m.set_affinity_cache(0.0, 1);
+        for a in m.ids() {
+            for b in m.ids() {
+                m.pair_affinity(a, b);
+            }
+        }
+        assert!(m.cached_affinity_entries() <= 2 * m.len());
+    }
+
+    #[test]
+    fn snapshot_install_keeps_version_lockstep() {
+        let mut serial = WorkerManager::new();
+        let mut replica = WorkerManager::new();
+        let profiles: Vec<WorkerProfile> = (1..=5)
+            .map(|i| WorkerProfile::new(WorkerId(i), format!("w{i}")))
+            .collect();
+        for p in &profiles {
+            serial.register(p.clone());
+        }
+        // A snapshot compacting re-registrations covers more events than
+        // it carries profiles.
+        serial.register(profiles[0].clone());
+        replica.install_snapshot(profiles, 6);
+        assert_eq!(replica.version(), serial.version());
+        assert_eq!(replica.len(), serial.len());
     }
 
     #[test]

@@ -4,12 +4,17 @@
 //! how a pair of workers is expected to work well". Affinities are symmetric
 //! values in `[0, 1]` over unordered worker pairs.
 //!
-//! Two representations are provided (DESIGN.md §5 ablation 2):
+//! Three representations are provided (DESIGN.md §5 ablation 2):
 //! * [`AffinityMatrix`] — dense lower-triangular storage, O(1) lookup;
-//! * [`SparseAffinity`] — hash-map storage for sparse populations.
+//! * [`SparseAffinity`] — hash-map storage for sparse populations;
+//! * [`AffinityProvider`] — *lazy* computation from profiles with an
+//!   optional above-floor / top-k per-worker cache, so a million-worker
+//!   population never materialises O(n²) state.
 //!
-//! Both implement [`AffinityLookup`], the trait the assignment algorithms
-//! consume.
+//! The first two implement [`AffinityLookup`], the trait the assignment
+//! algorithms consume; the provider produces dense candidate-set
+//! *submatrices* on demand (bit-identical to the full matrix's entries)
+//! and answers single-pair queries directly.
 
 use crate::profile::{WorkerId, WorkerProfile};
 use std::collections::HashMap;
@@ -164,69 +169,267 @@ pub fn affinity_from_profile_refs(
     w_lang: f64,
     w_skill: f64,
 ) -> AffinityMatrix {
-    let total = (w_geo + w_lang + w_skill).max(f64::MIN_POSITIVE);
-    let (wg, wl, ws) = (w_geo / total, w_lang / total, w_skill / total);
+    let (wg, wl, ws) = normalised_weights(w_geo, w_lang, w_skill);
     let mut m = AffinityMatrix::new(workers.iter().map(|w| w.id).collect());
     // The pair loop is O(n²) and runs over the full registered population
     // of a platform slice — hoist every per-worker feature (fluent
     // languages, skill names) out of it so the inner body allocates only
     // one reusable scratch buffer. Same arithmetic, same iteration
     // orders, bit-identical affinities.
-    let fluent: Vec<Vec<&str>> = workers
-        .iter()
-        .map(|w| {
-            w.factors
-                .fluency
-                .iter()
-                .filter(|(_, &f)| f >= 0.5)
-                .map(|(l, _)| l.code())
-                .collect()
-        })
-        .collect();
-    let skill_names: Vec<Vec<&str>> = workers
-        .iter()
-        .map(|w| w.factors.skills.keys().map(String::as_str).collect())
-        .collect();
+    let fluent: Vec<Vec<&str>> = workers.iter().map(|w| fluent_langs(w)).collect();
+    let skill_names: Vec<Vec<&str>> = workers.iter().map(|w| skill_name_list(w)).collect();
     let mut names: Vec<&str> = Vec::new();
     for (i, a) in workers.iter().enumerate() {
         for (j, b) in workers.iter().enumerate().skip(i + 1) {
-            // Geography: map distance in [0, sqrt(2)] to closeness in [0,1].
-            let d = a.factors.region.distance(&b.factors.region);
-            let geo = (1.0 - d / std::f64::consts::SQRT_2).clamp(0.0, 1.0);
-            // Language: Jaccard over languages with fluency ≥ 0.5.
-            let (la, lb) = (&fluent[i], &fluent[j]);
-            let inter = la.iter().filter(|l| lb.contains(l)).count();
-            let union = la.len() + lb.len() - inter;
-            let lang = if union == 0 {
-                0.0
-            } else {
-                inter as f64 / union as f64
-            };
-            // Skills: 1 - mean |Δ| over the union of named skills.
-            names.clear();
-            names.extend_from_slice(&skill_names[i]);
-            for k in &skill_names[j] {
-                if !names.contains(k) {
-                    names.push(k);
-                }
-            }
-            let skill = if names.is_empty() {
-                0.0
-            } else {
-                let diff: f64 = names
-                    .iter()
-                    .map(|n| (a.factors.skill(n) - b.factors.skill(n)).abs())
-                    .sum::<f64>()
-                    / names.len() as f64;
-                1.0 - diff
-            };
             // Write the lower-triangle slot directly — ids arrived in
             // matrix order, so the position is arithmetic, not a hash
             // lookup per pair.
-            m.tri[j * (j - 1) / 2 + i] = wg * geo + wl * lang + ws * skill;
+            m.tri[j * (j - 1) / 2 + i] = pair_value(
+                a,
+                b,
+                &fluent[i],
+                &fluent[j],
+                &skill_names[i],
+                &skill_names[j],
+                &mut names,
+                wg,
+                wl,
+                ws,
+            );
         }
     }
     m
+}
+
+fn normalised_weights(w_geo: f64, w_lang: f64, w_skill: f64) -> (f64, f64, f64) {
+    let total = (w_geo + w_lang + w_skill).max(f64::MIN_POSITIVE);
+    (w_geo / total, w_lang / total, w_skill / total)
+}
+
+/// Languages a worker is fluent in (fluency ≥ 0.5), in profile map order.
+fn fluent_langs(w: &WorkerProfile) -> Vec<&str> {
+    w.factors
+        .fluency
+        .iter()
+        .filter(|(_, &f)| f >= 0.5)
+        .map(|(l, _)| l.code())
+        .collect()
+}
+
+fn skill_name_list(w: &WorkerProfile) -> Vec<&str> {
+    w.factors.skills.keys().map(String::as_str).collect()
+}
+
+/// The single-pair affinity body shared by the matrix builder and the lazy
+/// provider. Callers pass the hoisted per-worker features; `names` is a
+/// reusable scratch buffer. The arithmetic here is the *only* place a pair
+/// affinity is computed, which is what makes the lazy path bit-identical
+/// to the dense one by construction.
+#[allow(clippy::too_many_arguments)]
+fn pair_value<'p>(
+    a: &WorkerProfile,
+    b: &WorkerProfile,
+    la: &[&str],
+    lb: &[&str],
+    sa: &[&'p str],
+    sb: &[&'p str],
+    names: &mut Vec<&'p str>,
+    wg: f64,
+    wl: f64,
+    ws: f64,
+) -> f64 {
+    // Geography: map distance in [0, sqrt(2)] to closeness in [0,1].
+    let d = a.factors.region.distance(&b.factors.region);
+    let geo = (1.0 - d / std::f64::consts::SQRT_2).clamp(0.0, 1.0);
+    // Language: Jaccard over languages with fluency ≥ 0.5.
+    let inter = la.iter().filter(|l| lb.contains(l)).count();
+    let union = la.len() + lb.len() - inter;
+    let lang = if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    };
+    // Skills: 1 - mean |Δ| over the union of named skills.
+    names.clear();
+    names.extend_from_slice(sa);
+    for k in sb {
+        if !names.contains(k) {
+            names.push(k);
+        }
+    }
+    let skill = if names.is_empty() {
+        0.0
+    } else {
+        let diff: f64 = names
+            .iter()
+            .map(|n| (a.factors.skill(n) - b.factors.skill(n)).abs())
+            .sum::<f64>()
+            / names.len() as f64;
+        1.0 - diff
+    };
+    wg * geo + wl * lang + ws * skill
+}
+
+/// Affinity of a single worker pair, computed directly from the two
+/// profiles. Arguments are canonicalised by worker id (smaller id first)
+/// so the value is bit-identical to the entry a full-population
+/// [`affinity_from_profiles`] matrix built in ascending-id order would
+/// hold — the skill-union sum is order-sensitive in the last ulp, and the
+/// dense builder always visits the smaller matrix index first.
+pub fn pair_affinity_of(
+    a: &WorkerProfile,
+    b: &WorkerProfile,
+    w_geo: f64,
+    w_lang: f64,
+    w_skill: f64,
+) -> f64 {
+    if a.id == b.id {
+        return 0.0;
+    }
+    let (a, b) = if a.id <= b.id { (a, b) } else { (b, a) };
+    let (wg, wl, ws) = normalised_weights(w_geo, w_lang, w_skill);
+    let (la, lb) = (fluent_langs(a), fluent_langs(b));
+    let (sa, sb) = (skill_name_list(a), skill_name_list(b));
+    let mut names = Vec::new();
+    pair_value(a, b, &la, &lb, &sa, &sb, &mut names, wg, wl, ws)
+}
+
+/// Lazy affinity source for large populations: pair values are computed
+/// from profiles on demand, and only pairs at or above a configurable
+/// floor are cached, at most `top_k` per worker. Registering worker N
+/// against a provider costs O(1) — there is no dense state to invalidate —
+/// and resident affinity state is bounded by `2 · top_k · n` entries
+/// instead of `n²/2`.
+///
+/// The cache is strictly an accelerator: a miss (including a pair that was
+/// evicted or fell below the floor) recomputes from the profiles, so every
+/// value returned is bit-identical to [`affinity_from_profiles`] over the
+/// ascending-id population regardless of the cache policy.
+#[derive(Debug, Clone)]
+pub struct AffinityProvider {
+    weights: (f64, f64, f64),
+    /// Only pairs with affinity ≥ `floor` are cached.
+    floor: f64,
+    /// Per-worker cap on cached partners (0 = unbounded). When a worker's
+    /// list overflows, its *smallest* cached pair is evicted, so every
+    /// value kept is ≥ every value dropped for that worker.
+    top_k: usize,
+    cache: HashMap<WorkerId, Vec<(WorkerId, f64)>>,
+    entries: usize,
+}
+
+impl AffinityProvider {
+    pub fn new(w_geo: f64, w_lang: f64, w_skill: f64) -> AffinityProvider {
+        AffinityProvider {
+            weights: (w_geo, w_lang, w_skill),
+            floor: 0.0,
+            top_k: 0,
+            cache: HashMap::new(),
+            entries: 0,
+        }
+    }
+
+    pub fn weights(&self) -> (f64, f64, f64) {
+        self.weights
+    }
+
+    /// Replace the synthesis weights; the cache (computed under the old
+    /// weights) is dropped.
+    pub fn set_weights(&mut self, w_geo: f64, w_lang: f64, w_skill: f64) {
+        if self.weights != (w_geo, w_lang, w_skill) {
+            self.weights = (w_geo, w_lang, w_skill);
+            self.clear();
+        }
+    }
+
+    /// Configure the cache: keep only pairs ≥ `floor`, at most `top_k`
+    /// per worker (0 = unbounded). Drops anything already cached.
+    pub fn set_cache_policy(&mut self, floor: f64, top_k: usize) {
+        self.floor = floor;
+        self.top_k = top_k;
+        self.clear();
+    }
+
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Total cached adjacency entries (each cached pair is stored under
+    /// both endpoints, so this is ≤ `2 · top_k · workers` when bounded).
+    /// This is the provider's entire resident affinity state.
+    pub fn cached_entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Cached partners of one worker (test / introspection hook).
+    pub fn cached_for(&self, w: WorkerId) -> &[(WorkerId, f64)] {
+        self.cache.get(&w).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.entries = 0;
+    }
+
+    /// Affinity of a worker pair: cache hit, else compute (and cache when
+    /// the value clears the floor). Self-pairs are 0 by definition.
+    pub fn pair(&mut self, a: &WorkerProfile, b: &WorkerProfile) -> f64 {
+        if a.id == b.id {
+            return 0.0;
+        }
+        if let Some(v) = self.lookup(a.id, b.id) {
+            return v;
+        }
+        let (wg, wl, ws) = self.weights;
+        let v = pair_affinity_of(a, b, wg, wl, ws);
+        if v >= self.floor {
+            self.insert(a.id, b.id, v);
+            self.insert(b.id, a.id, v);
+        }
+        v
+    }
+
+    /// Dense matrix over a candidate set, in candidate order — what the
+    /// assignment algorithms consume. Pure profile computation (the pair
+    /// cache is not consulted: a k-candidate submatrix is O(k²) anyway).
+    pub fn submatrix(&self, profiles: &[&WorkerProfile]) -> AffinityMatrix {
+        let (wg, wl, ws) = self.weights;
+        affinity_from_profile_refs(profiles, wg, wl, ws)
+    }
+
+    fn lookup(&self, a: WorkerId, b: WorkerId) -> Option<f64> {
+        // A pair is stored under both endpoints but may have been evicted
+        // from one side's list; check both before recomputing.
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(list) = self.cache.get(&x) {
+                if let Some(&(_, v)) = list.iter().find(|(o, _)| *o == y) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, under: WorkerId, other: WorkerId, v: f64) {
+        let list = self.cache.entry(under).or_default();
+        list.push((other, v));
+        self.entries += 1;
+        if self.top_k > 0 && list.len() > self.top_k {
+            // Evict the smallest cached pair for this worker, so the list
+            // always holds its top-k-by-value partners seen so far.
+            let (mi, _) = list
+                .iter()
+                .enumerate()
+                .min_by(|(_, (_, x)), (_, (_, y))| x.total_cmp(y))
+                .expect("list is non-empty");
+            list.swap_remove(mi);
+            self.entries -= 1;
+        }
+    }
 }
 
 /// Mean pairwise affinity of a group (the objective the team-formation
@@ -330,6 +533,126 @@ mod tests {
         assert!(near > far, "same region/lang/skill must beat different");
         assert!(near > 0.9);
         assert!((0.0..=1.0).contains(&far));
+    }
+
+    fn crew(n: u64) -> Vec<WorkerProfile> {
+        (1..=n)
+            .map(|i| {
+                WorkerProfile::new(WorkerId(i), format!("w{i}"))
+                    .with_native_lang(if i % 2 == 0 { "en" } else { "ja" })
+                    .with_region(Region::new("r", (i as f64) / (n as f64), 0.3))
+                    .with_skill("survey", (i as f64) / (n as f64))
+                    .with_skill(if i % 3 == 0 { "edit" } else { "translate" }, 0.4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_affinity_of_matches_dense_matrix_bitwise() {
+        let workers = crew(7);
+        let m = affinity_from_profiles(&workers, 1.0, 1.0, 0.5);
+        for a in &workers {
+            for b in &workers {
+                let lazy = pair_affinity_of(a, b, 1.0, 1.0, 0.5);
+                let dense = m.affinity(a.id, b.id);
+                assert_eq!(
+                    lazy.to_bits(),
+                    dense.to_bits(),
+                    "pair ({:?}, {:?}): lazy {lazy} != dense {dense}",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provider_caches_above_floor_only() {
+        let workers = crew(6);
+        let mut p = AffinityProvider::new(1.0, 1.0, 0.5);
+        p.set_cache_policy(0.6, 0);
+        let m = affinity_from_profiles(&workers, 1.0, 1.0, 0.5);
+        for a in &workers {
+            for b in &workers {
+                assert_eq!(
+                    p.pair(a, b).to_bits(),
+                    m.affinity(a.id, b.id).to_bits(),
+                    "provider value must match dense regardless of policy"
+                );
+            }
+        }
+        assert!(p.cached_entries() > 0, "some pairs clear a 0.6 floor");
+        for w in &workers {
+            for &(_, v) in p.cached_for(w.id) {
+                assert!(v >= 0.6, "cached value {v} below the floor");
+            }
+        }
+        // Below-floor pairs still answer exactly — they are just not resident.
+        p.clear();
+        assert_eq!(p.cached_entries(), 0);
+    }
+
+    #[test]
+    fn provider_top_k_keeps_the_largest_pairs() {
+        let workers = crew(12);
+        let mut p = AffinityProvider::new(1.0, 1.0, 0.5);
+        p.set_cache_policy(0.0, 3);
+        let m = affinity_from_profiles(&workers, 1.0, 1.0, 0.5);
+        for a in &workers {
+            for b in &workers {
+                assert_eq!(p.pair(a, b).to_bits(), m.affinity(a.id, b.id).to_bits());
+            }
+        }
+        assert!(p.cached_entries() <= 2 * 3 * workers.len());
+        let a = &workers[0];
+        let kept = p.cached_for(a.id);
+        assert!(kept.len() <= 3);
+        // Every kept value is ≥ every evicted value: the list's minimum
+        // dominates all partners outside it.
+        let kept_min = kept.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let mut below = 0;
+        for b in &workers[1..] {
+            if m.affinity(a.id, b.id) < kept_min {
+                below += 1;
+            }
+        }
+        assert_eq!(
+            below,
+            workers.len() - 1 - kept.len(),
+            "exactly the non-kept partners fall below the kept minimum"
+        );
+    }
+
+    #[test]
+    fn provider_submatrix_matches_refs_path() {
+        let workers = crew(5);
+        let p = AffinityProvider::new(1.0, 1.0, 0.5);
+        let refs: Vec<&WorkerProfile> = workers.iter().collect();
+        let sub = p.submatrix(&refs);
+        let full = affinity_from_profiles(&workers, 1.0, 1.0, 0.5);
+        for a in &workers {
+            for b in &workers {
+                assert_eq!(
+                    sub.affinity(a.id, b.id).to_bits(),
+                    full.affinity(a.id, b.id).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provider_weight_change_drops_cache() {
+        let workers = crew(4);
+        let mut p = AffinityProvider::new(1.0, 1.0, 0.5);
+        p.pair(&workers[0], &workers[1]);
+        assert!(p.cached_entries() > 0);
+        p.set_weights(1.0, 0.0, 0.0);
+        assert_eq!(p.cached_entries(), 0);
+        let v = p.pair(&workers[0], &workers[1]);
+        assert_eq!(
+            v.to_bits(),
+            pair_affinity_of(&workers[0], &workers[1], 1.0, 0.0, 0.0).to_bits()
+        );
     }
 
     #[test]

@@ -47,6 +47,15 @@
 //! every lock held, room is verified on every mailbox before any push, so
 //! `try_submit` can never leave a partial broadcast behind.
 //!
+//! Worker-scoped events are **not** broadcast: they are delivered to the
+//! coordinator's mailbox only and simultaneously appended to the
+//! [`WorkerService`] delta log, with the
+//! sequence number drawn inside the service's critical section (while the
+//! mailbox lock is still held). Replicas pull seq-keyed deltas from the
+//! service before applying any later-stamped message, reproducing the
+//! broadcast's interleaving at O(1) submission cost per event instead of
+//! O(shards) — see `crate::workers` for the ordering argument.
+//!
 //! Producers to distinct shards share nothing but the atomic stamper; the
 //! per-shard critical section is a few `VecDeque` operations. The gate is
 //! wired into [`ShardedRuntime`](crate::router::ShardedRuntime), which
@@ -54,6 +63,7 @@
 //! [`gate()`](crate::router::ShardedRuntime::gate).
 
 use crate::shard::ToShard;
+use crate::workers::WorkerService;
 use crowd4u_core::error::ProjectId;
 use crowd4u_core::events::{EventScope, PlatformEvent};
 use std::collections::VecDeque;
@@ -156,12 +166,16 @@ pub(crate) struct GateCore {
     /// exempt so a full queue can never wedge a drain barrier).
     capacity: usize,
     queues: Vec<ShardQueue>,
+    /// The coordinator-owned worker registry side channel; worker events
+    /// are appended here (instead of broadcast) and replicas pull them.
+    service: Arc<WorkerService>,
 }
 
 impl GateCore {
-    pub(crate) fn new(shards: usize, capacity: usize) -> GateCore {
+    pub(crate) fn new(shards: usize, capacity: usize, service: Arc<WorkerService>) -> GateCore {
         GateCore {
             stamper: AtomicU64::new(0),
+            service,
             // `0` means unbounded (backpressure disabled).
             capacity: if capacity == 0 { usize::MAX } else { capacity },
             queues: (0..shards.max(1))
@@ -190,6 +204,12 @@ impl GateCore {
         self.queues.len()
     }
 
+    /// The worker service replicas sync from (shard consumers hold a
+    /// clone; tests and benches introspect it).
+    pub(crate) fn worker_service(&self) -> &Arc<WorkerService> {
+        &self.service
+    }
+
     pub(crate) fn capacity(&self) -> usize {
         self.capacity
     }
@@ -216,8 +236,57 @@ impl GateCore {
     fn route(&self, event: PlatformEvent, wait: bool) -> Result<u64, GateError> {
         match event.scope() {
             EventScope::Project(p) => self.route_project(self.owner_of(p), event, wait),
+            EventScope::Worker => self.route_worker(event, wait),
             EventScope::Global => self.route_global(event, wait),
         }
+    }
+
+    /// Worker-scoped delivery: the coordinator's mailbox only, plus an
+    /// append to the worker service's delta log for replicas to pull.
+    /// The sequence number is drawn **inside the service's critical
+    /// section** (while the mailbox lock is still held): that is what
+    /// lets a replica, by briefly holding the service lock, know that
+    /// every worker event below its current seq has finished appending —
+    /// see `crate::workers` for the full argument. Lock order is
+    /// mailbox → service, same as the control-plane bound capture, so the
+    /// pair cannot deadlock.
+    fn route_worker(&self, event: PlatformEvent, wait: bool) -> Result<u64, GateError> {
+        let q = &self.queues[0];
+        let mut s = lock(q);
+        loop {
+            if s.closed {
+                return Err(GateError::Closed(Box::new(event)));
+            }
+            if s.data_len < self.capacity {
+                break;
+            }
+            if !wait {
+                return Err(GateError::Full {
+                    shard: 0,
+                    event: Box::new(event),
+                });
+            }
+            s.producers_waiting += 1;
+            s = q.not_full.wait(s).unwrap_or_else(PoisonError::into_inner);
+            s.producers_waiting -= 1;
+        }
+        let PlatformEvent::WorkerRegistered { profile } = &event else {
+            unreachable!("EventScope::Worker classifies worker registrations only");
+        };
+        let profile = profile.clone();
+        let seq = self
+            .service
+            .append_with(profile, || self.stamper.fetch_add(1, Ordering::Relaxed));
+        // Still holding the mailbox lock: stamp (inside the append) and
+        // push are adjacent, so the coordinator mailbox stays in sequence
+        // order, and the log entry is visible before the lock drops.
+        s.push_data(ToShard::Apply {
+            seq,
+            event,
+            record: true,
+        });
+        s.notify_consumer(q);
+        Ok(seq)
     }
 
     /// Project-scoped delivery: one mailbox, `record: true` (the owner is
@@ -317,14 +386,33 @@ impl GateCore {
         !s.closed
     }
 
+    /// Seq-less control messages (jobs, finishes) carry a *bound*: the
+    /// worker-service log length at enqueue time, captured under the
+    /// destination mailbox lock. A replica installs log entries up to the
+    /// bound before running the message, which reproduces exactly the
+    /// worker events the old broadcast would have delivered ahead of it —
+    /// any worker event already queued ahead of this message appended
+    /// before this capture (its append happens under the same mailbox
+    /// lock), and any event that appends after it will also be queued (or
+    /// seq-stamped) after it.
+    fn capture_bound(&self, msg: &mut ToShard) {
+        match msg {
+            ToShard::Job { bound, .. } | ToShard::Finish { bound, .. } => {
+                *bound = self.service.log_len();
+            }
+            _ => {}
+        }
+    }
+
     /// Enqueue a runtime control message (job, flush) on one mailbox,
     /// capacity-exempt. Returns `false` if the gate is closed.
-    pub(crate) fn push_control(&self, shard: usize, msg: ToShard) -> bool {
+    pub(crate) fn push_control(&self, shard: usize, mut msg: ToShard) -> bool {
         let q = &self.queues[shard];
         let mut s = lock(q);
         if s.closed {
             return false;
         }
+        self.capture_bound(&mut msg);
         s.queue.push_back(msg);
         s.notify_consumer(q);
         true
@@ -352,10 +440,16 @@ impl GateCore {
     /// in behind it). Queued messages are still delivered; new submissions
     /// fail with [`GateError::Closed`].
     pub(crate) fn close_each(&self, mk: impl Fn(usize) -> ToShard) {
+        // Ascending order matters: the coordinator's mailbox (shard 0)
+        // closes first, so no further worker event can append once the
+        // replicas' final messages capture their log bounds — a finish
+        // bound therefore always covers the whole log.
         for (i, q) in self.queues.iter().enumerate() {
             let mut s = lock(q);
             if !s.closed {
-                s.queue.push_back(mk(i));
+                let mut msg = mk(i);
+                self.capture_bound(&mut msg);
+                s.queue.push_back(msg);
                 s.closed = true;
             }
             q.not_empty.notify_all();
@@ -510,7 +604,11 @@ mod tests {
     };
 
     fn gate(shards: usize, capacity: usize) -> (IngestGate, Arc<GateCore>) {
-        let core = Arc::new(GateCore::new(shards, capacity));
+        let core = Arc::new(GateCore::new(
+            shards,
+            capacity,
+            Arc::new(WorkerService::new(0)),
+        ));
         (IngestGate::new(Arc::clone(&core)), core)
     }
 
@@ -525,6 +623,12 @@ mod tests {
     fn worker(i: u64) -> PlatformEvent {
         PlatformEvent::WorkerRegistered {
             profile: WorkerProfile::new(WorkerId(i), format!("w{i}")),
+        }
+    }
+
+    fn clock(t: u64) -> PlatformEvent {
+        PlatformEvent::ClockAdvanced {
+            to: crowd4u_sim::time::SimTime(t),
         }
     }
 
@@ -549,9 +653,12 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut seqs = Vec::new();
                 for i in 0..200u64 {
-                    // Both shards, plus an occasional broadcast.
+                    // Both shards, plus occasional coordinator-only worker
+                    // events and true broadcasts.
                     let ev = if i % 50 == 49 {
                         worker(t * 1000 + i)
+                    } else if i % 50 == 24 {
+                        clock(t * 1000 + i)
                     } else {
                         seed(1 + (i % 2), "x")
                     };
@@ -610,15 +717,41 @@ mod tests {
         gate.submit(seed(2, "a")).unwrap();
         gate.submit(seed(2, "b")).unwrap();
         assert_eq!(gate.queued(0), 0);
-        let err = gate.try_submit(worker(1)).unwrap_err();
+        let err = gate.try_submit(clock(7)).unwrap_err();
         assert!(matches!(err, GateError::Full { shard: 1, .. }));
         // Nothing leaked into shard 0's mailbox.
         assert_eq!(gate.queued(0), 0);
         // Free shard 1; the broadcast now lands on both.
         assert!(core.recv(1).is_some());
-        gate.try_submit(worker(1)).unwrap();
+        gate.try_submit(clock(7)).unwrap();
         assert_eq!(gate.queued(0), 1);
         assert_eq!(gate.queued(1), 2);
+    }
+
+    #[test]
+    fn worker_events_reach_the_coordinator_only() {
+        let (gate, core) = gate(3, 0);
+        gate.submit(worker(1)).unwrap();
+        gate.submit(worker(2)).unwrap();
+        // No broadcast: replicas' mailboxes stay empty; the delta log has
+        // both events for them to pull instead.
+        assert_eq!(gate.queued(0), 2);
+        assert_eq!(gate.queued(1), 0);
+        assert_eq!(gate.queued(2), 0);
+        assert_eq!(core.worker_service().events_logged(), 2);
+        core.close();
+        // The coordinator records them (it is the unique recorder).
+        let applies = drain_applies(&core, 0);
+        assert_eq!(applies.len(), 2);
+        assert!(applies.iter().all(|(_, record)| *record));
+    }
+
+    #[test]
+    fn worker_backpressure_reports_the_coordinator() {
+        let (gate, _core) = gate(2, 1);
+        gate.try_submit(worker(1)).unwrap();
+        let err = gate.try_submit(worker(2)).unwrap_err();
+        assert!(matches!(err, GateError::Full { shard: 0, .. }));
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //! and [`shard`] cover the mechanics. The short version:
 //!
 //! * **Ownership**: project-scoped events go to the owner shard only
-//!   (round-robin by project id); worker/clock/registration events are
-//!   broadcast and applied by every shard in the same global sequence
-//!   order, so replicated state (worker manager, project-id sequence)
-//!   advances in lockstep.
+//!   (round-robin by project id); clock/registration events are broadcast
+//!   and applied by every shard in the same global sequence order; worker
+//!   events go to the coordinator (shard 0) alone, which owns the profile
+//!   registry via the [`workers::WorkerService`] — other shards pull
+//!   version-keyed deltas/snapshots on demand at the exact points the old
+//!   broadcast would have interleaved them, so replicated state (worker
+//!   manager, project-id sequence) still advances in lockstep.
 //! * **Determinism**: every event is stamped with a global sequence
 //!   number; each mailbox is delivered in sequence order; per-shard
 //!   journals are seq-tagged and stitched by
@@ -49,8 +52,9 @@
 //!     mailbox_capacity: 64,
 //! });
 //!
-//! // Register a worker and four single-question projects (broadcasts),
-//! // then surface the micro-tasks with a drain barrier.
+//! // Register a worker (coordinator-owned, replicated on demand) and four
+//! // single-question projects (broadcasts), then surface the micro-tasks
+//! // with a drain barrier.
 //! rt.submit(PlatformEvent::WorkerRegistered {
 //!     profile: WorkerProfile::new(WorkerId(1), "ann"),
 //! });
@@ -115,10 +119,12 @@ pub mod gate;
 pub mod router;
 pub mod scenario;
 pub mod shard;
+pub mod workers;
 
 pub use gate::{GateError, IngestGate};
 pub use router::{RunReport, RuntimeConfig, ShardedRuntime};
 pub use shard::ShardStats;
+pub use workers::WorkerService;
 
 pub mod prelude {
     pub use crate::gate::{GateError, IngestGate};

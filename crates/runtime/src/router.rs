@@ -80,7 +80,10 @@ pub struct RunReport {
 /// bounded mailboxes, a lock-free global sequence stamper, and round-robin
 /// project ownership. Shard 0 doubles as the **coordinator**: it records
 /// broadcast events and drain barriers in the merged journal (every shard
-/// *applies* broadcasts; exactly one records them).
+/// *applies* broadcasts; exactly one records them), and it alone receives
+/// worker events — the other shards pull profile deltas from the
+/// coordinator-owned [`WorkerService`](crate::workers::WorkerService)
+/// exactly where the old broadcast would have interleaved them.
 ///
 /// Submission is concurrent: clone handles with
 /// [`gate()`](ShardedRuntime::gate) and submit from as many threads as you
@@ -107,7 +110,8 @@ impl ShardedRuntime {
     /// bases must be built the same way).
     pub fn new_with(config: RuntimeConfig, base: impl Fn(usize) -> Crowd4U) -> ShardedRuntime {
         let shards = config.shards.max(1);
-        let core = Arc::new(GateCore::new(shards, config.mailbox_capacity));
+        let service = Arc::new(crate::workers::WorkerService::from_env());
+        let core = Arc::new(GateCore::new(shards, config.mailbox_capacity, service));
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
             let platform = base(i);
@@ -238,9 +242,14 @@ impl ShardedRuntime {
         let (tx, rx) = channel();
         self.push_control(
             shard,
-            ToShard::Job(Box::new(move |platform: &mut Crowd4U| {
-                let _ = tx.send(job(platform));
-            })),
+            ToShard::Job {
+                // The gate captures the real worker-log bound under the
+                // mailbox lock; 0 is just the placeholder.
+                bound: 0,
+                run: Box::new(move |platform: &mut Crowd4U| {
+                    let _ = tx.send(job(platform));
+                }),
+            },
         );
         rx
     }
@@ -287,9 +296,10 @@ impl ShardedRuntime {
         }
         // Closing with the Finish message in the same critical section
         // means no submission can slip in behind it.
-        self.gate
-            .core()
-            .close_each(|i| ToShard::Finish(reply_txs[i].clone()));
+        self.gate.core().close_each(|i| ToShard::Finish {
+            bound: 0, // patched by the gate under the mailbox lock
+            reply: reply_txs[i].clone(),
+        });
         // The queued clones are now the only live senders: if a shard died
         // (its mailbox guard drops everything queued), the matching `recv`
         // below fails fast instead of waiting on a reply that cannot come.
@@ -518,7 +528,7 @@ out(X, Y) :- item(X), label(X, Y).
         // shards; the global total aggregates both.
         assert_eq!(rt.points_of(WorkerId(1)), 2);
         let n1 = rt.with_project(ProjectId(1), |p| p.workers.len());
-        assert_eq!(n1, 1); // the worker replica reached every shard
+        assert_eq!(n1, 1); // the worker delta reached the owning shard
         rt.finish().unwrap();
     }
 

@@ -36,12 +36,24 @@ pub(crate) enum ToShard {
     Drain { seq: u64, record: bool },
     /// Run an arbitrary job against the shard's platform slice (queries,
     /// scenario runs). Job effects are not part of the merged journal.
-    Job(Box<dyn FnOnce(&mut Crowd4U) + Send>),
+    /// `bound` is the worker-service log length captured at enqueue time
+    /// (under the mailbox lock); replicas install worker deltas up to it
+    /// before running the job, so the job sees every worker the old
+    /// broadcast would have delivered ahead of it.
+    Job {
+        bound: usize,
+        run: Box<dyn FnOnce(&mut Crowd4U) + Send>,
+    },
     /// Synchronisation point: reply with a statistics snapshot once every
     /// prior message has been processed.
     Flush(Sender<ShardStats>),
-    /// Hand everything back and stop.
-    Finish(Sender<ShardReport>),
+    /// Hand everything back and stop. `bound` as for [`ToShard::Job`]; the
+    /// coordinator's mailbox closes first, so a finish bound always covers
+    /// the whole log and every replica hands back the full worker registry.
+    Finish {
+        bound: usize,
+        reply: Sender<ShardReport>,
+    },
 }
 
 /// Counters a shard maintains while applying events.
@@ -90,6 +102,12 @@ impl Drop for MailboxGuard<'_> {
 
 /// The shard thread body: drain the gate mailbox until it closes (or a
 /// [`ToShard::Finish`] arrives).
+///
+/// Non-coordinator shards (shard != 0) interleave worker-service pulls
+/// with their mailbox: before a seq-stamped message at `S` they install
+/// every worker delta with seq < `S`, and before a seq-less control
+/// message they install up to its captured log bound. The coordinator
+/// never pulls — worker events arrive in its own mailbox.
 pub(crate) fn shard_main(
     gate: Arc<GateCore>,
     shard: usize,
@@ -97,6 +115,8 @@ pub(crate) fn shard_main(
     drain_every: usize,
 ) {
     let _guard = MailboxGuard { gate: &gate, shard };
+    let service = Arc::clone(gate.worker_service());
+    let mut cursor = 0usize; // worker-service log position (replicas only)
     let mut stats = ShardStats::default();
     let mut recorded: Vec<(SeqKey, JournalEntry)> = Vec::new();
     let mut since_drain = 0usize;
@@ -104,6 +124,9 @@ pub(crate) fn shard_main(
     while let Some(msg) = gate.recv(shard) {
         match msg {
             ToShard::Apply { seq, event, record } => {
+                if shard != 0 {
+                    service.sync_below_seq(&mut cursor, seq, &mut platform);
+                }
                 let entry = record.then(|| event.encode());
                 match platform.apply_event(event) {
                     Ok(()) => {
@@ -128,6 +151,9 @@ pub(crate) fn shard_main(
                 }
             }
             ToShard::Drain { seq, record } => {
+                if shard != 0 {
+                    service.sync_below_seq(&mut cursor, seq, &mut platform);
+                }
                 since_drain = 0;
                 platform
                     .drain_events()
@@ -139,11 +165,19 @@ pub(crate) fn shard_main(
                     ));
                 }
             }
-            ToShard::Job(f) => f(&mut platform),
+            ToShard::Job { bound, run } => {
+                if shard != 0 {
+                    service.sync_to_index(&mut cursor, bound, &mut platform);
+                }
+                run(&mut platform)
+            }
             ToShard::Flush(reply) => {
                 let _ = reply.send(stats);
             }
-            ToShard::Finish(reply) => {
+            ToShard::Finish { bound, reply } => {
+                if shard != 0 {
+                    service.sync_to_index(&mut cursor, bound, &mut platform);
+                }
                 let _ = reply.send(ShardReport {
                     stats,
                     recorded,

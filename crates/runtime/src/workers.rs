@@ -1,0 +1,326 @@
+//! The coordinator-owned worker service.
+//!
+//! Before PR 7, every `WorkerRegistered` event was broadcast to all shard
+//! mailboxes, so one registration cost O(shards) queue pushes and O(shards)
+//! full applies — the fan-out that made million-worker churn infeasible.
+//! Now the event is routed to **shard 0 (the coordinator) only**, which
+//! journals and applies it; this service is the side channel the other
+//! shards use to replicate the effect *exactly where the broadcast would
+//! have placed it* in their own apply order.
+//!
+//! ## The seq-keyed delta log
+//!
+//! The service keeps an append-only log of `(seq, profile)` pairs, one per
+//! worker event, in stamping order. The gate appends **while holding both
+//! shard 0's mailbox lock and this service's lock, drawing the sequence
+//! number inside the critical section** (`WorkerService::append_with`).
+//! That coupling is what makes a replica's pull race-free: when a shard
+//! holds the service lock, any worker event with a smaller seq has already
+//! completed its append (it drew its seq inside an earlier critical
+//! section), and any event still waiting for the lock will draw a larger
+//! seq. So "install every log entry with seq < S, then apply S" replays
+//! precisely the prefix the broadcast would have delivered before S.
+//!
+//! ## Sync points
+//!
+//! A non-coordinator shard syncs at exactly the places the old broadcast
+//! interleaved worker events with its stream:
+//!
+//! * before applying a seq-stamped message (event or drain) at seq `S`:
+//!   install all log entries with seq < `S`;
+//! * before running a seq-less control message (job, finish): install up
+//!   to the log length captured when the message was enqueued (the
+//!   *bound*, recorded under the mailbox lock by the gate).
+//!
+//! Installs go through `Crowd4U::install_worker_delta` — registration
+//! minus the journal entry and counter — so `WorkerManager::version()`
+//! advances in the same lockstep the eligibility epoch cache and the
+//! determinism contract key on.
+//!
+//! ## Snapshots
+//!
+//! Every `WORKER_SNAPSHOT_EVERY` appends (default 1024; 0 disables) the
+//! service compacts the log prefix into a version-keyed snapshot (latest
+//! profile per worker + how many events it covers). A **fresh** replica
+//! (no workers, no projects) fast-forwards through the snapshot instead of
+//! replaying each delta; `events_covered` keeps its worker version in
+//! lockstep. Replicas that already hold projects take the delta path —
+//! project registrations are broadcast, so in practice snapshots serve the
+//! "bulk-register the crowd first" phase, which is exactly where 10⁵–10⁶
+//! registrations happen.
+//!
+//! The log itself is currently unbounded (profiles are `Arc`-shared with
+//! snapshots, so the overhead per entry is one pointer + seq); truncating
+//! below the minimum shard cursor is recorded as ROADMAP residue.
+
+use crowd4u_core::platform::Crowd4U;
+use crowd4u_crowd::profile::{WorkerId, WorkerProfile};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Snapshot cadence env knob: compact every N appends (0 disables).
+pub const SNAPSHOT_EVERY_ENV: &str = "WORKER_SNAPSHOT_EVERY";
+const SNAPSHOT_EVERY_DEFAULT: usize = 1024;
+
+/// Coordinator-owned worker registry side channel (see module docs).
+pub struct WorkerService {
+    state: Mutex<ServiceState>,
+    snapshot_every: usize,
+}
+
+#[derive(Default)]
+struct ServiceState {
+    /// `(seq, profile)` per worker event, ascending seq by construction
+    /// (appends draw their seq inside this lock's critical section).
+    log: Vec<(u64, Arc<WorkerProfile>)>,
+    /// Running compaction of `log[..covered]`: latest profile per worker.
+    compacted: BTreeMap<WorkerId, Arc<WorkerProfile>>,
+    covered: usize,
+    /// Latest published snapshot, shared with every shard that uses it.
+    published: Option<Arc<Snapshot>>,
+}
+
+/// A compacted, version-keyed view of the log prefix `[..covered]`.
+struct Snapshot {
+    covered: usize,
+    profiles: BTreeMap<WorkerId, Arc<WorkerProfile>>,
+}
+
+impl WorkerService {
+    pub fn new(snapshot_every: usize) -> WorkerService {
+        WorkerService {
+            state: Mutex::new(ServiceState::default()),
+            snapshot_every,
+        }
+    }
+
+    /// Cadence from `WORKER_SNAPSHOT_EVERY` (default 1024, 0 disables).
+    pub fn from_env() -> WorkerService {
+        let every = std::env::var(SNAPSHOT_EVERY_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(SNAPSHOT_EVERY_DEFAULT);
+        WorkerService::new(every)
+    }
+
+    /// Append a worker event, drawing its sequence number **inside** the
+    /// service critical section. The caller must already hold the
+    /// coordinator mailbox lock (lock order: mailbox → service); `stamp`
+    /// is the gate's stamper. Returns the drawn seq.
+    pub(crate) fn append_with(&self, profile: WorkerProfile, stamp: impl FnOnce() -> u64) -> u64 {
+        let mut s = self.state.lock().expect("worker service poisoned");
+        let seq = stamp();
+        s.log.push((seq, Arc::new(profile)));
+        if self.snapshot_every > 0 && s.log.len() - s.covered >= self.snapshot_every {
+            s.refresh_snapshot();
+        }
+        seq
+    }
+
+    /// Current log length — the *bound* captured for seq-less control
+    /// messages. Must be read under the destination mailbox's lock for
+    /// the bound to compose with seq-ordered sync.
+    pub(crate) fn log_len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("worker service poisoned")
+            .log
+            .len()
+    }
+
+    /// Number of worker events appended so far (test/bench introspection).
+    pub fn events_logged(&self) -> usize {
+        self.log_len()
+    }
+
+    /// Whether a snapshot has been published (test/bench introspection).
+    pub fn has_snapshot(&self) -> bool {
+        self.state
+            .lock()
+            .expect("worker service poisoned")
+            .published
+            .is_some()
+    }
+
+    /// Install every log entry with seq < `upto` that `cursor` has not
+    /// yet consumed. Called by a replica right before it applies its own
+    /// message stamped `upto`.
+    pub(crate) fn sync_below_seq(&self, cursor: &mut usize, upto: u64, platform: &mut Crowd4U) {
+        let plan = {
+            let s = self.state.lock().expect("worker service poisoned");
+            let mut target = *cursor;
+            while target < s.log.len() && s.log[target].0 < upto {
+                target += 1;
+            }
+            plan_install(&s, cursor, target, is_fresh(platform))
+        };
+        install(plan, platform);
+    }
+
+    /// Install every log entry up to index `bound` (a log length captured
+    /// at enqueue time) that `cursor` has not yet consumed. Called by a
+    /// replica right before it runs a seq-less control message.
+    pub(crate) fn sync_to_index(&self, cursor: &mut usize, bound: usize, platform: &mut Crowd4U) {
+        if *cursor >= bound {
+            return;
+        }
+        let plan = {
+            let s = self.state.lock().expect("worker service poisoned");
+            let target = bound.min(s.log.len());
+            plan_install(&s, cursor, target, is_fresh(platform))
+        };
+        install(plan, platform);
+    }
+}
+
+/// What a sync resolved to, computed under the service lock but installed
+/// outside it (entries below the target are immutable once planned).
+struct InstallPlan {
+    snapshot: Option<Arc<Snapshot>>,
+    deltas: Vec<Arc<WorkerProfile>>,
+}
+
+fn is_fresh(platform: &Crowd4U) -> bool {
+    platform.workers.is_empty() && platform.project_ids().is_empty()
+}
+
+fn plan_install(s: &ServiceState, cursor: &mut usize, target: usize, fresh: bool) -> InstallPlan {
+    let mut snapshot = None;
+    if *cursor == 0 && fresh {
+        if let Some(p) = &s.published {
+            if p.covered <= target {
+                snapshot = Some(Arc::clone(p));
+                *cursor = p.covered;
+            }
+        }
+    }
+    let deltas = s.log[*cursor..target]
+        .iter()
+        .map(|(_, p)| Arc::clone(p))
+        .collect();
+    *cursor = target;
+    InstallPlan { snapshot, deltas }
+}
+
+fn install(plan: InstallPlan, platform: &mut Crowd4U) {
+    if let Some(snap) = plan.snapshot {
+        platform.install_worker_snapshot(
+            snap.profiles.values().map(|p| (**p).clone()),
+            snap.covered as u64,
+        );
+    }
+    for p in plan.deltas {
+        platform.install_worker_delta((*p).clone());
+    }
+}
+
+impl ServiceState {
+    fn refresh_snapshot(&mut self) {
+        // Split-borrow: extend the running compaction with the new log
+        // suffix, then publish an Arc'd copy keyed by how much it covers.
+        let (log, covered) = (&self.log, self.covered);
+        for (_, p) in &log[covered..] {
+            self.compacted.insert(p.id, Arc::clone(p));
+        }
+        self.covered = log.len();
+        self.published = Some(Arc::new(Snapshot {
+            covered: self.covered,
+            profiles: self.compacted.clone(),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(i: u64) -> WorkerProfile {
+        WorkerProfile::new(WorkerId(i), format!("w{i}"))
+    }
+
+    #[test]
+    fn deltas_install_in_seq_order_with_version_lockstep() {
+        let svc = WorkerService::new(0);
+        let mut seq = 0u64;
+        for i in 1..=5 {
+            svc.append_with(profile(i), || {
+                seq += 1;
+                seq
+            });
+        }
+        let mut replica = Crowd4U::new();
+        let mut cursor = 0;
+        svc.sync_below_seq(&mut cursor, 4, &mut replica); // seqs 1..3
+        assert_eq!(replica.workers.len(), 3);
+        assert_eq!(replica.workers.version(), 3);
+        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        assert_eq!(replica.workers.len(), 5);
+        assert_eq!(replica.workers.version(), 5);
+        // Idempotent: the cursor remembers what is already installed.
+        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        assert_eq!(replica.workers.version(), 5);
+    }
+
+    #[test]
+    fn index_bound_sync_stops_at_the_bound() {
+        let svc = WorkerService::new(0);
+        let mut seq = 0u64;
+        for i in 1..=4 {
+            svc.append_with(profile(i), || {
+                seq += 1;
+                seq
+            });
+        }
+        let mut replica = Crowd4U::new();
+        let mut cursor = 0;
+        svc.sync_to_index(&mut cursor, 2, &mut replica);
+        assert_eq!(replica.workers.len(), 2);
+        svc.sync_to_index(&mut cursor, 2, &mut replica); // no-op
+        assert_eq!(replica.workers.version(), 2);
+        svc.sync_to_index(&mut cursor, 4, &mut replica);
+        assert_eq!(replica.workers.len(), 4);
+    }
+
+    #[test]
+    fn fresh_replica_fast_forwards_through_snapshot() {
+        let svc = WorkerService::new(2); // compact every 2 appends
+        let mut seq = 0u64;
+        // 3 events over 2 distinct workers: the snapshot compacts
+        // re-registration churn.
+        for i in [1, 2, 1] {
+            svc.append_with(profile(i), || {
+                seq += 1;
+                seq
+            });
+        }
+        assert!(svc.has_snapshot());
+        let mut replica = Crowd4U::new();
+        let mut cursor = 0;
+        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        // 2 profiles resident, but version counts all 3 events — the
+        // lockstep a delta-by-delta replica would reach.
+        assert_eq!(replica.workers.len(), 2);
+        assert_eq!(replica.workers.version(), 3);
+    }
+
+    #[test]
+    fn non_fresh_replica_takes_the_delta_path() {
+        let svc = WorkerService::new(1);
+        let mut seq = 0u64;
+        for i in 1..=3 {
+            svc.append_with(profile(i), || {
+                seq += 1;
+                seq
+            });
+        }
+        assert!(svc.has_snapshot());
+        let mut replica = Crowd4U::new();
+        // Any pre-existing worker disqualifies the snapshot fast-path …
+        replica.workers.register(profile(9));
+        let mut cursor = 0;
+        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        // … so all 3 deltas install individually on top of it.
+        assert_eq!(replica.workers.len(), 4);
+        assert_eq!(replica.workers.version(), 1 + 3);
+    }
+}

@@ -344,10 +344,10 @@ impl Driver {
         }
     }
 
-    /// Mean pairwise affinity of a set of workers under the platform matrix.
-    pub fn team_affinity(&mut self, members: &[WorkerId]) -> f64 {
-        let m = self.platform.workers.affinity();
-        crowd4u_crowd::affinity::group_affinity(m, members)
+    /// Mean pairwise affinity of a set of workers, via the candidate
+    /// submatrix — O(members²), never a full-population matrix build.
+    pub fn team_affinity(&self, members: &[WorkerId]) -> f64 {
+        self.platform.workers.team_affinity(members)
     }
 
     /// Register a collaborative project with scheme + factors in one call.

@@ -112,8 +112,7 @@ pub fn run_on(d: &mut Driver, config: &ScenarioConfig) -> Result<ScenarioReport,
         let witnesses: Vec<WorkerId> = d
             .platform
             .workers
-            .ids()
-            .into_iter()
+            .iter_ids()
             .filter(|w| !team.members.contains(w))
             .take(6)
             .collect();

@@ -1,7 +1,9 @@
 //! Property: sharded execution is observationally identical to
 //! single-threaded execution. For any multi-project event stream — worker
-//! registrations, fact seeds, blind-guess answers/interest/assignment on
-//! predictable project-strided task ids, clock advances — a run through the
+//! registrations **and re-registration churn** (replicated through the
+//! coordinator-owned worker service since PR 7, not broadcast), fact
+//! seeds, blind-guess answers/interest/assignment on predictable
+//! project-strided task ids, clock advances — a run through the
 //! `ShardedRuntime` at 1, 2 and 4 shards must:
 //!
 //! * drop exactly the events the single-threaded `apply_batch` path
@@ -84,7 +86,7 @@ fn op_event(n_projects: usize, items: usize, op: &RawOp) -> PlatformEvent {
     let project = ProjectId((*p % n_projects) as u64 + 1);
     let task = TaskId::compose(project, *i as u64 + 1);
     let worker = WorkerId(*w);
-    match kind % 8 {
+    match kind % 9 {
         // Translate-level answer guesses (valid while the task is open).
         0 | 1 => PlatformEvent::AnswerSubmitted {
             worker,
@@ -108,7 +110,14 @@ fn op_event(n_projects: usize, items: usize, op: &RawOp) -> PlatformEvent {
             project,
             description: format!("collab {s}"),
         },
-        _ => PlatformEvent::AssignmentRun { task },
+        7 => PlatformEvent::AssignmentRun { task },
+        // Worker churn: re-register a setup worker with an updated profile
+        // — the delta-log compaction/versioning path under the
+        // coordinator-owned worker service.
+        _ => PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(*w), format!("re{w}"))
+                .with_skill("survey", *i as f64 / 8.0),
+        },
     }
 }
 
@@ -130,7 +139,7 @@ proptest! {
         items in 2usize..5,
         batch in 3usize..10,
         ops in proptest::collection::vec(
-            (0u8..8, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
+            (0u8..9, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
             0..40,
         ),
     ) {
@@ -201,7 +210,7 @@ proptest! {
         n_projects in 2usize..5,
         items in 2usize..4,
         ops in proptest::collection::vec(
-            (0u8..8, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
+            (0u8..9, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
             4..48,
         ),
     ) {

@@ -69,6 +69,22 @@ echo
 echo "==> bench smoke: e13_worker_scale (CRITERION_BUDGET_MS=50)"
 CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
     cargo bench -p crowd4u-bench --bench e13_worker_scale
+# Telemetry-overhead smoke: the bench itself asserts that telemetry on
+# and off derive identical facts, that every pipeline-stage histogram
+# records, and that enabled telemetry stays within a loose 1.5x of
+# disabled on this budget (the strict <=5%-enabled / ~0%-disabled gates
+# run full-size in `report -- obs`; baseline in BENCH_obs.json).
+echo
+echo "==> bench smoke: e14_telemetry_overhead (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e14_telemetry_overhead
+# Observability surface: the obs baseline renders the Prometheus text
+# exposition, validates it, requires all five pipeline-stage histograms
+# non-empty after the workload, and enforces the overhead gates
+# (rewrites BENCH_obs.json).
+echo
+echo "==> report -- obs (telemetry exposition + overhead gates)"
+cargo run --release -p crowd4u-bench --bin report -- obs > /dev/null
 # Exercise the parallel path on every CI run: the integration suite again,
 # with the runtime pinned to 4 shards (shard_equivalence,
 # affinity_provider — the provider-parity proptest — and

@@ -1,0 +1,121 @@
+//! E14-telemetry: what observability costs on the ingest hot path.
+//!
+//! The PR 8 telemetry layer must be cheap enough to leave on: recording is
+//! a pre-fetched atomic add, spans are two `Instant::now()` reads, and the
+//! disabled registry compiles every record to a no-op on an `Option` that
+//! is always `None`. This bench pins both claims against the E10 sharded
+//! ingest workload (the same stream `report -- shards` measures):
+//!
+//! * `runtime/enabled` vs `runtime/disabled` — the full five-stage span
+//!   pipeline (gate admit, mailbox dwell, shard apply, fixpoint, journal
+//!   append) against a registry whose every cell is disabled;
+//! * `engine/plain` vs `engine/disabled_handles` — the engine-level
+//!   ingest path (E9's `answer_batch` shape) untouched vs with disabled
+//!   telemetry cells attached, isolating the no-op overhead from the
+//!   runtime's thread machinery.
+//!
+//! `ci.sh` runs this budget-bounded as a smoke (loose sanity gates below);
+//! the strict ≤5 %-enabled / ~0 %-disabled gates run full-size in
+//! `report -- obs` and land in `BENCH_obs.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_bench::{ingest_workload, run_shard_workload_instrumented, ShardWorkload};
+use crowd4u_telemetry::{stage, Registry};
+
+fn smoke_workload() -> ShardWorkload {
+    ShardWorkload {
+        items: 150,
+        ..ShardWorkload::default()
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let w = smoke_workload();
+
+    // Equivalence gate: telemetry on and off must derive the same facts
+    // from the same stream, or the timing compares different computations.
+    // Doubles as the five-stage coverage check: after one instrumented
+    // run, every pipeline-stage histogram must have recorded.
+    let enabled = Registry::new();
+    let (_, _, good_on) = run_shard_workload_instrumented(4, &w, enabled.clone());
+    let (_, _, good_off) = run_shard_workload_instrumented(4, &w, Registry::disabled());
+    assert_eq!(good_on, good_off, "telemetry changed derived facts");
+    let snap = enabled.snapshot();
+    for name in stage::ALL {
+        assert!(
+            snap.histogram_count(name) > 0,
+            "stage histogram {name} empty after an instrumented run"
+        );
+    }
+
+    let mut group = c.benchmark_group("e14_telemetry_overhead");
+    group.sample_size(10);
+    let n = (w.projects * w.items * 2) as u64; // setup seeds + answers
+    group.throughput(criterion::Throughput::Elements(n));
+    group.bench_with_input(BenchmarkId::new("runtime", "enabled"), &w, |b, w| {
+        b.iter(|| run_shard_workload_instrumented(4, w, Registry::new()).2)
+    });
+    group.bench_with_input(BenchmarkId::new("runtime", "disabled"), &w, |b, w| {
+        b.iter(|| run_shard_workload_instrumented(4, w, Registry::disabled()).2)
+    });
+
+    // Engine-level A/B: the ~0 %-disabled claim without runtime noise.
+    let answers = 5_000u64;
+    group.throughput(criterion::Throughput::Elements(answers));
+    group.bench_with_input(BenchmarkId::new("engine", "plain"), &answers, |b, &n| {
+        b.iter_batched(
+            || ingest_workload(n),
+            |(mut engine, answers)| {
+                engine.answer_batch(&answers).unwrap();
+                engine.fact_count("good").unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_with_input(
+        BenchmarkId::new("engine", "disabled_handles"),
+        &answers,
+        |b, &n| {
+            b.iter_batched(
+                || {
+                    let (mut engine, answers) = ingest_workload(n);
+                    engine.set_telemetry(&Registry::disabled().handle());
+                    (engine, answers)
+                },
+                |(mut engine, answers)| {
+                    engine.answer_batch(&answers).unwrap();
+                    engine.fact_count("good").unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+    group.finish();
+
+    // Loose smoke gate (the strict gates run full-size in `report -- obs`):
+    // best-of-3 enabled must stay within 1.5× of best-of-3 disabled even
+    // on a budget-bounded CI box.
+    let best = |registry: fn() -> Registry| {
+        (0..3)
+            .map(|_| run_shard_workload_instrumented(4, &smoke_workload(), registry()).0)
+            .min()
+            .expect("three runs")
+    };
+    let on = best(Registry::new);
+    let off = best(Registry::disabled);
+    assert!(
+        on.as_secs_f64() <= off.as_secs_f64() * 1.5,
+        "telemetry overhead smoke: enabled {:?} vs disabled {:?} exceeds 1.5x",
+        on,
+        off
+    );
+    println!(
+        "e14 smoke: enabled best {:.1}ms, disabled best {:.1}ms ({:+.1}%)",
+        on.as_secs_f64() * 1e3,
+        off.as_secs_f64() * 1e3,
+        (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

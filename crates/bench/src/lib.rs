@@ -171,16 +171,31 @@ pub fn shard_workload_events(
 /// `good` count is the correctness check — every shard count must derive
 /// the same facts.
 pub fn run_shard_workload(shards: usize, w: &ShardWorkload) -> (std::time::Duration, u64, usize) {
+    run_shard_workload_instrumented(shards, w, crowd4u_telemetry::Registry::from_env())
+}
+
+/// [`run_shard_workload`] with an explicit telemetry registry instead of
+/// the environment default — the E14 overhead A/B harness: run the same
+/// stream with `Registry::new()` and `Registry::disabled()` and compare
+/// elapsed times. Scrape the registry afterwards for coverage checks.
+pub fn run_shard_workload_instrumented(
+    shards: usize,
+    w: &ShardWorkload,
+    telemetry: crowd4u_telemetry::Registry,
+) -> (std::time::Duration, u64, usize) {
     use crowd4u_core::error::ProjectId;
     use crowd4u_runtime::prelude::*;
 
     let (setup, answers) = shard_workload_events(w);
     let total = (setup.len() + answers.len()) as u64;
-    let rt = ShardedRuntime::new(RuntimeConfig {
-        shards,
-        drain_every: w.drain_every,
-        mailbox_capacity: 0, // unbounded: E10 measures shard scaling, not admission
-    });
+    let rt = ShardedRuntime::new_instrumented(
+        RuntimeConfig {
+            shards,
+            drain_every: w.drain_every,
+            mailbox_capacity: 0, // unbounded: E10 measures shard scaling, not admission
+        },
+        telemetry,
+    );
     let start = std::time::Instant::now();
     rt.submit_batch(setup);
     rt.drain();
@@ -294,11 +309,18 @@ pub fn run_gate_workload(
     // answer queues on one shard. Deriving the bound from the workload
     // (instead of a fixed constant) keeps backpressure from ever engaging
     // — E11 measures the door, not shedding — for any workload size.
-    let rt = ShardedRuntime::new(RuntimeConfig {
-        shards,
-        drain_every: w.shape.drain_every,
-        mailbox_capacity: answers.len() + 1,
-    });
+    // Telemetry is pinned off: the admission hop is ~150ns/event, so the
+    // per-event span/stamp clock reads would dominate both doors and
+    // compress the ratio the 1.5x gate watches. Telemetry cost has its
+    // own budget and bench (e14 / `report -- obs`).
+    let rt = ShardedRuntime::new_instrumented(
+        RuntimeConfig {
+            shards,
+            drain_every: w.shape.drain_every,
+            mailbox_capacity: answers.len() + 1,
+        },
+        crowd4u_telemetry::Registry::disabled(),
+    );
     rt.submit_batch(setup);
     rt.drain();
     rt.barrier(); // every judge task exists before the answer fan-in starts

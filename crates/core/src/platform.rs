@@ -31,6 +31,7 @@ use crowd4u_forms::admin::DesiredFactors;
 use crowd4u_sim::stats::Counters;
 use crowd4u_sim::time::{SimDuration, SimTime};
 use crowd4u_storage::prelude::{EventJournal, Value};
+use crowd4u_telemetry::{stage, Counter, Histogram, TelemetryHandle};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The eligibility cache of one project: valid while both epochs match.
@@ -83,6 +84,34 @@ pub struct BatchReport {
     pub synced: Vec<ProjectId>,
 }
 
+/// Telemetry cells the platform records into. Defaults to all-disabled
+/// cells (recording is a no-op) until [`Crowd4U::set_telemetry`] attaches a
+/// live registry. Strictly observe-only: nothing here feeds back into
+/// platform behaviour, the journal, or [`Crowd4U::state_dump`].
+#[derive(Default)]
+struct PlatformTelemetry {
+    /// Kept so project engines registered later attach to the same registry.
+    handle: TelemetryHandle,
+    journal_append: Histogram,
+    events_applied: Counter,
+    events_dropped: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+}
+
+impl PlatformTelemetry {
+    fn from_handle(handle: &TelemetryHandle) -> PlatformTelemetry {
+        PlatformTelemetry {
+            handle: handle.clone(),
+            journal_append: handle.histogram(stage::JOURNAL_APPEND),
+            events_applied: handle.counter("crowd4u_core_events_applied_total"),
+            events_dropped: handle.counter("crowd4u_core_events_dropped_total"),
+            cache_hits: handle.counter("crowd4u_core_eligibility_cache_hits_total"),
+            cache_misses: handle.counter("crowd4u_core_eligibility_cache_misses_total"),
+        }
+    }
+}
+
 /// The platform.
 pub struct Crowd4U {
     now: SimTime,
@@ -103,6 +132,9 @@ pub struct Crowd4U {
     dirty: BTreeSet<ProjectId>,
     /// Collaboration monitors, one per task whose team started.
     monitors: BTreeMap<TaskId, CollabMonitor>,
+    /// Observe-only metric cells — excluded from `state_dump`, like the
+    /// `counters` above.
+    telemetry: PlatformTelemetry,
 }
 
 impl Default for Crowd4U {
@@ -121,6 +153,7 @@ impl Default for Crowd4U {
             journal: EventJournal::new(),
             dirty: BTreeSet::new(),
             monitors: BTreeMap::new(),
+            telemetry: PlatformTelemetry::default(),
         }
     }
 }
@@ -137,11 +170,26 @@ impl Crowd4U {
     /// Append one event to the journal (call only after the event's effects
     /// were applied successfully).
     fn record(&mut self, event: &PlatformEvent) {
+        let _span = self.telemetry.journal_append.span();
         let entry = event.encode();
         self.journal
             .append(entry.kind, entry.args)
             .expect("event kinds are static identifiers");
         self.counters.incr("events_journaled");
+    }
+
+    /// Attach telemetry: journal appends record in the `journal.append`
+    /// stage histogram, applied/dropped events and eligibility-cache
+    /// hits/misses count into `crowd4u_core_*_total`, and every project
+    /// engine — current and future — records its fixpoint stage and
+    /// `EvalStats` counters (see [`CylogEngine::set_telemetry`]).
+    /// Observe-only: two platforms differing only in telemetry produce
+    /// byte-identical journals and state dumps.
+    pub fn set_telemetry(&mut self, handle: &TelemetryHandle) {
+        self.telemetry = PlatformTelemetry::from_handle(handle);
+        for p in self.projects.values_mut() {
+            p.engine.set_telemetry(handle);
+        }
     }
 
     /// The append-only event journal (replay it with [`Crowd4U::replay_with`]).
@@ -290,11 +338,13 @@ impl Crowd4U {
                     && (!proj.declarative || cache.project_epoch == proj.epoch)
                 {
                     self.counters.incr("eligibility_cache_hits");
+                    self.telemetry.cache_hits.incr();
                     return Ok(cache.workers.clone());
                 }
             }
         }
         self.counters.incr("eligibility_cache_misses");
+        self.telemetry.cache_misses.incr();
         let proj = self.projects.get_mut(&project).expect("checked above");
         let workers = if proj.declarative {
             // The declarative path writes worker facts into the project
@@ -352,7 +402,8 @@ impl Crowd4U {
         factors: DesiredFactors,
         scheme: Scheme,
     ) -> Result<ProjectId, PlatformError> {
-        let engine = CylogEngine::from_source(cylog_source)?;
+        let mut engine = CylogEngine::from_source(cylog_source)?;
+        engine.set_telemetry(&self.telemetry.handle);
         let declarative = crate::declarative::uses_declarative_eligibility(&engine);
         let name = name.into();
         self.record(&PlatformEvent::ProjectRegistered {
@@ -836,6 +887,15 @@ impl Crowd4U {
 
     /// Apply one typed event through the corresponding platform call.
     pub fn apply_event(&mut self, event: PlatformEvent) -> Result<(), PlatformError> {
+        let result = self.apply_event_inner(event);
+        match &result {
+            Ok(()) => self.telemetry.events_applied.incr(),
+            Err(_) => self.telemetry.events_dropped.incr(),
+        }
+        result
+    }
+
+    fn apply_event_inner(&mut self, event: PlatformEvent) -> Result<(), PlatformError> {
         match event {
             PlatformEvent::WorkerRegistered { profile } => {
                 self.register_worker(profile);
@@ -916,6 +976,7 @@ impl Crowd4U {
         for p in &dirty {
             self.sync_tasks_inner(*p)?;
         }
+        let _span = self.telemetry.journal_append.span();
         self.journal
             .append(DRAIN_KIND, vec![])
             .expect("static kind");

@@ -15,6 +15,7 @@ use crate::eval::{
 };
 use crate::parser::parse;
 use crowd4u_storage::prelude::*;
+use crowd4u_telemetry::{stage, Counter, Histogram, TelemetryHandle};
 use std::collections::{BTreeMap, HashSet};
 
 /// A question for the crowd: "evaluate open predicate `pred` on `inputs`".
@@ -49,6 +50,50 @@ pub struct BatchOutcome {
     pub duplicates: usize,
 }
 
+/// Telemetry cells the engine records into after every `run` — the
+/// [`EvalStats`] fields surfaced as monotonic counters, plus the fixpoint
+/// span histogram. Defaults to all-disabled cells (every record is a no-op)
+/// until [`CylogEngine::set_telemetry`] attaches a live registry.
+#[derive(Default)]
+struct EngineTelemetry {
+    fixpoint: Histogram,
+    rounds: Counter,
+    firings: Counter,
+    derived: Counter,
+    duplicates: Counter,
+    recomputes: Counter,
+    delta_seeded: Counter,
+    strata_skipped: Counter,
+    strata_recomputed: Counter,
+}
+
+impl EngineTelemetry {
+    fn from_handle(handle: &TelemetryHandle) -> EngineTelemetry {
+        EngineTelemetry {
+            fixpoint: handle.histogram(stage::CYLOG_FIXPOINT),
+            rounds: handle.counter("crowd4u_cylog_rounds_total"),
+            firings: handle.counter("crowd4u_cylog_firings_total"),
+            derived: handle.counter("crowd4u_cylog_derived_total"),
+            duplicates: handle.counter("crowd4u_cylog_duplicates_total"),
+            recomputes: handle.counter("crowd4u_cylog_recomputes_total"),
+            delta_seeded: handle.counter("crowd4u_cylog_delta_seeded_total"),
+            strata_skipped: handle.counter("crowd4u_cylog_strata_skipped_total"),
+            strata_recomputed: handle.counter("crowd4u_cylog_strata_recomputed_total"),
+        }
+    }
+
+    fn observe(&self, stats: &EvalStats) {
+        self.rounds.add(stats.rounds);
+        self.firings.add(stats.firings);
+        self.derived.add(stats.derived);
+        self.duplicates.add(stats.duplicates);
+        self.recomputes.add(stats.recomputes);
+        self.delta_seeded.add(stats.delta_seeded);
+        self.strata_skipped.add(stats.strata_skipped);
+        self.strata_recomputed.add(stats.strata_recomputed);
+    }
+}
+
 /// The CyLog engine: compiled program + fact database + open-task queue.
 pub struct CylogEngine {
     program: CompiledProgram,
@@ -78,6 +123,8 @@ pub struct CylogEngine {
     /// Per-predicate input-column indices (`0..n_inputs`), precomputed so
     /// `has_answer` does not rebuild the vector on every pending check.
     input_cols: Vec<Vec<usize>>,
+    /// Observe-only metric cells (never part of `state_dump`/journals).
+    telemetry: EngineTelemetry,
 }
 
 impl CylogEngine {
@@ -130,6 +177,7 @@ impl CylogEngine {
             delta_log: BTreeMap::new(),
             needs_full: true,
             input_cols,
+            telemetry: EngineTelemetry::default(),
         };
         engine.reset_facts()?;
         Ok(engine)
@@ -150,6 +198,14 @@ impl CylogEngine {
 
     pub fn mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// Attach telemetry: every subsequent [`run`](Self::run) records its
+    /// wall time in the `cylog.fixpoint` stage histogram and adds its
+    /// [`EvalStats`] to the `crowd4u_cylog_*_total` counters. Telemetry is
+    /// observe-only — it never changes evaluation or the engine's state.
+    pub fn set_telemetry(&mut self, handle: &TelemetryHandle) {
+        self.telemetry = EngineTelemetry::from_handle(handle);
     }
 
     /// The compiled program (for introspection).
@@ -228,11 +284,14 @@ impl CylogEngine {
     /// produce byte-identical state — see ARCHITECTURE.md, "Incremental
     /// evaluation contract".
     pub fn run(&mut self) -> Result<EvalStats, CylogError> {
-        if self.mode == EvalMode::Incremental && !self.needs_full {
+        let _span = self.telemetry.fixpoint.span();
+        let stats = if self.mode == EvalMode::Incremental && !self.needs_full {
             self.run_incremental()
         } else {
             self.run_full()
-        }
+        }?;
+        self.telemetry.observe(&stats);
+        Ok(stats)
     }
 
     /// Clear derived relations, re-seed program facts and recompute the
@@ -999,6 +1058,40 @@ approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
             .pending_requests()
             .iter()
             .all(|r| r.inputs[0].as_int().unwrap() >= 5));
+    }
+
+    /// Pin the `firings` semantics (candidate rows enumerated at positive
+    /// body literals — see the crate docs) on the two incremental
+    /// dispatch paths: a **delta-seeded** stratum enumerates only the rows
+    /// inserted since the previous fixpoint, while a **rebuilt** stratum
+    /// (reached by a change through negation) re-enumerates its full
+    /// input. Exact counts are asserted so any change to what the counter
+    /// measures fails loudly here instead of silently skewing telemetry.
+    #[test]
+    fn firings_count_candidates_on_delta_seeded_vs_rebuilt_strata() {
+        const SRC: &str = "rel item(x: int).\nrel cand(x: int).\n\
+             rel seen(x: int).\nrel fresh(x: int).\n\
+             seen(X) :- item(X).\nfresh(X) :- cand(X), not seen(X).\n";
+        let mut e = CylogEngine::from_source(SRC).unwrap();
+        e.add_fact("item", vec![Value::Int(1)]).unwrap();
+        e.add_fact("cand", vec![Value::Int(1)]).unwrap();
+        e.add_fact("cand", vec![Value::Int(2)]).unwrap();
+        let full = e.run().unwrap(); // first run is always a full recompute
+        assert_eq!(full.recomputes, 1);
+        assert_eq!(e.fact_count("fresh").unwrap(), 1); // fresh = {2}
+
+        // Growth reaching `fresh` only through the negated `seen`: the
+        // `seen` stratum takes the delta path, the `fresh` stratum must
+        // rebuild (its result shrinks, which deltas cannot express).
+        e.add_fact("item", vec![Value::Int(2)]).unwrap();
+        let inc = e.run().unwrap();
+        assert_eq!(inc.recomputes, 0);
+        assert_eq!(inc.delta_seeded, 1); // the one new `item` row
+        assert_eq!(inc.strata_recomputed, 1); // the `fresh` stratum
+                                              // Delta-seeded `seen` enumerates the 1 delta row; rebuilt `fresh`
+                                              // re-enumerates both `cand` rows: 1 + 2.
+        assert_eq!(inc.firings, 3);
+        assert_eq!(e.fact_count("fresh").unwrap(), 0); // shrank correctly
     }
 
     #[test]

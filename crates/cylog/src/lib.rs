@@ -38,6 +38,29 @@
 //! [`engine::CylogEngine::answer`]; each accepted first answer credits the
 //! worker with the declared points.
 //!
+//! ## Evaluation statistics: what `firings` means
+//!
+//! [`eval::EvalStats::firings`] counts **candidate rows enumerated at
+//! positive body literals** — the join work the evaluator explored,
+//! whether or not each row unified with the partial binding. It does *not*
+//! count rule-head derivations: those are [`eval::EvalStats::derived`]
+//! (new facts) plus [`eval::EvalStats::duplicates`] (re-derivations of
+//! known facts). Since PR 6 (cross-batch incremental evaluation with
+//! per-stratum dispatch) the counter therefore measures the work a pass
+//! *actually did*, which varies with how each stratum was dispatched — a
+//! skipped stratum contributes zero firings even though its rules are
+//! still logically "true".
+//!
+//! The two cross-batch incremental paths make the distinction visible —
+//! a **delta-seeded** stratum enumerates only the rows inserted since the
+//! previous fixpoint, while a **rebuilt** stratum (one a change reaches
+//! through negation or an aggregate) clears its derived relations and
+//! re-enumerates its full input. The exact counts on both paths are
+//! pinned by `firings_count_candidates_on_delta_seeded_vs_rebuilt_strata`
+//! in [`engine`]'s tests, and the running totals are exported as the
+//! `crowd4u_cylog_*_total` telemetry counters (see
+//! [`engine::CylogEngine::set_telemetry`]).
+//!
 //! ```
 //! use crowd4u_cylog::engine::CylogEngine;
 //!

@@ -66,9 +66,11 @@ use crate::shard::ToShard;
 use crate::workers::WorkerService;
 use crowd4u_core::error::ProjectId;
 use crowd4u_core::events::{EventScope, PlatformEvent};
+use crowd4u_telemetry::{stage, Histogram, TelemetryHandle};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 /// Why a submission did not enter the runtime. Both variants hand the
 /// event back so the caller can retry, reroute or surface it — the gate
@@ -122,7 +124,9 @@ struct ShardQueue {
 }
 
 struct QueueState {
-    queue: VecDeque<ToShard>,
+    /// Messages with their enqueue timestamp (`None` when telemetry is
+    /// off — the mailbox-dwell histogram is fed on pop).
+    queue: VecDeque<(ToShard, Option<Instant>)>,
     /// Data events ([`ToShard::Apply`]) currently queued. The capacity
     /// bound applies to this count only — control messages (jobs, flushes,
     /// barriers) ride along unbounded, so a full mailbox can never wedge
@@ -140,8 +144,8 @@ struct QueueState {
 }
 
 impl QueueState {
-    fn push_data(&mut self, msg: ToShard) {
-        self.queue.push_back(msg);
+    fn push_data(&mut self, msg: ToShard, at: Option<Instant>) {
+        self.queue.push_back((msg, at));
         self.data_len += 1;
     }
 
@@ -169,13 +173,24 @@ pub(crate) struct GateCore {
     /// The coordinator-owned worker registry side channel; worker events
     /// are appended here (instead of broadcast) and replicas pull them.
     service: Arc<WorkerService>,
+    /// Gate-admission span histogram (the whole route: lock, stamp, push).
+    admit: Histogram,
+    /// Mailbox-dwell histogram: enqueue → pop, observed by the consumer.
+    dwell: Histogram,
 }
 
 impl GateCore {
-    pub(crate) fn new(shards: usize, capacity: usize, service: Arc<WorkerService>) -> GateCore {
+    pub(crate) fn new(
+        shards: usize,
+        capacity: usize,
+        service: Arc<WorkerService>,
+        telemetry: &TelemetryHandle,
+    ) -> GateCore {
         GateCore {
             stamper: AtomicU64::new(0),
             service,
+            admit: telemetry.histogram(stage::GATE_ADMIT),
+            dwell: telemetry.histogram(stage::MAILBOX_DWELL),
             // `0` means unbounded (backpressure disabled).
             capacity: if capacity == 0 { usize::MAX } else { capacity },
             queues: (0..shards.max(1))
@@ -234,6 +249,7 @@ impl GateCore {
     /// enqueue it on its destination mailbox(es). `wait` selects the
     /// backpressure policy.
     fn route(&self, event: PlatformEvent, wait: bool) -> Result<u64, GateError> {
+        let _span = self.admit.span();
         match event.scope() {
             EventScope::Project(p) => self.route_project(self.owner_of(p), event, wait),
             EventScope::Worker => self.route_worker(event, wait),
@@ -280,11 +296,15 @@ impl GateCore {
         // Still holding the mailbox lock: stamp (inside the append) and
         // push are adjacent, so the coordinator mailbox stays in sequence
         // order, and the log entry is visible before the lock drops.
-        s.push_data(ToShard::Apply {
-            seq,
-            event,
-            record: true,
-        });
+        let at = self.dwell.stamp();
+        s.push_data(
+            ToShard::Apply {
+                seq,
+                event,
+                record: true,
+            },
+            at,
+        );
         s.notify_consumer(q);
         Ok(seq)
     }
@@ -319,11 +339,15 @@ impl GateCore {
         // Still holding the lock: nothing can interleave between the stamp
         // and the push, so this mailbox stays in sequence order.
         let seq = self.stamper.fetch_add(1, Ordering::Relaxed);
-        s.push_data(ToShard::Apply {
-            seq,
-            event,
-            record: true,
-        });
+        let at = self.dwell.stamp();
+        s.push_data(
+            ToShard::Apply {
+                seq,
+                event,
+                record: true,
+            },
+            at,
+        );
         s.notify_consumer(q);
         Ok(seq)
     }
@@ -354,6 +378,7 @@ impl GateCore {
                 continue;
             }
             let seq = self.stamper.fetch_add(1, Ordering::Relaxed);
+            let at = self.dwell.stamp();
             let last = guards.len() - 1;
             let mut event = Some(event);
             for (i, g) in guards.iter_mut().enumerate() {
@@ -362,11 +387,14 @@ impl GateCore {
                 } else {
                     event.as_ref().expect("event alive").clone()
                 };
-                g.push_data(ToShard::Apply {
-                    seq,
-                    event: ev,
-                    record: i == 0,
-                });
+                g.push_data(
+                    ToShard::Apply {
+                        seq,
+                        event: ev,
+                        record: i == 0,
+                    },
+                    at,
+                );
                 g.notify_consumer(&self.queues[i]);
             }
             return Ok(seq);
@@ -413,7 +441,8 @@ impl GateCore {
             return false;
         }
         self.capture_bound(&mut msg);
-        s.queue.push_back(msg);
+        let at = self.dwell.stamp();
+        s.queue.push_back((msg, at));
         s.notify_consumer(q);
         true
     }
@@ -428,8 +457,9 @@ impl GateCore {
             return None;
         }
         let seq = self.stamper.fetch_add(1, Ordering::Relaxed);
+        let at = self.dwell.stamp();
         for (i, g) in guards.iter_mut().enumerate() {
-            g.queue.push_back(mk(i, seq));
+            g.queue.push_back((mk(i, seq), at));
             g.notify_consumer(&self.queues[i]);
         }
         Some(seq)
@@ -449,7 +479,8 @@ impl GateCore {
             if !s.closed {
                 let mut msg = mk(i);
                 self.capture_bound(&mut msg);
-                s.queue.push_back(msg);
+                let at = self.dwell.stamp();
+                s.queue.push_back((msg, at));
                 s.closed = true;
             }
             q.not_empty.notify_all();
@@ -490,7 +521,8 @@ impl GateCore {
         let q = &self.queues[shard];
         let mut s = lock(q);
         loop {
-            if let Some(msg) = s.queue.pop_front() {
+            if let Some((msg, at)) = s.queue.pop_front() {
+                self.dwell.since(at);
                 if matches!(msg, ToShard::Apply { .. }) {
                     s.data_len -= 1;
                     if s.producers_waiting > 0 {
@@ -608,6 +640,7 @@ mod tests {
             shards,
             capacity,
             Arc::new(WorkerService::new(0)),
+            &TelemetryHandle::disabled(),
         ));
         (IngestGate::new(Arc::clone(&core)), core)
     }

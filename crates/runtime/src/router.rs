@@ -15,6 +15,7 @@ use crowd4u_core::error::{PlatformError, ProjectId};
 use crowd4u_core::events::PlatformEvent;
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_storage::journal::EventJournal;
+use crowd4u_telemetry::{MetricsSnapshot, Registry};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -96,6 +97,7 @@ pub struct ShardedRuntime {
     gate: IngestGate,
     handles: Vec<JoinHandle<()>>,
     drain_every: usize,
+    telemetry: Registry,
 }
 
 impl ShardedRuntime {
@@ -108,18 +110,56 @@ impl ShardedRuntime {
     /// once per shard — use it to install a controller algorithm or retry
     /// budget on every slice (configuration is not journaled, so replay
     /// bases must be built the same way).
+    ///
+    /// Telemetry comes from the environment (the `TELEMETRY` variable; see
+    /// [`Registry::from_env`]) — use
+    /// [`new_instrumented_with`](Self::new_instrumented_with) to inject a
+    /// registry explicitly.
     pub fn new_with(config: RuntimeConfig, base: impl Fn(usize) -> Crowd4U) -> ShardedRuntime {
+        ShardedRuntime::new_instrumented_with(config, Registry::from_env(), base)
+    }
+
+    /// Spawn the runtime with default platform slices and an explicit
+    /// telemetry registry (pass [`Registry::disabled`] to force telemetry
+    /// off regardless of the environment).
+    pub fn new_instrumented(config: RuntimeConfig, telemetry: Registry) -> ShardedRuntime {
+        ShardedRuntime::new_instrumented_with(config, telemetry, |_| Crowd4U::new())
+    }
+
+    /// Spawn the runtime with configured platform slices and an explicit
+    /// telemetry registry. Every layer shares the one registry: the gate
+    /// (admission + mailbox-dwell histograms), the worker service (delta-log
+    /// gauges), each shard's platform slice (apply/journal/fixpoint stages,
+    /// event and cache counters).
+    pub fn new_instrumented_with(
+        config: RuntimeConfig,
+        telemetry: Registry,
+        base: impl Fn(usize) -> Crowd4U,
+    ) -> ShardedRuntime {
         let shards = config.shards.max(1);
-        let service = Arc::new(crate::workers::WorkerService::from_env());
-        let core = Arc::new(GateCore::new(shards, config.mailbox_capacity, service));
+        let handle = telemetry.handle();
+        let mut service = crate::workers::WorkerService::from_env();
+        // Replica attachment must precede telemetry: the per-replica lag
+        // gauges are created from the attached replica count.
+        service.attach_replicas(shards);
+        service.set_telemetry(&handle);
+        let service = Arc::new(service);
+        let core = Arc::new(GateCore::new(
+            shards,
+            config.mailbox_capacity,
+            service,
+            &handle,
+        ));
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let platform = base(i);
+            let mut platform = base(i);
+            platform.set_telemetry(&handle);
             let drain_every = config.drain_every;
             let consumer = Arc::clone(&core);
+            let shard_handle = handle.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("crowd4u-shard-{i}"))
-                .spawn(move || shard_main(consumer, i, platform, drain_every))
+                .spawn(move || shard_main(consumer, i, platform, drain_every, shard_handle))
                 .expect("spawn shard thread");
             handles.push(handle);
         }
@@ -127,7 +167,20 @@ impl ShardedRuntime {
             gate: IngestGate::new(core),
             handles,
             drain_every: config.drain_every,
+            telemetry,
         }
+    }
+
+    /// The telemetry registry every layer of this runtime records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Scrape: merge every shard's local cells into one snapshot. Safe to
+    /// call any time — producers are never blocked (see the telemetry
+    /// crate docs); mid-run values are racy-but-consistent per cell.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot()
     }
 
     /// A cloneable concurrent submission handle onto this runtime's shard

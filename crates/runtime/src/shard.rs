@@ -10,6 +10,7 @@ use crate::gate::GateCore;
 use crowd4u_core::events::PlatformEvent;
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_storage::journal::JournalEntry;
+use crowd4u_telemetry::{stage, TelemetryHandle};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
@@ -113,6 +114,7 @@ pub(crate) fn shard_main(
     shard: usize,
     mut platform: Crowd4U,
     drain_every: usize,
+    telemetry: TelemetryHandle,
 ) {
     let _guard = MailboxGuard { gate: &gate, shard };
     let service = Arc::clone(gate.worker_service());
@@ -120,15 +122,22 @@ pub(crate) fn shard_main(
     let mut stats = ShardStats::default();
     let mut recorded: Vec<(SeqKey, JournalEntry)> = Vec::new();
     let mut since_drain = 0usize;
+    // Pre-fetched once per shard thread: recording an observation is a
+    // single atomic add, never a registry lookup.
+    let apply_hist = telemetry.histogram(stage::SHARD_APPLY);
 
     while let Some(msg) = gate.recv(shard) {
         match msg {
             ToShard::Apply { seq, event, record } => {
                 if shard != 0 {
-                    service.sync_below_seq(&mut cursor, seq, &mut platform);
+                    service.sync_below_seq(shard, &mut cursor, seq, &mut platform);
                 }
                 let entry = record.then(|| event.encode());
-                match platform.apply_event(event) {
+                let applied = {
+                    let _span = apply_hist.span();
+                    platform.apply_event(event)
+                };
+                match applied {
                     Ok(()) => {
                         if let Some(entry) = entry {
                             recorded.push(((seq, 0), entry));
@@ -152,7 +161,7 @@ pub(crate) fn shard_main(
             }
             ToShard::Drain { seq, record } => {
                 if shard != 0 {
-                    service.sync_below_seq(&mut cursor, seq, &mut platform);
+                    service.sync_below_seq(shard, &mut cursor, seq, &mut platform);
                 }
                 since_drain = 0;
                 platform
@@ -167,7 +176,7 @@ pub(crate) fn shard_main(
             }
             ToShard::Job { bound, run } => {
                 if shard != 0 {
-                    service.sync_to_index(&mut cursor, bound, &mut platform);
+                    service.sync_to_index(shard, &mut cursor, bound, &mut platform);
                 }
                 run(&mut platform)
             }
@@ -176,7 +185,7 @@ pub(crate) fn shard_main(
             }
             ToShard::Finish { bound, reply } => {
                 if shard != 0 {
-                    service.sync_to_index(&mut cursor, bound, &mut platform);
+                    service.sync_to_index(shard, &mut cursor, bound, &mut platform);
                 }
                 let _ = reply.send(ShardReport {
                     stats,

@@ -49,12 +49,25 @@
 //! "bulk-register the crowd first" phase, which is exactly where 10⁵–10⁶
 //! registrations happen.
 //!
-//! The log itself is currently unbounded (profiles are `Arc`-shared with
-//! snapshots, so the overhead per entry is one pointer + seq); truncating
-//! below the minimum shard cursor is recorded as ROADMAP residue.
+//! ## Truncation (bounded log)
+//!
+//! Cursors and bounds are **logical** positions in the append stream. The
+//! resident `log` vector only holds the suffix `[base..]`: each replica
+//! reports its cursor back to the service inside the sync critical
+//! section, and once every reported cursor (and, when snapshots are
+//! enabled, the running compaction) has moved at least
+//! [`TRUNCATE_CHUNK`] entries past `base`, the consumed prefix is
+//! dropped and `base` advances. A runtime with no replicas (one shard)
+//! treats the whole log as consumed. Entries being installed are `Arc`
+//! clones planned under the lock, so a concurrent truncation by another
+//! replica can never pull data out from under an install. The bound is
+//! observable: the service exports `crowd4u_worker_delta_log_len`
+//! (resident entries) and `crowd4u_worker_min_cursor` gauges, both
+//! written under the service lock.
 
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_crowd::profile::{WorkerId, WorkerProfile};
+use crowd4u_telemetry::{Counter, Gauge, TelemetryHandle};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -62,28 +75,77 @@ use std::sync::{Arc, Mutex};
 pub const SNAPSHOT_EVERY_ENV: &str = "WORKER_SNAPSHOT_EVERY";
 const SNAPSHOT_EVERY_DEFAULT: usize = 1024;
 
+/// Truncate the consumed log prefix in chunks of this many entries (the
+/// drain is O(chunk), so amortised cost per append stays O(1)).
+pub const TRUNCATE_CHUNK: usize = 64;
+
 /// Coordinator-owned worker registry side channel (see module docs).
 pub struct WorkerService {
     state: Mutex<ServiceState>,
     snapshot_every: usize,
+    /// Number of replica shards (shards 1..=replicas) reporting cursors;
+    /// set by [`WorkerService::attach_replicas`] before the runtime runs.
+    replicas: usize,
+    telemetry: ServiceTelemetry,
+}
+
+#[derive(Default)]
+struct ServiceTelemetry {
+    /// `crowd4u_worker_delta_log_len` — resident (un-truncated) entries.
+    log_len: Gauge,
+    /// `crowd4u_worker_min_cursor` — slowest reported replica cursor.
+    min_cursor: Gauge,
+    /// `crowd4u_worker_log_truncated_total` — entries dropped so far.
+    truncated: Counter,
+    /// `crowd4u_worker_snapshots_published_total`.
+    snapshots: Counter,
+    /// `crowd4u_worker_snapshot_covered` — logical events the latest
+    /// published snapshot covers.
+    snapshot_covered: Gauge,
+    /// `crowd4u_worker_replica_lag{shard="i"}` — logical entries shard
+    /// `i` has not yet installed, one gauge per replica.
+    lag: Vec<Gauge>,
 }
 
 #[derive(Default)]
 struct ServiceState {
     /// `(seq, profile)` per worker event, ascending seq by construction
     /// (appends draw their seq inside this lock's critical section).
+    /// Physically holds only the logical suffix `[base..]`.
     log: Vec<(u64, Arc<WorkerProfile>)>,
-    /// Running compaction of `log[..covered]`: latest profile per worker.
+    /// Logical position of `log[0]`: entries below `base` were consumed
+    /// by every replica and truncated.
+    base: usize,
+    /// Running compaction of the logical prefix `[..covered]`: latest
+    /// profile per worker.
     compacted: BTreeMap<WorkerId, Arc<WorkerProfile>>,
     covered: usize,
     /// Latest published snapshot, shared with every shard that uses it.
     published: Option<Arc<Snapshot>>,
+    /// Per-replica logical cursors (index `shard − 1`), reported inside
+    /// the sync critical sections. Empty until replicas attach.
+    cursors: Vec<usize>,
+    /// Whether the replica set was declared — truncation stays off until
+    /// it is, so a service used bare (unit tests) keeps the full log.
+    attached: bool,
 }
 
-/// A compacted, version-keyed view of the log prefix `[..covered]`.
-struct Snapshot {
-    covered: usize,
-    profiles: BTreeMap<WorkerId, Arc<WorkerProfile>>,
+impl ServiceState {
+    /// Logical length of the append stream (what bounds are captured
+    /// against).
+    fn logical_len(&self) -> usize {
+        self.base + self.log.len()
+    }
+
+    /// The slowest consumer: min reported cursor, or the full stream
+    /// when there are no replicas to wait for.
+    fn min_cursor(&self) -> usize {
+        self.cursors
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or_else(|| self.logical_len())
+    }
 }
 
 impl WorkerService {
@@ -91,6 +153,8 @@ impl WorkerService {
         WorkerService {
             state: Mutex::new(ServiceState::default()),
             snapshot_every,
+            replicas: 0,
+            telemetry: ServiceTelemetry::default(),
         }
     }
 
@@ -103,6 +167,35 @@ impl WorkerService {
         WorkerService::new(every)
     }
 
+    /// Declare the runtime's shard count so the service knows which
+    /// replica cursors gate truncation (shards `1..shards`; shard 0 is
+    /// the coordinator and consumes events through its own mailbox).
+    /// Must be called before the shards start pulling.
+    pub fn attach_replicas(&mut self, shards: usize) {
+        self.replicas = shards.saturating_sub(1);
+        let s = self.state.get_mut().expect("worker service poisoned");
+        s.cursors = vec![0; self.replicas];
+        s.attached = true;
+    }
+
+    /// Wire the service's gauges/counters to a telemetry handle. Call
+    /// after [`WorkerService::attach_replicas`] so per-replica lag gauges
+    /// exist for every shard.
+    pub fn set_telemetry(&mut self, handle: &TelemetryHandle) {
+        self.telemetry = ServiceTelemetry {
+            log_len: handle.gauge("crowd4u_worker_delta_log_len"),
+            min_cursor: handle.gauge("crowd4u_worker_min_cursor"),
+            truncated: handle.counter("crowd4u_worker_log_truncated_total"),
+            snapshots: handle.counter("crowd4u_worker_snapshots_published_total"),
+            snapshot_covered: handle.gauge("crowd4u_worker_snapshot_covered"),
+            lag: (1..=self.replicas)
+                .map(|shard| {
+                    handle.gauge_with("crowd4u_worker_replica_lag", &format!("shard=\"{shard}\""))
+                })
+                .collect(),
+        };
+    }
+
     /// Append a worker event, drawing its sequence number **inside** the
     /// service critical section. The caller must already hold the
     /// coordinator mailbox lock (lock order: mailbox → service); `stamp`
@@ -111,26 +204,37 @@ impl WorkerService {
         let mut s = self.state.lock().expect("worker service poisoned");
         let seq = stamp();
         s.log.push((seq, Arc::new(profile)));
-        if self.snapshot_every > 0 && s.log.len() - s.covered >= self.snapshot_every {
+        if self.snapshot_every > 0 && s.logical_len() - s.covered >= self.snapshot_every {
             s.refresh_snapshot();
+            self.telemetry.snapshots.incr();
+            self.telemetry.snapshot_covered.set(s.covered as i64);
         }
+        self.truncate_and_observe(&mut s);
         seq
     }
 
-    /// Current log length — the *bound* captured for seq-less control
-    /// messages. Must be read under the destination mailbox's lock for
-    /// the bound to compose with seq-ordered sync.
+    /// Current *logical* log length — the *bound* captured for seq-less
+    /// control messages. Must be read under the destination mailbox's
+    /// lock for the bound to compose with seq-ordered sync.
     pub(crate) fn log_len(&self) -> usize {
         self.state
             .lock()
             .expect("worker service poisoned")
-            .log
-            .len()
+            .logical_len()
     }
 
     /// Number of worker events appended so far (test/bench introspection).
     pub fn events_logged(&self) -> usize {
         self.log_len()
+    }
+
+    /// Resident (un-truncated) log entries (test/bench introspection).
+    pub fn resident_log_len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("worker service poisoned")
+            .log
+            .len()
     }
 
     /// Whether a snapshot has been published (test/bench introspection).
@@ -143,38 +247,103 @@ impl WorkerService {
     }
 
     /// Install every log entry with seq < `upto` that `cursor` has not
-    /// yet consumed. Called by a replica right before it applies its own
-    /// message stamped `upto`.
-    pub(crate) fn sync_below_seq(&self, cursor: &mut usize, upto: u64, platform: &mut Crowd4U) {
+    /// yet consumed. Called by replica shard `shard` right before it
+    /// applies its own message stamped `upto`.
+    pub(crate) fn sync_below_seq(
+        &self,
+        shard: usize,
+        cursor: &mut usize,
+        upto: u64,
+        platform: &mut Crowd4U,
+    ) {
         let plan = {
-            let s = self.state.lock().expect("worker service poisoned");
-            let mut target = *cursor;
-            while target < s.log.len() && s.log[target].0 < upto {
+            let mut s = self.state.lock().expect("worker service poisoned");
+            // Scan physically from the resident prefix end; a cursor
+            // below `base` (late fresh consumer) is served by the
+            // snapshot fast-forward in `plan_install`.
+            let mut target = (*cursor).max(s.base);
+            while target < s.logical_len() && s.log[target - s.base].0 < upto {
                 target += 1;
             }
-            plan_install(&s, cursor, target, is_fresh(platform))
+            let plan = plan_install(&s, cursor, target, is_fresh(platform));
+            self.report_cursor(&mut s, shard, *cursor);
+            plan
         };
         install(plan, platform);
     }
 
-    /// Install every log entry up to index `bound` (a log length captured
-    /// at enqueue time) that `cursor` has not yet consumed. Called by a
-    /// replica right before it runs a seq-less control message.
-    pub(crate) fn sync_to_index(&self, cursor: &mut usize, bound: usize, platform: &mut Crowd4U) {
+    /// Install every log entry up to logical position `bound` (a log
+    /// length captured at enqueue time) that `cursor` has not yet
+    /// consumed. Called by replica shard `shard` right before it runs a
+    /// seq-less control message.
+    pub(crate) fn sync_to_index(
+        &self,
+        shard: usize,
+        cursor: &mut usize,
+        bound: usize,
+        platform: &mut Crowd4U,
+    ) {
         if *cursor >= bound {
             return;
         }
         let plan = {
-            let s = self.state.lock().expect("worker service poisoned");
-            let target = bound.min(s.log.len());
-            plan_install(&s, cursor, target, is_fresh(platform))
+            let mut s = self.state.lock().expect("worker service poisoned");
+            let target = bound.min(s.logical_len());
+            let plan = plan_install(&s, cursor, target, is_fresh(platform));
+            self.report_cursor(&mut s, shard, *cursor);
+            plan
         };
         install(plan, platform);
     }
+
+    /// Record a replica's cursor, update its lag gauge, and truncate the
+    /// prefix every replica (and the compaction) is done with. Runs under
+    /// the service lock.
+    fn report_cursor(&self, s: &mut ServiceState, shard: usize, cursor: usize) {
+        if s.attached && shard >= 1 && shard <= s.cursors.len() {
+            s.cursors[shard - 1] = cursor;
+            if let Some(lag) = self.telemetry.lag.get(shard - 1) {
+                lag.set((s.logical_len() - cursor) as i64);
+            }
+        }
+        self.truncate_and_observe(s);
+    }
+
+    /// Drop the consumed log prefix (in [`TRUNCATE_CHUNK`] steps) and
+    /// refresh the `delta_log_len` / `min_cursor` gauges.
+    fn truncate_and_observe(&self, s: &mut ServiceState) {
+        let min = s.min_cursor();
+        if s.attached && min - s.base >= TRUNCATE_CHUNK {
+            // Fold the entries about to drop into the running compaction
+            // first, so a later snapshot still covers them.
+            if self.snapshot_every > 0 && s.covered < min {
+                let (from, to) = (s.covered - s.base, min - s.base);
+                let (log, compacted) = (&s.log, &mut s.compacted);
+                for (_, p) in &log[from..to] {
+                    compacted.insert(p.id, Arc::clone(p));
+                }
+                s.covered = min;
+            }
+            let dropped = min - s.base;
+            s.log.drain(..dropped);
+            s.base = min;
+            self.telemetry.truncated.add(dropped as u64);
+        }
+        self.telemetry.log_len.set(s.log.len() as i64);
+        self.telemetry.min_cursor.set(min as i64);
+    }
+}
+
+/// A compacted, version-keyed view of the logical log prefix
+/// `[..covered]`.
+struct Snapshot {
+    covered: usize,
+    profiles: BTreeMap<WorkerId, Arc<WorkerProfile>>,
 }
 
 /// What a sync resolved to, computed under the service lock but installed
-/// outside it (entries below the target are immutable once planned).
+/// outside it (the plan holds `Arc` clones, so truncation by another
+/// replica cannot invalidate it).
 struct InstallPlan {
     snapshot: Option<Arc<Snapshot>>,
     deltas: Vec<Arc<WorkerProfile>>,
@@ -194,7 +363,14 @@ fn plan_install(s: &ServiceState, cursor: &mut usize, target: usize, fresh: bool
             }
         }
     }
-    let deltas = s.log[*cursor..target]
+    // Attached replicas always sit at or above `base` (truncation stops
+    // at their minimum); an unattached late consumer below `base` must
+    // have been fast-forwarded by a covering snapshot above.
+    assert!(
+        *cursor >= s.base,
+        "worker log truncated past an unattached replica cursor"
+    );
+    let deltas = s.log[(*cursor - s.base)..(target - s.base)]
         .iter()
         .map(|(_, p)| Arc::clone(p))
         .collect();
@@ -218,11 +394,11 @@ impl ServiceState {
     fn refresh_snapshot(&mut self) {
         // Split-borrow: extend the running compaction with the new log
         // suffix, then publish an Arc'd copy keyed by how much it covers.
-        let (log, covered) = (&self.log, self.covered);
-        for (_, p) in &log[covered..] {
+        let covered = self.covered - self.base;
+        for (_, p) in &self.log[covered..] {
             self.compacted.insert(p.id, Arc::clone(p));
         }
-        self.covered = log.len();
+        self.covered = self.logical_len();
         self.published = Some(Arc::new(Snapshot {
             covered: self.covered,
             profiles: self.compacted.clone(),
@@ -238,26 +414,30 @@ mod tests {
         WorkerProfile::new(WorkerId(i), format!("w{i}"))
     }
 
+    fn fill(svc: &WorkerService, ids: impl IntoIterator<Item = u64>, seq: &mut u64) {
+        for i in ids {
+            svc.append_with(profile(i), || {
+                *seq += 1;
+                *seq
+            });
+        }
+    }
+
     #[test]
     fn deltas_install_in_seq_order_with_version_lockstep() {
         let svc = WorkerService::new(0);
         let mut seq = 0u64;
-        for i in 1..=5 {
-            svc.append_with(profile(i), || {
-                seq += 1;
-                seq
-            });
-        }
+        fill(&svc, 1..=5, &mut seq);
         let mut replica = Crowd4U::new();
         let mut cursor = 0;
-        svc.sync_below_seq(&mut cursor, 4, &mut replica); // seqs 1..3
+        svc.sync_below_seq(1, &mut cursor, 4, &mut replica); // seqs 1..3
         assert_eq!(replica.workers.len(), 3);
         assert_eq!(replica.workers.version(), 3);
-        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        svc.sync_below_seq(1, &mut cursor, u64::MAX, &mut replica);
         assert_eq!(replica.workers.len(), 5);
         assert_eq!(replica.workers.version(), 5);
         // Idempotent: the cursor remembers what is already installed.
-        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        svc.sync_below_seq(1, &mut cursor, u64::MAX, &mut replica);
         assert_eq!(replica.workers.version(), 5);
     }
 
@@ -265,19 +445,14 @@ mod tests {
     fn index_bound_sync_stops_at_the_bound() {
         let svc = WorkerService::new(0);
         let mut seq = 0u64;
-        for i in 1..=4 {
-            svc.append_with(profile(i), || {
-                seq += 1;
-                seq
-            });
-        }
+        fill(&svc, 1..=4, &mut seq);
         let mut replica = Crowd4U::new();
         let mut cursor = 0;
-        svc.sync_to_index(&mut cursor, 2, &mut replica);
+        svc.sync_to_index(1, &mut cursor, 2, &mut replica);
         assert_eq!(replica.workers.len(), 2);
-        svc.sync_to_index(&mut cursor, 2, &mut replica); // no-op
+        svc.sync_to_index(1, &mut cursor, 2, &mut replica); // no-op
         assert_eq!(replica.workers.version(), 2);
-        svc.sync_to_index(&mut cursor, 4, &mut replica);
+        svc.sync_to_index(1, &mut cursor, 4, &mut replica);
         assert_eq!(replica.workers.len(), 4);
     }
 
@@ -287,16 +462,11 @@ mod tests {
         let mut seq = 0u64;
         // 3 events over 2 distinct workers: the snapshot compacts
         // re-registration churn.
-        for i in [1, 2, 1] {
-            svc.append_with(profile(i), || {
-                seq += 1;
-                seq
-            });
-        }
+        fill(&svc, [1, 2, 1], &mut seq);
         assert!(svc.has_snapshot());
         let mut replica = Crowd4U::new();
         let mut cursor = 0;
-        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        svc.sync_below_seq(1, &mut cursor, u64::MAX, &mut replica);
         // 2 profiles resident, but version counts all 3 events — the
         // lockstep a delta-by-delta replica would reach.
         assert_eq!(replica.workers.len(), 2);
@@ -307,20 +477,100 @@ mod tests {
     fn non_fresh_replica_takes_the_delta_path() {
         let svc = WorkerService::new(1);
         let mut seq = 0u64;
-        for i in 1..=3 {
-            svc.append_with(profile(i), || {
-                seq += 1;
-                seq
-            });
-        }
+        fill(&svc, 1..=3, &mut seq);
         assert!(svc.has_snapshot());
         let mut replica = Crowd4U::new();
         // Any pre-existing worker disqualifies the snapshot fast-path …
         replica.workers.register(profile(9));
         let mut cursor = 0;
-        svc.sync_below_seq(&mut cursor, u64::MAX, &mut replica);
+        svc.sync_below_seq(1, &mut cursor, u64::MAX, &mut replica);
         // … so all 3 deltas install individually on top of it.
         assert_eq!(replica.workers.len(), 4);
         assert_eq!(replica.workers.version(), 1 + 3);
+    }
+
+    #[test]
+    fn log_truncates_below_the_minimum_replica_cursor() {
+        let mut svc = WorkerService::new(0);
+        svc.attach_replicas(3); // replicas are shards 1 and 2
+        let mut seq = 0u64;
+        fill(&svc, 1..=200, &mut seq);
+        assert_eq!(svc.events_logged(), 200);
+        assert_eq!(svc.resident_log_len(), 200); // nobody consumed yet
+
+        let (mut r1, mut r2) = (Crowd4U::new(), Crowd4U::new());
+        let (mut c1, mut c2) = (0usize, 0usize);
+        svc.sync_to_index(1, &mut c1, 150, &mut r1);
+        // Replica 2 still at 0 — min cursor pins the log.
+        assert_eq!(svc.resident_log_len(), 200);
+        svc.sync_to_index(2, &mut c2, 100, &mut r2);
+        // min cursor = 100: prefix dropped, logical length unchanged.
+        assert_eq!(svc.resident_log_len(), 100);
+        assert_eq!(svc.events_logged(), 200);
+        // Logical cursors keep working across the truncation.
+        svc.sync_to_index(2, &mut c2, 200, &mut r2);
+        svc.sync_below_seq(1, &mut c1, u64::MAX, &mut r1);
+        assert_eq!(r1.workers.len(), 200);
+        assert_eq!(r2.workers.len(), 200);
+        assert_eq!(r1.workers.version(), r2.workers.version());
+        // Everyone at 200 ⇒ the whole log is reclaimable.
+        assert!(svc.resident_log_len() < TRUNCATE_CHUNK);
+    }
+
+    #[test]
+    fn truncation_folds_into_the_compaction_before_dropping() {
+        let mut svc = WorkerService::new(1000); // snapshots on, far cadence
+        svc.attach_replicas(2); // one replica: shard 1
+        let mut seq = 0u64;
+        fill(&svc, (1..=80).map(|i| i % 7 + 1), &mut seq);
+        let mut r1 = Crowd4U::new();
+        let mut c1 = 0usize;
+        svc.sync_to_index(1, &mut c1, 80, &mut r1);
+        assert!(svc.resident_log_len() < 80, "prefix should truncate");
+        // A snapshot published *after* truncation must still cover the
+        // dropped entries (the compaction absorbed them first).
+        fill(&svc, 1..=1000, &mut seq);
+        assert!(svc.has_snapshot());
+        let mut fresh = Crowd4U::new();
+        let mut c2 = 0usize;
+        // Unattached replica id 2 (not in cursor set): plain consumer.
+        svc.sync_below_seq(2, &mut c2, u64::MAX, &mut fresh);
+        assert_eq!(fresh.workers.version(), 1080);
+        assert_eq!(r1.workers.len(), 7); // ids 1..=7 from the churn prefix
+        assert_eq!(fresh.workers.len(), 1000);
+    }
+
+    #[test]
+    fn single_shard_runtime_reclaims_the_whole_log() {
+        let mut svc = WorkerService::new(0);
+        svc.attach_replicas(1); // no replicas: nothing ever pulls
+        let mut seq = 0u64;
+        fill(&svc, 1..=130, &mut seq);
+        assert_eq!(svc.events_logged(), 130);
+        assert!(svc.resident_log_len() < TRUNCATE_CHUNK);
+    }
+
+    #[test]
+    fn truncation_exports_gauges() {
+        let registry = crowd4u_telemetry::Registry::new();
+        let mut svc = WorkerService::new(0);
+        svc.attach_replicas(2);
+        svc.set_telemetry(&registry.handle());
+        let mut seq = 0u64;
+        fill(&svc, 1..=100, &mut seq);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge_total("crowd4u_worker_delta_log_len"), Some(100));
+        assert_eq!(snap.gauge_total("crowd4u_worker_min_cursor"), Some(0));
+        let mut r1 = Crowd4U::new();
+        let mut c1 = 0usize;
+        svc.sync_to_index(1, &mut c1, 100, &mut r1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge_total("crowd4u_worker_delta_log_len"), Some(0));
+        assert_eq!(snap.gauge_total("crowd4u_worker_min_cursor"), Some(100));
+        assert_eq!(
+            snap.counter_total("crowd4u_worker_log_truncated_total"),
+            100
+        );
+        assert_eq!(snap.gauge_total("crowd4u_worker_replica_lag"), Some(0));
     }
 }

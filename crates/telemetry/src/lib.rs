@@ -1,0 +1,780 @@
+//! # crowd4u-telemetry — sharded metrics, span tracing, Prometheus text
+//!
+//! The platform-wide observability layer: a [`Registry`] of named
+//! **counters**, **gauges** and **log-bucketed histograms**, scraped into a
+//! [`MetricsSnapshot`] and rendered in the Prometheus text exposition
+//! format. Zero external dependencies (same vendored-shim discipline as
+//! the rest of the workspace — this crate needs none at all).
+//!
+//! ## Design: per-shard handles, merge on scrape
+//!
+//! Hot paths never share metric state across shards. Each shard (or
+//! subsystem) asks the registry for its own [`TelemetryHandle`]; every
+//! metric fetched through a handle is a private atomic cell owned by that
+//! handle. A scrape ([`Registry::snapshot`]) walks all handles and merges
+//! same-named cells — counters and gauges by summation, histograms
+//! bucket-wise. Two consequences:
+//!
+//! * **no cross-shard contention**: an `incr`/`observe` touches an atomic
+//!   no other shard writes;
+//! * **scrapes never block producers**: the per-handle mutex only guards
+//!   the name→cell map (locked when a metric is first fetched and during
+//!   a scrape); recording goes straight to the atomics, lock-free.
+//!
+//! ## Observe-only and cheap
+//!
+//! Telemetry must never change platform behaviour (journals with
+//! telemetry on and off are proven byte-identical by
+//! `tests/telemetry_equivalence.rs`) and must cost ~nothing when off:
+//! [`Registry::disabled`] hands out handles whose metrics are `None`
+//! inside — an `incr` is a branch on a niche-optimised option, a
+//! [`Span`] never reads the clock.
+//!
+//! ## Spans
+//!
+//! A [`Span`] is an RAII timer: created via [`Histogram::span`] (or the
+//! [`span!`] macro), it observes its elapsed nanoseconds into the
+//! histogram on drop. The five pipeline-stage histograms are named in
+//! [`stage`].
+//!
+//! ```
+//! use crowd4u_telemetry::{stage, Registry};
+//! let registry = Registry::new();
+//! let handle = registry.handle();
+//! let hist = handle.histogram(stage::GATE_ADMIT);
+//! {
+//!     let _span = hist.span(); // observed on drop
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.histogram_count(stage::GATE_ADMIT), 1);
+//! assert!(snap.render().contains("crowd4u_stage_gate_admit_ns_count"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Env knob: `TELEMETRY=0|off|false|no` disables the default registry
+/// built by [`Registry::from_env`]; anything else (or unset) enables it.
+pub const TELEMETRY_ENV: &str = "TELEMETRY";
+
+/// Env knob: histogram bucket base for [`Registry::from_env`] (default 2
+/// — each bucket boundary doubles). Rounded down to a power of two.
+pub const BUCKET_BASE_ENV: &str = "TELEMETRY_BUCKET_BASE";
+
+/// Canonical metric names of the five pipeline-stage histograms (elapsed
+/// nanoseconds per event at each stage).
+pub mod stage {
+    /// Front-door admission: routing + stamping + mailbox push.
+    pub const GATE_ADMIT: &str = "crowd4u_stage_gate_admit_ns";
+    /// Dwell between mailbox enqueue and the shard popping the message.
+    pub const MAILBOX_DWELL: &str = "crowd4u_stage_mailbox_dwell_ns";
+    /// A shard applying one event to its platform slice.
+    pub const SHARD_APPLY: &str = "crowd4u_stage_shard_apply_ns";
+    /// One CyLog fixpoint pass (`CylogEngine::run`).
+    pub const CYLOG_FIXPOINT: &str = "crowd4u_stage_cylog_fixpoint_ns";
+    /// Appending one entry to the event journal.
+    pub const JOURNAL_APPEND: &str = "crowd4u_stage_journal_append_ns";
+    /// All five, in pipeline order.
+    pub const ALL: [&str; 5] = [
+        GATE_ADMIT,
+        MAILBOX_DWELL,
+        SHARD_APPLY,
+        CYLOG_FIXPOINT,
+        JOURNAL_APPEND,
+    ];
+}
+
+/// The shared metric registry. Cloneable (cheap `Arc` clone); a disabled
+/// registry is a `None` and everything downstream of it is a no-op.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+struct RegistryInner {
+    /// log2 of the histogram bucket base (1 ⇒ boundaries double).
+    bucket_bits: u32,
+    /// Every handle ever issued; scrapes walk this list and merge.
+    handles: Mutex<Vec<Arc<Mutex<HandleCells>>>>,
+}
+
+#[derive(Default)]
+struct HandleCells {
+    counters: BTreeMap<(String, String), Arc<AtomicU64>>,
+    gauges: BTreeMap<(String, String), Arc<AtomicI64>>,
+    histograms: BTreeMap<(String, String), Arc<HistogramCore>>,
+}
+
+impl Registry {
+    /// An enabled registry with the default bucket base (2).
+    pub fn new() -> Registry {
+        Registry::with_bucket_base(2)
+    }
+
+    /// An enabled registry whose histogram boundaries grow by `base`
+    /// (rounded down to a power of two, minimum 2).
+    pub fn with_bucket_base(base: u32) -> Registry {
+        let bits = 31 - base.max(2).leading_zeros();
+        Registry {
+            inner: Some(Arc::new(RegistryInner {
+                bucket_bits: bits,
+                handles: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op registry: handles, metrics and spans all compile down to
+    /// a branch on `None`.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Registry configured by [`TELEMETRY_ENV`] / [`BUCKET_BASE_ENV`]
+    /// (enabled with base 2 unless told otherwise).
+    pub fn from_env() -> Registry {
+        let off = std::env::var(TELEMETRY_ENV)
+            .map(|v| matches!(v.trim(), "0" | "off" | "false" | "no"))
+            .unwrap_or(false);
+        if off {
+            return Registry::disabled();
+        }
+        let base = std::env::var(BUCKET_BASE_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        Registry::with_bucket_base(base)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Issue a fresh handle (one per shard / subsystem). Metrics fetched
+    /// through distinct handles never share atomics.
+    pub fn handle(&self) -> TelemetryHandle {
+        match &self.inner {
+            None => TelemetryHandle::disabled(),
+            Some(inner) => {
+                let cells = Arc::new(Mutex::new(HandleCells::default()));
+                inner
+                    .handles
+                    .lock()
+                    .expect("telemetry registry poisoned")
+                    .push(Arc::clone(&cells));
+                TelemetryHandle {
+                    inner: Some(HandleInner {
+                        registry: Arc::clone(inner),
+                        cells,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Scrape: merge every handle's cells into one snapshot. Producers
+    /// keep recording concurrently — only the name→cell maps are locked,
+    /// never the atomics being written.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        let handles = inner
+            .handles
+            .lock()
+            .expect("telemetry registry poisoned")
+            .clone();
+        for h in handles {
+            let cells = h.lock().expect("telemetry handle poisoned");
+            for (key, c) in &cells.counters {
+                *snap.counters.entry(key.clone()).or_insert(0) += c.load(Ordering::Relaxed);
+            }
+            for (key, g) in &cells.gauges {
+                *snap.gauges.entry(key.clone()).or_insert(0) += g.load(Ordering::Relaxed);
+            }
+            for (key, hc) in &cells.histograms {
+                let entry = snap
+                    .histograms
+                    .entry(key.clone())
+                    .or_insert_with(|| HistogramSnapshot::empty(hc.bits));
+                entry.absorb(hc);
+            }
+        }
+        snap
+    }
+}
+
+#[derive(Clone)]
+struct HandleInner {
+    registry: Arc<RegistryInner>,
+    cells: Arc<Mutex<HandleCells>>,
+}
+
+/// A per-shard (or per-subsystem) metric handle. Fetch metrics once at
+/// wiring time and keep the returned [`Counter`]/[`Gauge`]/[`Histogram`]
+/// — fetching locks the handle's map, recording does not.
+#[derive(Clone, Default)]
+pub struct TelemetryHandle {
+    inner: Option<HandleInner>,
+}
+
+impl TelemetryHandle {
+    /// The no-op handle (what [`Registry::disabled`] issues).
+    pub fn disabled() -> TelemetryHandle {
+        TelemetryHandle { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Fetch (or create) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, "")
+    }
+
+    /// Fetch (or create) a counter carrying a pre-formatted Prometheus
+    /// label set, e.g. `shard="2"`.
+    pub fn counter_with(&self, name: &str, labels: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|h| {
+            let mut cells = h.cells.lock().expect("telemetry handle poisoned");
+            Arc::clone(
+                cells
+                    .counters
+                    .entry((name.to_string(), labels.to_string()))
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Fetch (or create) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, "")
+    }
+
+    /// Fetch (or create) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|h| {
+            let mut cells = h.cells.lock().expect("telemetry handle poisoned");
+            Arc::clone(
+                cells
+                    .gauges
+                    .entry((name.to_string(), labels.to_string()))
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Fetch (or create) an unlabelled log-bucketed histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, "")
+    }
+
+    /// Fetch (or create) a labelled log-bucketed histogram.
+    pub fn histogram_with(&self, name: &str, labels: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|h| {
+            let bits = h.registry.bucket_bits;
+            let mut cells = h.cells.lock().expect("telemetry handle poisoned");
+            Arc::clone(
+                cells
+                    .histograms
+                    .entry((name.to_string(), labels.to_string()))
+                    .or_insert_with(|| Arc::new(HistogramCore::new(bits))),
+            )
+        }))
+    }
+}
+
+/// Monotonic counter handle. `None` inside ⇒ no-op.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// The no-op counter (for default struct fields).
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Last-write-wins gauge handle (merged across shards by summation, so
+/// per-shard gauges should carry a `shard="i"` label). `None` ⇒ no-op.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// The no-op gauge (for default struct fields).
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Lock-free log-bucketed histogram core: bucket `i` counts values whose
+/// bit length, divided by the bucket base's bit width (rounded up), is
+/// `i` — i.e. boundaries at `base^i`.
+struct HistogramCore {
+    bits: u32,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+fn bucket_count(bits: u32) -> usize {
+    64usize.div_ceil(bits as usize) + 1
+}
+
+fn bucket_index(bits: u32, v: u64) -> usize {
+    let significant = 64 - v.leading_zeros() as usize; // 0 for v == 0
+    significant.div_ceil(bits as usize)
+}
+
+/// Inclusive upper bound of bucket `i` (`base^i − 1`), as a decimal
+/// string, or `+Inf` for the top bucket.
+fn bucket_bound(bits: u32, i: usize) -> String {
+    if i + 1 >= bucket_count(bits) {
+        "+Inf".to_string()
+    } else {
+        ((1u128 << (i as u32 * bits)) - 1).to_string()
+    }
+}
+
+impl HistogramCore {
+    fn new(bits: u32) -> HistogramCore {
+        HistogramCore {
+            bits,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..bucket_count(bits)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_index(self.bits, v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// Histogram handle. `None` inside ⇒ no-op (spans skip the clock).
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// The no-op histogram (for default struct fields).
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.observe(v);
+        }
+    }
+
+    /// Start an RAII span feeding this histogram: elapsed nanoseconds are
+    /// observed when the returned [`Span`] drops. Disabled histograms
+    /// never read the clock.
+    #[inline]
+    pub fn span(&self) -> Span {
+        Span {
+            core: self.0.clone(),
+            start: self.0.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// A timestamp for a deferred dwell measurement ([`Histogram::since`]
+    /// closes it), `None` when disabled — the producer side of a
+    /// cross-thread span whose two ends live in different scopes.
+    #[inline]
+    pub fn stamp(&self) -> Option<Instant> {
+        self.0.as_ref().map(|_| Instant::now())
+    }
+
+    /// Close a [`Histogram::stamp`]: observe the elapsed nanoseconds.
+    #[inline]
+    pub fn since(&self, stamp: Option<Instant>) {
+        if let (Some(h), Some(t)) = (&self.0, stamp) {
+            h.observe(elapsed_ns(t));
+        }
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// RAII stage timer: observes elapsed nanoseconds into its histogram on
+/// drop. Obtained from [`Histogram::span`] or the [`span!`] macro.
+pub struct Span {
+    core: Option<Arc<HistogramCore>>,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(h), Some(t)) = (&self.core, self.start) {
+            h.observe(elapsed_ns(t));
+        }
+    }
+}
+
+/// `span!(hist)` starts an RAII timer on a pre-fetched [`Histogram`];
+/// `span!(handle, "gate.admit")` fetches the histogram from a
+/// [`TelemetryHandle`] first (map lookup — keep off hot paths).
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        $hist.span()
+    };
+    ($handle:expr, $name:expr) => {
+        $handle.histogram($name).span()
+    };
+}
+
+/// One merged histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    bits: u32,
+    /// Per-bucket (non-cumulative) counts; rendering accumulates.
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn empty(bits: u32) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            bits,
+            buckets: vec![0; bucket_count(bits)],
+        }
+    }
+
+    fn absorb(&mut self, core: &HistogramCore) {
+        debug_assert_eq!(self.bits, core.bits, "one bucket base per registry");
+        self.count += core.count.load(Ordering::Relaxed);
+        self.sum += core.sum.load(Ordering::Relaxed);
+        for (b, c) in self.buckets.iter_mut().zip(&core.buckets) {
+            *b += c.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// A merged point-in-time view of every metric, keyed by
+/// `(name, labels)`. [`MetricsSnapshot::render`] produces the Prometheus
+/// text exposition format.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<(String, String), u64>,
+    pub gauges: BTreeMap<(String, String), i64>,
+    pub histograms: BTreeMap<(String, String), HistogramSnapshot>,
+}
+
+fn sample_line(out: &mut String, name: &str, labels: &str, extra: &str, value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        if !labels.is_empty() && !extra.is_empty() {
+            out.push(',');
+        }
+        out.push_str(extra);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+impl MetricsSnapshot {
+    /// Sum of a counter across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Sum of a gauge across all label sets (`None` if never set).
+    pub fn gauge_total(&self, name: &str) -> Option<i64> {
+        let vals: Vec<i64> = self
+            .gauges
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum())
+        }
+    }
+
+    /// Total observation count of a histogram across all label sets.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, h)| h.count)
+            .sum()
+    }
+
+    /// Render in the Prometheus text exposition format: `# TYPE` headers,
+    /// cumulative `_bucket{le=…}` series (zero-delta buckets elided),
+    /// `_sum`/`_count` per histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<(char, String)> = None;
+        let mut typed = |out: &mut String, kind: char, name: &str, ty: &str| {
+            if last_type.as_ref() != Some(&(kind, name.to_string())) {
+                out.push_str(&format!("# TYPE {name} {ty}\n"));
+                last_type = Some((kind, name.to_string()));
+            }
+        };
+        for ((name, labels), v) in &self.counters {
+            typed(&mut out, 'c', name, "counter");
+            sample_line(&mut out, name, labels, "", &v.to_string());
+        }
+        for ((name, labels), v) in &self.gauges {
+            typed(&mut out, 'g', name, "gauge");
+            sample_line(&mut out, name, labels, "", &v.to_string());
+        }
+        for ((name, labels), h) in &self.histograms {
+            typed(&mut out, 'h', name, "histogram");
+            let bucket_name = format!("{name}_bucket");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                let last = i + 1 == h.buckets.len();
+                if c == 0 && !last {
+                    continue;
+                }
+                cumulative += c;
+                let le = format!("le=\"{}\"", bucket_bound(h.bits, i));
+                sample_line(&mut out, &bucket_name, labels, &le, &cumulative.to_string());
+            }
+            sample_line(
+                &mut out,
+                &format!("{name}_sum"),
+                labels,
+                "",
+                &h.sum.to_string(),
+            );
+            sample_line(
+                &mut out,
+                &format!("{name}_count"),
+                labels,
+                "",
+                &h.count.to_string(),
+            );
+        }
+        out
+    }
+}
+
+/// Validate a Prometheus text exposition: every sample line must be
+/// `name{labels} value` with a parseable finite value, `# TYPE` comments
+/// must precede their family. Returns the number of sample lines.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("TYPE") {
+                return Err(format!("line {n}: unknown comment {line:?}"));
+            }
+            let (name, ty) = (parts.next(), parts.next());
+            if name.is_none() || !matches!(ty, Some("counter" | "gauge" | "histogram")) {
+                return Err(format!("line {n}: malformed TYPE comment {line:?}"));
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no value in {line:?}"))?;
+        let name = series.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {n}: bad metric name in {line:?}"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("line {n}: unclosed label set in {line:?}"));
+        }
+        if value != "+Inf" && !value.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+            return Err(format!("line {n}: unparseable value in {line:?}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let r = Registry::disabled();
+        assert!(!r.is_enabled());
+        let h = r.handle();
+        let c = h.counter("crowd4u_test_total");
+        c.incr();
+        h.gauge("crowd4u_test_gauge").set(7);
+        let hist = h.histogram("crowd4u_test_ns");
+        hist.observe(9);
+        drop(hist.span());
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.render().is_empty());
+    }
+
+    #[test]
+    fn per_shard_handles_merge_on_scrape() {
+        let r = Registry::new();
+        let (h0, h1) = (r.handle(), r.handle());
+        h0.counter("crowd4u_events_total").add(3);
+        h1.counter("crowd4u_events_total").add(4);
+        h0.gauge_with("crowd4u_lag", "shard=\"0\"").set(2);
+        h1.gauge_with("crowd4u_lag", "shard=\"1\"").set(5);
+        h0.histogram("crowd4u_apply_ns").observe(10);
+        h1.histogram("crowd4u_apply_ns").observe(1000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("crowd4u_events_total"), 7);
+        assert_eq!(snap.gauge_total("crowd4u_lag"), Some(7));
+        assert_eq!(
+            snap.gauges
+                .get(&("crowd4u_lag".into(), "shard=\"1\"".into())),
+            Some(&5)
+        );
+        let h = &snap.histograms[&("crowd4u_apply_ns".into(), String::new())];
+        assert_eq!((h.count, h.sum), (2, 1010));
+    }
+
+    #[test]
+    fn bucket_indexing_is_logarithmic() {
+        assert_eq!(bucket_index(1, 0), 0);
+        assert_eq!(bucket_index(1, 1), 1);
+        assert_eq!(bucket_index(1, 2), 2);
+        assert_eq!(bucket_index(1, 3), 2);
+        assert_eq!(bucket_index(1, 4), 3);
+        assert_eq!(bucket_index(1, u64::MAX), 64);
+        assert_eq!(bucket_count(1), 65);
+        // base 4 = 2 bits per bucket: 0, 1..=3, 4..=15, …
+        assert_eq!(bucket_index(2, 3), 1);
+        assert_eq!(bucket_index(2, 4), 2);
+        assert_eq!(bucket_index(2, 15), 2);
+        assert_eq!(bucket_index(2, 16), 3);
+        assert_eq!(bucket_bound(1, 1), "1");
+        assert_eq!(bucket_bound(1, 3), "7");
+        assert_eq!(bucket_bound(1, 64), "+Inf");
+    }
+
+    #[test]
+    fn span_feeds_its_histogram() {
+        let r = Registry::new();
+        let h = r.handle();
+        let hist = h.histogram(stage::SHARD_APPLY);
+        for _ in 0..3 {
+            let _span = span!(hist);
+        }
+        drop(span!(h, stage::GATE_ADMIT));
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram_count(stage::SHARD_APPLY), 3);
+        assert_eq!(snap.histogram_count(stage::GATE_ADMIT), 1);
+    }
+
+    #[test]
+    fn dwell_stamps_measure_across_scopes() {
+        let r = Registry::new();
+        let h = r.handle();
+        let hist = h.histogram(stage::MAILBOX_DWELL);
+        let t = hist.stamp();
+        assert!(t.is_some());
+        hist.since(t);
+        hist.since(None); // lost stamp: no observation
+        assert_eq!(r.snapshot().histogram_count(stage::MAILBOX_DWELL), 1);
+        assert!(Histogram::disabled().stamp().is_none());
+    }
+
+    #[test]
+    fn render_is_valid_exposition() {
+        let r = Registry::with_bucket_base(4);
+        let h = r.handle();
+        h.counter("crowd4u_events_total").add(2);
+        h.counter_with("crowd4u_events_total", "shard=\"1\"").incr();
+        h.gauge("crowd4u_worker_min_cursor").set(42);
+        let hist = h.histogram(stage::JOURNAL_APPEND);
+        hist.observe(0);
+        hist.observe(5);
+        hist.observe(300);
+        let text = r.snapshot().render();
+        assert!(text.contains("# TYPE crowd4u_events_total counter"));
+        assert!(text.contains("crowd4u_events_total{shard=\"1\"} 1"));
+        assert!(text.contains("crowd4u_worker_min_cursor 42"));
+        assert!(text.contains("crowd4u_stage_journal_append_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("crowd4u_stage_journal_append_ns_sum 305"));
+        // Cumulative le series: 0 lands in le="0", 5 in le="15", 300 in
+        // le="1023" (base 4 ⇒ boundaries 4^i − 1).
+        assert!(text.contains("crowd4u_stage_journal_append_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("crowd4u_stage_journal_append_ns_bucket{le=\"15\"} 2"));
+        assert!(text.contains("crowd4u_stage_journal_append_ns_bucket{le=\"1023\"} 3"));
+        let samples = validate_exposition(&text).expect("valid exposition");
+        assert!(samples >= 9);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_lines() {
+        assert!(validate_exposition("bad-name 1\n").is_err());
+        assert!(validate_exposition("name{unclosed 1\n").is_err());
+        assert!(validate_exposition("name one\n").is_err());
+        assert!(validate_exposition("# HELP x y\n").is_err());
+        assert_eq!(validate_exposition("# TYPE a counter\na 1\n"), Ok(1));
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+        assert_send_sync::<TelemetryHandle>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Gauge>();
+        assert_send_sync::<Histogram>();
+        assert_send_sync::<MetricsSnapshot>();
+    }
+}

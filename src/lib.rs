@@ -9,3 +9,4 @@ pub use crowd4u_runtime as runtime;
 pub use crowd4u_scenarios as scenarios;
 pub use crowd4u_sim as sim;
 pub use crowd4u_storage as storage;
+pub use crowd4u_telemetry as telemetry;

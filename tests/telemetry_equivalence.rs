@@ -1,0 +1,221 @@
+//! Property: telemetry is **observe-only**. For any random multi-project
+//! op stream, a `ShardedRuntime` run at 1, 2 and 4 shards produces a
+//! merged journal and a replayed [`Crowd4U::state_dump`] byte-identical
+//! to the single-threaded reference regardless of whether telemetry is
+//!
+//! * **enabled** (a live [`Registry`], every stage recording),
+//! * **disabled** ([`Registry::disabled`], all cells no-op), or
+//! * **scraped mid-run** (a live registry with [`ShardedRuntime::metrics`]
+//!   called between every batch, while shard threads are producing) —
+//!
+//! and the three runs are identical to *each other*. This is the PR 8
+//! observability contract: metrics and spans never feed back into
+//! routing, evaluation, or the journal, and a scrape never perturbs (or
+//! blocks) producers. The enabled run must also actually record: the
+//! shard-apply stage histogram covers at least every applied event.
+//!
+//! Ops reuse the shard-equivalence generator shape: blind-guess answers
+//! and interest on project-strided task ids, worker churn, clock
+//! advances, collab tasks — so drops (stale/invalid events) are part of
+//! the property too.
+
+use crowd4u::collab::Scheme;
+use crowd4u::core::error::{ProjectId, TaskId, WorkerId};
+use crowd4u::core::events::PlatformEvent;
+use crowd4u::core::platform::Crowd4U;
+use crowd4u::crowd::profile::WorkerProfile;
+use crowd4u::forms::admin::DesiredFactors;
+use crowd4u::runtime::prelude::*;
+use crowd4u::sim::time::SimTime;
+use crowd4u::storage::prelude::Value;
+use crowd4u::telemetry::{stage, Registry};
+use proptest::prelude::*;
+
+const SRC: &str = "\
+rel sentence(s: str).
+open translate(s: str) -> (t: str) points 2.
+open check(s: str, t: str) -> (ok: bool) points 1.
+rel approved(s: str, t: str).
+approved(S, T) :- sentence(S), translate(S, T), check(S, T, OK), OK = true.
+";
+
+type RawOp = (u8, usize, usize, u64, String, bool);
+
+fn setup_events(n_projects: usize, items: usize) -> Vec<PlatformEvent> {
+    let mut events = Vec::new();
+    for w in 1..=4u64 {
+        events.push(PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(w), format!("w{w}")),
+        });
+    }
+    for p in 0..n_projects {
+        events.push(PlatformEvent::ProjectRegistered {
+            name: format!("proj-{p}"),
+            source: SRC.into(),
+            factors: DesiredFactors {
+                min_team: 1,
+                max_team: 3,
+                recruitment_secs: 600,
+                ..Default::default()
+            },
+            scheme: Scheme::Sequential,
+        });
+    }
+    for i in 0..items {
+        for p in 0..n_projects {
+            events.push(PlatformEvent::FactSeeded {
+                project: ProjectId(p as u64 + 1),
+                pred: "sentence".into(),
+                values: vec![format!("s{i}").into()],
+            });
+        }
+    }
+    events
+}
+
+fn op_event(n_projects: usize, items: usize, op: &RawOp) -> PlatformEvent {
+    let (kind, p, i, w, s, b) = op;
+    let project = ProjectId((*p % n_projects) as u64 + 1);
+    let task = TaskId::compose(project, *i as u64 + 1);
+    let worker = WorkerId(*w);
+    match kind % 9 {
+        0 | 1 => PlatformEvent::AnswerSubmitted {
+            worker,
+            task,
+            outputs: vec![Value::Str(s.clone())],
+        },
+        2 => PlatformEvent::AnswerSubmitted {
+            worker,
+            task: TaskId::compose(project, (items + i) as u64 + 1),
+            outputs: vec![Value::Bool(*b)],
+        },
+        3 => PlatformEvent::InterestExpressed { worker, task },
+        4 => PlatformEvent::ClockAdvanced {
+            to: SimTime(*i as u64 * 137),
+        },
+        5 => PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(10 + w), format!("late{w}")),
+        },
+        6 => PlatformEvent::CollabTaskCreated {
+            project,
+            description: format!("collab {s}"),
+        },
+        7 => PlatformEvent::AssignmentRun { task },
+        _ => PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(*w), format!("re{w}"))
+                .with_skill("survey", *i as f64 / 8.0),
+        },
+    }
+}
+
+/// How a variant run treats telemetry.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Enabled,
+    Disabled,
+    ScrapedMidRun,
+}
+
+/// Run the batches through a sharded runtime under one telemetry mode;
+/// return (journal dump, replayed state dump, applied, dropped).
+fn run_variant(
+    shards: usize,
+    batches: &[Vec<PlatformEvent>],
+    mode: Mode,
+) -> (String, String, u64, u64) {
+    let registry = match mode {
+        Mode::Disabled => Registry::disabled(),
+        _ => Registry::new(),
+    };
+    let rt = ShardedRuntime::new_instrumented(
+        RuntimeConfig {
+            shards,
+            drain_every: 0,
+            mailbox_capacity: 1024,
+        },
+        registry.clone(),
+    );
+    for b in batches {
+        rt.submit_batch(b.clone());
+        rt.drain();
+        if mode == Mode::ScrapedMidRun {
+            // Scrape while shard threads are live — must not block or
+            // perturb them (the rendered text is also exercised).
+            let snap = rt.metrics();
+            let _ = snap.render();
+        }
+    }
+    let run = rt.finish().expect("runtime alive");
+    if mode != Mode::Disabled {
+        // The enabled registry must actually have recorded: every applied
+        // event was wrapped in the shard-apply span (broadcasts apply on
+        // every shard, so the histogram may exceed the applied count).
+        let snap = registry.snapshot();
+        assert!(
+            snap.histogram_count(stage::SHARD_APPLY) >= run.stats.applied,
+            "shard-apply histogram undercounts: {} < {}",
+            snap.histogram_count(stage::SHARD_APPLY),
+            run.stats.applied
+        );
+    }
+    let replayed = Crowd4U::replay(&run.journal).expect("journal replays");
+    (
+        run.journal.dump(),
+        replayed.state_dump(),
+        run.stats.applied,
+        run.stats.dropped,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn telemetry_on_off_and_scraped_runs_are_byte_identical(
+        n_projects in 2usize..4,
+        items in 2usize..4,
+        batch in 3usize..10,
+        ops in proptest::collection::vec(
+            (0u8..9, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
+            0..32,
+        ),
+    ) {
+        let mut events = setup_events(n_projects, items);
+        events.extend(ops.iter().map(|op| op_event(n_projects, items, op)));
+        let batches: Vec<Vec<PlatformEvent>> =
+            events.chunks(batch.max(1)).map(|c| c.to_vec()).collect();
+
+        // Single-threaded reference (telemetry never attached).
+        let mut serial = Crowd4U::new();
+        let mut serial_dropped = 0u64;
+        for b in &batches {
+            serial_dropped += serial.apply_batch(b.clone()).unwrap().errors.len() as u64;
+        }
+        let serial_journal = serial.journal().dump();
+        let serial_dump = serial.state_dump();
+
+        for shards in [1usize, 2, 4] {
+            let (j_on, s_on, applied, dropped) =
+                run_variant(shards, &batches, Mode::Enabled);
+            let (j_off, s_off, _, _) = run_variant(shards, &batches, Mode::Disabled);
+            let (j_scraped, s_scraped, _, _) =
+                run_variant(shards, &batches, Mode::ScrapedMidRun);
+
+            // All three variants match the serial reference…
+            prop_assert_eq!(&j_on, &serial_journal, "journal (on) at {} shards", shards);
+            prop_assert_eq!(&s_on, &serial_dump, "state (on) at {} shards", shards);
+            // …and therefore each other; spelled out so a failure names
+            // the variant that diverged.
+            prop_assert_eq!(&j_off, &j_on, "journal on/off diverge at {} shards", shards);
+            prop_assert_eq!(&s_off, &s_on, "state on/off diverge at {} shards", shards);
+            prop_assert_eq!(&j_scraped, &j_on, "journal scraped diverges at {} shards", shards);
+            prop_assert_eq!(&s_scraped, &s_on, "state scraped diverges at {} shards", shards);
+            prop_assert_eq!(dropped, serial_dropped, "dropped mismatch at {} shards", shards);
+            prop_assert_eq!(
+                applied + dropped,
+                events.len() as u64,
+                "event accounting mismatch at {} shards",
+                shards
+            );
+        }
+    }
+}

@@ -85,14 +85,33 @@ CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
 echo
 echo "==> report -- obs (telemetry exposition + overhead gates)"
 cargo run --release -p crowd4u-bench --bin report -- obs > /dev/null
+# Recovery-latency smoke: the bench itself asserts the planned kill
+# fired, that the chaos run derives identical facts to the clean run, and
+# a loose 2x recovery-vs-workload ratio on this budget (the strict >=10x
+# gate runs full-size in `report -- recovery`; baseline in
+# BENCH_recovery.json).
+echo
+echo "==> bench smoke: e15_recovery_latency (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e15_recovery_latency
 # Exercise the parallel path on every CI run: the integration suite again,
 # with the runtime pinned to 4 shards (shard_equivalence,
 # affinity_provider — the provider-parity proptest — and
 # scenario_streaming pick the value up via RUNTIME_SHARDS and add it to
-# their shard-count sweeps).
+# their shard-count sweeps; recovery_equivalence adds 4 shards to its
+# no-fault / fault+recover / fault+migrate differential sweep).
 echo
 echo "==> integration tests with RUNTIME_SHARDS=4"
 RUNTIME_SHARDS=4 cargo test -q -p crowd4u --tests
+# Deterministic chaos replay: rerun the crash-recovery differential
+# proptest under a pinned seed so the exact crash schedules (FaultPlan
+# kill points derived from PROPTEST_SEED) are reproduced byte-for-byte on
+# every CI run — a regression here replays identically on a dev box with
+# the same seed.
+echo
+echo "==> chaos replay: recovery_equivalence with PROPTEST_SEED=1803"
+RUNTIME_SHARDS=4 PROPTEST_SEED=1803 \
+    cargo test -q -p crowd4u --test recovery_equivalence
 # Docs must be warning-free, not just successful.
 echo
 echo "==> cargo doc --no-deps (deny warnings)"

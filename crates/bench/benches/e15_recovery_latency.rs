@@ -1,0 +1,68 @@
+//! E15-recovery: what a shard crash costs under the PR 9 recovery
+//! runtime.
+//!
+//! A chaos [`FaultPlan`](crowd4u_runtime::recovery::FaultPlan) kills one
+//! shard mid-answer-stream; the supervisor rebuilds its slice by replaying
+//! the runtime ledger (plus the worker-service snapshot + delta feed) and
+//! the run completes with the exact facts of a no-fault run. Two claims
+//! are pinned:
+//!
+//! * **correctness** — the chaos run derives the same `good` facts as the
+//!   clean run, and the planned kill genuinely fired
+//!   (`crowd4u_recoveries_total ≥ 1`);
+//! * **latency** — recovery replay touches one shard's slice, not the
+//!   whole workload, so its cost (`crowd4u_recovery_ns`) stays a small
+//!   fraction of rerunning everything. The smoke gate here is a loose
+//!   2×; the strict ≥10× gate runs full-size in `report -- recovery` and
+//!   lands in `BENCH_recovery.json`.
+//!
+//! `ci.sh` runs this budget-bounded as a smoke.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_bench::{run_recovery_workload, run_shard_workload, ShardWorkload};
+
+const SHARDS: usize = 4;
+/// Kill shard 1 after 300 applied events — mid-stream for the smoke
+/// workload below (shard 1 records two projects × 150 seeds + answers).
+const KILL: (usize, u64) = (1, 300);
+
+fn smoke_workload() -> ShardWorkload {
+    ShardWorkload {
+        items: 150,
+        ..ShardWorkload::default()
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let w = smoke_workload();
+
+    // Correctness gate: the fault fired, was recovered, and changed
+    // nothing observable.
+    let (_, _, good_clean) = run_shard_workload(SHARDS, &w);
+    let chaos = run_recovery_workload(SHARDS, &w, KILL);
+    assert!(chaos.recoveries >= 1, "the planned kill never fired");
+    assert_eq!(chaos.good, good_clean, "recovery changed derived facts");
+
+    // Loose smoke gate on the ratio; `report -- recovery` holds the
+    // strict one at full size.
+    let recovery_secs = chaos.recovery_ns as f64 / 1e9;
+    let full_secs = chaos.elapsed.as_secs_f64();
+    assert!(
+        recovery_secs * 2.0 < full_secs,
+        "recovery replay ({recovery_secs:.4}s) should be well under the \
+         full run ({full_secs:.4}s)"
+    );
+
+    let mut group = c.benchmark_group("e15_recovery_latency");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("run", "no_fault"), &w, |b, w| {
+        b.iter(|| run_shard_workload(SHARDS, w).2)
+    });
+    group.bench_with_input(BenchmarkId::new("run", "kill_and_recover"), &w, |b, w| {
+        b.iter(|| run_recovery_workload(SHARDS, w, KILL).good)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -88,6 +88,90 @@ fn main() {
     if args.iter().any(|a| a == "obs") {
         obs_baseline();
     }
+    // Explicit only: the crash-recovery latency baseline (records
+    // BENCH_recovery.json).
+    if args.iter().any(|a| a == "recovery") {
+        recovery_baseline();
+    }
+}
+
+/// E15 baseline: what crash recovery costs relative to rerunning the
+/// workload. Runs the E10 stream clean, then under a chaos plan that
+/// kills one shard mid-answer-stream and crash-recovers it by
+/// journal-slice replay. Records `BENCH_recovery.json` and exits non-zero
+/// if the kill never fired, the chaos run derived different facts, or
+/// recovery replay is less than 10× faster than the full workload — the
+/// whole point of slice replay is paying for one shard's history, not
+/// everyone's.
+fn recovery_baseline() {
+    use crowd4u_bench::{run_recovery_workload, run_shard_workload, ShardWorkload};
+    const SHARDS: usize = 4;
+    const REPS: usize = 3;
+    let w = ShardWorkload::default();
+    // Kill shard 1 midway through its seed stream: it owns 2 of the 8
+    // projects, each contributing `items` seeds + `items` answers, so the
+    // replayed slice is a quarter of one shard's history — small enough
+    // that the ≥10× gate below holds with real margin.
+    let kill = (1usize, w.items as u64 / 2);
+    println!(
+        "\n## E15 — crash-recovery latency ({} projects × {} items, {SHARDS} shards, \
+         kill shard {} after {} applies)\n",
+        w.projects, w.items, kill.0, kill.1
+    );
+
+    let mut clean_best = f64::MAX;
+    let mut good_clean = 0usize;
+    for _ in 0..REPS {
+        let (elapsed, _, good) = run_shard_workload(SHARDS, &w);
+        clean_best = clean_best.min(elapsed.as_secs_f64());
+        good_clean = good;
+    }
+    let mut chaos_best = f64::MAX;
+    let mut recovery_best = f64::MAX;
+    for _ in 0..REPS {
+        let run = run_recovery_workload(SHARDS, &w, kill);
+        assert!(run.recoveries >= 1, "the planned kill never fired");
+        assert_eq!(run.good, good_clean, "recovery changed derived facts");
+        chaos_best = chaos_best.min(run.elapsed.as_secs_f64());
+        recovery_best = recovery_best.min(run.recovery_ns as f64 / 1e9);
+    }
+    let ratio = clean_best / recovery_best;
+
+    let mut t = TablePrinter::new(&["measure", "seconds"]);
+    t.row(vec![
+        "full workload (no fault)".into(),
+        format!("{clean_best:.4}"),
+    ]);
+    t.row(vec![
+        "full workload (kill + recover)".into(),
+        format!("{chaos_best:.4}"),
+    ]);
+    t.row(vec![
+        "recovery replay alone".into(),
+        format!("{recovery_best:.4}"),
+    ]);
+    t.row(vec![
+        "workload / recovery ratio".into(),
+        format!("{ratio:.1}×"),
+    ]);
+    println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e15_recovery_latency\",\n  \"shards\": {SHARDS},\n  \
+         \"projects\": {},\n  \"items\": {},\n  \"reps\": {REPS},\n  \
+         \"kill_shard\": {},\n  \"kill_after_applies\": {},\n  \
+         \"clean_run_s\": {clean_best:.6},\n  \"chaos_run_s\": {chaos_best:.6},\n  \
+         \"recovery_replay_s\": {recovery_best:.6},\n  \"workload_over_recovery\": {ratio:.2},\n  \
+         \"good_facts\": {good_clean}\n}}\n",
+        w.projects, w.items, kill.0, kill.1,
+    );
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("baseline recorded to BENCH_recovery.json");
+    assert!(
+        ratio >= 10.0,
+        "recovery replay must be ≥10× faster than rerunning the workload \
+         (got {ratio:.1}×: replay {recovery_best:.4}s vs workload {clean_best:.4}s)"
+    );
 }
 
 /// E14 baseline: what the PR 8 telemetry layer costs, and whether the

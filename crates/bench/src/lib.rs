@@ -193,6 +193,7 @@ pub fn run_shard_workload_instrumented(
             shards,
             drain_every: w.drain_every,
             mailbox_capacity: 0, // unbounded: E10 measures shard scaling, not admission
+            recovery: false,
         },
         telemetry,
     );
@@ -222,6 +223,81 @@ pub fn run_shard_workload_instrumented(
             .expect("derived");
     }
     (elapsed, total, good)
+}
+
+/// What one chaos run of the E10 workload measured (E15).
+pub struct RecoveryRun {
+    /// Wall-clock for the whole ingest, fault and recovery included.
+    pub elapsed: std::time::Duration,
+    /// Total time spent inside recovery replay (`crowd4u_recovery_ns`).
+    pub recovery_ns: u64,
+    /// Recoveries performed (`crowd4u_recoveries_total`) — the harness
+    /// asserts the planned kill actually fired.
+    pub recoveries: u64,
+    /// Derived `good` facts — must equal the no-fault run's count.
+    pub good: usize,
+}
+
+/// E15: the E10 workload on a chaos runtime whose [`FaultPlan`] kills
+/// `kill.0` after its `kill.1`-th applied event, mid-answer-stream; the
+/// shard is crash-recovered by journal-slice replay and the run completes
+/// normally. The point of the experiment: recovery replays only the dead
+/// shard's slice, so its cost must stay a small fraction of rerunning the
+/// whole workload — `report -- recovery` gates on ≥10×.
+///
+/// [`FaultPlan`]: crowd4u_runtime::recovery::FaultPlan
+pub fn run_recovery_workload(shards: usize, w: &ShardWorkload, kill: (usize, u64)) -> RecoveryRun {
+    use crowd4u_core::error::ProjectId;
+    use crowd4u_runtime::prelude::*;
+    use crowd4u_telemetry::{stage, Registry};
+
+    let telemetry = Registry::new();
+    let (setup, answers) = shard_workload_events(w);
+    let rt = ShardedRuntime::new_chaos_instrumented(
+        RuntimeConfig {
+            shards,
+            drain_every: w.drain_every,
+            mailbox_capacity: 0,
+            recovery: true,
+        },
+        telemetry.clone(),
+        FaultPlan::kill(kill.0, kill.1),
+    );
+    let start = std::time::Instant::now();
+    rt.submit_batch(setup);
+    rt.drain();
+    rt.barrier();
+    rt.submit_batch(answers);
+    rt.drain();
+    rt.barrier();
+    let elapsed = start.elapsed();
+    let owners: Vec<usize> = (0..w.projects)
+        .map(|p| rt.owner_of(ProjectId(p as u64 + 1)))
+        .collect();
+    let run = rt.finish().expect("runtime finish");
+    assert_eq!(run.stats.dropped, 0, "E15 workload must be fully valid");
+    let mut good = 0usize;
+    for (p, &owner) in owners.iter().enumerate() {
+        let project = ProjectId(p as u64 + 1);
+        good += run.platforms[owner]
+            .project(project)
+            .expect("registered")
+            .engine
+            .fact_count("good")
+            .expect("derived");
+    }
+    let snap = telemetry.snapshot();
+    let recovery_ns = snap
+        .histograms
+        .get(&(stage::RECOVERY_SPAN.to_string(), String::new()))
+        .map(|h| h.sum)
+        .unwrap_or(0);
+    RecoveryRun {
+        elapsed,
+        recovery_ns,
+        recoveries: snap.counter_total(stage::RECOVERIES),
+        good,
+    }
 }
 
 /// How concurrent clients reach the sharded runtime in E11.
@@ -318,6 +394,7 @@ pub fn run_gate_workload(
             shards,
             drain_every: w.shape.drain_every,
             mailbox_capacity: answers.len() + 1,
+            recovery: false,
         },
         crowd4u_telemetry::Registry::disabled(),
     );
@@ -533,6 +610,7 @@ pub fn run_multi_project_shard_jobs(
         shards,
         drain_every: 0,
         mailbox_capacity: 0,
+        recovery: false,
     });
     let start = std::time::Instant::now();
     let receivers: Vec<_> = configs
@@ -581,6 +659,7 @@ pub fn run_multi_project_streamed(
         shards,
         drain_every: 0,
         mailbox_capacity: 0,
+        recovery: false,
     });
     let mut merged = crowd4u_scenarios::merge_traces(traces);
     let gate = rt.gate();
@@ -929,6 +1008,7 @@ pub fn run_worker_scale_runtime(
         shards,
         drain_every: 0,
         mailbox_capacity: 4096,
+        recovery: false,
     });
     rt.submit_batch(events);
     // Mailbox order makes the sequencing safe: the project broadcast lands

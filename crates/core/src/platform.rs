@@ -1081,6 +1081,97 @@ impl Crowd4U {
         Ok(base)
     }
 
+    // ---- project migration (the runtime's rebalancing entry point) ----
+
+    /// Detach a project's complete owned state — the [`Project`] itself,
+    /// its tasks and local task-id counter, its relation rows, its
+    /// collaboration monitors and its dirty bit — so another platform
+    /// instance can [`adopt`](Crowd4U::adopt_project) it. Nothing is
+    /// journaled on either side: a migration is invisible in the event
+    /// history, which is what keeps merged journals byte-identical across
+    /// a mid-run rebalance.
+    pub fn extract_project(&mut self, id: ProjectId) -> Result<ProjectSlice, PlatformError> {
+        let project = self
+            .projects
+            .remove(&id)
+            .ok_or(PlatformError::UnknownProject(id))?;
+        let (tasks, next_local) = self.pool.extract_project(id);
+        let mut rows = Vec::with_capacity(tasks.len());
+        for t in &tasks {
+            let eligible = self.relations.eligible_workers(t.id);
+            let interested = self.relations.interested_workers(t.id);
+            let undertaking = self.relations.undertaking_workers(t.id);
+            if !(eligible.is_empty() && interested.is_empty() && undertaking.is_empty()) {
+                self.relations.clear_task(t.id)?;
+                rows.push((t.id, eligible, interested, undertaking));
+            }
+        }
+        let monitor_ids: Vec<TaskId> = self
+            .monitors
+            .keys()
+            .filter(|t| t.project() == id)
+            .copied()
+            .collect();
+        let monitors = monitor_ids
+            .into_iter()
+            .map(|t| {
+                (
+                    t,
+                    self.monitors.remove(&t).expect("key from the scan above"),
+                )
+            })
+            .collect();
+        let dirty = self.dirty.remove(&id);
+        Ok(ProjectSlice {
+            project,
+            tasks,
+            next_local,
+            rows,
+            monitors,
+            dirty,
+        })
+    }
+
+    /// Install a project slice extracted from another platform instance,
+    /// replacing this instance's empty shell of the same project (every
+    /// shard registers every project; only the owner holds tasks). Rows
+    /// are re-inserted eligible-first so the relation store's eligibility
+    /// precondition holds throughout.
+    pub fn adopt_project(&mut self, slice: ProjectSlice) {
+        let ProjectSlice {
+            project,
+            tasks,
+            next_local,
+            rows,
+            monitors,
+            dirty,
+        } = slice;
+        let id = project.id;
+        self.projects.insert(id, project);
+        self.pool.adopt_project(id, tasks, next_local);
+        for (task, eligible, interested, undertaking) in rows {
+            for w in eligible {
+                self.relations
+                    .mark_eligible(w, task)
+                    .expect("adopted eligibility row re-inserts");
+            }
+            for w in interested {
+                self.relations
+                    .express_interest(w, task)
+                    .expect("adopted interest row re-inserts");
+            }
+            for w in undertaking {
+                self.relations
+                    .undertake(w, task)
+                    .expect("adopted undertaking row re-inserts");
+            }
+        }
+        self.monitors.extend(monitors);
+        if dirty {
+            self.dirty.insert(id);
+        }
+    }
+
     // ---- user-facing queries ----
 
     /// Worker's accumulated points across all projects (game aspect).
@@ -1101,6 +1192,41 @@ impl Crowd4U {
             .filter(|t| self.pool.is_active(*t))
             .filter_map(|t| self.pool.get(t).ok())
             .collect()
+    }
+}
+
+/// `(task, eligible, interested, undertaking)` worker membership carried
+/// per task inside a [`ProjectSlice`].
+type TaskWorkerRows = (TaskId, Vec<WorkerId>, Vec<WorkerId>, Vec<WorkerId>);
+
+/// A project's complete owned state, detached from one platform instance
+/// by [`Crowd4U::extract_project`] so another instance can
+/// [`Crowd4U::adopt_project`] it. This is the payload of the sharded
+/// runtime's hot-project migration: the project struct (engine,
+/// leaderboard, eligibility cache), its tasks with their local-id
+/// counter, its relation rows, its collaboration monitors, and whether it
+/// was dirty. The journal is deliberately absent — slices move state, not
+/// history.
+pub struct ProjectSlice {
+    project: Project,
+    tasks: Vec<Task>,
+    next_local: u64,
+    /// `(task, eligible, interested, undertaking)` worker rows, one tuple
+    /// per task that had any.
+    rows: Vec<TaskWorkerRows>,
+    monitors: Vec<(TaskId, CollabMonitor)>,
+    dirty: bool,
+}
+
+impl ProjectSlice {
+    /// Which project this slice carries.
+    pub fn project_id(&self) -> ProjectId {
+        self.project.id
+    }
+
+    /// Number of tasks travelling with the project.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
     }
 }
 

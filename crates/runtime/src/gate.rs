@@ -15,10 +15,17 @@
 //!   ([`IngestGate::submit`]) or typed error ([`IngestGate::try_submit`],
 //!   which hands the event back in [`GateError::Full`]). A rejected event
 //!   is returned to the caller, and no accepted event is ever dropped —
-//!   except when its destination shard thread dies before applying it, in
-//!   which case the shard's mailbox is abandoned (queued events discarded,
-//!   the mailbox closed) so callers fail fast instead of hanging; the
-//!   shard's panic resurfaces from `ShardedRuntime::finish`.
+//!   except when its destination shard thread dies before applying it
+//!   *with recovery disabled*, in which case the shard's mailbox is
+//!   abandoned (queued events discarded, the mailbox closed) so callers
+//!   fail fast with [`GateError::ShardDown`] — scoped to the dead shard,
+//!   healthy shards keep accepting — and the panic resurfaces from
+//!   `ShardedRuntime::finish`. With recovery enabled the mailbox is
+//!   instead *held* ([`GateError::Recovering`] on `try_submit`, a wait on
+//!   blocking `submit`) while the shard respawns and replays its slice;
+//!   queued events are preserved and applied by the rebuilt consumer, so
+//!   nothing is lost. Migrations quiesce a single project the same way
+//!   ([`GateError::Migrating`]).
 //!
 //! # Ordering guarantee (why the stamp happens inside the shard lock)
 //!
@@ -62,17 +69,18 @@
 //! spawns the shard consumers and hands out handles via
 //! [`gate()`](crate::router::ShardedRuntime::gate).
 
+use crate::recovery::ShardLedger;
 use crate::shard::ToShard;
 use crate::workers::WorkerService;
 use crowd4u_core::error::ProjectId;
 use crowd4u_core::events::{EventScope, PlatformEvent};
 use crowd4u_telemetry::{stage, Histogram, TelemetryHandle};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-/// Why a submission did not enter the runtime. Both variants hand the
+/// Why a submission did not enter the runtime. Every variant hands the
 /// event back so the caller can retry, reroute or surface it — the gate
 /// never swallows an event it did not accept.
 #[derive(Debug)]
@@ -89,6 +97,37 @@ pub enum GateError {
         /// The rejected event, handed back for retry.
         event: Box<PlatformEvent>,
     },
+    /// The destination shard's thread died and recovery is disabled —
+    /// the error is scoped to that shard: events owned by healthy
+    /// shards (and worker events, while the coordinator lives) keep
+    /// flowing. The dead shard's panic resurfaces from
+    /// `ShardedRuntime::finish`.
+    ShardDown {
+        /// The shard whose consumer is gone.
+        shard: usize,
+        /// The rejected event, handed back.
+        event: Box<PlatformEvent>,
+    },
+    /// `try_submit` only: the destination shard died and is currently
+    /// rebuilding its slice from the ledger. Retry shortly, or use the
+    /// blocking [`IngestGate::submit`], which waits out the recovery.
+    Recovering {
+        /// The shard being respawned.
+        shard: usize,
+        /// The rejected event, handed back for retry.
+        event: Box<PlatformEvent>,
+    },
+    /// `try_submit` only: admission is briefly held while a project
+    /// migrates between shards (the quiesced project's events, plus
+    /// broadcasts and worker events — they interleave with every
+    /// slice). Retry shortly, or use the blocking
+    /// [`IngestGate::submit`], which waits out the migration.
+    Migrating {
+        /// A project currently being migrated.
+        project: ProjectId,
+        /// The rejected event, handed back for retry.
+        event: Box<PlatformEvent>,
+    },
 }
 
 impl GateError {
@@ -96,7 +135,10 @@ impl GateError {
     pub fn into_event(self) -> PlatformEvent {
         match self {
             GateError::Closed(e) => *e,
-            GateError::Full { event, .. } => *event,
+            GateError::Full { event, .. }
+            | GateError::ShardDown { event, .. }
+            | GateError::Recovering { event, .. }
+            | GateError::Migrating { event, .. } => *event,
         }
     }
 }
@@ -107,6 +149,18 @@ impl std::fmt::Display for GateError {
             GateError::Closed(_) => write!(f, "ingestion gate closed (runtime shut down)"),
             GateError::Full { shard, .. } => {
                 write!(f, "shard {shard} mailbox full (backpressure)")
+            }
+            GateError::ShardDown { shard, .. } => {
+                write!(
+                    f,
+                    "shard {shard} is down (its thread panicked; recovery disabled)"
+                )
+            }
+            GateError::Recovering { shard, .. } => {
+                write!(f, "shard {shard} is recovering (slice replay in progress)")
+            }
+            GateError::Migrating { project, .. } => {
+                write!(f, "admission held while project {project} migrates")
             }
         }
     }
@@ -133,6 +187,16 @@ struct QueueState {
     /// the control plane, and a queued job never eats a data slot.
     data_len: usize,
     closed: bool,
+    /// The consumer thread died unrecoverably (abandoned mailbox while
+    /// the runtime was live). Implies `closed`; scopes the producer
+    /// error to [`GateError::ShardDown`] instead of the runtime-wide
+    /// [`GateError::Closed`].
+    dead: bool,
+    /// The consumer thread died and is rebuilding its slice. New data
+    /// events are held ([`GateError::Recovering`] / blocking wait);
+    /// queued messages are preserved — they are the traffic the
+    /// recovered shard resumes with, still in sequence order.
+    recovering: bool,
     /// True while the shard consumer is parked on `not_empty`; producers
     /// skip the signal entirely when it is not (the common case under
     /// load), keeping the hot submit path to a lock + stamp + push.
@@ -161,6 +225,10 @@ fn lock(q: &ShardQueue) -> MutexGuard<'_, QueueState> {
     q.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The shared state behind every [`IngestGate`] handle and every shard
 /// consumer.
 pub(crate) struct GateCore {
@@ -177,6 +245,24 @@ pub(crate) struct GateCore {
     admit: Histogram,
     /// Mailbox-dwell histogram: enqueue → pop, observed by the consumer.
     dwell: Histogram,
+    /// Per-shard applied-history slots: the replay source for recovery
+    /// and migration, and where `finish()` collects the merged journal.
+    ledger: ShardLedger,
+    /// Routing-table overrides installed by migrations. `owner_of`
+    /// consults this only while `overridden != 0` — the common
+    /// no-migration case stays a pure function of the id.
+    overrides: Mutex<BTreeMap<u64, usize>>,
+    /// Number of projects with a routing override (fast-path guard).
+    overridden: AtomicUsize,
+    /// Projects currently quiesced by an in-flight migration. While any
+    /// hold is active, broadcasts and worker events are held too — they
+    /// interleave with every shard's slice.
+    holds: Mutex<BTreeSet<u64>>,
+    /// Number of active migration holds (fast-path guard, checked inside
+    /// mailbox critical sections so admission cannot race a hold).
+    holding: AtomicUsize,
+    /// Signalled when a migration hold is released.
+    released: Condvar,
 }
 
 impl GateCore {
@@ -191,6 +277,12 @@ impl GateCore {
             service,
             admit: telemetry.histogram(stage::GATE_ADMIT),
             dwell: telemetry.histogram(stage::MAILBOX_DWELL),
+            ledger: ShardLedger::new(shards),
+            overrides: Mutex::new(BTreeMap::new()),
+            overridden: AtomicUsize::new(0),
+            holds: Mutex::new(BTreeSet::new()),
+            holding: AtomicUsize::new(0),
+            released: Condvar::new(),
             // `0` means unbounded (backpressure disabled).
             capacity: if capacity == 0 { usize::MAX } else { capacity },
             queues: (0..shards.max(1))
@@ -205,6 +297,8 @@ impl GateCore {
                         },
                         data_len: 0,
                         closed: false,
+                        dead: false,
+                        recovering: false,
                         consumer_waiting: false,
                         producers_waiting: 0,
                     }),
@@ -213,6 +307,11 @@ impl GateCore {
                 })
                 .collect(),
         }
+    }
+
+    /// The per-shard applied-history ledger.
+    pub(crate) fn ledger(&self) -> &ShardLedger {
+        &self.ledger
     }
 
     pub(crate) fn shards(&self) -> usize {
@@ -229,13 +328,127 @@ impl GateCore {
         self.capacity
     }
 
-    /// The shard owning a project (round-robin over registration order;
-    /// raw/unregistered ids land on the coordinator).
+    /// The shard owning a project: a routing-table override when a
+    /// migration installed one, else round-robin over registration order
+    /// (raw/unregistered ids land on the coordinator). The override map
+    /// is consulted only while at least one override exists, so the
+    /// no-migration fast path stays a pure function of the id.
     pub(crate) fn owner_of(&self, project: ProjectId) -> usize {
+        if self.overridden.load(Ordering::Acquire) != 0 {
+            if let Some(&shard) = lock_plain(&self.overrides).get(&project.0) {
+                return shard;
+            }
+        }
         if project.0 == 0 {
             0
         } else {
             ((project.0 - 1) % self.queues.len() as u64) as usize
+        }
+    }
+
+    /// Flip a project's ownership in the routing table (migration
+    /// commit). Callers must have the project's traffic held — the flip
+    /// itself is atomic but not fenced against in-flight routing.
+    pub(crate) fn set_owner(&self, project: ProjectId, shard: usize) {
+        assert!(shard < self.queues.len(), "owner shard out of range");
+        let mut map = lock_plain(&self.overrides);
+        let fresh = map.insert(project.0, shard).is_none();
+        if fresh {
+            self.overridden.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Are any routing overrides installed? (Recovery uses this to skip
+    /// the cross-slot scan for migrated-in projects.)
+    pub(crate) fn has_overrides(&self) -> bool {
+        self.overridden.load(Ordering::Acquire) != 0
+    }
+
+    /// Quiesce one project's admission (plus broadcasts and worker
+    /// events) for a migration. After this returns, no new event that
+    /// could touch the project's slice can enter any mailbox until
+    /// [`release_migration`](GateCore::release_migration).
+    pub(crate) fn hold_for_migration(&self, project: ProjectId) {
+        {
+            let mut holds = lock_plain(&self.holds);
+            assert!(
+                holds.insert(project.0),
+                "project {project} is already migrating"
+            );
+            self.holding.fetch_add(1, Ordering::Release);
+        }
+        // Fence: every producer checks the hold *inside* a mailbox
+        // critical section, so taking each queue lock once guarantees
+        // any submission that raced past the flag has fully enqueued —
+        // and is therefore covered by the migration's source flush —
+        // while everything after this loop observes the hold.
+        for q in &self.queues {
+            drop(lock(q));
+        }
+    }
+
+    /// Release a migration hold and wake every producer waiting on it.
+    pub(crate) fn release_migration(&self, project: ProjectId) {
+        let mut holds = lock_plain(&self.holds);
+        if holds.remove(&project.0) {
+            self.holding.fetch_sub(1, Ordering::Release);
+        }
+        drop(holds);
+        self.released.notify_all();
+        for q in &self.queues {
+            q.not_full.notify_all();
+        }
+    }
+
+    /// Is `project` currently quiesced? Only meaningful inside a mailbox
+    /// critical section (see [`hold_for_migration`]'s fence).
+    fn project_held(&self, project: u64) -> bool {
+        self.holding.load(Ordering::Acquire) != 0 && lock_plain(&self.holds).contains(&project)
+    }
+
+    /// Park until no migration hold is active (or the gate closes).
+    fn wait_for_release(&self) {
+        let mut holds = lock_plain(&self.holds);
+        while self.holding.load(Ordering::Acquire) != 0 {
+            holds = self
+                .released
+                .wait(holds)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Any project currently held (for typed errors on broadcast/worker
+    /// submissions, which aren't project-scoped themselves).
+    fn held_project(&self) -> ProjectId {
+        ProjectId(lock_plain(&self.holds).iter().next().copied().unwrap_or(0))
+    }
+
+    /// Mark one shard as recovering: its mailbox holds new data events
+    /// (blocking submits park, `try_submit` gets
+    /// [`GateError::Recovering`]) while everything already queued stays
+    /// put, awaiting the rebuilt consumer.
+    pub(crate) fn begin_recovery(&self, shard: usize) {
+        lock(&self.queues[shard]).recovering = true;
+    }
+
+    /// Recovery finished: release held producers; the respawned consumer
+    /// resumes popping the intact mailbox.
+    pub(crate) fn end_recovery(&self, shard: usize) {
+        let q = &self.queues[shard];
+        lock(q).recovering = false;
+        q.not_full.notify_all();
+        q.not_empty.notify_all();
+    }
+
+    /// Park until `shard` leaves recovery (or closes); the caller
+    /// re-validates under its own locks afterwards.
+    fn wait_for_recovery(&self, shard: usize) {
+        let q = &self.queues[shard];
+        let mut s = lock(q);
+        while s.recovering && !s.closed {
+            s.producers_waiting += 1;
+            s = q.not_full.wait(s).unwrap_or_else(PoisonError::into_inner);
+            s.producers_waiting -= 1;
         }
     }
 
@@ -251,7 +464,7 @@ impl GateCore {
     fn route(&self, event: PlatformEvent, wait: bool) -> Result<u64, GateError> {
         let _span = self.admit.span();
         match event.scope() {
-            EventScope::Project(p) => self.route_project(self.owner_of(p), event, wait),
+            EventScope::Project(p) => self.route_project(p, event, wait),
             EventScope::Worker => self.route_worker(event, wait),
             EventScope::Global => self.route_global(event, wait),
         }
@@ -270,8 +483,41 @@ impl GateCore {
         let q = &self.queues[0];
         let mut s = lock(q);
         loop {
+            if s.dead {
+                return Err(GateError::ShardDown {
+                    shard: 0,
+                    event: Box::new(event),
+                });
+            }
             if s.closed {
                 return Err(GateError::Closed(Box::new(event)));
+            }
+            // Worker events interleave with every shard's slice, so any
+            // active migration hold quiesces them too (checked inside the
+            // critical section — see `hold_for_migration`'s fence).
+            if self.holding.load(Ordering::Acquire) != 0 {
+                drop(s);
+                if !wait {
+                    return Err(GateError::Migrating {
+                        project: self.held_project(),
+                        event: Box::new(event),
+                    });
+                }
+                self.wait_for_release();
+                s = lock(q);
+                continue;
+            }
+            if s.recovering {
+                if !wait {
+                    return Err(GateError::Recovering {
+                        shard: 0,
+                        event: Box::new(event),
+                    });
+                }
+                s.producers_waiting += 1;
+                s = q.not_full.wait(s).unwrap_or_else(PoisonError::into_inner);
+                s.producers_waiting -= 1;
+                continue;
             }
             if s.data_len < self.capacity {
                 break;
@@ -310,59 +556,133 @@ impl GateCore {
     }
 
     /// Project-scoped delivery: one mailbox, `record: true` (the owner is
-    /// the unique recorder).
+    /// the unique recorder). The owner is re-resolved after any migration
+    /// wait — the hold exists precisely because ownership may flip.
     fn route_project(
         &self,
-        shard: usize,
+        project: ProjectId,
         event: PlatformEvent,
         wait: bool,
     ) -> Result<u64, GateError> {
-        let q = &self.queues[shard];
-        let mut s = lock(q);
-        loop {
-            if s.closed {
-                return Err(GateError::Closed(Box::new(event)));
+        'resolve: loop {
+            let shard = self.owner_of(project);
+            let q = &self.queues[shard];
+            let mut s = lock(q);
+            loop {
+                if s.dead {
+                    return Err(GateError::ShardDown {
+                        shard,
+                        event: Box::new(event),
+                    });
+                }
+                if s.closed {
+                    return Err(GateError::Closed(Box::new(event)));
+                }
+                // Hold check inside the critical section: a submission
+                // that misses the flag completes before the migration's
+                // fence and is therefore swept up by its source flush.
+                if self.project_held(project.0) {
+                    drop(s);
+                    if !wait {
+                        return Err(GateError::Migrating {
+                            project,
+                            event: Box::new(event),
+                        });
+                    }
+                    self.wait_for_release();
+                    continue 'resolve;
+                }
+                if s.recovering {
+                    if !wait {
+                        return Err(GateError::Recovering {
+                            shard,
+                            event: Box::new(event),
+                        });
+                    }
+                    s.producers_waiting += 1;
+                    s = q.not_full.wait(s).unwrap_or_else(PoisonError::into_inner);
+                    s.producers_waiting -= 1;
+                    continue;
+                }
+                if s.data_len < self.capacity {
+                    break;
+                }
+                if !wait {
+                    return Err(GateError::Full {
+                        shard,
+                        event: Box::new(event),
+                    });
+                }
+                s.producers_waiting += 1;
+                s = q.not_full.wait(s).unwrap_or_else(PoisonError::into_inner);
+                s.producers_waiting -= 1;
             }
-            if s.data_len < self.capacity {
-                break;
-            }
-            if !wait {
-                return Err(GateError::Full {
-                    shard,
-                    event: Box::new(event),
-                });
-            }
-            s.producers_waiting += 1;
-            s = q.not_full.wait(s).unwrap_or_else(PoisonError::into_inner);
-            s.producers_waiting -= 1;
+            // Still holding the lock: nothing can interleave between the
+            // stamp and the push, so this mailbox stays in sequence order.
+            let seq = self.stamper.fetch_add(1, Ordering::Relaxed);
+            let at = self.dwell.stamp();
+            s.push_data(
+                ToShard::Apply {
+                    seq,
+                    event,
+                    record: true,
+                },
+                at,
+            );
+            s.notify_consumer(q);
+            return Ok(seq);
         }
-        // Still holding the lock: nothing can interleave between the stamp
-        // and the push, so this mailbox stays in sequence order.
-        let seq = self.stamper.fetch_add(1, Ordering::Relaxed);
-        let at = self.dwell.stamp();
-        s.push_data(
-            ToShard::Apply {
-                seq,
-                event,
-                record: true,
-            },
-            at,
-        );
-        s.notify_consumer(q);
-        Ok(seq)
     }
 
     /// Global-scope delivery: every mailbox, under every shard lock
     /// (ascending order), all-or-nothing; the coordinator (shard 0) is the
-    /// unique recorder.
+    /// unique recorder. Dead shards (thread gone, recovery disabled) are
+    /// skipped — their slice is already lost, and stalling every healthy
+    /// shard's broadcasts on a corpse would globalise a scoped failure —
+    /// unless the coordinator itself died, which leaves the broadcast with
+    /// no recorder and must error.
     fn route_global(&self, event: PlatformEvent, wait: bool) -> Result<u64, GateError> {
         loop {
             let mut guards: Vec<MutexGuard<'_, QueueState>> =
                 self.queues.iter().map(lock).collect();
-            if guards.iter().any(|g| g.closed) {
+            if guards[0].dead {
+                return Err(GateError::ShardDown {
+                    shard: 0,
+                    event: Box::new(event),
+                });
+            }
+            if guards.iter().any(|g| g.closed && !g.dead) {
                 return Err(GateError::Closed(Box::new(event)));
             }
-            if let Some(full) = guards.iter().position(|g| g.data_len >= self.capacity) {
+            // Broadcasts interleave with every slice: any migration hold
+            // quiesces them (checked under all locks, same fence argument
+            // as the project route).
+            if self.holding.load(Ordering::Acquire) != 0 {
+                drop(guards);
+                if !wait {
+                    return Err(GateError::Migrating {
+                        project: self.held_project(),
+                        event: Box::new(event),
+                    });
+                }
+                self.wait_for_release();
+                continue;
+            }
+            if let Some(r) = guards.iter().position(|g| g.recovering) {
+                drop(guards);
+                if !wait {
+                    return Err(GateError::Recovering {
+                        shard: r,
+                        event: Box::new(event),
+                    });
+                }
+                self.wait_for_recovery(r);
+                continue;
+            }
+            if let Some(full) = guards
+                .iter()
+                .position(|g| !g.dead && g.data_len >= self.capacity)
+            {
                 // Drop every lock before waiting so no consumer is stalled
                 // while we sleep; re-validate from scratch afterwards.
                 drop(guards);
@@ -372,22 +692,24 @@ impl GateCore {
                         event: Box::new(event),
                     });
                 }
-                if !self.wait_for_room(full) {
-                    return Err(GateError::Closed(Box::new(event)));
-                }
+                // On a close (or death) of the full shard, re-validate from
+                // the top: a genuine shutdown hits the closed check, a dead
+                // shard is skipped by the dead check.
+                self.wait_for_room(full);
                 continue;
             }
+            let live: Vec<usize> = (0..guards.len()).filter(|&i| !guards[i].dead).collect();
             let seq = self.stamper.fetch_add(1, Ordering::Relaxed);
             let at = self.dwell.stamp();
-            let last = guards.len() - 1;
+            let last = *live.last().expect("the coordinator is live");
             let mut event = Some(event);
-            for (i, g) in guards.iter_mut().enumerate() {
+            for &i in &live {
                 let ev = if i == last {
                     event.take().expect("event consumed once")
                 } else {
                     event.as_ref().expect("event alive").clone()
                 };
-                g.push_data(
+                guards[i].push_data(
                     ToShard::Apply {
                         seq,
                         event: ev,
@@ -395,7 +717,7 @@ impl GateCore {
                     },
                     at,
                 );
-                g.notify_consumer(&self.queues[i]);
+                guards[i].notify_consumer(&self.queues[i]);
             }
             return Ok(seq);
         }
@@ -490,14 +812,20 @@ impl GateCore {
 
     /// Consumer-death guard (see `shard_main`): close one mailbox and drop
     /// everything still queued. Producers blocked on the full mailbox wake
-    /// to [`GateError::Closed`], and reply `Sender`s queued for the dead
-    /// shard are dropped so their `Receiver`s fail fast instead of waiting
-    /// on a reply that can never come. On a normal shard exit the mailbox
-    /// is already closed and drained, so this is a no-op.
+    /// to [`GateError::ShardDown`] — scoped to this shard, so traffic for
+    /// healthy shards keeps flowing — and reply `Sender`s queued for the
+    /// dead shard are dropped so their `Receiver`s fail fast instead of
+    /// waiting on a reply that can never come. On a normal shard exit the
+    /// mailbox is already closed and drained, so this is a no-op (in
+    /// particular it does *not* mark an orderly-shutdown shard dead).
     pub(crate) fn abandon(&self, shard: usize) {
         let q = &self.queues[shard];
         let mut s = lock(q);
+        if !s.closed {
+            s.dead = true;
+        }
         s.closed = true;
+        s.recovering = false;
         s.queue.clear();
         s.data_len = 0;
         drop(s);
@@ -810,19 +1138,65 @@ mod tests {
     }
 
     #[test]
-    fn abandoned_mailbox_wakes_blocked_producers_with_closed() {
+    fn abandoned_mailbox_wakes_blocked_producers_with_shard_down() {
         let (gate, core) = gate(1, 1);
         gate.submit(seed(1, "fill")).unwrap();
         let g = gate.clone();
         let blocked = std::thread::spawn(move || g.submit(seed(1, "blocked")));
         // Let the producer park on the full mailbox (benign race: if the
-        // abandon lands first, submit sees `closed` and errors directly).
+        // abandon lands first, submit sees `dead` and errors directly).
         std::thread::sleep(std::time::Duration::from_millis(50));
         core.abandon(0);
         let err = blocked.join().unwrap().unwrap_err();
-        assert!(matches!(err, GateError::Closed(_)));
+        assert!(
+            matches!(err, GateError::ShardDown { shard: 0, .. }),
+            "abandoning a live mailbox scopes the error to the dead shard, got {err:?}"
+        );
         // The queued event was dropped with the mailbox.
         assert!(core.recv(0).is_none());
+    }
+
+    #[test]
+    fn routing_overrides_redirect_owner_of() {
+        let (gate, core) = gate(4, 0);
+        assert_eq!(gate.owner_of(ProjectId(5)), 0); // (5-1) % 4
+        core.set_owner(ProjectId(5), 3);
+        assert_eq!(gate.owner_of(ProjectId(5)), 3);
+        // Other projects keep the round-robin mapping.
+        assert_eq!(gate.owner_of(ProjectId(6)), 1);
+        gate.submit(seed(5, "migrated")).unwrap();
+        assert_eq!(gate.queued(3), 1);
+        assert_eq!(gate.queued(0), 0);
+    }
+
+    #[test]
+    fn migration_hold_parks_held_project_and_broadcasts_only() {
+        let (gate, core) = gate(2, 0);
+        core.hold_for_migration(ProjectId(1));
+        // try_submit on the held project (owner shard 0) and on broadcasts
+        // reports Migrating; an unrelated project keeps flowing.
+        let err = gate.try_submit(seed(1, "held")).unwrap_err();
+        assert!(matches!(
+            err,
+            GateError::Migrating {
+                project: ProjectId(1),
+                ..
+            }
+        ));
+        let err = gate.try_submit(clock(9)).unwrap_err();
+        assert!(matches!(err, GateError::Migrating { .. }));
+        let err = gate.try_submit(worker(7)).unwrap_err();
+        assert!(matches!(err, GateError::Migrating { .. }));
+        gate.try_submit(seed(2, "flows")).unwrap();
+        // A blocking submit parks until the release, then lands on the
+        // *new* owner installed while it waited.
+        let g = gate.clone();
+        let parked = std::thread::spawn(move || g.submit(seed(1, "after")));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        core.set_owner(ProjectId(1), 1);
+        core.release_migration(ProjectId(1));
+        parked.join().unwrap().unwrap();
+        assert_eq!(gate.queued(1), 2); // "flows" + re-routed "after"
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //!     shards: 2,
 //!     drain_every: 0,     // coordinated mode: drains only at barriers
 //!     mailbox_capacity: 64,
+//!     recovery: false,    // shard panics propagate (set true to replay)
 //! });
 //!
 //! // Register a worker (coordinator-owned, replicated on demand) and four
@@ -103,6 +104,23 @@
 //! assert_eq!(replayed.points_of(WorkerId(1)), 4);
 //! ```
 //!
+//! ## Crash recovery, migration and chaos
+//!
+//! With `RuntimeConfig::recovery` on, a shard thread that panics is
+//! respawned in place: its mailbox is held (blocking submitters park;
+//! [`gate::GateError::Recovering`] on `try_submit`), its slice is rebuilt
+//! by replaying the runtime-owned [ledger](recovery) — project events it
+//! owns, broadcasts, and the worker feed re-interleaved at their exact
+//! sequence positions — and held traffic then resumes, with the merged
+//! journal byte-identical to a run where the failure never happened
+//! (`tests/recovery_equivalence.rs` proptests this). Projects can also be
+//! rebalanced while the runtime runs:
+//! [`ShardedRuntime::migrate_project`] quiesces one project, replays its
+//! slice into another shard, and flips the routing table.
+//! Deterministic crash schedules come from [`recovery::FaultPlan`]
+//! (`ShardedRuntime::new_chaos`, or the `FAULT_PLAN` environment
+//! variable).
+//!
 //! ## Scenario streaming
 //!
 //! [`scenario::run_scenarios`] runs the §2.5 demo workloads **through the
@@ -116,18 +134,21 @@
 //! guide.
 
 pub mod gate;
+pub mod recovery;
 pub mod router;
 pub mod scenario;
 pub mod shard;
 pub mod workers;
 
 pub use gate::{GateError, IngestGate};
+pub use recovery::FaultPlan;
 pub use router::{RunReport, RuntimeConfig, ShardedRuntime};
 pub use shard::ShardStats;
 pub use workers::WorkerService;
 
 pub mod prelude {
     pub use crate::gate::{GateError, IngestGate};
+    pub use crate::recovery::FaultPlan;
     pub use crate::router::{RunReport, RuntimeConfig, ShardedRuntime};
     pub use crate::scenario::{run_mixed, run_scenarios, stream_traces};
     pub use crate::shard::ShardStats;

@@ -1,0 +1,362 @@
+//! Crash recovery: the shared apply ledger, deterministic fault
+//! injection, and the journal-slice replay that rebuilds a dead shard's
+//! platform (and powers hot-project migration).
+//!
+//! # Why recovery is replay
+//!
+//! Everything a shard's platform slice *is* was produced by applying a
+//! prefix of the global event stream: its owned projects' events, every
+//! broadcast, and (replicas) the worker deltas interleaved at their
+//! sequence positions. The runtime therefore keeps each shard's applied
+//! stream in a shared per-shard ledger — outside the shard thread, so a
+//! panic cannot take it down — and a restart is nothing more than
+//! replaying that ledger slice onto a fresh base platform:
+//!
+//! * **project + broadcast entries** come from the dead shard's own
+//!   ledger slot (broadcast copies are ledgered even on shards that
+//!   don't record them, because the coordinator may not have applied the
+//!   broadcast yet when a replica dies);
+//! * **worker deltas** are re-pulled from the
+//!   [`WorkerService`](crate::workers::WorkerService) — compacted
+//!   snapshot prefix plus resident deltas — and re-interleaved at
+//!   exactly the sequence positions the live shard installed them,
+//!   **up to the dead shard's last reported cursor**. Stopping at the
+//!   old cursor matters: the service log may already contain deltas
+//!   stamped *after* events still waiting in the mailbox, and
+//!   installing those early would change how the pending events apply.
+//! * entries for projects the routing table has since moved elsewhere
+//!   are filtered out (the rebuilt shard keeps only the shell every
+//!   platform holds), and entries for projects migrated *in* are pulled
+//!   from the previous owners' slots.
+//!
+//! The mailbox itself is left intact while the shard recovers — queued
+//! events are part of the *future*, not the slice — so held traffic
+//! resumes in the exact order it was admitted and the merged journal is
+//! byte-identical to a run where the failure never happened.
+//!
+//! # Deterministic chaos
+//!
+//! [`FaultPlan`] injects crashes at exact points: *kill shard S after
+//! its k-th applied event*. The panic fires after the k-th recorded
+//! apply is already ledgered, so the injection lands on a clean
+//! boundary and the equivalence proptests can assert byte-identity
+//! between faulted and fault-free runs. Plans are plain data derived
+//! from the test's proptest seed (`PROPTEST_SEED`), or from the
+//! `FAULT_PLAN` environment variable (`"shard:after[,shard:after...]"`)
+//! for CI chaos replays.
+
+use crate::shard::{SeqKey, ShardStats};
+use crowd4u_core::events::{EventScope, PlatformEvent, DRAIN_KIND};
+use crowd4u_core::platform::Crowd4U;
+use crowd4u_crowd::profile::WorkerProfile;
+use crowd4u_storage::journal::JournalEntry;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// One applied message in a shard's history: its sort key, the encoded
+/// journal entry, and whether this shard is the event's unique recorder
+/// (broadcast copies on replica shards are ledgered but not recorded).
+#[derive(Debug, Clone)]
+pub(crate) struct LedgerEntry {
+    pub key: SeqKey,
+    pub entry: JournalEntry,
+    pub recorded: bool,
+}
+
+/// One shard's applied history and counters, owned by the runtime (not
+/// the shard thread) so they survive a shard death.
+#[derive(Debug, Default)]
+pub(crate) struct LedgerSlot {
+    /// Every applied message in apply order (keys strictly increase).
+    pub entries: Vec<LedgerEntry>,
+    /// Monotonic across shard incarnations — also what a [`FaultPlan`]
+    /// kill point counts, so an injected fault cannot re-fire after the
+    /// recovery it caused.
+    pub stats: ShardStats,
+    /// Streaming-mode auto-drain phase, persisted so a recovered shard
+    /// places its next auto-drain exactly where the dead one would have.
+    pub since_drain: usize,
+}
+
+/// The per-shard apply ledger: the replay source of truth for recovery,
+/// migration slices, and the runtime's merged journal.
+#[derive(Debug)]
+pub(crate) struct ShardLedger {
+    slots: Vec<Mutex<LedgerSlot>>,
+}
+
+impl ShardLedger {
+    pub(crate) fn new(shards: usize) -> ShardLedger {
+        ShardLedger {
+            slots: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    pub(crate) fn slot(&self, shard: usize) -> MutexGuard<'_, LedgerSlot> {
+        self.slots[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn stats(&self, shard: usize) -> ShardStats {
+        self.slot(shard).stats
+    }
+
+    /// A clone of one shard's applied history (recovery + migration read
+    /// path; the slot stays in place for the live shard to append to).
+    pub(crate) fn entries(&self, shard: usize) -> Vec<LedgerEntry> {
+        self.slot(shard).entries.clone()
+    }
+
+    /// The recorded journal stream of one shard, for the merged journal.
+    pub(crate) fn recorded_stream(&self, shard: usize) -> Vec<(SeqKey, JournalEntry)> {
+        self.slot(shard)
+            .entries
+            .iter()
+            .filter(|e| e.recorded)
+            .map(|e| (e.key, e.entry.clone()))
+            .collect()
+    }
+}
+
+/// A deterministic crash schedule: kill shard *S* after its *k*-th
+/// applied (recorded) event. Plans are plain data — derive them from a
+/// proptest seed, build them with [`FaultPlan::kill`], or parse them
+/// from the `FAULT_PLAN` environment variable — and the injected panic
+/// always fires at the same event boundary, which is what makes chaos
+/// runs replayable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    kills: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// No injected faults (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Kill `shard` right after its `after_applied`-th applied event.
+    pub fn kill(shard: usize, after_applied: u64) -> FaultPlan {
+        FaultPlan::none().and_kill(shard, after_applied)
+    }
+
+    /// Add another kill point to the plan.
+    pub fn and_kill(mut self, shard: usize, after_applied: u64) -> FaultPlan {
+        if after_applied > 0 {
+            self.kills.push((shard, after_applied));
+        }
+        self
+    }
+
+    /// Parse the `FAULT_PLAN` environment variable
+    /// (`"shard:after[,shard:after...]"`, e.g. `FAULT_PLAN=1:5,0:9`).
+    /// Unset, empty or malformed pairs yield an empty plan.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("FAULT_PLAN") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => FaultPlan::none(),
+        }
+    }
+
+    /// Parse a `"shard:after[,shard:after...]"` spec (the `FAULT_PLAN`
+    /// format); malformed pairs are ignored.
+    pub fn parse(spec: &str) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for pair in spec.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            if let Some((shard, after)) = pair.split_once(':') {
+                if let (Ok(shard), Ok(after)) =
+                    (shard.trim().parse::<usize>(), after.trim().parse::<u64>())
+                {
+                    plan = plan.and_kill(shard, after);
+                }
+            }
+        }
+        plan
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// Does the plan fire for `shard` at exactly `applied` applied
+    /// events? Applied counts are monotonic across recoveries, so a kill
+    /// point fires at most once.
+    pub(crate) fn fires(&self, shard: usize, applied: u64) -> bool {
+        self.kills.iter().any(|&(s, k)| s == shard && k == applied)
+    }
+}
+
+/// The worker-registration history a rebuilding shard re-syncs from —
+/// a point-in-time view of the [`WorkerService`](crate::workers) state:
+/// an optional compacted prefix (everything folded below the truncation
+/// point) and the resident delta suffix.
+pub(crate) struct WorkerFeed {
+    /// Compacted prefix: `(profiles, events_covered, last_covered_seq)`.
+    pub prefix: Option<(Vec<Arc<WorkerProfile>>, usize, u64)>,
+    /// Resident log entries from `base` upward, as `(seq, profile)`.
+    pub deltas: Vec<(u64, Arc<WorkerProfile>)>,
+    /// Logical index of `deltas[0]` (entries below it were truncated and
+    /// live only in the prefix).
+    pub base: usize,
+}
+
+/// Is the snapshot fast-forward path enabled for recovery replays?
+/// On by default; `RECOVERY_SNAPSHOT=0|off|false|no` forces delta-only
+/// rebuilds (which then require the delta log to still be complete).
+pub(crate) fn snapshot_allowed() -> bool {
+    !matches!(
+        std::env::var("RECOVERY_SNAPSHOT").as_deref(),
+        Ok("0") | Ok("off") | Ok("false") | Ok("no")
+    )
+}
+
+/// Replay one shard slice — ledger entries plus (for worker-service
+/// consumers) the re-interleaved worker feed up to `upto` installed
+/// registrations — onto a fresh `platform`. Returns the rebuilt
+/// platform and the final worker-log cursor.
+///
+/// `feed: None` is the coordinator shape: its worker events are ledger
+/// entries, there is nothing to re-interleave. With a feed, deltas are
+/// installed before each entry exactly as the live shard's
+/// `sync_below_seq` did — every delta stamped below the entry's
+/// sequence number, capped at `upto` (the dead shard's last reported
+/// cursor, or the full log for a migration slice).
+pub(crate) fn replay_slice(
+    mut platform: Crowd4U,
+    entries: &[LedgerEntry],
+    feed: Option<(&WorkerFeed, usize)>,
+    allow_snapshot: bool,
+) -> (Crowd4U, usize) {
+    let mut cursor = 0usize;
+    let mut delta_at = 0usize; // index into feed.deltas
+    if let Some((feed, upto)) = feed {
+        // Fast-forward through the compacted prefix when it fits below
+        // both the target cursor and the first entry's sequence number
+        // (the platform is fresh here by construction, the other half of
+        // `install_worker_snapshot`'s precondition).
+        if let Some((profiles, covered, covered_seq)) = &feed.prefix {
+            let first_seq = entries.first().map(|e| e.key.0);
+            if allow_snapshot
+                && *covered > 0
+                && *covered <= upto
+                && first_seq.is_none_or(|s| *covered_seq < s)
+            {
+                platform.install_worker_snapshot(
+                    profiles.iter().map(|p| (**p).clone()),
+                    *covered as u64,
+                );
+                cursor = *covered;
+            }
+        }
+        assert!(
+            cursor >= feed.base,
+            "recovery replay needs worker-log entries below the truncation \
+             point (cursor {cursor} < base {}); re-enable RECOVERY_SNAPSHOT \
+             or raise WORKER_SNAPSHOT_EVERY",
+            feed.base
+        );
+        delta_at = cursor - feed.base;
+    }
+    for e in entries {
+        if let Some((feed, upto)) = feed {
+            while cursor < upto && delta_at < feed.deltas.len() && feed.deltas[delta_at].0 < e.key.0
+            {
+                platform.install_worker_delta((*feed.deltas[delta_at].1).clone());
+                delta_at += 1;
+                cursor += 1;
+            }
+        }
+        if e.entry.kind == DRAIN_KIND {
+            platform
+                .drain_events()
+                .expect("ledgered drain must replay — it applied cleanly live");
+        } else {
+            let event = PlatformEvent::decode(&e.entry)
+                .expect("ledgered entry must decode — it was encoded from a live event");
+            platform
+                .apply_event(event)
+                .expect("ledgered event must re-apply — it applied cleanly live");
+        }
+    }
+    if let Some((feed, upto)) = feed {
+        while cursor < upto && delta_at < feed.deltas.len() {
+            platform.install_worker_delta((*feed.deltas[delta_at].1).clone());
+            delta_at += 1;
+            cursor += 1;
+        }
+    }
+    (platform, cursor)
+}
+
+/// Filter predicate for rebuilding `shard`'s slice from ledger entries:
+/// keep drains and broadcasts, keep worker events (only the coordinator
+/// ledgers those), and keep project events owned by `shard` under the
+/// *current* routing table `owner_of`.
+pub(crate) fn owned_by(
+    entry: &LedgerEntry,
+    shard: usize,
+    owner_of: &impl Fn(crowd4u_core::error::ProjectId) -> usize,
+) -> bool {
+    if entry.entry.kind == DRAIN_KIND {
+        return true;
+    }
+    match PlatformEvent::decode(&entry.entry) {
+        Ok(event) => match event.scope() {
+            EventScope::Global => true,
+            EventScope::Worker => shard == 0,
+            EventScope::Project(p) => owner_of(p) == shard,
+        },
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_parse_and_fire_exactly() {
+        let plan = FaultPlan::parse("1:5, 0:9,junk,7,:3,2:");
+        assert_eq!(plan, FaultPlan::kill(1, 5).and_kill(0, 9));
+        assert!(plan.fires(1, 5));
+        assert!(!plan.fires(1, 6));
+        assert!(!plan.fires(2, 5));
+        assert!(plan.fires(0, 9));
+        assert!(FaultPlan::parse("").is_empty());
+        // A zero kill point would fire before any event; it is dropped.
+        assert!(FaultPlan::kill(3, 0).is_empty());
+    }
+
+    #[test]
+    fn ledger_slots_filter_recorded_streams() {
+        let ledger = ShardLedger::new(2);
+        {
+            let mut slot = ledger.slot(1);
+            slot.entries.push(LedgerEntry {
+                key: (3, 0),
+                entry: JournalEntry::new("clock", vec![7i64.into()]),
+                recorded: false,
+            });
+            slot.entries.push(LedgerEntry {
+                key: (4, 0),
+                entry: JournalEntry::new("seed", vec![2i64.into()]),
+                recorded: true,
+            });
+            slot.stats.applied = 1;
+        }
+        let stream = ledger.recorded_stream(1);
+        assert_eq!(stream.len(), 1);
+        assert_eq!(stream[0].0, (4, 0));
+        assert_eq!(ledger.stats(1).applied, 1);
+        assert_eq!(ledger.entries(1).len(), 2);
+        assert!(ledger.recorded_stream(0).is_empty());
+    }
+}

@@ -10,12 +10,13 @@
 //! unchanged (and no longer needs `&mut`).
 
 use crate::gate::{GateCore, IngestGate};
-use crate::shard::{shard_main, SeqKey, ShardStats, ToShard};
+use crate::recovery::{replay_slice, snapshot_allowed, FaultPlan, LedgerEntry};
+use crate::shard::{shard_main, SeqKey, ShardCtx, ShardStats, ToShard};
 use crowd4u_core::error::{PlatformError, ProjectId};
-use crowd4u_core::events::PlatformEvent;
+use crowd4u_core::events::{EventScope, PlatformEvent, DRAIN_KIND};
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_storage::journal::EventJournal;
-use crowd4u_telemetry::{MetricsSnapshot, Registry};
+use crowd4u_telemetry::{stage, MetricsSnapshot, Registry};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,6 +40,15 @@ pub struct RuntimeConfig {
     /// flushes) are always exempt, so a full mailbox cannot wedge the
     /// barrier that would drain it.
     pub mailbox_capacity: usize,
+    /// Restart a shard whose thread panics by replaying its ledger slice
+    /// (see `crate::recovery`), instead of abandoning its mailbox and
+    /// resurfacing the panic from [`ShardedRuntime::finish`]. Off by
+    /// default: recovery deliberately swallows the panic, which is the
+    /// wrong default while a panic usually means a bug — and the message
+    /// being applied when a *genuine* mid-apply panic fires is lost (it
+    /// was popped but never ledgered). Injected [`FaultPlan`] kills fire
+    /// on ledgered boundaries, so chaos runs lose nothing.
+    pub recovery: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -47,6 +57,7 @@ impl Default for RuntimeConfig {
             shards: shards_from_env(4),
             drain_every: 0,
             mailbox_capacity: 1024,
+            recovery: false,
         }
     }
 }
@@ -98,6 +109,10 @@ pub struct ShardedRuntime {
     handles: Vec<JoinHandle<()>>,
     drain_every: usize,
     telemetry: Registry,
+    /// The per-shard platform builder (telemetry pre-wired) — the replay
+    /// base migrations rebuild slices against. Shard recoveries hold
+    /// their own clone inside the shard context.
+    base: Arc<dyn Fn(usize) -> Crowd4U + Send + Sync>,
 }
 
 impl ShardedRuntime {
@@ -109,13 +124,17 @@ impl ShardedRuntime {
     /// Spawn the runtime with configured platform slices. The builder runs
     /// once per shard — use it to install a controller algorithm or retry
     /// budget on every slice (configuration is not journaled, so replay
-    /// bases must be built the same way).
+    /// bases must be built the same way; recovery and migration re-run
+    /// the builder, which is why it must be `Send + Sync`).
     ///
     /// Telemetry comes from the environment (the `TELEMETRY` variable; see
     /// [`Registry::from_env`]) — use
     /// [`new_instrumented_with`](Self::new_instrumented_with) to inject a
     /// registry explicitly.
-    pub fn new_with(config: RuntimeConfig, base: impl Fn(usize) -> Crowd4U) -> ShardedRuntime {
+    pub fn new_with(
+        config: RuntimeConfig,
+        base: impl Fn(usize) -> Crowd4U + Send + Sync + 'static,
+    ) -> ShardedRuntime {
         ShardedRuntime::new_instrumented_with(config, Registry::from_env(), base)
     }
 
@@ -134,7 +153,37 @@ impl ShardedRuntime {
     pub fn new_instrumented_with(
         config: RuntimeConfig,
         telemetry: Registry,
-        base: impl Fn(usize) -> Crowd4U,
+        base: impl Fn(usize) -> Crowd4U + Send + Sync + 'static,
+    ) -> ShardedRuntime {
+        ShardedRuntime::spawn(config, telemetry, Arc::new(base), FaultPlan::from_env())
+    }
+
+    /// Spawn the runtime with an explicit [`FaultPlan`] — the deterministic
+    /// chaos entry point. The default constructors read the plan from the
+    /// `FAULT_PLAN` environment variable instead (usually empty). Pair
+    /// with `config.recovery = true` to exercise crash recovery; with
+    /// recovery off an injected kill behaves like any shard panic.
+    pub fn new_chaos(config: RuntimeConfig, faults: FaultPlan) -> ShardedRuntime {
+        ShardedRuntime::new_chaos_instrumented(config, Registry::from_env(), faults)
+    }
+
+    /// [`new_chaos`](Self::new_chaos) with an explicit telemetry registry —
+    /// the recovery-latency harness (`report -- recovery`) scrapes the
+    /// `crowd4u_recoveries_total` / `crowd4u_recovery_ns` cells from it
+    /// after the run.
+    pub fn new_chaos_instrumented(
+        config: RuntimeConfig,
+        telemetry: Registry,
+        faults: FaultPlan,
+    ) -> ShardedRuntime {
+        ShardedRuntime::spawn(config, telemetry, Arc::new(|_| Crowd4U::new()), faults)
+    }
+
+    fn spawn(
+        config: RuntimeConfig,
+        telemetry: Registry,
+        base: Arc<dyn Fn(usize) -> Crowd4U + Send + Sync>,
+        faults: FaultPlan,
     ) -> ShardedRuntime {
         let shards = config.shards.max(1);
         let handle = telemetry.handle();
@@ -150,16 +199,31 @@ impl ShardedRuntime {
             service,
             &handle,
         ));
+        // Wrap the builder so every platform it produces — initial spawn,
+        // recovery rebuild, migration replay — carries the telemetry.
+        let base: Arc<dyn Fn(usize) -> Crowd4U + Send + Sync> = {
+            let th = handle.clone();
+            Arc::new(move |i| {
+                let mut p = base(i);
+                p.set_telemetry(&th);
+                p
+            })
+        };
+        let faults = Arc::new(faults);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let mut platform = base(i);
-            platform.set_telemetry(&handle);
-            let drain_every = config.drain_every;
-            let consumer = Arc::clone(&core);
-            let shard_handle = handle.clone();
+            let ctx = ShardCtx {
+                gate: Arc::clone(&core),
+                shard: i,
+                drain_every: config.drain_every,
+                telemetry: handle.clone(),
+                base: Arc::clone(&base),
+                recovery: config.recovery,
+                faults: Arc::clone(&faults),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("crowd4u-shard-{i}"))
-                .spawn(move || shard_main(consumer, i, platform, drain_every, shard_handle))
+                .spawn(move || shard_main(ctx))
                 .expect("spawn shard thread");
             handles.push(handle);
         }
@@ -168,6 +232,7 @@ impl ShardedRuntime {
             handles,
             drain_every: config.drain_every,
             telemetry,
+            base,
         }
     }
 
@@ -284,6 +349,107 @@ impl ShardedRuntime {
         total
     }
 
+    /// Wait until one shard has processed everything already in its
+    /// mailbox (the single-shard [`barrier`](Self::barrier)).
+    fn barrier_one(&self, shard: usize) -> ShardStats {
+        let (reply_tx, reply_rx) = channel();
+        self.push_control(shard, ToShard::Flush(reply_tx));
+        reply_rx.recv().expect("shard thread alive")
+    }
+
+    /// Move a project to another shard while the runtime keeps running —
+    /// hot rebalancing. Returns the number of tasks that moved.
+    ///
+    /// The sequence: quiesce the project at the gate (its events, plus
+    /// broadcasts and worker events, are held — blocking submitters park,
+    /// `try_submit` gets
+    /// [`GateError::Migrating`](crate::gate::GateError::Migrating)); flush
+    /// the source shard so everything admitted is ledgered; **replay** the
+    /// project's slice — its recorded ledger entries interleaved with the
+    /// source's drains, broadcasts and the worker feed — onto a fresh
+    /// base; extract the project from the replay and adopt it into the
+    /// destination shard; drop it from the source; flip the routing
+    /// table; release the hold. Unrelated projects keep flowing the whole
+    /// time, and the merged journal is untouched — recorded entries stay
+    /// in the slots that recorded them, sorted by global sequence number.
+    ///
+    /// Requires the worker history below the project's first event to be
+    /// reconstructable (compacted prefix or resident deltas) — see
+    /// ARCHITECTURE.md §10 for the exact contract.
+    pub fn migrate_project(
+        &self,
+        project: ProjectId,
+        to_shard: usize,
+    ) -> Result<usize, PlatformError> {
+        assert!(
+            to_shard < self.shards(),
+            "destination shard {to_shard} out of range ({} shards)",
+            self.shards()
+        );
+        let core = self.gate.core();
+        let from = core.owner_of(project);
+        if from == to_shard {
+            return Ok(0);
+        }
+        core.hold_for_migration(project);
+        struct Release<'a> {
+            core: &'a GateCore,
+            project: ProjectId,
+        }
+        impl Drop for Release<'_> {
+            fn drop(&mut self) {
+                self.core.release_migration(self.project);
+            }
+        }
+        let _release = Release { core, project };
+        // Flush the source: every event admitted before the hold's fence
+        // is applied and ledgered before the slice is read.
+        self.barrier_one(from);
+        // The project's replay slice: its recorded entries from every slot
+        // (earlier owners keep the pre-migration history), interleaved
+        // with the *source's* drain barriers and broadcast copies.
+        let ledger = core.ledger();
+        let mut entries: Vec<LedgerEntry> = Vec::new();
+        for shard in 0..ledger.shards() {
+            entries.extend(ledger.entries(shard).into_iter().filter(|e| {
+                if e.entry.kind == DRAIN_KIND {
+                    return shard == from;
+                }
+                match PlatformEvent::decode(&e.entry).map(|ev| ev.scope()) {
+                    Ok(EventScope::Global) => shard == from,
+                    Ok(EventScope::Project(p)) => e.recorded && p == project,
+                    _ => false,
+                }
+            }));
+        }
+        entries.sort_by_key(|e| e.key);
+        // Worker feed to the *full* log: worker admission is held, so the
+        // log is stable, and the destination's adopt job syncs to this
+        // same bound before adopting — eligibility rows in the slice must
+        // cover every worker the destination will have installed.
+        let service = core.worker_service();
+        let feed = service.recovery_feed();
+        let upto = service.log_len();
+        let (mut replayed, _) = replay_slice(
+            (self.base)(from),
+            &entries,
+            Some((&feed, upto)),
+            snapshot_allowed(),
+        );
+        let slice = replayed.extract_project(project)?;
+        let moved = slice.task_count();
+        // Demote at the source (extract and drop) and adopt at the
+        // destination; the jobs run concurrently on their shards, and the
+        // adopt's captured bound equals `upto` (the log is held stable).
+        let demoted = self.submit_job(from, move |p| p.extract_project(project).map(drop));
+        let adopted = self.submit_job(to_shard, move |p| p.adopt_project(slice));
+        demoted.recv().expect("source shard alive")?;
+        adopted.recv().expect("destination shard alive");
+        core.set_owner(project, to_shard);
+        self.telemetry.handle().counter(stage::MIGRATIONS).incr();
+        Ok(moved)
+    }
+
     /// Ship a job to a shard and return a receiver for its result without
     /// blocking — jobs on different shards run in parallel. The job sees
     /// the shard's platform slice after every event enqueued before it.
@@ -357,13 +523,10 @@ impl ShardedRuntime {
         // (its mailbox guard drops everything queued), the matching `recv`
         // below fails fast instead of waiting on a reply that cannot come.
         drop(reply_txs);
-        let mut per_shard = Vec::new();
         let mut platforms = Vec::new();
-        let mut streams: Vec<Vec<(SeqKey, crowd4u_storage::journal::JournalEntry)>> = Vec::new();
-        let mut stats = ShardStats::default();
         for rx in reply_rxs {
-            let report = match rx.recv() {
-                Ok(report) => report,
+            match rx.recv() {
+                Ok(report) => platforms.push(report.platform),
                 // A shard died before reporting — join to surface its
                 // original panic rather than a bare channel error.
                 Err(_) => {
@@ -374,14 +537,22 @@ impl ShardedRuntime {
                     }
                     panic!("shard reply channel closed but no shard thread panicked");
                 }
-            };
-            stats.absorb(&report.stats);
-            per_shard.push(report.stats);
-            streams.push(report.recorded);
-            platforms.push(report.platform);
+            }
         }
         for h in self.handles.drain(..) {
             h.join().expect("shard thread panicked");
+        }
+        // Statistics and recorded streams live in the runtime-owned
+        // ledger, where they survived any shard deaths along the way.
+        let ledger = self.gate.core().ledger();
+        let mut per_shard = Vec::new();
+        let mut streams: Vec<Vec<(SeqKey, crowd4u_storage::journal::JournalEntry)>> = Vec::new();
+        let mut stats = ShardStats::default();
+        for shard in 0..ledger.shards() {
+            let s = ledger.stats(shard);
+            stats.absorb(&s);
+            per_shard.push(s);
+            streams.push(ledger.recorded_stream(shard));
         }
         let journal = EventJournal::merge_streams(streams)?;
         Ok(RunReport {
@@ -424,6 +595,7 @@ out(X, Y) :- item(X), label(X, Y).
             shards,
             drain_every,
             mailbox_capacity: 1024,
+            recovery: false,
         }
     }
 
@@ -593,19 +765,108 @@ out(X, Y) :- item(X), label(X, Y).
         let _ = rt.submit_job(1, |_| panic!("boom"));
         // The mailbox guard closes shard 1's queue as the thread unwinds;
         // until then submissions may still be accepted, so keep submitting
-        // until the close surfaces as a typed error (a hang here is the
-        // regression this test pins).
+        // until the death surfaces as a typed error (a hang here is the
+        // regression this test pins) — scoped to the dead shard, not the
+        // runtime-wide `Closed`.
         loop {
             match gate.submit(seed(2, "x")) {
                 Ok(_) => std::thread::yield_now(),
                 Err(err) => {
-                    assert!(matches!(err, crate::gate::GateError::Closed(_)));
+                    assert!(
+                        matches!(err, crate::gate::GateError::ShardDown { shard: 1, .. }),
+                        "a shard death must scope its error, got {err:?}"
+                    );
                     break;
                 }
             }
         }
         // Shard 0 is untouched and still serves queries.
         assert!(rt.with_project(ProjectId(1), |p| p.project(ProjectId(1)).is_ok()));
+    }
+
+    #[test]
+    fn recovery_replays_a_killed_shard_and_keeps_the_journal_identical() {
+        // Reference: the same traffic with no fault.
+        let events = || {
+            let mut evs = vec![worker(1), project("a"), project("b")];
+            for s in ["x", "y", "z"] {
+                evs.push(seed(1, s));
+                evs.push(seed(2, s));
+            }
+            evs
+        };
+        let rt = ShardedRuntime::new(config(2, 0));
+        rt.submit_batch(events());
+        rt.drain();
+        let clean = rt.finish().unwrap();
+
+        let mut cfg = config(2, 0);
+        cfg.recovery = true;
+        // Kill shard 1 after its 2nd applied event, mid-stream.
+        let rt = ShardedRuntime::new_chaos(cfg, FaultPlan::kill(1, 2));
+        rt.submit_batch(events());
+        rt.drain();
+        let run = rt.finish().unwrap();
+        assert_eq!(run.journal.dump(), clean.journal.dump());
+        assert_eq!(run.stats.applied, clean.stats.applied);
+        let replayed = Crowd4U::replay(&run.journal).unwrap();
+        let clean_replayed = Crowd4U::replay(&clean.journal).unwrap();
+        assert_eq!(replayed.state_dump(), clean_replayed.state_dump());
+    }
+
+    #[test]
+    fn migration_moves_a_live_project_between_shards() {
+        let rt = ShardedRuntime::new(config(2, 0));
+        rt.submit_batch(vec![worker(1), project("a"), project("b")]);
+        rt.submit(seed(1, "x"));
+        rt.submit(seed(1, "y"));
+        rt.submit(seed(2, "z"));
+        rt.drain();
+        rt.submit(answer(1, 1, 1, "lab"));
+        rt.drain();
+        assert_eq!(rt.owner_of(ProjectId(1)), 0);
+        let moved = rt.migrate_project(ProjectId(1), 1).unwrap();
+        assert!(moved >= 2, "project 1 had at least its two label tasks");
+        assert_eq!(rt.owner_of(ProjectId(1)), 1);
+        // The project now answers queries from its new owner, with state
+        // intact (the submitted answer's derived fact included) …
+        let out = rt.with_project(ProjectId(1), |p| {
+            p.project(ProjectId(1))
+                .unwrap()
+                .engine
+                .fact_count("out")
+                .unwrap()
+        });
+        assert_eq!(out, 1);
+        // … keeps taking new traffic through the routed path …
+        rt.submit(seed(1, "w"));
+        rt.submit(answer(1, 2, 1, "lab2"));
+        rt.drain();
+        // … and the merged journal still replays to the exact state.
+        let run = rt.finish().unwrap();
+        assert_eq!(run.stats.dropped, 0);
+        let replayed = Crowd4U::replay(&run.journal).unwrap();
+        assert_eq!(
+            replayed
+                .project(ProjectId(1))
+                .unwrap()
+                .engine
+                .fact_count("out")
+                .unwrap(),
+            2
+        );
+        // The live slices agree with ownership: project 1 lives on shard 1
+        // with all three of its seeded items (x, y pre-migration, w post).
+        assert_eq!(
+            run.platforms[1]
+                .project(ProjectId(1))
+                .unwrap()
+                .engine
+                .fact_count("item")
+                .unwrap(),
+            3
+        );
+        assert!(run.platforms[0].project(ProjectId(1)).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //!     shards: 2,
 //!     drain_every: 0,
 //!     mailbox_capacity: 64,
+//!     recovery: false,
 //! });
 //! let streamed = run_scenarios(&rt, &[(Scheme::Sequential, cfg.clone())]).unwrap();
 //! let serial = run_scheme(Scheme::Sequential, &cfg).unwrap();
@@ -83,8 +84,13 @@ pub fn submit_retrying(gate: &IngestGate, event: PlatformEvent) -> Result<u64, P
         |_| PlatformError::BadEvent("runtime closed while a scenario stream was in flight".into());
     match gate.try_submit(event) {
         Ok(seq) => Ok(seq),
-        Err(GateError::Full { event, .. }) => gate.submit(*event).map_err(closed),
-        Err(e @ GateError::Closed(_)) => Err(closed(e)),
+        // Full, Recovering and Migrating all hand the event back and are
+        // transient: the blocking `submit` parks until the mailbox drains,
+        // the shard finishes its rebuild, or the project's hold lifts.
+        Err(GateError::Full { event, .. })
+        | Err(GateError::Recovering { event, .. })
+        | Err(GateError::Migrating { event, .. }) => gate.submit(*event).map_err(closed),
+        Err(e @ (GateError::Closed(_) | GateError::ShardDown { .. })) => Err(closed(e)),
     }
 }
 
@@ -218,6 +224,7 @@ mod tests {
             shards,
             drain_every: 0,
             mailbox_capacity,
+            recovery: false,
         }
     }
 

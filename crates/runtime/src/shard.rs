@@ -1,16 +1,28 @@
 //! The shard worker: one thread owning one `Crowd4U` slice, applying
-//! routed events from its gate mailbox and recording seq-tagged journal
+//! routed events from its gate mailbox and ledgering seq-tagged journal
 //! entries for the runtime's merged journal.
 //!
 //! A shard's mailbox is one of the [`IngestGate`](crate::gate::IngestGate)'s
 //! bounded per-shard queues; the gate guarantees the mailbox is already in
 //! global sequence order, so the shard just applies front to back.
+//!
+//! Since PR 9 the thread body is a **supervisor**: the apply loop runs
+//! under `catch_unwind`, and when a panic escapes it (an injected
+//! [`FaultPlan`] kill, a job closure blowing
+//! up) a recovery-enabled runtime holds the mailbox, rebuilds the slice by
+//! replaying the shard's runtime-ledger slice, and
+//! resumes consuming exactly where the dead incarnation stopped. With
+//! recovery disabled the panic propagates and the mailbox is abandoned —
+//! the pre-PR 9 behaviour, scoped to the dead shard.
 
 use crate::gate::GateCore;
-use crowd4u_core::events::PlatformEvent;
+use crate::recovery::{owned_by, replay_slice, snapshot_allowed, FaultPlan, LedgerEntry};
+use crowd4u_core::error::ProjectId;
+use crowd4u_core::events::{EventScope, PlatformEvent};
 use crowd4u_core::platform::Crowd4U;
 use crowd4u_storage::journal::JournalEntry;
 use crowd4u_telemetry::{stage, TelemetryHandle};
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
@@ -36,7 +48,10 @@ pub(crate) enum ToShard {
     /// records the single `drain` entry at `seq`.
     Drain { seq: u64, record: bool },
     /// Run an arbitrary job against the shard's platform slice (queries,
-    /// scenario runs). Job effects are not part of the merged journal.
+    /// scenario runs). Job effects are not part of the merged journal —
+    /// nor of the recovery ledger, so mutations made by a job (other than
+    /// the runtime's own migration jobs, which are re-derived from the
+    /// routing table) do not survive a shard restart.
     /// `bound` is the worker-service log length captured at enqueue time
     /// (under the mailbox lock); replicas install worker deltas up to it
     /// before running the job, so the job sees every worker the old
@@ -77,19 +92,35 @@ impl ShardStats {
     }
 }
 
-/// What a shard returns on [`ToShard::Finish`].
+/// What a shard returns on [`ToShard::Finish`]. Statistics and the
+/// recorded journal stream live in the runtime-owned ledger (they must
+/// survive shard deaths); only the platform slice travels back here.
 pub(crate) struct ShardReport {
-    pub stats: ShardStats,
-    pub recorded: Vec<(SeqKey, JournalEntry)>,
     pub platform: Crowd4U,
 }
 
+/// Everything a shard thread needs to run — and to *re-run*: the base
+/// builder and fault plan stay with the supervisor across incarnations.
+pub(crate) struct ShardCtx {
+    pub gate: Arc<GateCore>,
+    pub shard: usize,
+    pub drain_every: usize,
+    pub telemetry: TelemetryHandle,
+    /// Builds a fresh, configured platform slice (the same builder the
+    /// runtime constructor used) — the replay base for recovery.
+    pub base: Arc<dyn Fn(usize) -> Crowd4U + Send + Sync>,
+    /// Recover from panics by slice replay instead of propagating them.
+    pub recovery: bool,
+    pub faults: Arc<FaultPlan>,
+}
+
 /// Abandons the shard's mailbox when the thread exits — crucially also by
-/// panic (a [`ToShard::Job`] closure or a drain `expect` unwinding).
-/// Without it a dead shard leaves its mailbox open: producers blocked on a
-/// full queue would park forever, and the reply channels behind
-/// `finish()`/`barrier()` would never close. On a normal exit the mailbox
-/// is already closed and drained, so abandoning it is a no-op.
+/// panic (a [`ToShard::Job`] closure or a drain `expect` unwinding past
+/// the supervisor). Without it a dead shard leaves its mailbox open:
+/// producers blocked on a full queue would park forever, and the reply
+/// channels behind `finish()`/`barrier()` would never close. On a normal
+/// exit the mailbox is already closed and drained, so abandoning it is a
+/// no-op.
 struct MailboxGuard<'a> {
     gate: &'a GateCore,
     shard: usize,
@@ -101,97 +132,206 @@ impl Drop for MailboxGuard<'_> {
     }
 }
 
-/// The shard thread body: drain the gate mailbox until it closes (or a
-/// [`ToShard::Finish`] arrives).
+/// The shard thread body: a supervisor around [`shard_loop`]. A normal
+/// return (mailbox closed, or [`ToShard::Finish`]) ends the thread; a
+/// panic either propagates (recovery off — the mailbox guard abandons the
+/// queue, scoping the failure) or triggers an in-place restart: hold the
+/// mailbox, replay the ledger slice onto a fresh base, re-attach to the
+/// worker service, release, resume consuming.
+pub(crate) fn shard_main(ctx: ShardCtx) {
+    let _guard = MailboxGuard {
+        gate: &ctx.gate,
+        shard: ctx.shard,
+    };
+    let recoveries = ctx.telemetry.counter(stage::RECOVERIES);
+    let recovery_ns = ctx.telemetry.histogram(stage::RECOVERY_SPAN);
+    let mut platform = Some((ctx.base)(ctx.shard));
+    let mut cursor = 0usize; // worker-service log position (replicas only)
+    loop {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shard_loop(&ctx, &mut platform, &mut cursor)
+        }));
+        match outcome {
+            Ok(()) => return,
+            Err(payload) => {
+                if !ctx.recovery {
+                    // The mailbox guard abandons the queue as this
+                    // propagates; `finish()` resurfaces the panic.
+                    std::panic::resume_unwind(payload);
+                }
+                // The half-applied incarnation is gone (whatever message
+                // was being processed when the panic fired was popped but
+                // never ledgered — an injected fault always fires on a
+                // ledgered boundary, a genuine mid-apply panic loses that
+                // one message). Rebuild the slice the ledger describes.
+                ctx.gate.begin_recovery(ctx.shard);
+                let span = recovery_ns.stamp();
+                let (rebuilt, new_cursor) = rebuild(&ctx);
+                platform = Some(rebuilt);
+                cursor = new_cursor;
+                recoveries.incr();
+                recovery_ns.since(span);
+                ctx.gate.end_recovery(ctx.shard);
+            }
+        }
+    }
+}
+
+/// Rebuild a dead shard's platform from the runtime-owned ledger: its own
+/// slot filtered to what it currently owns, plus (after migrations)
+/// recorded entries for migrated-in projects from the previous owners'
+/// slots, replayed against the worker feed capped at the dead
+/// incarnation's last reported service cursor.
+fn rebuild(ctx: &ShardCtx) -> (Crowd4U, usize) {
+    let gate = &ctx.gate;
+    let shard = ctx.shard;
+    let ledger = gate.ledger();
+    let owner = |p: ProjectId| gate.owner_of(p);
+    let mut entries: Vec<LedgerEntry> = ledger
+        .entries(shard)
+        .into_iter()
+        .filter(|e| owned_by(e, shard, &owner))
+        .collect();
+    if gate.has_overrides() {
+        // Projects migrated in: their pre-migration history was applied
+        // (and recorded) by previous owners, so it lives in other slots.
+        for other in 0..ledger.shards() {
+            if other == shard {
+                continue;
+            }
+            entries.extend(ledger.entries(other).into_iter().filter(|e| {
+                e.recorded
+                    && matches!(
+                        PlatformEvent::decode(&e.entry).map(|ev| ev.scope()),
+                        Ok(EventScope::Project(p)) if owner(p) == shard
+                    )
+            }));
+        }
+        entries.sort_by_key(|e| e.key);
+    }
+    let service = gate.worker_service();
+    let base = (ctx.base)(shard);
+    if shard == 0 {
+        // The coordinator's worker events are ledger entries of its own
+        // slot; there is no service feed to re-interleave.
+        replay_slice(base, &entries, None, snapshot_allowed())
+    } else {
+        let feed = service.recovery_feed();
+        let upto = service.replica_cursor(shard);
+        let (platform, cursor) =
+            replay_slice(base, &entries, Some((&feed, upto)), snapshot_allowed());
+        // Re-register the cursor so service truncation stays safe: the
+        // dead incarnation's reports are stale the moment we replace it.
+        service.reattach(shard, cursor);
+        (platform, cursor)
+    }
+}
+
+/// Drain the gate mailbox until it closes (or a [`ToShard::Finish`]
+/// arrives), applying each message against `platform`.
 ///
 /// Non-coordinator shards (shard != 0) interleave worker-service pulls
 /// with their mailbox: before a seq-stamped message at `S` they install
 /// every worker delta with seq < `S`, and before a seq-less control
 /// message they install up to its captured log bound. The coordinator
 /// never pulls — worker events arrive in its own mailbox.
-pub(crate) fn shard_main(
-    gate: Arc<GateCore>,
-    shard: usize,
-    mut platform: Crowd4U,
-    drain_every: usize,
-    telemetry: TelemetryHandle,
-) {
-    let _guard = MailboxGuard { gate: &gate, shard };
+///
+/// `platform` is `Option` only so [`ToShard::Finish`] can move the slice
+/// out through the reply channel; it is `Some` on entry and on every
+/// panic edge (the supervisor replaces it wholesale on recovery).
+fn shard_loop(ctx: &ShardCtx, platform: &mut Option<Crowd4U>, cursor: &mut usize) {
+    let gate = &ctx.gate;
+    let shard = ctx.shard;
     let service = Arc::clone(gate.worker_service());
-    let mut cursor = 0usize; // worker-service log position (replicas only)
-    let mut stats = ShardStats::default();
-    let mut recorded: Vec<(SeqKey, JournalEntry)> = Vec::new();
-    let mut since_drain = 0usize;
-    // Pre-fetched once per shard thread: recording an observation is a
+    // Pre-fetched once per incarnation: recording an observation is a
     // single atomic add, never a registry lookup.
-    let apply_hist = telemetry.histogram(stage::SHARD_APPLY);
+    let apply_hist = ctx.telemetry.histogram(stage::SHARD_APPLY);
 
     while let Some(msg) = gate.recv(shard) {
+        let p = platform.as_mut().expect("platform present while looping");
         match msg {
             ToShard::Apply { seq, event, record } => {
                 if shard != 0 {
-                    service.sync_below_seq(shard, &mut cursor, seq, &mut platform);
+                    service.sync_below_seq(shard, cursor, seq, p);
                 }
-                let entry = record.then(|| event.encode());
+                // Encoded up front (apply consumes the event): every Ok
+                // apply is ledgered — broadcast copies included — because
+                // the ledger slice is what a recovery replays.
+                let entry = event.encode();
                 let applied = {
                     let _span = apply_hist.span();
-                    platform.apply_event(event)
+                    p.apply_event(event)
                 };
                 match applied {
                     Ok(()) => {
-                        if let Some(entry) = entry {
-                            recorded.push(((seq, 0), entry));
-                            stats.applied += 1;
+                        let mut slot = gate.ledger().slot(shard);
+                        slot.entries.push(LedgerEntry {
+                            key: (seq, 0),
+                            entry,
+                            recorded: record,
+                        });
+                        let fired = if record {
+                            slot.stats.applied += 1;
+                            ctx.faults.fires(shard, slot.stats.applied)
+                        } else {
+                            false
+                        };
+                        slot.since_drain += 1;
+                        if ctx.drain_every > 0 && slot.since_drain >= ctx.drain_every {
+                            slot.since_drain = 0;
+                            auto_drain(p, &mut slot, seq);
                         }
-                        since_drain += 1;
-                        if drain_every > 0 && since_drain >= drain_every {
-                            since_drain = 0;
-                            auto_drain(&mut platform, &mut recorded, seq, &mut stats);
+                        let applied_so_far = slot.stats.applied;
+                        drop(slot);
+                        if fired {
+                            panic!(
+                                "injected fault: shard {shard} killed after \
+                                 {applied_so_far} applied events"
+                            );
                         }
                     }
                     Err(_) => {
                         // Per-event error tolerance, mirroring `apply_batch`
                         // and the scenario driver: a stale or invalid worker
-                        // action is dropped and counted, not fatal.
+                        // action is dropped and counted, not fatal — and
+                        // never ledgered, so replays skip it identically.
                         if record {
-                            stats.dropped += 1;
+                            gate.ledger().slot(shard).stats.dropped += 1;
                         }
                     }
                 }
             }
             ToShard::Drain { seq, record } => {
                 if shard != 0 {
-                    service.sync_below_seq(shard, &mut cursor, seq, &mut platform);
+                    service.sync_below_seq(shard, cursor, seq, p);
                 }
-                since_drain = 0;
-                platform
-                    .drain_events()
+                p.drain_events()
                     .expect("drain failed on shard — dirty project unsyncable");
-                if record {
-                    recorded.push((
-                        (seq, 0),
-                        JournalEntry::new(crowd4u_core::events::DRAIN_KIND, vec![]),
-                    ));
-                }
+                let mut slot = gate.ledger().slot(shard);
+                slot.since_drain = 0;
+                // Ledgered on every shard (replays must re-run the drain);
+                // recorded in the merged journal by the coordinator only.
+                slot.entries.push(LedgerEntry {
+                    key: (seq, 0),
+                    entry: JournalEntry::new(crowd4u_core::events::DRAIN_KIND, vec![]),
+                    recorded: record,
+                });
             }
             ToShard::Job { bound, run } => {
                 if shard != 0 {
-                    service.sync_to_index(shard, &mut cursor, bound, &mut platform);
+                    service.sync_to_index(shard, cursor, bound, p);
                 }
-                run(&mut platform)
+                run(p)
             }
             ToShard::Flush(reply) => {
-                let _ = reply.send(stats);
+                let _ = reply.send(gate.ledger().stats(shard));
             }
             ToShard::Finish { bound, reply } => {
+                let mut p = platform.take().expect("platform present at finish");
                 if shard != 0 {
-                    service.sync_to_index(shard, &mut cursor, bound, &mut platform);
+                    service.sync_to_index(shard, cursor, bound, &mut p);
                 }
-                let _ = reply.send(ShardReport {
-                    stats,
-                    recorded,
-                    platform,
-                });
+                let _ = reply.send(ShardReport { platform: p });
                 return;
             }
         }
@@ -202,22 +342,21 @@ pub(crate) fn shard_main(
 /// one `sync` entry per project at the triggering sequence number so the
 /// merged journal replays the sync at exactly this point — only for this
 /// shard's projects, unlike a global `drain` entry.
-fn auto_drain(
-    platform: &mut Crowd4U,
-    recorded: &mut Vec<(SeqKey, JournalEntry)>,
-    seq: u64,
-    stats: &mut ShardStats,
-) {
+fn auto_drain(platform: &mut Crowd4U, slot: &mut crate::recovery::LedgerSlot, seq: u64) {
     let dirty = platform.dirty_projects();
     if dirty.is_empty() {
         return;
     }
-    stats.auto_drains += 1;
+    slot.stats.auto_drains += 1;
     for (i, project) in dirty.into_iter().enumerate() {
         platform
             .sync_tasks(project)
             .expect("auto-drain sync failed on shard");
         let entry = PlatformEvent::TasksSynced { project }.encode();
-        recorded.push(((seq, 1 + i as u32), entry));
+        slot.entries.push(LedgerEntry {
+            key: (seq, 1 + i as u32),
+            entry,
+            recorded: true,
+        });
     }
 }

@@ -117,9 +117,17 @@ struct ServiceState {
     /// by every replica and truncated.
     base: usize,
     /// Running compaction of the logical prefix `[..covered]`: latest
-    /// profile per worker.
+    /// profile per worker. Maintained even with snapshots disabled —
+    /// truncation folds entries in before dropping them, so a recovery
+    /// can always reconstruct the full registration history
+    /// (compacted prefix + resident deltas).
     compacted: BTreeMap<WorkerId, Arc<WorkerProfile>>,
     covered: usize,
+    /// Sequence number of the last event folded into `compacted` (only
+    /// meaningful while `covered > 0`). Recovery replays use it to check
+    /// the prefix sits strictly below the first ledger entry they must
+    /// interleave with.
+    covered_seq: u64,
     /// Latest published snapshot, shared with every shard that uses it.
     published: Option<Arc<Snapshot>>,
     /// Per-replica logical cursors (index `shard − 1`), reported inside
@@ -296,6 +304,53 @@ impl WorkerService {
         install(plan, platform);
     }
 
+    /// A point-in-time view of the registration history for a recovery
+    /// replay: the running compaction (everything folded below the
+    /// truncation point) plus the resident delta suffix. Taken under the
+    /// service lock, so it is internally consistent; the caller holds the
+    /// dead shard's gate traffic, so nothing the rebuilt shard needs can
+    /// append after this reads.
+    ///
+    /// The prefix comes from the **live** compaction, not the published
+    /// snapshot — truncation advances `covered` without republishing, so
+    /// the snapshot can sit below `base` and strand a replay that needs
+    /// the folded entries.
+    pub(crate) fn recovery_feed(&self) -> crate::recovery::WorkerFeed {
+        let s = self.state.lock().expect("worker service poisoned");
+        let prefix = (s.covered > 0).then(|| {
+            (
+                s.compacted.values().cloned().collect(),
+                s.covered,
+                s.covered_seq,
+            )
+        });
+        crate::recovery::WorkerFeed {
+            prefix,
+            deltas: s.log.clone(),
+            base: s.base,
+        }
+    }
+
+    /// The last cursor replica `shard` reported (0 for the coordinator or
+    /// before any sync) — the worker-install high-water mark a recovery
+    /// replay must reproduce, no further.
+    pub(crate) fn replica_cursor(&self, shard: usize) -> usize {
+        let s = self.state.lock().expect("worker service poisoned");
+        if shard >= 1 && shard <= s.cursors.len() {
+            s.cursors[shard - 1]
+        } else {
+            0
+        }
+    }
+
+    /// Re-register a rebuilt replica's cursor so truncation accounting
+    /// stays correct across the restart (the dead incarnation's last
+    /// report is replaced, not orphaned).
+    pub(crate) fn reattach(&self, shard: usize, cursor: usize) {
+        let mut s = self.state.lock().expect("worker service poisoned");
+        self.report_cursor(&mut s, shard, cursor);
+    }
+
     /// Record a replica's cursor, update its lag gauge, and truncate the
     /// prefix every replica (and the compaction) is done with. Runs under
     /// the service lock.
@@ -315,9 +370,12 @@ impl WorkerService {
         let min = s.min_cursor();
         if s.attached && min - s.base >= TRUNCATE_CHUNK {
             // Fold the entries about to drop into the running compaction
-            // first, so a later snapshot still covers them.
-            if self.snapshot_every > 0 && s.covered < min {
+            // first — unconditionally, not just when snapshots are on —
+            // so a later snapshot still covers them and a recovery replay
+            // can always rebuild the full history.
+            if s.covered < min {
                 let (from, to) = (s.covered - s.base, min - s.base);
+                s.covered_seq = s.log[to - 1].0;
                 let (log, compacted) = (&s.log, &mut s.compacted);
                 for (_, p) in &log[from..to] {
                     compacted.insert(p.id, Arc::clone(p));
@@ -395,6 +453,9 @@ impl ServiceState {
         // Split-borrow: extend the running compaction with the new log
         // suffix, then publish an Arc'd copy keyed by how much it covers.
         let covered = self.covered - self.base;
+        if let Some((seq, _)) = self.log.last() {
+            self.covered_seq = *seq;
+        }
         for (_, p) in &self.log[covered..] {
             self.compacted.insert(p.id, Arc::clone(p));
         }
@@ -548,6 +609,60 @@ mod tests {
         fill(&svc, 1..=130, &mut seq);
         assert_eq!(svc.events_logged(), 130);
         assert!(svc.resident_log_len() < TRUNCATE_CHUNK);
+    }
+
+    /// A replica re-attaching after the delta log truncated below its old
+    /// cursor must fast-forward through the compacted prefix — not panic,
+    /// and not silently skip deltas (version lockstep pins that).
+    #[test]
+    fn recovery_feed_fast_forwards_past_truncation() {
+        let mut svc = WorkerService::new(0); // snapshots fully disabled
+        svc.attach_replicas(3); // replicas: shards 1 and 2
+        let mut seq = 0u64;
+        fill(&svc, 1..=150, &mut seq);
+        let (mut r1, mut r2) = (Crowd4U::new(), Crowd4U::new());
+        let (mut c1, mut c2) = (0usize, 0usize);
+        svc.sync_to_index(1, &mut c1, 150, &mut r1);
+        svc.sync_to_index(2, &mut c2, 100, &mut r2);
+        // min cursor 100: the log truncated below replica 1's cursor.
+        assert!(svc.resident_log_len() <= 50);
+        let feed = svc.recovery_feed();
+        assert!(feed.base >= 100, "prefix below base must be compacted");
+        let (covered, covered_seq) = {
+            let (_, covered, covered_seq) = feed.prefix.as_ref().expect("fold ran");
+            (*covered, *covered_seq)
+        };
+        assert_eq!(covered, feed.base);
+        assert_eq!(covered_seq, feed.base as u64); // seqs are 1-based here
+                                                   // Rebuild replica 1 from the feed, capped at its reported cursor.
+        let upto = svc.replica_cursor(1);
+        assert_eq!(upto, 150);
+        let (rebuilt, cursor) =
+            crate::recovery::replay_slice(Crowd4U::new(), &[], Some((&feed, upto)), true);
+        assert_eq!(cursor, 150);
+        svc.reattach(1, cursor);
+        assert_eq!(svc.replica_cursor(1), 150);
+        // Same registry, same version lockstep as the live replica — a
+        // silent delta skip would show up as a version mismatch.
+        assert_eq!(rebuilt.workers.len(), 150);
+        assert_eq!(rebuilt.workers.version(), r1.workers.version());
+    }
+
+    /// With the snapshot fast-forward disabled, a rebuild whose history
+    /// was truncated must refuse loudly instead of replaying a hole.
+    #[test]
+    #[should_panic(expected = "recovery replay needs worker-log entries below the truncation")]
+    fn recovery_replay_refuses_a_truncated_history_without_snapshots() {
+        let mut svc = WorkerService::new(0);
+        svc.attach_replicas(2); // one replica: shard 1
+        let mut seq = 0u64;
+        fill(&svc, 1..=150, &mut seq);
+        let mut r1 = Crowd4U::new();
+        let mut c1 = 0usize;
+        svc.sync_to_index(1, &mut c1, 150, &mut r1);
+        let feed = svc.recovery_feed();
+        assert!(feed.base > 0, "the consumed prefix must have truncated");
+        let _ = crate::recovery::replay_slice(Crowd4U::new(), &[], Some((&feed, 150)), false);
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub const TELEMETRY_ENV: &str = "TELEMETRY";
 pub const BUCKET_BASE_ENV: &str = "TELEMETRY_BUCKET_BASE";
 
 /// Canonical metric names of the five pipeline-stage histograms (elapsed
-/// nanoseconds per event at each stage).
+/// nanoseconds per event at each stage), plus the shard-lifecycle
+/// recovery/migration metrics.
 pub mod stage {
     /// Front-door admission: routing + stamping + mailbox push.
     pub const GATE_ADMIT: &str = "crowd4u_stage_gate_admit_ns";
@@ -84,6 +85,14 @@ pub mod stage {
         CYLOG_FIXPOINT,
         JOURNAL_APPEND,
     ];
+    /// Shard recoveries completed (counter): one per slice replay after a
+    /// shard-thread death.
+    pub const RECOVERIES: &str = "crowd4u_recoveries_total";
+    /// One shard recovery end to end (histogram, ns): mailbox hold →
+    /// ledger slice replay → worker re-attach → release.
+    pub const RECOVERY_SPAN: &str = "crowd4u_recovery_ns";
+    /// Hot project migrations committed (counter).
+    pub const MIGRATIONS: &str = "crowd4u_migrations_total";
 }
 
 /// The shared metric registry. Cloneable (cheap `Arc` clone); a disabled

@@ -194,6 +194,7 @@ proptest! {
                 shards,
                 drain_every: 0,
                 mailbox_capacity: 256,
+                recovery: false,
             });
             rt.submit_batch(
                 pop.iter()

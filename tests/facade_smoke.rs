@@ -33,6 +33,7 @@ fn facade_reexports_resolve() {
         shards: 1,
         drain_every: 0,
         mailbox_capacity: 1024,
+        recovery: false,
     };
     let _gate_err: Option<crowd4u::runtime::GateError> = None;
 }

@@ -195,6 +195,7 @@ fn retraction_stream_replays_byte_identical_at_all_shard_counts() {
             shards,
             drain_every: 0,
             mailbox_capacity: 1024,
+            recovery: false,
         });
         for b in &batches {
             rt.submit_batch(b.clone());

@@ -48,6 +48,7 @@ fn runtime(shards: usize, mailbox_capacity: usize) -> ShardedRuntime {
         shards,
         drain_every: 0,
         mailbox_capacity,
+        recovery: false,
     })
 }
 

@@ -18,6 +18,10 @@
 //! ops fanned in from 4 producer threads through cloned `IngestGate`
 //! handles (tiny mailboxes, blocking backpressure) must merge to a journal
 //! byte-identical to a serial run in the gate's global-sequence order.
+//! A third (PR 9) re-runs that fan-in under **chaos**: a random shard is
+//! killed at a random applied-event count mid-fan-in and crash-recovered
+//! by journal-slice replay — the same seq-order equivalence must hold,
+//! with blocked submitters parked (not failed) across the rebuild.
 //! Set `RUNTIME_SHARDS` to test an extra shard count (CI runs with
 //! `RUNTIME_SHARDS=4`).
 
@@ -166,6 +170,7 @@ proptest! {
                 shards,
                 drain_every: 0,
                 mailbox_capacity: 1024,
+                recovery: false,
             });
             for b in &batches {
                 rt.submit_batch(b.clone());
@@ -222,6 +227,7 @@ proptest! {
                 shards,
                 drain_every: 0,
                 mailbox_capacity: 8, // tiny: force blocking backpressure
+                recovery: false,
             });
             rt.submit_batch(setup.clone());
             rt.drain();
@@ -276,6 +282,91 @@ proptest! {
             prop_assert_eq!(
                 replayed.state_dump(), serial.state_dump(),
                 "state mismatch at {} shards", shards
+            );
+        }
+    }
+
+    /// Chaos extension (PR 9): the same 4-submitter fan-in with a random
+    /// single-shard kill point injected mid-stream. The killed shard is
+    /// crash-recovered by journal-slice replay while producers park on the
+    /// recovering mailbox, so every accepted event still lands exactly
+    /// once and the merged journal equals the seq-order serial reference —
+    /// the crash is observationally invisible even under concurrent
+    /// submission and backpressure.
+    #[test]
+    fn concurrent_submitters_survive_a_random_shard_kill(
+        n_projects in 2usize..5,
+        items in 2usize..4,
+        ops in proptest::collection::vec(
+            (0u8..9, 0usize..4, 0usize..8, 1u64..5, "[a-k]{1,4}", any::<bool>()),
+            8..40,
+        ),
+        kill_pick in 0usize..16,
+        kill_after in 1u64..8,
+    ) {
+        const SUBMITTERS: usize = 4;
+        let setup = setup_events(n_projects, items);
+
+        for shards in [2usize, 4] {
+            let rt = ShardedRuntime::new_chaos(
+                RuntimeConfig {
+                    shards,
+                    drain_every: 0,
+                    mailbox_capacity: 8, // tiny: backpressure + recovery holds
+                    recovery: true,
+                },
+                FaultPlan::kill(kill_pick % shards, kill_after),
+            );
+            rt.submit_batch(setup.clone());
+            rt.drain();
+
+            let mut streams: Vec<Vec<PlatformEvent>> = vec![Vec::new(); SUBMITTERS];
+            for (k, op) in ops.iter().enumerate() {
+                streams[k % SUBMITTERS].push(op_event(n_projects, items, op));
+            }
+            let handles: Vec<_> = streams
+                .into_iter()
+                .map(|stream| {
+                    let gate = rt.gate();
+                    std::thread::spawn(move || {
+                        stream
+                            .into_iter()
+                            .map(|e| (gate.submit(e.clone()).expect("runtime alive"), e))
+                            .collect::<Vec<(u64, PlatformEvent)>>()
+                    })
+                })
+                .collect();
+            let mut stamped: Vec<(u64, PlatformEvent)> = Vec::new();
+            for h in handles {
+                stamped.extend(h.join().expect("submitter thread"));
+            }
+            rt.drain();
+            let run = rt.finish().unwrap();
+
+            stamped.sort_by_key(|(seq, _)| *seq);
+            let ordered: Vec<PlatformEvent> =
+                stamped.into_iter().map(|(_, e)| e).collect();
+            let mut serial = Crowd4U::new();
+            let mut dropped = serial.apply_batch(setup.clone()).unwrap().errors.len() as u64;
+            dropped += serial.apply_batch(ordered).unwrap().errors.len() as u64;
+
+            prop_assert_eq!(
+                run.stats.dropped, dropped,
+                "dropped mismatch at {} shards (chaos)", shards
+            );
+            prop_assert_eq!(
+                run.stats.applied + run.stats.dropped,
+                (setup.len() + ops.len()) as u64,
+                "event accounting mismatch at {} shards (chaos)", shards
+            );
+            prop_assert_eq!(
+                run.journal.dump(), serial.journal().dump(),
+                "journal mismatch at {} shards (chaos)", shards
+            );
+            let replayed = Crowd4U::replay(&run.journal).unwrap();
+            prop_assert_eq!(
+                replayed.state_dump(), serial.state_dump(),
+                "state mismatch at {} shards (chaos)", shards
             );
         }
     }

@@ -132,6 +132,7 @@ fn run_variant(
             shards,
             drain_every: 0,
             mailbox_capacity: 1024,
+            recovery: false,
         },
         registry.clone(),
     );

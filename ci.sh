@@ -94,6 +94,23 @@ echo
 echo "==> bench smoke: e15_recovery_latency (CRITERION_BUDGET_MS=50)"
 CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
     cargo bench -p crowd4u-bench --bench e15_recovery_latency
+# Shared-crowd smoke: the bench itself asserts the marketplace contract —
+# the shared streamed run is byte-identical to the serial shared
+# composite, the per-scenario split ledgers partition the platform total
+# exactly, and the least-loaded proposal strictly beats the skill-only
+# base pick on a star-skewed crowd (full-size baseline in
+# BENCH_marketplace.json; regenerate with
+# `cargo run --release -p crowd4u-bench --bin report -- marketplace`).
+echo
+echo "==> bench smoke: e16_marketplace (CRITERION_BUDGET_MS=50)"
+CRITERION_BUDGET_MS=50 CRITERION_SKIP_WARMUP=1 \
+    cargo bench -p crowd4u-bench --bench e16_marketplace
+# Shared-crowd baseline: the full 1/2/4-shard sweep with the byte-identity
+# and exact-split gates plus the proposal comparison (rewrites
+# BENCH_marketplace.json).
+echo
+echo "==> report -- marketplace (shared-crowd equivalence + split gates)"
+cargo run --release -p crowd4u-bench --bin report -- marketplace > /dev/null
 # Exercise the parallel path on every CI run: the integration suite again,
 # with the runtime pinned to 4 shards (shard_equivalence,
 # affinity_provider — the provider-parity proptest — and
@@ -112,6 +129,13 @@ echo
 echo "==> chaos replay: recovery_equivalence with PROPTEST_SEED=1803"
 RUNTIME_SHARDS=4 PROPTEST_SEED=1803 \
     cargo test -q -p crowd4u --test recovery_equivalence
+# Shared-crowd replay: rerun the marketplace differential proptest (three
+# scenarios, one population, chaos leg included) under a pinned seed so
+# its crash schedules and generated configs reproduce byte-for-byte.
+echo
+echo "==> shared-crowd replay: shared_crowd with PROPTEST_SEED=1016"
+RUNTIME_SHARDS=4 PROPTEST_SEED=1016 \
+    cargo test -q -p crowd4u --test shared_crowd
 # Docs must be warning-free, not just successful.
 echo
 echo "==> cargo doc --no-deps (deny warnings)"

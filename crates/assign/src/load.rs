@@ -1,0 +1,144 @@
+//! Load-aware team formation for a **shared crowd**.
+//!
+//! When one population serves several applications at once (the
+//! marketplace mode of `crowd4u-scenarios`), a worker's availability is no
+//! longer a per-project fact: someone already suggested onto two teams in
+//! other applications is a worse pick than an equally-skilled idle worker,
+//! even if both pass the local eligibility screen. [`LeastLoaded`] wraps
+//! any base [`TeamFormation`] with exactly that preference — it weighs
+//! each candidate's *total* active load across all applications (the
+//! platform's `assignment_loads()` aggregate) and proposes the feasible
+//! team whose busiest member is least busy.
+//!
+//! The wrapper lives here, **outside** the platform's deadline/assignment
+//! apply path, on purpose: inside a sharded runtime each owner shard sees
+//! only its own projects' tasks, so a load-aware decision made during
+//! event application would read different loads at different shard counts
+//! and break the byte-identical-journal contract. Cross-scenario load is
+//! a *front-end* concern — compute loads over the authoritative runtime,
+//! form the team here, then submit the resulting interest/assignment
+//! events like any other requester action.
+
+use crate::types::{Candidate, Team, TeamConstraints, TeamFormation};
+use crowd4u_crowd::affinity::AffinityLookup;
+use crowd4u_crowd::profile::WorkerId;
+use std::collections::BTreeMap;
+
+/// Form a team preferring the least-loaded workers: try the base
+/// algorithm on the candidates whose cross-application load is at most
+/// each ascending load level, and return the first feasible team. The
+/// last level admits every candidate, so the wrapper is never *less*
+/// feasible than the base algorithm — and when all loads are equal it
+/// returns exactly the base algorithm's team.
+pub fn form_least_loaded(
+    base: &dyn TeamFormation,
+    cands: &[Candidate],
+    aff: &dyn AffinityLookup,
+    constraints: &TeamConstraints,
+    loads: &BTreeMap<WorkerId, u64>,
+) -> Option<Team> {
+    let load_of = |c: &Candidate| loads.get(&c.id).copied().unwrap_or(0);
+    let mut levels: Vec<u64> = cands.iter().map(&load_of).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    for level in levels {
+        let subset: Vec<Candidate> = cands
+            .iter()
+            .filter(|c| load_of(c) <= level)
+            .cloned()
+            .collect();
+        if subset.len() < constraints.min_size {
+            continue;
+        }
+        if let Some(team) = base.form(&subset, aff, constraints) {
+            return Some(team);
+        }
+    }
+    None
+}
+
+/// [`form_least_loaded`] as a plug-in [`TeamFormation`], carrying its
+/// load table by reference.
+pub struct LeastLoaded<'a> {
+    pub base: &'a dyn TeamFormation,
+    /// Active suggested/in-progress team memberships per worker, across
+    /// every application of the shared runtime. Absent workers are idle.
+    pub loads: &'a BTreeMap<WorkerId, u64>,
+}
+
+impl TeamFormation for LeastLoaded<'_> {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn form(
+        &self,
+        cands: &[Candidate],
+        aff: &dyn AffinityLookup,
+        constraints: &TeamConstraints,
+    ) -> Option<Team> {
+        form_least_loaded(self.base, cands, aff, constraints, self.loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::LocalSearch;
+    use crowd4u_crowd::affinity::AffinityMatrix;
+
+    fn setup(n: u64) -> (Vec<Candidate>, AffinityMatrix) {
+        let cands: Vec<Candidate> = (1..=n)
+            .map(|i| Candidate::new(WorkerId(i), 0.9, 0.0))
+            .collect();
+        let mut m = AffinityMatrix::new(cands.iter().map(|c| c.id).collect());
+        for i in 1..=n {
+            for j in (i + 1)..=n {
+                m.set(WorkerId(i), WorkerId(j), 0.5);
+            }
+        }
+        (cands, m)
+    }
+
+    #[test]
+    fn idle_workers_beat_busy_ones() {
+        let (cands, m) = setup(6);
+        let constraints = TeamConstraints::sized(2, 3);
+        // Workers 1–3 are on two teams elsewhere; 4–6 are idle.
+        let loads = BTreeMap::from([(WorkerId(1), 2), (WorkerId(2), 2), (WorkerId(3), 2)]);
+        let base = LocalSearch::default();
+        let team = form_least_loaded(&base, &cands, &m, &constraints, &loads).unwrap();
+        for w in &team.members {
+            assert_eq!(loads.get(w), None, "busy worker {w} picked over idle");
+        }
+    }
+
+    #[test]
+    fn equal_loads_reduce_to_the_base_algorithm() {
+        let (cands, m) = setup(5);
+        let constraints = TeamConstraints::sized(2, 4);
+        let base = LocalSearch::default();
+        let want = base.form(&cands, &m, &constraints).unwrap();
+        let team = form_least_loaded(&base, &cands, &m, &constraints, &BTreeMap::new()).unwrap();
+        assert_eq!(team.members, want.members);
+        let wrapper = LeastLoaded {
+            base: &base,
+            loads: &BTreeMap::new(),
+        };
+        let via_trait = wrapper.form(&cands, &m, &constraints).unwrap();
+        assert_eq!(via_trait.members, want.members);
+    }
+
+    #[test]
+    fn falls_back_to_busy_workers_when_idle_ones_cannot_form_a_team() {
+        let (cands, m) = setup(4);
+        let constraints = TeamConstraints::sized(3, 4);
+        // Only one idle worker — a 3-person team must include busy ones,
+        // and the wrapper must still find it (never less feasible than
+        // the base algorithm).
+        let loads = BTreeMap::from([(WorkerId(1), 1), (WorkerId(2), 1), (WorkerId(3), 1)]);
+        let base = LocalSearch::default();
+        let team = form_least_loaded(&base, &cands, &m, &constraints, &loads).unwrap();
+        assert!(team.members.len() >= 3);
+    }
+}

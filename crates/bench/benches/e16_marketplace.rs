@@ -1,0 +1,77 @@
+//! E16-marketplace: the shared-crowd marketplace (PR 10).
+//!
+//! One worker population serves all three §2.5 applications at once. Two
+//! claims are pinned before anything is timed:
+//!
+//! * **equivalence** — the shared streamed run is byte-identical to the
+//!   serial shared composite, and the per-scenario split ledgers
+//!   partition the platform's point total *exactly* (each scheme's ledger
+//!   sums to its report; the scheme sums reproduce the leaderboard) —
+//!   asserted inside [`run_marketplace_workload`];
+//! * **policy** — the least-loaded marketplace proposal never fields a
+//!   team whose busiest member is busier than the base algorithm's pick,
+//!   and on the star-skewed workload it strictly improves (the base
+//!   algorithm keeps picking the busy stars; the marketplace passes them
+//!   over for the idle bench).
+//!
+//! `ci.sh` runs this budget-bounded as a smoke; `report -- marketplace`
+//! records the full baseline to `BENCH_marketplace.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd4u_bench::{run_marketplace_proposal, run_marketplace_workload};
+use crowd4u_scenarios::ScenarioConfig;
+
+const PROPOSAL_SHARDS: usize = 4;
+const PROPOSAL_CROWD: u64 = 12;
+
+fn smoke_config() -> ScenarioConfig {
+    ScenarioConfig::default()
+        .with_crowd(16)
+        .with_items(2)
+        .with_seed(42)
+}
+
+fn bench_marketplace(c: &mut Criterion) {
+    let cfg = smoke_config();
+
+    // Correctness gates, once up front: byte-identity and exact splits
+    // fire inside the workload; the policy gate is checked here.
+    let clean = run_marketplace_workload(PROPOSAL_SHARDS, &cfg);
+    assert!(
+        clean.platform_points > 0,
+        "the shared composite must award points"
+    );
+    let prop = run_marketplace_proposal(PROPOSAL_SHARDS, PROPOSAL_CROWD);
+    assert!(
+        prop.market_max_load <= prop.base_max_load,
+        "least-loaded proposal ({}) busier than the base pick ({})",
+        prop.market_max_load,
+        prop.base_max_load
+    );
+    assert!(
+        prop.market_max_load < prop.base_max_load,
+        "star-skewed workload should make the marketplace strictly better \
+         (market {} vs base {})",
+        prop.market_max_load,
+        prop.base_max_load
+    );
+
+    let mut group = c.benchmark_group("e16_marketplace");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_stream", shards),
+            &shards,
+            |b, &s| b.iter(|| run_marketplace_workload(s, &cfg).platform_points),
+        );
+    }
+    group.bench_with_input(
+        BenchmarkId::new("proposal", PROPOSAL_SHARDS),
+        &PROPOSAL_SHARDS,
+        |b, &s| b.iter(|| run_marketplace_proposal(s, PROPOSAL_CROWD).market_max_load),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_marketplace);
+criterion_main!(benches);

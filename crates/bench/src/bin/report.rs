@@ -93,6 +93,109 @@ fn main() {
     if args.iter().any(|a| a == "recovery") {
         recovery_baseline();
     }
+    // Explicit only: the shared-crowd marketplace baseline (records
+    // BENCH_marketplace.json).
+    if args.iter().any(|a| a == "marketplace") {
+        marketplace_baseline();
+    }
+}
+
+/// E16 baseline: the shared-crowd marketplace. Streams the three §2.5
+/// scenarios over one population at 1/2/4 shards — byte-identity against
+/// the serial shared composite and the exact split partition are asserted
+/// inside every run — then measures what the least-loaded proposal buys
+/// over a skill-only formation on a star-skewed crowd. Records
+/// `BENCH_marketplace.json` and exits non-zero if any run's totals drift
+/// across shard counts or the marketplace proposal fields a busier team
+/// than the base algorithm.
+fn marketplace_baseline() {
+    use crowd4u_bench::{run_marketplace_proposal, run_marketplace_workload};
+    const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+    const REPS: usize = 3;
+    const PROPOSAL_CROWD: u64 = 12;
+    let cfg = ScenarioConfig::default()
+        .with_crowd(20)
+        .with_items(3)
+        .with_seed(1016);
+    println!(
+        "\n## E16 — shared-crowd marketplace (3 scenarios, one crowd of 20, \
+         best of {REPS})\n"
+    );
+
+    let mut t = TablePrinter::new(&["shards", "seconds", "platform points"]);
+    let mut per_shard_s = Vec::new();
+    let mut reference: Option<crowd4u_bench::MarketplaceRun> = None;
+    for shards in SHARD_SWEEP {
+        let mut best = f64::MAX;
+        let mut last = None;
+        for _ in 0..REPS {
+            let run = run_marketplace_workload(shards, &cfg);
+            best = best.min(run.elapsed.as_secs_f64());
+            last = Some(run);
+        }
+        let run = last.expect("at least one rep");
+        if let Some(r) = &reference {
+            assert_eq!(
+                r.scheme_points, run.scheme_points,
+                "per-scheme totals drifted between shard counts"
+            );
+            assert_eq!(
+                r.platform_points, run.platform_points,
+                "platform total drifted between shard counts"
+            );
+        }
+        t.row(vec![
+            shards.to_string(),
+            format!("{best:.4}"),
+            run.platform_points.to_string(),
+        ]);
+        per_shard_s.push((shards, best));
+        reference.get_or_insert(run);
+    }
+    println!("{}", t.render());
+    let reference = reference.expect("sweep ran");
+
+    let prop = run_marketplace_proposal(4, PROPOSAL_CROWD);
+    assert!(
+        prop.market_max_load <= prop.base_max_load,
+        "least-loaded proposal ({}) busier than the base pick ({})",
+        prop.market_max_load,
+        prop.base_max_load
+    );
+    let mut t = TablePrinter::new(&["proposal", "busiest member's load"]);
+    t.row(vec![
+        "base algorithm (skill only)".into(),
+        prop.base_max_load.to_string(),
+    ]);
+    t.row(vec![
+        "marketplace (least-loaded)".into(),
+        prop.market_max_load.to_string(),
+    ]);
+    println!("{}", t.render());
+
+    let scheme_points: Vec<String> = reference
+        .scheme_points
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    let shard_json: Vec<String> = per_shard_s
+        .iter()
+        .map(|(s, secs)| format!("{{\"shards\": {s}, \"seconds\": {secs:.6}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_marketplace\",\n  \"crowd\": 20,\n  \
+         \"items\": 3,\n  \"reps\": {REPS},\n  \
+         \"runs\": [{}],\n  \"scheme_points\": [{}],\n  \
+         \"platform_points\": {},\n  \"proposal_crowd\": {PROPOSAL_CROWD},\n  \
+         \"base_max_load\": {},\n  \"market_max_load\": {}\n}}\n",
+        shard_json.join(", "),
+        scheme_points.join(", "),
+        reference.platform_points,
+        prop.base_max_load,
+        prop.market_max_load,
+    );
+    std::fs::write("BENCH_marketplace.json", &json).expect("write BENCH_marketplace.json");
+    println!("baseline recorded to BENCH_marketplace.json");
 }
 
 /// E15 baseline: what crash recovery costs relative to rerunning the

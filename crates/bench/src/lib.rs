@@ -142,6 +142,7 @@ pub fn shard_workload_events(
             source: INGEST_SRC.into(),
             factors: DesiredFactors::default(),
             scheme: crowd4u_collab::Scheme::Sequential,
+            owner: 0,
         });
     }
     for i in 0..w.items {
@@ -297,6 +298,184 @@ pub fn run_recovery_workload(shards: usize, w: &ShardWorkload, kill: (usize, u64
         recovery_ns,
         recoveries: snap.counter_total(stage::RECOVERIES),
         good,
+    }
+}
+
+/// One E16 shared-crowd measurement: the three §2.5 scenarios streamed
+/// over **one** worker population, with the PR 10 contract asserted
+/// in-run.
+#[derive(Debug, Clone)]
+pub struct MarketplaceRun {
+    /// Wall-clock of the shared streamed run (submission → final drain).
+    pub elapsed: std::time::Duration,
+    /// Per-scheme split-ledger totals, in `Scheme::all()` order.
+    pub scheme_points: Vec<i64>,
+    /// The replayed platform's whole leaderboard — what the splits must
+    /// partition exactly.
+    pub platform_points: i64,
+}
+
+/// E16: stream the three scenarios' traces in [`CrowdMode::Shared`] at
+/// `shards` shards and hold the marketplace contract: the merged journal
+/// is **byte-identical** to the serial shared composite, and the
+/// per-scenario split ledgers **partition** the platform's point total
+/// exactly (every scheme's ledger sums to its report, the scheme sums
+/// reproduce the global leaderboard). Panics if either gate fails.
+///
+/// [`CrowdMode::Shared`]: crowd4u_scenarios::stream::CrowdMode
+pub fn run_marketplace_workload(
+    shards: usize,
+    cfg: &crowd4u_scenarios::ScenarioConfig,
+) -> MarketplaceRun {
+    use crowd4u_core::platform::Crowd4U;
+    use crowd4u_runtime::prelude::*;
+    use crowd4u_scenarios::mixed;
+    use crowd4u_scenarios::stream::{apply_stream, merge_traces_with, CrowdMode};
+
+    let traces = mixed::record(cfg).expect("record traces");
+    let merged = merge_traces_with(&traces, CrowdMode::Shared).expect("shared merge");
+    let mut serial = Crowd4U::new();
+    let serial_dropped = apply_stream(&mut serial, &merged).expect("serial apply");
+    let serial_journal = serial.journal().dump();
+
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: 0,
+        mailbox_capacity: 0,
+        recovery: false,
+    });
+    let start = std::time::Instant::now();
+    let (reports, splits) = stream_traces_shared(&rt, &traces).expect("shared stream");
+    let elapsed = start.elapsed();
+    let run = rt.finish().expect("runtime finish");
+    assert_eq!(
+        run.stats.dropped, serial_dropped,
+        "E16 stream validity drift"
+    );
+    assert_eq!(
+        run.journal.dump(),
+        serial_journal,
+        "E16 shared stream must be byte-identical to the serial composite"
+    );
+    let replayed = Crowd4U::replay(&run.journal).expect("replay");
+
+    // Exact-partition gate: ledger == report per scheme, and the scheme
+    // sums reproduce the platform leaderboard with nothing counted twice
+    // and nothing lost.
+    let mut scheme_points = Vec::with_capacity(splits.len());
+    for (i, split) in splits.iter().enumerate() {
+        assert_eq!(
+            split.total_points(),
+            reports[i].points_awarded,
+            "scheme {i}'s split ledger diverges from its report"
+        );
+        scheme_points.push(split.total_points());
+    }
+    let platform_points: i64 = replayed
+        .workers
+        .iter_ids()
+        .map(|w| replayed.points_of(w))
+        .sum();
+    assert_eq!(
+        scheme_points.iter().sum::<i64>(),
+        platform_points,
+        "scenario splits must partition the platform total exactly"
+    );
+    MarketplaceRun {
+        elapsed,
+        scheme_points,
+        platform_points,
+    }
+}
+
+/// The E16 proposal A/B: what the cross-application marketplace policy
+/// buys over a per-application view of the same crowd.
+#[derive(Debug, Clone)]
+pub struct MarketProposal {
+    /// Busiest member's cross-application load in the base algorithm's
+    /// team (the base sees skills, not loads).
+    pub base_max_load: u64,
+    /// Busiest member's load in the least-loaded marketplace proposal.
+    pub market_max_load: u64,
+}
+
+/// E16 proposal workload: a shared runtime where the three
+/// highest-skilled workers are already suggested onto a team in one
+/// application, then a team for the *next* task is formed twice — by the
+/// base algorithm alone (which, seeing only skill, keeps picking the busy
+/// stars) and through [`crowd4u_runtime::marketplace::propose_team`],
+/// which weighs total load across applications. Returns both teams'
+/// busiest-member loads; the marketplace one must never be worse.
+pub fn run_marketplace_proposal(shards: usize, crowd: u64) -> MarketProposal {
+    use crowd4u_collab::Scheme;
+    use crowd4u_core::error::{ProjectId, TaskId};
+    use crowd4u_core::events::PlatformEvent;
+    use crowd4u_forms::admin::DesiredFactors;
+    use crowd4u_runtime::prelude::*;
+
+    assert!(crowd >= 6, "need busy stars plus an idle bench");
+    let rt = ShardedRuntime::new(RuntimeConfig {
+        shards,
+        drain_every: 0,
+        mailbox_capacity: 0,
+        recovery: false,
+    });
+    // Workers 1–3 are the skill leaders; everyone else is competent but
+    // slightly behind, so a skill-only formation always wants the stars.
+    for i in 1..=crowd {
+        let skill = if i <= 3 { 0.95 } else { 0.90 };
+        rt.submit(PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(i), format!("w{i}")).with_skill("label", skill),
+        });
+    }
+    rt.submit(PlatformEvent::ProjectRegistered {
+        name: "app-a".into(),
+        source: INGEST_SRC.into(),
+        factors: DesiredFactors {
+            min_team: 2,
+            max_team: 3,
+            recruitment_secs: 600,
+            ..Default::default()
+        },
+        scheme: Scheme::Simultaneous,
+        owner: 0,
+    });
+    rt.drain();
+    // App A's assignment suggests the stars onto its team...
+    rt.submit(PlatformEvent::CollabTaskCreated {
+        project: ProjectId(1),
+        description: "app A's team".into(),
+    });
+    let task = TaskId::compose(ProjectId(1), 1);
+    for w in 1..=3 {
+        rt.submit(PlatformEvent::InterestExpressed {
+            worker: WorkerId(w),
+            task,
+        });
+    }
+    rt.submit(PlatformEvent::AssignmentRun { task });
+    rt.drain();
+
+    // ...and app B forms its team both ways off the same snapshot.
+    let snap = market_snapshot(&rt, Some("label".into()));
+    let base = crowd4u_assign::greedy::LocalSearch::default();
+    let constraints = TeamConstraints::sized(2, 3);
+    let base_team = base
+        .form(&snap.candidates, &snap.affinity, &constraints)
+        .expect("full crowd is feasible");
+    let market_team = propose_team(&rt, Some("label".into()), &base, &constraints)
+        .expect("idle bench is feasible");
+    rt.finish().expect("runtime finish");
+    let max_load = |team: &crowd4u_assign::types::Team| {
+        team.members
+            .iter()
+            .map(|w| snap.loads.get(w).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    };
+    MarketProposal {
+        base_max_load: max_load(&base_team),
+        market_max_load: max_load(&market_team),
     }
 }
 
@@ -1027,6 +1206,7 @@ pub fn run_worker_scale_runtime(
             ..Default::default()
         },
         scheme: crowd4u_collab::Scheme::Sequential,
+        owner: 0,
     });
     let project = crowd4u_core::error::ProjectId(1);
     rt.submit(PlatformEvent::CollabTaskCreated {

@@ -33,6 +33,14 @@ pub enum PlatformEvent {
         source: String,
         factors: DesiredFactors,
         scheme: Scheme,
+        /// Clock-domain tag of the project's recruitment deadlines: only
+        /// [`PlatformEvent::ClockAdvanced`] events carrying the same owner
+        /// sweep them. `0` is the global domain (every standalone run);
+        /// merged scenario streams tag each trace with its own owner so one
+        /// scenario's clock cannot fire another's deadline (ARCHITECTURE.md
+        /// §11). Encoded only when non-zero, so pre-existing journals decode
+        /// unchanged.
+        owner: u64,
     },
     /// A base fact was added to a project's CyLog database.
     FactSeeded {
@@ -54,7 +62,15 @@ pub enum PlatformEvent {
     /// A suggested worker confirmed they start the task.
     Undertaken { worker: WorkerId, task: TaskId },
     /// The platform clock advanced (deadline processing point).
-    ClockAdvanced { to: SimTime },
+    ClockAdvanced {
+        to: SimTime,
+        /// Clock domain being advanced. `0` (the default, encoded as an
+        /// absent trailing argument) is the global clock; a non-zero owner
+        /// advances that domain's clock and sweeps only deadlines of
+        /// projects registered with the same owner. See
+        /// [`PlatformEvent::ProjectRegistered::owner`].
+        owner: u64,
+    },
     /// A worker answered a micro-task.
     AnswerSubmitted {
         worker: WorkerId,
@@ -152,6 +168,7 @@ impl PlatformEvent {
                 source,
                 factors,
                 scheme,
+                owner,
             } => {
                 let mut args = vec![
                     Value::Str(name.clone()),
@@ -159,6 +176,9 @@ impl PlatformEvent {
                     Value::Str(scheme.name().to_owned()),
                 ];
                 args.extend(encode_factors(factors));
+                if *owner != 0 {
+                    args.push(Value::Id(*owner));
+                }
                 args
             }
             PlatformEvent::FactSeeded {
@@ -182,7 +202,13 @@ impl PlatformEvent {
             PlatformEvent::Undertaken { worker, task } => {
                 vec![Value::Id(worker.0), Value::Id(task.0)]
             }
-            PlatformEvent::ClockAdvanced { to } => vec![Value::Id(to.ticks())],
+            PlatformEvent::ClockAdvanced { to, owner } => {
+                let mut args = vec![Value::Id(to.ticks())];
+                if *owner != 0 {
+                    args.push(Value::Id(*owner));
+                }
+                args
+            }
             PlatformEvent::AnswerSubmitted {
                 worker,
                 task,
@@ -214,11 +240,13 @@ impl PlatformEvent {
                 let source = cur.str()?;
                 let scheme = parse_scheme(&cur.str()?)?;
                 let factors = decode_factors(&mut cur)?;
+                let owner = cur.owner_tag()?;
                 PlatformEvent::ProjectRegistered {
                     name,
                     source,
                     factors,
                     scheme,
+                    owner,
                 }
             }
             "seed" => PlatformEvent::FactSeeded {
@@ -244,9 +272,11 @@ impl PlatformEvent {
                 worker: WorkerId(cur.id()?),
                 task: TaskId(cur.id()?),
             },
-            "clock" => PlatformEvent::ClockAdvanced {
-                to: SimTime(cur.id()?),
-            },
+            "clock" => {
+                let to = SimTime(cur.id()?);
+                let owner = cur.owner_tag()?;
+                PlatformEvent::ClockAdvanced { to, owner }
+            }
             "answer" => PlatformEvent::AnswerSubmitted {
                 worker: WorkerId(cur.id()?),
                 task: TaskId(cur.id()?),
@@ -343,6 +373,16 @@ impl<'a> Cursor<'a> {
             Value::Null => Ok(None),
             Value::Str(s) => Ok(Some(s.clone())),
             _ => Err(self.bad("a string or null")),
+        }
+    }
+
+    /// Optional trailing clock-domain owner: absent (pre-ownership
+    /// journals) decodes as the global domain `0`.
+    fn owner_tag(&mut self) -> Result<u64, PlatformError> {
+        if self.pos == self.args.len() {
+            Ok(0)
+        } else {
+            self.id()
         }
     }
 
@@ -489,6 +529,14 @@ mod tests {
                     require_login: true,
                 },
                 scheme: Scheme::Hybrid,
+                owner: 0,
+            },
+            PlatformEvent::ProjectRegistered {
+                name: "owned".into(),
+                source: "rel b(x: int).\n".into(),
+                factors: DesiredFactors::default(),
+                scheme: Scheme::Sequential,
+                owner: 2,
             },
             PlatformEvent::FactSeeded {
                 project: ProjectId(3),
@@ -511,7 +559,14 @@ mod tests {
                 worker: WorkerId(1),
                 task: TaskId(9),
             },
-            PlatformEvent::ClockAdvanced { to: SimTime(1801) },
+            PlatformEvent::ClockAdvanced {
+                to: SimTime(1801),
+                owner: 0,
+            },
+            PlatformEvent::ClockAdvanced {
+                to: SimTime(1802),
+                owner: 3,
+            },
             PlatformEvent::AnswerSubmitted {
                 worker: WorkerId(1),
                 task: TaskId(10),
@@ -543,6 +598,24 @@ mod tests {
             .map(|e| PlatformEvent::decode(e).unwrap())
             .collect();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn owner_tags_are_backward_compatible() {
+        // The global domain (owner 0) encodes with no trailing tag —
+        // byte-identical to the pre-ownership format — so old journals
+        // decode unchanged and untagged runs keep their journal bytes.
+        let global = PlatformEvent::ClockAdvanced {
+            to: SimTime(9),
+            owner: 0,
+        };
+        assert_eq!(global.encode().args.len(), 1);
+        let owned = PlatformEvent::ClockAdvanced {
+            to: SimTime(9),
+            owner: 4,
+        };
+        assert_eq!(owned.encode().args.len(), 2);
+        assert_eq!(PlatformEvent::decode(&owned.encode()).unwrap(), owned);
     }
 
     #[test]
@@ -603,6 +676,8 @@ mod tests {
                 ],
             ),
             JournalEntry::new("worker", vec![Value::Id(1)]), // truncated profile
+            // Owner tag must be an id, not a string.
+            JournalEntry::new("clock", vec![Value::Id(5), Value::Str("o".into())]),
         ];
         for entry in cases {
             assert!(

@@ -53,6 +53,12 @@ pub struct Project {
     /// Feedback to the requester when no feasible team exists (§2.2.1:
     /// "Crowd4U suggests to the requester to update her input").
     pub suggestion: Option<String>,
+    /// Clock domain owning this project's recruitment deadlines: `0` (the
+    /// default) is the global clock; a non-zero owner means only clock
+    /// advances tagged with the same owner set and sweep them. Merged
+    /// scenario streams give each trace its own domain so one scenario's
+    /// clock cannot expire another's recruitment window.
+    pub owner: u64,
     /// Whether the CyLog description derives `eligible(w: id)` — decided
     /// once at registration (rules are fixed after compilation). Gates
     /// how aggressively the eligible-set cache is reused: only a
@@ -120,6 +126,11 @@ pub struct Crowd4U {
     pub pool: TaskPool,
     projects: BTreeMap<ProjectId, Project>,
     next_project: u64,
+    /// High-water mark of each non-global clock domain (owner ≠ 0), fed by
+    /// owner-tagged [`PlatformEvent::ClockAdvanced`] events. Purely
+    /// event-derived, so replay reconstructs it; dumped by
+    /// [`Crowd4U::state_dump`] when non-empty.
+    owner_clocks: BTreeMap<u64, SimTime>,
     pub controller: AssignmentController,
     pub counters: Counters,
     /// Give up on a collaborative task after this many missed deadlines.
@@ -146,6 +157,7 @@ impl Default for Crowd4U {
             pool: TaskPool::new(),
             projects: BTreeMap::new(),
             next_project: 0,
+            owner_clocks: BTreeMap::new(),
             controller: AssignmentController::default(),
             counters: Counters::new(),
             max_reassignments: 3,
@@ -219,11 +231,28 @@ impl Crowd4U {
     /// deadlines (workflow step: "unless all suggested workers start … by
     /// the specified deadline, task assignment is re-executed").
     pub fn advance_to(&mut self, t: SimTime) -> Result<(), PlatformError> {
-        self.record(&PlatformEvent::ClockAdvanced { to: t });
+        self.advance_owned(t, 0)
+    }
+
+    /// Advance one clock domain. Owner `0` is the global clock
+    /// ([`Crowd4U::advance_to`]); a non-zero owner also moves that domain's
+    /// high-water mark and sweeps **only** deadlines of projects registered
+    /// with the same owner — the deadline-isolation half of the shared-crowd
+    /// contract (ARCHITECTURE.md §11). The global `now` still tracks the
+    /// max over all domains, so wall-clock-derived state (task creation
+    /// stamps, stall monitors) stays a single timeline.
+    pub fn advance_owned(&mut self, t: SimTime, owner: u64) -> Result<(), PlatformError> {
+        self.record(&PlatformEvent::ClockAdvanced { to: t, owner });
         if t > self.now {
             self.now = t;
         }
-        self.process_deadlines_inner()
+        if owner != 0 {
+            let domain = self.owner_clocks.entry(owner).or_insert(SimTime::ZERO);
+            if t > *domain {
+                *domain = t;
+            }
+        }
+        self.process_deadlines_inner(owner)
     }
 
     // ---- workers ----
@@ -402,6 +431,19 @@ impl Crowd4U {
         factors: DesiredFactors,
         scheme: Scheme,
     ) -> Result<ProjectId, PlatformError> {
+        self.register_project_owned(name, cylog_source, factors, scheme, 0)
+    }
+
+    /// Register a project into a specific clock domain (see
+    /// [`Project::owner`]); owner `0` is [`Crowd4U::register_project`].
+    pub fn register_project_owned(
+        &mut self,
+        name: impl Into<String>,
+        cylog_source: &str,
+        factors: DesiredFactors,
+        scheme: Scheme,
+        owner: u64,
+    ) -> Result<ProjectId, PlatformError> {
         let mut engine = CylogEngine::from_source(cylog_source)?;
         engine.set_telemetry(&self.telemetry.handle);
         let declarative = crate::declarative::uses_declarative_eligibility(&engine);
@@ -411,6 +453,7 @@ impl Crowd4U {
             source: cylog_source.to_owned(),
             factors: factors.clone(),
             scheme,
+            owner,
         });
         self.next_project += 1;
         let id = ProjectId(self.next_project);
@@ -423,6 +466,7 @@ impl Crowd4U {
                 factors,
                 scheme,
                 suggestion: None,
+                owner,
                 declarative,
                 epoch: 0,
                 eligible_cache: None,
@@ -609,7 +653,10 @@ impl Crowd4U {
             TaskBody::Collaborative { skill, .. } => skill.clone(),
             TaskBody::Micro { .. } => None,
         };
-        let factors = self.project(project)?.factors.clone();
+        let (factors, owner) = {
+            let p = self.project(project)?;
+            (p.factors.clone(), p.owner)
+        };
         // Eligible ∩ interested, minus workers excluded by earlier retries.
         let interested = self.relations.interested_workers(task);
         let eligible: Vec<WorkerId> = interested
@@ -635,7 +682,19 @@ impl Crowd4U {
             .suggest_team(&candidates, &affinity, &constraints);
         match team {
             Some(team) => {
-                let deadline = self.now + SimDuration::secs(factors.recruitment_secs);
+                // Recruitment windows are measured on the project's own
+                // clock domain: an owned project's deadline starts from its
+                // domain's high-water mark, not the global max over every
+                // interleaved scenario's clock.
+                let base = if owner == 0 {
+                    self.now
+                } else {
+                    self.owner_clocks
+                        .get(&owner)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO)
+                };
+                let deadline = base + SimDuration::secs(factors.recruitment_secs);
                 self.pool.set_state(
                     task,
                     TaskState::Suggested {
@@ -717,21 +776,45 @@ impl Crowd4U {
     pub fn process_deadlines(&mut self) -> Result<(), PlatformError> {
         // Deadline processing is a consequence of time passing, so it is
         // journaled as a clock event at the current instant.
-        self.record(&PlatformEvent::ClockAdvanced { to: self.now });
-        self.process_deadlines_inner()
+        self.record(&PlatformEvent::ClockAdvanced {
+            to: self.now,
+            owner: 0,
+        });
+        self.process_deadlines_inner(0)
     }
 
-    fn process_deadlines_inner(&mut self) -> Result<(), PlatformError> {
-        let now = self.now;
+    /// Sweep the deadlines of one clock domain: the global clock (owner 0)
+    /// expires globally-owned projects' deadlines up to `now`; an owned
+    /// clock expires only its own projects' deadlines, and only up to its
+    /// own high-water mark — another domain's later clock never reaches in.
+    fn process_deadlines_inner(&mut self, owner: u64) -> Result<(), PlatformError> {
+        let horizon = if owner == 0 {
+            self.now
+        } else {
+            self.owner_clocks
+                .get(&owner)
+                .copied()
+                .unwrap_or(SimTime::ZERO)
+        };
         // Range-scan the deadline index instead of sweeping the whole pool.
         let expired: Vec<TaskId> = self
             .pool
-            .expired_suggested(now)
+            .expired_suggested(horizon)
             .into_iter()
-            .filter(|id| match self.pool.get(*id).map(|t| &t.state) {
-                Ok(TaskState::Suggested {
-                    team, undertaken, ..
-                }) => undertaken.len() < team.len(),
+            .filter(|id| match self.pool.get(*id) {
+                Ok(t) => {
+                    let same_domain = self
+                        .projects
+                        .get(&t.project)
+                        .is_some_and(|p| p.owner == owner);
+                    same_domain
+                        && match &t.state {
+                            TaskState::Suggested {
+                                team, undertaken, ..
+                            } => undertaken.len() < team.len(),
+                            _ => false,
+                        }
+                }
                 _ => false,
             })
             .collect();
@@ -840,10 +923,18 @@ impl Crowd4U {
                 team: members.clone(),
             },
         )?;
-        self.workers.record_outcome(members, quality);
+        self.workers.record_outcome(members.clone(), quality);
         self.relations.clear_task(task)?;
         self.counters.incr("collab_tasks_completed");
         self.bump_project_counter(task.project(), "collab_completed");
+        // Per-(project, worker) split of the affinity feed: on a shared
+        // crowd the same worker collaborates in several scenarios, and the
+        // platform-wide history length must decompose exactly into these
+        // cells (see `worker_collabs_in`).
+        for w in &members {
+            self.counters
+                .incr(&format!("p{}.w{}.collabs", task.project().0, w.0));
+        }
         if let Some(m) = self.monitors.get_mut(&task) {
             m.apply(MonitorEvent::Completed);
         }
@@ -906,8 +997,9 @@ impl Crowd4U {
                 source,
                 factors,
                 scheme,
+                owner,
             } => self
-                .register_project(name, &source, factors, scheme)
+                .register_project_owned(name, &source, factors, scheme, owner)
                 .map(|_| ()),
             PlatformEvent::FactSeeded {
                 project,
@@ -929,7 +1021,7 @@ impl Crowd4U {
                 Err(e) => Err(e),
             },
             PlatformEvent::Undertaken { worker, task } => self.undertake(worker, task),
-            PlatformEvent::ClockAdvanced { to } => self.advance_to(to),
+            PlatformEvent::ClockAdvanced { to, owner } => self.advance_owned(to, owner),
             PlatformEvent::AnswerSubmitted {
                 worker,
                 task,
@@ -1001,6 +1093,11 @@ impl Crowd4U {
         use std::fmt::Write as _;
         let mut out = String::from("crowd4u-state v1\n");
         let _ = writeln!(out, "clock {}", self.now.ticks());
+        // Owned clock domains (empty — and absent — outside shared-crowd
+        // merges, keeping single-domain dumps byte-stable).
+        for (owner, t) in &self.owner_clocks {
+            let _ = writeln!(out, "clock@{owner} {}", t.ticks());
+        }
         let _ = writeln!(
             out,
             "workers {} version {}",
@@ -1010,7 +1107,11 @@ impl Crowd4U {
         out.push_str("## relations\n");
         out.push_str(&crowd4u_storage::snapshot::dump(self.relations.database()));
         for (id, p) in &self.projects {
-            let _ = writeln!(out, "## project {id} {} epoch {}", p.name, p.epoch);
+            let _ = write!(out, "## project {id} {} epoch {}", p.name, p.epoch);
+            if p.owner != 0 {
+                let _ = write!(out, " owner {}", p.owner);
+            }
+            out.push('\n');
             if let Some(s) = &p.suggestion {
                 let _ = writeln!(out, "suggestion {s}");
             }
@@ -1180,6 +1281,47 @@ impl Crowd4U {
             .values()
             .map(|p| p.engine.points_of(worker.0))
             .sum()
+    }
+
+    /// Worker's points earned in **one** project — the per-scenario split
+    /// of [`Crowd4U::points_of`] when several scenarios share one crowd.
+    /// Projects partition the points ledgers, so summing this over every
+    /// project reproduces `points_of` exactly (the split-accounting
+    /// invariant of ARCHITECTURE.md §11).
+    pub fn project_points_of(&self, project: ProjectId, worker: WorkerId) -> i64 {
+        self.projects
+            .get(&project)
+            .map(|p| p.engine.points_of(worker.0))
+            .unwrap_or(0)
+    }
+
+    /// How many collaborative completions of `project` the worker was a
+    /// team member of — the per-scenario split of the worker's affinity
+    /// contributions (every completion pushes exactly one team observation
+    /// into the shared skill/affinity history). Summing over all projects
+    /// and team members reproduces the platform history length.
+    pub fn worker_collabs_in(&self, project: ProjectId, worker: WorkerId) -> u64 {
+        self.counters
+            .get(&format!("p{}.w{}.collabs", project.0, worker.0))
+    }
+
+    /// Active assignment load per worker: how many suggested or in-progress
+    /// teams the worker is currently on, across **all** projects of this
+    /// platform. This is what a cross-scenario assignment policy weighs
+    /// before proposing a team from a shared crowd (see
+    /// `crowd4u_assign::load`). Workers with zero load are absent.
+    pub fn assignment_loads(&self) -> BTreeMap<WorkerId, u64> {
+        let mut loads = BTreeMap::new();
+        for t in self.pool.iter() {
+            let members = match &t.state {
+                TaskState::Suggested { team, .. } | TaskState::InProgress { team } => team,
+                _ => continue,
+            };
+            for w in members {
+                *loads.entry(*w).or_insert(0) += 1;
+            }
+        }
+        loads
     }
 
     /// Tasks (ids) a worker may currently see on their user page. Served

@@ -990,6 +990,7 @@ mod tests {
     fn clock(t: u64) -> PlatformEvent {
         PlatformEvent::ClockAdvanced {
             to: crowd4u_sim::time::SimTime(t),
+            owner: 0,
         }
     }
 

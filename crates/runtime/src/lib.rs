@@ -67,6 +67,7 @@
 //!             .into(),
 //!         factors: DesiredFactors::default(),
 //!         scheme: crowd4u_collab::Scheme::Sequential,
+//!         owner: 0,
 //!     });
 //!     rt.submit(PlatformEvent::FactSeeded {
 //!         project: ProjectId(p + 1),
@@ -134,6 +135,7 @@
 //! guide.
 
 pub mod gate;
+pub mod marketplace;
 pub mod recovery;
 pub mod router;
 pub mod scenario;
@@ -148,8 +150,11 @@ pub use workers::WorkerService;
 
 pub mod prelude {
     pub use crate::gate::{GateError, IngestGate};
+    pub use crate::marketplace::{market_snapshot, propose_team, MarketSnapshot};
     pub use crate::recovery::FaultPlan;
     pub use crate::router::{RunReport, RuntimeConfig, ShardedRuntime};
-    pub use crate::scenario::{run_mixed, run_scenarios, stream_traces};
+    pub use crate::scenario::{
+        run_mixed, run_mixed_shared, run_scenarios, stream_traces, stream_traces_shared,
+    };
     pub use crate::shard::ShardStats;
 }

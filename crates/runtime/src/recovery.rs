@@ -131,6 +131,10 @@ impl ShardLedger {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     kills: Vec<(usize, u64)>,
+    /// Mid-apply kill points: panic *inside* the k-th recorded apply,
+    /// before anything is ledgered — the genuine-crash shape (a bug in
+    /// `apply_event`, an OOM) as opposed to the clean boundary above.
+    mid_kills: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -144,6 +148,13 @@ impl FaultPlan {
         FaultPlan::none().and_kill(shard, after_applied)
     }
 
+    /// Kill `shard` *inside* its `nth_apply`-th recorded apply — after the
+    /// message left the mailbox, before the ledger saw it. Exercises the
+    /// in-flight redo path rather than boundary replay.
+    pub fn kill_mid_apply(shard: usize, nth_apply: u64) -> FaultPlan {
+        FaultPlan::none().and_kill_mid(shard, nth_apply)
+    }
+
     /// Add another kill point to the plan.
     pub fn and_kill(mut self, shard: usize, after_applied: u64) -> FaultPlan {
         if after_applied > 0 {
@@ -152,8 +163,17 @@ impl FaultPlan {
         self
     }
 
+    /// Add another mid-apply kill point to the plan.
+    pub fn and_kill_mid(mut self, shard: usize, nth_apply: u64) -> FaultPlan {
+        if nth_apply > 0 {
+            self.mid_kills.push((shard, nth_apply));
+        }
+        self
+    }
+
     /// Parse the `FAULT_PLAN` environment variable
-    /// (`"shard:after[,shard:after...]"`, e.g. `FAULT_PLAN=1:5,0:9`).
+    /// (`"shard:after[,shard:after...]"`, e.g. `FAULT_PLAN=1:5,0:9`; a
+    /// `mid` suffix — `1:5:mid` — makes the kill fire mid-apply).
     /// Unset, empty or malformed pairs yield an empty plan.
     pub fn from_env() -> FaultPlan {
         match std::env::var("FAULT_PLAN") {
@@ -163,7 +183,8 @@ impl FaultPlan {
     }
 
     /// Parse a `"shard:after[,shard:after...]"` spec (the `FAULT_PLAN`
-    /// format); malformed pairs are ignored.
+    /// format; `shard:after:mid` injects mid-apply); malformed pairs are
+    /// ignored.
     pub fn parse(spec: &str) -> FaultPlan {
         let mut plan = FaultPlan::none();
         for pair in spec.split(',') {
@@ -171,11 +192,19 @@ impl FaultPlan {
             if pair.is_empty() {
                 continue;
             }
+            let (pair, mid) = match pair.strip_suffix(":mid") {
+                Some(head) => (head, true),
+                None => (pair, false),
+            };
             if let Some((shard, after)) = pair.split_once(':') {
                 if let (Ok(shard), Ok(after)) =
                     (shard.trim().parse::<usize>(), after.trim().parse::<u64>())
                 {
-                    plan = plan.and_kill(shard, after);
+                    plan = if mid {
+                        plan.and_kill_mid(shard, after)
+                    } else {
+                        plan.and_kill(shard, after)
+                    };
                 }
             }
         }
@@ -183,7 +212,7 @@ impl FaultPlan {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty()
+        self.kills.is_empty() && self.mid_kills.is_empty()
     }
 
     /// Does the plan fire for `shard` at exactly `applied` applied
@@ -191,6 +220,16 @@ impl FaultPlan {
     /// point fires at most once.
     pub(crate) fn fires(&self, shard: usize, applied: u64) -> bool {
         self.kills.iter().any(|&(s, k)| s == shard && k == applied)
+    }
+
+    /// Does the plan fire for `shard` *inside* its `next_applied`-th
+    /// recorded apply? Checked before the ledger sees the event; the
+    /// post-recovery redo path skips injection, so a mid-apply kill also
+    /// fires at most once.
+    pub(crate) fn fires_mid(&self, shard: usize, next_applied: u64) -> bool {
+        self.mid_kills
+            .iter()
+            .any(|&(s, k)| s == shard && k == next_applied)
     }
 }
 
@@ -333,6 +372,17 @@ mod tests {
         assert!(FaultPlan::parse("").is_empty());
         // A zero kill point would fire before any event; it is dropped.
         assert!(FaultPlan::kill(3, 0).is_empty());
+    }
+
+    #[test]
+    fn mid_apply_kill_points_parse_and_fire_separately() {
+        let plan = FaultPlan::parse("1:5:mid, 0:9");
+        assert_eq!(plan, FaultPlan::kill_mid_apply(1, 5).and_kill(0, 9));
+        assert!(plan.fires_mid(1, 5));
+        assert!(!plan.fires(1, 5), "mid kill is not a boundary kill");
+        assert!(plan.fires(0, 9));
+        assert!(!plan.fires_mid(0, 9), "boundary kill is not a mid kill");
+        assert!(FaultPlan::kill_mid_apply(2, 0).is_empty());
     }
 
     #[test]

@@ -44,10 +44,11 @@ pub struct RuntimeConfig {
     /// (see `crate::recovery`), instead of abandoning its mailbox and
     /// resurfacing the panic from [`ShardedRuntime::finish`]. Off by
     /// default: recovery deliberately swallows the panic, which is the
-    /// wrong default while a panic usually means a bug — and the message
-    /// being applied when a *genuine* mid-apply panic fires is lost (it
-    /// was popped but never ledgered). Injected [`FaultPlan`] kills fire
-    /// on ledgered boundaries, so chaos runs lose nothing.
+    /// wrong default while a panic usually means a bug. The event being
+    /// applied when a mid-apply panic fires is *not* lost: the shard
+    /// parks it in an in-flight slot before applying and the rebuilt
+    /// shard re-applies it once; if it panics again (a poison event) it
+    /// is dropped and counted rather than crash-looping the shard.
     pub recovery: bool,
 }
 
@@ -498,6 +499,29 @@ impl ShardedRuntime {
             .sum()
     }
 
+    /// Cross-application assignment load per worker: how many suggested or
+    /// in-progress teams each worker is on across **every** project of the
+    /// runtime. Tasks live only on their owner shard (broadcast shells
+    /// hold none), so summing the per-shard maps counts each membership
+    /// exactly once. All shards are queried concurrently. This is the load
+    /// table a marketplace front-end feeds to
+    /// `crowd4u_assign::load::LeastLoaded` before proposing a team from a
+    /// shared crowd.
+    pub fn assignment_loads(
+        &self,
+    ) -> std::collections::BTreeMap<crowd4u_core::error::WorkerId, u64> {
+        let replies: Vec<Receiver<_>> = (0..self.shards())
+            .map(|s| self.submit_job(s, |p| p.assignment_loads()))
+            .collect();
+        let mut loads = std::collections::BTreeMap::new();
+        for rx in replies {
+            for (w, n) in rx.recv().expect("shard thread alive") {
+                *loads.entry(w).or_insert(0) += n;
+            }
+        }
+        loads
+    }
+
     /// Stop the runtime: the gate closes (later submissions through
     /// detached handles get
     /// [`GateError::Closed`](crate::gate::GateError::Closed)), every
@@ -611,6 +635,7 @@ out(X, Y) :- item(X), label(X, Y).
             source: SRC.into(),
             factors: DesiredFactors::default(),
             scheme: Scheme::Sequential,
+            owner: 0,
         }
     }
 

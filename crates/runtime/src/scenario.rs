@@ -66,9 +66,10 @@ use crate::router::ShardedRuntime;
 use crowd4u_collab::Scheme;
 use crowd4u_core::error::PlatformError;
 use crowd4u_core::events::PlatformEvent;
-use crowd4u_scenarios::mixed::{reports_from, MixedReport};
+use crowd4u_scenarios::mixed::{reports_from, splits_from, MixedReport, SharedMixedReport};
 use crowd4u_scenarios::stream::{
-    merge_traces, platform_side, record_scheme, ScenarioTrace, StreamOp,
+    merge_traces, merge_traces_with, platform_side, project_split, record_scheme, CrowdMode,
+    MergedStream, ScenarioTrace, SplitLedger, StreamOp,
 };
 use crowd4u_scenarios::{ScenarioConfig, ScenarioReport};
 
@@ -117,6 +118,46 @@ pub fn stream_traces(
     rt: &ShardedRuntime,
     traces: &[ScenarioTrace],
 ) -> Result<Vec<ScenarioReport>, PlatformError> {
+    let merged = merge_traces(traces);
+    stream_merged(rt, traces, merged)
+}
+
+/// [`stream_traces`] over **one shared crowd**: the traces are merged in
+/// [`CrowdMode::Shared`] — all worker references stay on the shared
+/// registration order, duplicate registrations are deduplicated before
+/// submission (so each shared worker's registration routes through the
+/// coordinator exactly once), and each trace keeps its own clock domain.
+/// Alongside the per-scenario reports, returns each scenario's per-worker
+/// [`SplitLedger`] read off the owner shards — the marketplace accounting
+/// whose sums must reproduce the platform totals exactly.
+pub fn stream_traces_shared(
+    rt: &ShardedRuntime,
+    traces: &[ScenarioTrace],
+) -> Result<(Vec<ScenarioReport>, Vec<SplitLedger>), PlatformError> {
+    let merged = merge_traces_with(traces, CrowdMode::Shared)?;
+    let remaps = merged.remaps.clone();
+    let reports = stream_merged(rt, traces, merged)?;
+    let splits = splits_from(
+        traces,
+        &MergedStream {
+            ops: Vec::new(),
+            remaps,
+        },
+        |project| {
+            Ok::<_, PlatformError>(rt.with_project(project, move |p| project_split(p, project)))
+        },
+    )?;
+    Ok((reports, splits))
+}
+
+/// The shared submit-and-account core of [`stream_traces`] /
+/// [`stream_traces_shared`]: push a pre-merged stream through the gate in
+/// order and rebuild the per-trace reports from the owner shards.
+fn stream_merged(
+    rt: &ShardedRuntime,
+    traces: &[ScenarioTrace],
+    mut merged: MergedStream,
+) -> Result<Vec<ScenarioReport>, PlatformError> {
     // The merge *predicts* the ids the runtime will assign (projects
     // from 1 in registration order, workers from each trace's own id
     // space), so the runtime must not have registered anything yet — on
@@ -134,7 +175,6 @@ pub fn stream_traces(
                 .into(),
         ));
     }
-    let mut merged = merge_traces(traces);
     let gate = rt.gate();
     // Consume the merged ops by value: the gate takes ownership of each
     // event (and hands it back on backpressure), so the submit loop never
@@ -210,6 +250,38 @@ pub fn run_mixed(
         .map(|s| (s, config.clone()))
         .collect();
     Ok(MixedReport::combine(run_scenarios(rt, &jobs)?))
+}
+
+/// The mixed workload over one **shared crowd** on the sharded runtime:
+/// all three schemes recorded from the same seeded population, merged in
+/// [`CrowdMode::Shared`], and streamed through the gate. The marketplace
+/// counterpart of [`run_mixed`] — one worker accrues points and affinity
+/// history across all three applications, and the returned report carries
+/// each scheme's per-worker split of that shared accounting.
+pub fn run_mixed_shared(
+    rt: &ShardedRuntime,
+    config: &ScenarioConfig,
+) -> Result<SharedMixedReport, PlatformError> {
+    let algorithm = config.algorithm;
+    for shard in 0..rt.shards() {
+        rt.submit_job(shard, move |p| p.controller.algorithm = algorithm);
+    }
+    let traces: Vec<ScenarioTrace> = std::thread::scope(|scope| {
+        let handles: Vec<_> = Scheme::all()
+            .into_iter()
+            .map(|scheme| scope.spawn(move || record_scheme(scheme, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recording thread"))
+            .collect::<Result<Vec<_>, PlatformError>>()
+    })?;
+    let (reports, splits) = stream_traces_shared(rt, &traces)?;
+    Ok(SharedMixedReport {
+        mixed: MixedReport::combine(reports),
+        splits,
+        crowd: traces.first().map(|t| t.crowd).unwrap_or(0),
+    })
 }
 
 #[cfg(test)]
@@ -370,6 +442,7 @@ mod tests {
             source: "rel item(x: str).\n".into(),
             factors: Default::default(),
             scheme: Scheme::Sequential,
+            owner: 0,
         });
         rt.barrier();
         let seed = |s: &str| PlatformEvent::FactSeeded {

@@ -99,6 +99,25 @@ pub(crate) struct ShardReport {
     pub platform: Crowd4U,
 }
 
+/// The one data event a shard incarnation may be holding *outside* the
+/// mailbox and *outside* the ledger: popped by `recv`, not yet applied
+/// (or applied but not yet ledgered). The supervisor owns the slot, so a
+/// panic inside `apply_event` no longer loses the event — the next
+/// incarnation redoes it once before resuming the mailbox. Injected
+/// boundary faults fire *after* ledgering (the slot is already clear);
+/// only a genuine mid-apply crash — or [`FaultPlan::kill_mid_apply`],
+/// which simulates one — leaves the slot occupied.
+pub(crate) struct InFlight {
+    seq: u64,
+    event: PlatformEvent,
+    record: bool,
+    /// Set once a recovery has redone this event: a second panic on the
+    /// same event means the event itself is poison, so the incarnation
+    /// after that drops it (counted, like any rejected event) instead of
+    /// crash-looping.
+    retried: bool,
+}
+
 /// Everything a shard thread needs to run — and to *re-run*: the base
 /// builder and fault plan stay with the supervisor across incarnations.
 pub(crate) struct ShardCtx {
@@ -147,9 +166,10 @@ pub(crate) fn shard_main(ctx: ShardCtx) {
     let recovery_ns = ctx.telemetry.histogram(stage::RECOVERY_SPAN);
     let mut platform = Some((ctx.base)(ctx.shard));
     let mut cursor = 0usize; // worker-service log position (replicas only)
+    let mut in_flight: Option<InFlight> = None;
     loop {
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            shard_loop(&ctx, &mut platform, &mut cursor)
+            shard_loop(&ctx, &mut platform, &mut cursor, &mut in_flight)
         }));
         match outcome {
             Ok(()) => return,
@@ -159,11 +179,22 @@ pub(crate) fn shard_main(ctx: ShardCtx) {
                     // propagates; `finish()` resurfaces the panic.
                     std::panic::resume_unwind(payload);
                 }
-                // The half-applied incarnation is gone (whatever message
-                // was being processed when the panic fired was popped but
-                // never ledgered — an injected fault always fires on a
-                // ledgered boundary, a genuine mid-apply panic loses that
-                // one message). Rebuild the slice the ledger describes.
+                // The half-applied incarnation is gone. Rebuild the slice
+                // the ledger describes; if the panic struck *inside* an
+                // apply (mid-apply crash), the popped-but-unledgered event
+                // survives in `in_flight` and the fresh incarnation redoes
+                // it first — unless a redo already failed once, in which
+                // case the event is poison and gets dropped.
+                if let Some(f) = in_flight.as_mut() {
+                    if f.retried {
+                        if f.record {
+                            ctx.gate.ledger().slot(ctx.shard).stats.dropped += 1;
+                        }
+                        in_flight = None;
+                    } else {
+                        f.retried = true;
+                    }
+                }
                 ctx.gate.begin_recovery(ctx.shard);
                 let span = recovery_ns.stamp();
                 let (rebuilt, new_cursor) = rebuild(&ctx);
@@ -239,7 +270,12 @@ fn rebuild(ctx: &ShardCtx) -> (Crowd4U, usize) {
 /// `platform` is `Option` only so [`ToShard::Finish`] can move the slice
 /// out through the reply channel; it is `Some` on entry and on every
 /// panic edge (the supervisor replaces it wholesale on recovery).
-fn shard_loop(ctx: &ShardCtx, platform: &mut Option<Crowd4U>, cursor: &mut usize) {
+fn shard_loop(
+    ctx: &ShardCtx,
+    platform: &mut Option<Crowd4U>,
+    cursor: &mut usize,
+    in_flight: &mut Option<InFlight>,
+) {
     let gate = &ctx.gate;
     let shard = ctx.shard;
     let service = Arc::clone(gate.worker_service());
@@ -247,59 +283,55 @@ fn shard_loop(ctx: &ShardCtx, platform: &mut Option<Crowd4U>, cursor: &mut usize
     // single atomic add, never a registry lookup.
     let apply_hist = ctx.telemetry.histogram(stage::SHARD_APPLY);
 
+    // Redo prologue: the previous incarnation died *inside* an apply, so
+    // the rebuild above could not replay this event — it was popped from
+    // the mailbox but never ledgered. Redo it before touching the mailbox;
+    // injection is skipped here, so a mid-apply kill fires at most once.
+    if in_flight.is_some() {
+        let (seq, event, record) = {
+            let f = in_flight.as_ref().expect("checked is_some");
+            (f.seq, f.event.clone(), f.record)
+        };
+        let p = platform.as_mut().expect("platform present while looping");
+        apply_one(
+            ctx,
+            p,
+            &service,
+            cursor,
+            seq,
+            event,
+            record,
+            in_flight,
+            &apply_hist,
+            false,
+        );
+    }
+
     while let Some(msg) = gate.recv(shard) {
         let p = platform.as_mut().expect("platform present while looping");
         match msg {
             ToShard::Apply { seq, event, record } => {
-                if shard != 0 {
-                    service.sync_below_seq(shard, cursor, seq, p);
-                }
-                // Encoded up front (apply consumes the event): every Ok
-                // apply is ledgered — broadcast copies included — because
-                // the ledger slice is what a recovery replays.
-                let entry = event.encode();
-                let applied = {
-                    let _span = apply_hist.span();
-                    p.apply_event(event)
-                };
-                match applied {
-                    Ok(()) => {
-                        let mut slot = gate.ledger().slot(shard);
-                        slot.entries.push(LedgerEntry {
-                            key: (seq, 0),
-                            entry,
-                            recorded: record,
-                        });
-                        let fired = if record {
-                            slot.stats.applied += 1;
-                            ctx.faults.fires(shard, slot.stats.applied)
-                        } else {
-                            false
-                        };
-                        slot.since_drain += 1;
-                        if ctx.drain_every > 0 && slot.since_drain >= ctx.drain_every {
-                            slot.since_drain = 0;
-                            auto_drain(p, &mut slot, seq);
-                        }
-                        let applied_so_far = slot.stats.applied;
-                        drop(slot);
-                        if fired {
-                            panic!(
-                                "injected fault: shard {shard} killed after \
-                                 {applied_so_far} applied events"
-                            );
-                        }
-                    }
-                    Err(_) => {
-                        // Per-event error tolerance, mirroring `apply_batch`
-                        // and the scenario driver: a stale or invalid worker
-                        // action is dropped and counted, not fatal — and
-                        // never ledgered, so replays skip it identically.
-                        if record {
-                            gate.ledger().slot(shard).stats.dropped += 1;
-                        }
-                    }
-                }
+                // Park the event in the supervisor-owned slot for the
+                // duration of the apply: a mid-apply panic must not lose
+                // it (satellite of PR 10 — see `InFlight`).
+                *in_flight = Some(InFlight {
+                    seq,
+                    event: event.clone(),
+                    record,
+                    retried: false,
+                });
+                apply_one(
+                    ctx,
+                    p,
+                    &service,
+                    cursor,
+                    seq,
+                    event,
+                    record,
+                    in_flight,
+                    &apply_hist,
+                    true,
+                );
             }
             ToShard::Drain { seq, record } => {
                 if shard != 0 {
@@ -334,6 +366,92 @@ fn shard_loop(ctx: &ShardCtx, platform: &mut Option<Crowd4U>, cursor: &mut usize
                 let _ = reply.send(ShardReport { platform: p });
                 return;
             }
+        }
+    }
+}
+
+/// Apply one routed data event against the slice — the body of
+/// [`ToShard::Apply`], shared with the post-recovery redo. Syncs the
+/// worker feed below `seq`, applies, ledgers on success (dropping +
+/// counting on platform rejection), runs the auto-drain policy, and
+/// clears the `in_flight` slot the moment the outcome is durable in the
+/// ledger. `inject` is true on the normal mailbox path only: the redo
+/// path skips fault injection so an injected mid-apply kill cannot
+/// re-fire on its own retry.
+#[allow(clippy::too_many_arguments)]
+fn apply_one(
+    ctx: &ShardCtx,
+    p: &mut Crowd4U,
+    service: &crate::workers::WorkerService,
+    cursor: &mut usize,
+    seq: u64,
+    event: PlatformEvent,
+    record: bool,
+    in_flight: &mut Option<InFlight>,
+    apply_hist: &crowd4u_telemetry::Histogram,
+    inject: bool,
+) {
+    let gate = &ctx.gate;
+    let shard = ctx.shard;
+    if shard != 0 {
+        service.sync_below_seq(shard, cursor, seq, p);
+    }
+    if inject && record {
+        let next = gate.ledger().slot(shard).stats.applied + 1;
+        if ctx.faults.fires_mid(shard, next) {
+            panic!("injected fault: shard {shard} killed inside apply #{next}");
+        }
+    }
+    // Encoded up front (apply consumes the event): every Ok
+    // apply is ledgered — broadcast copies included — because
+    // the ledger slice is what a recovery replays.
+    let entry = event.encode();
+    let applied = {
+        let _span = apply_hist.span();
+        p.apply_event(event)
+    };
+    match applied {
+        Ok(()) => {
+            let mut slot = gate.ledger().slot(shard);
+            slot.entries.push(LedgerEntry {
+                key: (seq, 0),
+                entry,
+                recorded: record,
+            });
+            let fired = if record {
+                slot.stats.applied += 1;
+                inject && ctx.faults.fires(shard, slot.stats.applied)
+            } else {
+                false
+            };
+            slot.since_drain += 1;
+            if ctx.drain_every > 0 && slot.since_drain >= ctx.drain_every {
+                slot.since_drain = 0;
+                auto_drain(p, &mut slot, seq);
+            }
+            let applied_so_far = slot.stats.applied;
+            drop(slot);
+            // Ledgered: from here on a crash re-derives this event from
+            // the ledger, so the in-flight copy is obsolete — and must be
+            // cleared *before* a boundary fault fires, or the recovery
+            // would redo an already-ledgered event.
+            *in_flight = None;
+            if fired {
+                panic!(
+                    "injected fault: shard {shard} killed after \
+                     {applied_so_far} applied events"
+                );
+            }
+        }
+        Err(_) => {
+            // Per-event error tolerance, mirroring `apply_batch`
+            // and the scenario driver: a stale or invalid worker
+            // action is dropped and counted, not fatal — and
+            // never ledgered, so replays skip it identically.
+            if record {
+                gate.ledger().slot(shard).stats.dropped += 1;
+            }
+            *in_flight = None;
         }
     }
 }

@@ -190,7 +190,7 @@ impl Driver {
                 continue;
             }
             let event = PlatformEvent::decode(entry)?;
-            if let PlatformEvent::ClockAdvanced { to } = &event {
+            if let PlatformEvent::ClockAdvanced { to, .. } = &event {
                 // The platform clock never moves backwards; a clock entry
                 // recorded at-or-before `now` keeps the current stamp.
                 if *to > at {
@@ -320,6 +320,7 @@ impl Driver {
                 max_delay,
                 PlatformEvent::ClockAdvanced {
                     to: self.platform.now() + max_delay,
+                    owner: 0,
                 },
             );
             self.pump()?;

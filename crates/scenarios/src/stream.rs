@@ -30,12 +30,21 @@
 //! * **workers** are offset per scenario (scenario *i*'s crowd follows
 //!   scenario *i−1*'s) — each scenario keeps its own seeded crowd, and a
 //!   broadcast registration can never overwrite another scenario's
-//!   profile. Sharing one crowd across scenarios is future work
-//!   (ROADMAP).
+//!   profile. [`merge_traces_with`] in [`CrowdMode::Shared`] instead keeps
+//!   every worker reference on the shared registration order (offset 0)
+//!   and deduplicates the identical re-registrations — the paper's
+//!   one-crowd-many-applications marketplace;
 //! * **projects** are renumbered in merged-stream registration order —
 //!   exactly the id sequence the (broadcast-lockstep) platform assigns, so
 //!   the remap table *predicts* the authoritative ids and task-scoped
-//!   events can be rewritten up front (task ids are project-strided).
+//!   events can be rewritten up front (task ids are project-strided);
+//! * **clock domains**: when more than one trace merges, trace *i*'s
+//!   `ClockAdvanced` and `ProjectRegistered` events are tagged with owner
+//!   *i + 1*, so each scenario's recruitment deadlines are set and swept
+//!   by its own clock only — another scenario's later clock can no longer
+//!   expire a deadline up to one tick early (the PR 5 interleaving
+//!   gotcha). A lone trace stays untagged and byte-identical to its
+//!   shadow.
 //!
 //! Scenario accounting then splits the same way the execution did:
 //! crowd-simulation observables (answers scheduled, artifact quality,
@@ -135,11 +144,16 @@ pub fn record_scheme(
 /// lone scenario gets — its stream reaches the runtime verbatim.
 #[derive(Debug, Clone, Default)]
 pub struct IdRemap {
-    /// Added to every worker id (scenario crowds are stacked end to end).
+    /// Added to every worker id (scenario crowds are stacked end to end;
+    /// zero for every trace of a shared-crowd merge).
     pub worker_offset: u64,
     /// Shadow project id → authoritative project id (merged registration
     /// order). Unmapped ids pass through.
     pub projects: BTreeMap<ProjectId, ProjectId>,
+    /// Clock-domain owner stamped onto this trace's `ClockAdvanced` /
+    /// `ProjectRegistered` events (`0` = leave events untagged, the lone-
+    /// trace identity).
+    pub scenario: u64,
 }
 
 impl IdRemap {
@@ -169,7 +183,23 @@ impl IdRemap {
                 profile.id = self.worker(profile.id);
                 PlatformEvent::WorkerRegistered { profile }
             }
-            e @ PlatformEvent::ProjectRegistered { .. } => e,
+            PlatformEvent::ProjectRegistered {
+                name,
+                source,
+                factors,
+                scheme,
+                owner,
+            } => PlatformEvent::ProjectRegistered {
+                name,
+                source,
+                factors,
+                scheme,
+                owner: if self.scenario != 0 {
+                    self.scenario
+                } else {
+                    owner
+                },
+            },
             PlatformEvent::FactSeeded {
                 project,
                 pred,
@@ -200,7 +230,14 @@ impl IdRemap {
                 worker: self.worker(worker),
                 task: self.task(task),
             },
-            e @ PlatformEvent::ClockAdvanced { .. } => e,
+            PlatformEvent::ClockAdvanced { to, owner } => PlatformEvent::ClockAdvanced {
+                to,
+                owner: if self.scenario != 0 {
+                    self.scenario
+                } else {
+                    owner
+                },
+            },
             PlatformEvent::AnswerSubmitted {
                 worker,
                 task,
@@ -232,6 +269,22 @@ pub struct MergedStream {
     pub remaps: Vec<IdRemap>,
 }
 
+/// How [`merge_traces_with`] treats the traces' worker populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrowdMode {
+    /// Offset each trace's worker ids past the previous trace's crowd:
+    /// scenarios keep disjoint populations (the pre-marketplace default).
+    Disjoint,
+    /// Keep every trace's worker references on the shared registration
+    /// order (offset 0): all scenarios draw from **one** crowd. Requires
+    /// every trace to have been recorded over the same seeded population —
+    /// equal crowd sizes, and byte-identical profiles wherever ids
+    /// coincide; the duplicate registrations are deduplicated out of the
+    /// merged stream (the first trace to register a worker wins, later
+    /// identical registrations vanish).
+    Shared,
+}
+
 /// Interleave recorded traces by `(timestamp, trace index, position)` —
 /// stable, shard-count-independent, and identical on every run — and
 /// remap ids so the scenarios stay disjoint. Global project ids are
@@ -240,14 +293,46 @@ pub struct MergedStream {
 /// the stream is applied, so every task-scoped event can be rewritten to
 /// its authoritative id before submission.
 pub fn merge_traces(traces: &[ScenarioTrace]) -> MergedStream {
+    merge_traces_with(traces, CrowdMode::Disjoint).expect("disjoint merge is total")
+}
+
+/// [`merge_traces`] with an explicit [`CrowdMode`]. In
+/// [`CrowdMode::Shared`] the merge fails if the traces were not recorded
+/// over one common population (different crowd sizes, or the same worker
+/// id registering with different profiles) — silent profile clobbering
+/// across scenarios is exactly what the disjoint mode exists to prevent.
+///
+/// Sharing is sound because applying a trace's project-scoped events never
+/// reads another project's state, and the one cross-project surface the
+/// traces do share — the team-observation history feeding the skill
+/// estimator — is append-only during a run (profiles change only through
+/// an explicit `refresh_skills`, which no stream op performs). Deadlines
+/// stay isolated via the per-trace clock domains tagged by the merge.
+pub fn merge_traces_with(
+    traces: &[ScenarioTrace],
+    mode: CrowdMode,
+) -> Result<MergedStream, PlatformError> {
+    // A lone trace must merge to the identity stream (byte-identical to
+    // its shadow journal), so clock-domain tags only appear when traces
+    // actually interleave.
+    let tag = |i: usize| if traces.len() > 1 { i as u64 + 1 } else { 0 };
     let mut remaps: Vec<IdRemap> = Vec::with_capacity(traces.len());
     let mut offset = 0u64;
-    for t in traces {
+    for (i, t) in traces.iter().enumerate() {
         remaps.push(IdRemap {
             worker_offset: offset,
             projects: BTreeMap::new(),
+            scenario: tag(i),
         });
-        offset += t.crowd;
+        if mode == CrowdMode::Disjoint {
+            offset += t.crowd;
+        } else if t.crowd != traces[0].crowd {
+            return Err(PlatformError::BadEvent(format!(
+                "shared-crowd merge needs one common population: trace 0 \
+                 registered {} workers, trace {i} registered {}",
+                traces[0].crowd, t.crowd
+            )));
+        }
     }
     let mut tagged: Vec<(SimTime, usize, usize)> = Vec::new();
     for (i, t) in traces.iter().enumerate() {
@@ -258,6 +343,8 @@ pub fn merge_traces(traces: &[ScenarioTrace]) -> MergedStream {
     tagged.sort_unstable();
     let mut next_project = 0u64;
     let mut registered: Vec<usize> = vec![0; traces.len()];
+    let mut seen_workers: BTreeMap<WorkerId, crowd4u_crowd::profile::WorkerProfile> =
+        BTreeMap::new();
     let mut ops = Vec::with_capacity(tagged.len());
     for (_, i, pos) in tagged {
         let out = match &traces[i].ops[pos].op {
@@ -269,12 +356,32 @@ pub fn merge_traces(traces: &[ScenarioTrace]) -> MergedStream {
                     registered[i] += 1;
                     remaps[i].projects.insert(local, ProjectId(next_project));
                 }
-                StreamOp::Event(remaps[i].event(e.clone()))
+                let remapped = remaps[i].event(e.clone());
+                if mode == CrowdMode::Shared {
+                    if let PlatformEvent::WorkerRegistered { profile } = &remapped {
+                        match seen_workers.get(&profile.id) {
+                            // The shared population registers once; later
+                            // traces' identical registrations drop out.
+                            Some(first) if first == profile => continue,
+                            Some(_) => {
+                                return Err(PlatformError::BadEvent(format!(
+                                    "shared-crowd merge: trace {i} re-registers worker \
+                                     {} with a different profile",
+                                    profile.id
+                                )))
+                            }
+                            None => {
+                                seen_workers.insert(profile.id, profile.clone());
+                            }
+                        }
+                    }
+                }
+                StreamOp::Event(remapped)
             }
         };
         ops.push((i, out));
     }
-    MergedStream { ops, remaps }
+    Ok(MergedStream { ops, remaps })
 }
 
 /// Apply a merged stream to one platform — the serial reference executor
@@ -367,6 +474,60 @@ pub fn assemble_report(shadow: &ScenarioReport, side: PlatformSide) -> ScenarioR
     }
 }
 
+/// Per-worker split of one scenario's share of a shared crowd's
+/// accounting: the points its projects awarded each worker, and the
+/// collaborative completions each worker contributed to it. The
+/// split-accounting invariant (ARCHITECTURE.md §11): summing a worker's
+/// cells across every scenario's ledger reproduces the platform-wide
+/// `points_of` and team-observation totals exactly — projects partition
+/// both, so nothing is double-counted or lost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplitLedger {
+    /// Points per worker (workers with zero points are absent).
+    pub points: BTreeMap<WorkerId, i64>,
+    /// Collaborative completions the worker was a team member of.
+    pub collabs: BTreeMap<WorkerId, u64>,
+}
+
+impl SplitLedger {
+    /// Merge another project's split into this scenario's ledger.
+    pub fn absorb(&mut self, other: SplitLedger) {
+        for (w, v) in other.points {
+            *self.points.entry(w).or_insert(0) += v;
+        }
+        for (w, v) in other.collabs {
+            *self.collabs.entry(w).or_insert(0) += v;
+        }
+    }
+
+    /// Total points the scenario awarded across its crowd.
+    pub fn total_points(&self) -> i64 {
+        self.points.values().sum()
+    }
+
+    /// Total per-member collaborative completions.
+    pub fn total_collabs(&self) -> u64 {
+        self.collabs.values().sum()
+    }
+}
+
+/// One project's per-worker split, read off the platform (or shard slice)
+/// that owns it.
+pub fn project_split(p: &Crowd4U, project: ProjectId) -> SplitLedger {
+    let mut out = SplitLedger::default();
+    for w in p.workers.iter_ids() {
+        let pts = p.project_points_of(project, w);
+        if pts != 0 {
+            out.points.insert(w, pts);
+        }
+        let collabs = p.worker_collabs_in(project, w);
+        if collabs != 0 {
+            out.collabs.insert(w, collabs);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +616,7 @@ mod tests {
         let remap = IdRemap {
             worker_offset: 100,
             projects: BTreeMap::from([(ProjectId(1), ProjectId(7))]),
+            scenario: 0,
         };
         assert_eq!(remap.worker(WorkerId(3)), WorkerId(103));
         assert_eq!(remap.project(ProjectId(1)), ProjectId(7));

@@ -50,6 +50,7 @@ fn full_mailbox_gives_typed_error_then_blocks_and_loses_nothing() {
         source: SRC.into(),
         factors: DesiredFactors::default(),
         scheme: Scheme::Sequential,
+        owner: 0,
     });
     rt.barrier(); // setup applied everywhere before we stall the shard
 
@@ -164,6 +165,7 @@ fn one_dead_shard_scopes_its_error_and_leaves_the_rest_alive() {
             source: SRC.into(),
             factors: DesiredFactors::default(),
             scheme: Scheme::Sequential,
+            owner: 0,
         });
     }
     rt.barrier();
@@ -203,8 +205,11 @@ fn one_dead_shard_scopes_its_error_and_leaves_the_rest_alive() {
         profile: WorkerProfile::new(WorkerId(2), "bob"),
     })
     .unwrap();
-    gate.try_submit(PlatformEvent::ClockAdvanced { to: SimTime(10) })
-        .unwrap();
+    gate.try_submit(PlatformEvent::ClockAdvanced {
+        to: SimTime(10),
+        owner: 0,
+    })
+    .unwrap();
 
     // Shard 0 still *applies*, not just accepts: a barrier on it completes
     // and the seed is visible from the live slice.

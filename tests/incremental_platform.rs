@@ -66,6 +66,7 @@ fn setup_events() -> Vec<PlatformEvent> {
             ..Default::default()
         },
         scheme: Scheme::Sequential,
+        owner: 0,
     });
     for i in 0..3 {
         events.push(PlatformEvent::FactSeeded {
@@ -105,7 +106,10 @@ fn churn_events() -> Vec<PlatformEvent> {
             task: TaskId::compose(p, 3),
             outputs: vec![Value::Str("t2".into())],
         },
-        PlatformEvent::ClockAdvanced { to: SimTime(100) },
+        PlatformEvent::ClockAdvanced {
+            to: SimTime(100),
+            owner: 0,
+        },
     ]
 }
 

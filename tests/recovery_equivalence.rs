@@ -17,6 +17,13 @@
 //! the multi-shard counts exercise replica death with the worker feed
 //! re-interleaved from snapshots + deltas. CI replays this file under
 //! `RUNTIME_SHARDS=4` and a pinned `PROPTEST_SEED`.
+//!
+//! PR 10 extends the property to **mid-apply** crashes: a kill firing
+//! *inside* `apply_event` — after the message left the mailbox, before
+//! the ledger saw it — must also be invisible. The supervisor's in-flight
+//! slot redoes the popped-but-unledgered event on the next incarnation;
+//! without it, exactly one event would silently vanish from the journal
+//! (the regression pinned by [`a_mid_apply_crash_keeps_the_popped_event`]).
 
 use crowd4u::collab::Scheme;
 use crowd4u::core::error::{ProjectId, TaskId, WorkerId};
@@ -53,6 +60,7 @@ fn setup_events(n_projects: usize, items: usize) -> Vec<PlatformEvent> {
             source: SRC.into(),
             factors: DesiredFactors::default(),
             scheme: Scheme::Sequential,
+            owner: 0,
         });
     }
     for i in 0..items {
@@ -87,6 +95,7 @@ fn op_event(n_projects: usize, op: &RawOp) -> PlatformEvent {
         },
         4 => PlatformEvent::ClockAdvanced {
             to: SimTime(*i as u64 * 101),
+            owner: 0,
         },
         // Worker churn rides the coordinator + delta-log path that a
         // recovering replica re-syncs from.
@@ -180,6 +189,15 @@ proptest! {
             let run = run_halves(rt, first, second, |_| {});
             assert_equivalent(&clean, &run, &format!("fault at {shards} shards"))?;
 
+            // Mid-apply fault: the same kill point, but firing *inside*
+            // the k-th apply — the event was popped from the mailbox and
+            // is not yet in the ledger. The supervisor's in-flight redo
+            // must make this shape equally invisible (PR 10).
+            let mid = FaultPlan::kill_mid_apply(kill_pick % shards, kill_after);
+            let rt = ShardedRuntime::new_chaos(config(shards), mid);
+            let run = run_halves(rt, first, second, |_| {});
+            assert_equivalent(&clean, &run, &format!("mid-apply fault at {shards} shards"))?;
+
             // Fault + migrate: same crash schedule, plus a hot migration
             // of one project to the next shard between the two halves.
             if shards > 1 {
@@ -198,4 +216,112 @@ proptest! {
             }
         }
     }
+}
+
+/// PR 9 residue, pinned: an *injected* fault always fired on a ledgered
+/// boundary, so recovery never had to face the real crash shape — a panic
+/// in the middle of `apply_event`, when the event has been popped from
+/// the mailbox but not yet ledgered. Before the in-flight redo, that one
+/// event silently vanished: the merged journal was short one entry and
+/// the replayed state diverged from the clean run.
+#[test]
+fn a_mid_apply_crash_keeps_the_popped_event() {
+    let events = setup_events(2, 3);
+
+    let mut serial = Crowd4U::new();
+    let report = serial.apply_batch(events.clone()).unwrap();
+    assert!(report.errors.is_empty());
+
+    for shards in [1usize, 2] {
+        // Kill the coordinator inside its 4th recorded apply — well within
+        // the 5 registrations it records, so the fault always fires.
+        let rt = ShardedRuntime::new_chaos(config(shards), FaultPlan::kill_mid_apply(0, 4));
+        rt.submit_batch(events.clone());
+        rt.drain();
+        let run = rt.finish().unwrap();
+        assert_eq!(
+            run.journal.dump(),
+            serial.journal().dump(),
+            "mid-apply crash lost an event at {shards} shards"
+        );
+        assert_eq!(run.stats.dropped, 0);
+        let replayed = Crowd4U::replay(&run.journal).unwrap();
+        assert_eq!(replayed.state_dump(), serial.state_dump());
+    }
+}
+
+/// Characterisation (PR 10 satellite): a migrated-away project leaves
+/// **no shell at the live source** — `extract_project` removes it
+/// entirely, so the source answers `UnknownProject` — but a source that
+/// later crashes and recovers regains the *empty broadcast shell* every
+/// non-owner holds: the Global `ProjectRegistered` replays from its
+/// ledger while the project-scoped history is filtered to the current
+/// owner. Both shapes hold zero task/fact residue, and neither perturbs
+/// the merged journal.
+#[test]
+fn migrated_away_projects_leave_no_source_residue_even_across_recovery() {
+    let events = setup_events(2, 3);
+
+    let mut serial = Crowd4U::new();
+    serial.apply_batch(events.clone()).unwrap();
+
+    let rt = ShardedRuntime::new(config(2));
+    rt.submit_batch(events);
+    rt.drain();
+
+    // Project 1 lives on shard 0; push it to shard 1.
+    assert_eq!(rt.owner_of(ProjectId(1)), 0);
+    let moved = rt.migrate_project(ProjectId(1), 1).unwrap();
+    assert!(moved > 0, "the seeded project should carry tasks");
+
+    // Live source: no shell at all — the project is simply gone.
+    let gone = rt
+        .submit_job(0, |p| p.project(ProjectId(1)).is_err())
+        .recv()
+        .unwrap();
+    assert!(gone, "live source still knows the migrated project");
+
+    // Crash the old owner (a job panic is a genuine, non-injected crash
+    // shape) and let the supervisor rebuild it from the ledger. The next
+    // query queues behind the held mailbox, so it runs post-recovery; no
+    // extra drain (each `drain()` journals an entry, and the serial
+    // reference performed exactly one).
+    let _ = rt.submit_job(0, |_| panic!("chaos: source dies after migration"));
+
+    // Recovered source: the broadcast shell is back — registered, but
+    // with zero facts and zero tasks (its project-1 history now belongs
+    // to shard 1 and was filtered out of the replay).
+    let shell = rt
+        .submit_job(0, |p| {
+            p.project(ProjectId(1))
+                .map(|proj| proj.engine.fact_count("item").unwrap())
+                .ok()
+        })
+        .recv()
+        .unwrap();
+    assert_eq!(
+        shell,
+        Some(0),
+        "recovered source should hold an empty shell"
+    );
+
+    let run = rt.finish().unwrap();
+    assert_eq!(
+        run.journal.dump(),
+        serial.journal().dump(),
+        "migration + source recovery must not perturb the journal"
+    );
+    // The destination holds the real project, tasks and all.
+    assert!(run.platforms[1]
+        .project(ProjectId(1))
+        .map(|p| p.engine.fact_count("item").unwrap() > 0)
+        .unwrap_or(false));
+    // The finished source still reports the shell shape.
+    assert_eq!(
+        run.platforms[0]
+            .project(ProjectId(1))
+            .map(|p| p.engine.fact_count("item").unwrap())
+            .ok(),
+        Some(0)
+    );
 }

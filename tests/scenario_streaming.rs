@@ -30,7 +30,9 @@ use crowd4u::collab::Scheme;
 use crowd4u::core::platform::Crowd4U;
 use crowd4u::runtime::prelude::*;
 use crowd4u::runtime::scenario::stream_traces;
-use crowd4u::scenarios::stream::{apply_stream, merge_traces, record_scheme, ScenarioTrace};
+use crowd4u::scenarios::stream::{
+    apply_stream, merge_traces, record_scheme, MergedStream, ScenarioTrace,
+};
 use crowd4u::scenarios::{mixed, ScenarioConfig, ScenarioReport};
 use proptest::prelude::*;
 
@@ -192,6 +194,214 @@ fn capacity_one_mailbox_stream_replays_byte_identically_after_retries() {
         let replayed = Crowd4U::replay(&run.journal).expect("replay");
         assert_eq!(replayed.state_dump(), serial_dump);
     }
+}
+
+/// The interleaved-deadline gotcha, pinned (PR 10 tentpole (d)): when two
+/// scenarios interleave on one platform, one scenario's `ClockAdvanced`
+/// must **not** sweep another scenario's recruitment deadline. The merge
+/// tags each trace's clock events and project registrations with a
+/// per-trace owner, so a clock only expires deadlines of projects in its
+/// own domain. Without the tags (the pre-PR 10 shape, reconstructed below
+/// as a negative control), scenario B's clock tick reaches over and
+/// reopens scenario A's suggested collab task *before* its members
+/// undertake — silently dropping their `Undertaken` events and charging A
+/// a missed deadline it never had.
+#[test]
+fn interleaved_clocks_cannot_sweep_another_scenarios_deadline() {
+    use crowd4u::core::error::{ProjectId, TaskId, WorkerId};
+    use crowd4u::core::events::PlatformEvent;
+    use crowd4u::crowd::profile::WorkerProfile;
+    use crowd4u::forms::admin::DesiredFactors;
+    use crowd4u::scenarios::stream::{Completion, StreamOp, TimedOp};
+    use crowd4u::sim::time::{SimDuration, SimTime};
+
+    const SRC: &str = "\
+rel item(x: str).
+open label(x: str) -> (y: str) points 1.
+rel out(x: str, y: str).
+out(X, Y) :- item(X), label(X, Y).
+";
+
+    fn ev(at: u64, e: PlatformEvent) -> TimedOp {
+        TimedOp {
+            at: SimTime(at),
+            op: StreamOp::Event(e),
+        }
+    }
+    fn worker(i: u64) -> PlatformEvent {
+        PlatformEvent::WorkerRegistered {
+            profile: WorkerProfile::new(WorkerId(i), format!("w{i}")),
+        }
+    }
+    fn project(name: &str) -> PlatformEvent {
+        PlatformEvent::ProjectRegistered {
+            name: name.into(),
+            source: SRC.into(),
+            factors: DesiredFactors {
+                min_team: 2,
+                max_team: 2,
+                recruitment_secs: 100,
+                ..Default::default()
+            },
+            scheme: Scheme::Simultaneous,
+            owner: 0,
+        }
+    }
+    fn dummy_report(scheme: Scheme) -> ScenarioReport {
+        ScenarioReport {
+            scheme,
+            items_completed: 0,
+            items_total: 0,
+            mean_quality: 0.0,
+            makespan: SimDuration::ZERO,
+            answers: 0,
+            teams_formed: 0,
+            reassignments: 0,
+            mean_team_affinity: 0.0,
+            points_awarded: 0,
+        }
+    }
+    fn trace(scheme: Scheme, ops: Vec<TimedOp>, crowd: u64) -> ScenarioTrace {
+        ScenarioTrace {
+            scheme,
+            ops,
+            crowd,
+            projects: vec![ProjectId(1)],
+            completion: Completion::CollabsCompleted,
+            shadow: dummy_report(scheme),
+        }
+    }
+
+    // Scenario A: a two-person collab team suggested at t=0 with a
+    // 100-tick recruitment deadline; both members undertake at t=150
+    // (their own clock never advanced — in A's domain the deadline is
+    // still live).
+    let task = TaskId::compose(ProjectId(1), 1);
+    let a_ops = vec![
+        ev(0, worker(1)),
+        ev(0, worker(2)),
+        ev(0, project("newsroom")),
+        ev(
+            0,
+            PlatformEvent::CollabTaskCreated {
+                project: ProjectId(1),
+                description: "draft the story".into(),
+            },
+        ),
+        ev(
+            0,
+            PlatformEvent::InterestExpressed {
+                worker: WorkerId(1),
+                task,
+            },
+        ),
+        ev(
+            0,
+            PlatformEvent::InterestExpressed {
+                worker: WorkerId(2),
+                task,
+            },
+        ),
+        ev(0, PlatformEvent::AssignmentRun { task }),
+        ev(
+            150,
+            PlatformEvent::Undertaken {
+                worker: WorkerId(1),
+                task,
+            },
+        ),
+        ev(
+            150,
+            PlatformEvent::Undertaken {
+                worker: WorkerId(2),
+                task,
+            },
+        ),
+    ];
+    // Scenario B: an unrelated project whose clock ticks to t=120 —
+    // *past* A's deadline, *before* A's undertakes in the interleaving.
+    let b_ops = vec![
+        ev(0, worker(1)),
+        ev(0, project("other-app")),
+        ev(
+            120,
+            PlatformEvent::ClockAdvanced {
+                to: SimTime(120),
+                owner: 0,
+            },
+        ),
+    ];
+    let traces = vec![
+        trace(Scheme::Simultaneous, a_ops, 2),
+        trace(Scheme::Sequential, b_ops, 1),
+    ];
+
+    // Tagged merge (the fix): B's clock lives in its own domain, A's
+    // deadline survives, both undertakes land — and the streamed run
+    // stays byte-identical to the serial composite at every shard count.
+    let (serial_journal, serial_dump, serial_dropped) = serial_reference(&traces);
+    assert_eq!(serial_dropped, 0, "owner tags must isolate the deadline");
+    for shards in shard_counts() {
+        let rt = runtime(shards, 16);
+        stream_traces(&rt, &traces).expect("stream");
+        let run = rt.finish().expect("finish");
+        assert_eq!(run.stats.dropped, 0, "dropped at {shards} shards");
+        assert_eq!(
+            run.journal.dump(),
+            serial_journal,
+            "journal mismatch at {shards} shards"
+        );
+        let replayed = Crowd4U::replay(&run.journal).expect("replay");
+        assert_eq!(replayed.state_dump(), serial_dump);
+        assert_eq!(
+            replayed.project_counter(ProjectId(1), "deadlines_missed"),
+            0
+        );
+    }
+
+    // Negative control — strip the owner tags off the merged stream (the
+    // pre-PR 10 shape). B's t=120 tick now sweeps A's t=100 deadline:
+    // interest is withdrawn, the task reopens, both undertakes bounce.
+    let merged = merge_traces(&traces);
+    let untagged = MergedStream {
+        ops: merged
+            .ops
+            .iter()
+            .map(|(i, op)| {
+                let op = match op {
+                    StreamOp::Event(PlatformEvent::ProjectRegistered {
+                        name,
+                        source,
+                        factors,
+                        scheme,
+                        ..
+                    }) => StreamOp::Event(PlatformEvent::ProjectRegistered {
+                        name: name.clone(),
+                        source: source.clone(),
+                        factors: factors.clone(),
+                        scheme: *scheme,
+                        owner: 0,
+                    }),
+                    StreamOp::Event(PlatformEvent::ClockAdvanced { to, .. }) => {
+                        StreamOp::Event(PlatformEvent::ClockAdvanced { to: *to, owner: 0 })
+                    }
+                    other => other.clone(),
+                };
+                (*i, op)
+            })
+            .collect(),
+        remaps: merged.remaps.clone(),
+    };
+    let mut platform = Crowd4U::new();
+    let dropped = apply_stream(&mut platform, &untagged).expect("apply");
+    assert_eq!(
+        dropped, 2,
+        "without owner tags the foreign clock must drop both undertakes"
+    );
+    assert_eq!(
+        platform.project_counter(ProjectId(1), "deadlines_missed"),
+        1
+    );
 }
 
 /// Scenario project registrations are routed events now — the PR 3

@@ -70,6 +70,7 @@ fn setup_events(n_projects: usize, items: usize) -> Vec<PlatformEvent> {
                 ..Default::default()
             },
             scheme: Scheme::Sequential,
+            owner: 0,
         });
     }
     for i in 0..items {
@@ -106,6 +107,7 @@ fn op_event(n_projects: usize, items: usize, op: &RawOp) -> PlatformEvent {
         3 => PlatformEvent::InterestExpressed { worker, task },
         4 => PlatformEvent::ClockAdvanced {
             to: SimTime(*i as u64 * 137),
+            owner: 0,
         },
         5 => PlatformEvent::WorkerRegistered {
             profile: WorkerProfile::new(WorkerId(10 + w), format!("late{w}")),
